@@ -1,0 +1,42 @@
+//! Table 2: server space requirements of Plaintext, CryptDB+Client,
+//! Execution-Greedy, and MONOMI; also prints the designer setup time (§8.1).
+
+use monomi_bench::{print_header, Experiment};
+use monomi_tpch::{baselines, baselines::SystemKind};
+
+fn main() {
+    print_header("Table 2: server space requirements", "Table 2");
+    let exp = Experiment::standard();
+    let plain_bytes = exp.plain.total_size_bytes();
+    println!("{:<18} {:>12} {:>22}", "system", "size (MB)", "relative to plaintext");
+    println!(
+        "{:<18} {:>12.2} {:>22}",
+        "Plaintext",
+        plain_bytes as f64 / 1e6,
+        "-"
+    );
+    for kind in [
+        SystemKind::CryptDbClient,
+        SystemKind::ExecutionGreedy,
+        SystemKind::Monomi,
+    ] {
+        let setup = baselines::build_system(kind, &exp.plain, &exp.workload, &exp.config)
+            .expect("setup");
+        let bytes = setup.server_bytes(&exp.plain);
+        println!(
+            "{:<18} {:>12.2} {:>21.2}x",
+            kind.to_string(),
+            bytes as f64 / 1e6,
+            bytes as f64 / plain_bytes as f64
+        );
+        if kind == SystemKind::Monomi {
+            if let Some(outcome) = setup.client.as_ref().and_then(|c| c.design_outcome()) {
+                println!(
+                    "\nMONOMI designer (ILP) setup time: {:.1}s (paper: 52s at scale 10)",
+                    outcome.setup_seconds
+                );
+            }
+        }
+    }
+    println!("\n(Paper: plaintext 17.1 GB, CryptDB+Client 4.21x, Execution-Greedy 1.90x, MONOMI 1.72x.)");
+}

@@ -1,0 +1,49 @@
+//! # monomi-bench
+//!
+//! Benchmark harnesses that regenerate every table and figure of the MONOMI
+//! paper's evaluation (§8), plus Criterion microbenchmarks for the crypto and
+//! engine substrates. Each figure/table is a separate bench target (custom
+//! harness) that prints the same rows/series the paper reports; see
+//! EXPERIMENTS.md for the paper-vs-measured record.
+
+use monomi_core::{ClientConfig, NetworkModel};
+use monomi_tpch::{datagen, queries, TpchQuery};
+
+/// Shared experiment setup: generated data, workload, network model, and the
+/// client configuration used across figures.
+pub struct Experiment {
+    pub plain: monomi_engine::Database,
+    pub workload: Vec<TpchQuery>,
+    pub network: NetworkModel,
+    pub config: ClientConfig,
+}
+
+impl Experiment {
+    /// Standard experiment environment. The scale factor is intentionally small
+    /// so every figure regenerates in minutes on a laptop; override via the
+    /// `MONOMI_SCALE` environment variable (e.g. `MONOMI_SCALE=0.01`).
+    pub fn standard() -> Experiment {
+        let scale = std::env::var("MONOMI_SCALE")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(0.002);
+        let plain = datagen::generate(&datagen::GeneratorConfig {
+            scale_factor: scale,
+            ..Default::default()
+        });
+        Experiment {
+            plain,
+            workload: queries::workload(),
+            network: NetworkModel::paper_default(),
+            config: monomi_tpch::fast_config(),
+        }
+    }
+}
+
+/// Prints a standard experiment header.
+pub fn print_header(title: &str, paper_ref: &str) {
+    println!("==============================================================");
+    println!("{title}");
+    println!("(reproduces {paper_ref} of Tu et al., VLDB 2013)");
+    println!("==============================================================");
+}

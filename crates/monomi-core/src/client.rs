@@ -1,0 +1,283 @@
+//! The trusted client library: the only component holding decryption keys.
+//!
+//! [`MonomiClient`] wraps the full MONOMI pipeline: run the designer over a
+//! representative workload, encrypt and load the database onto the (untrusted)
+//! server, and at query time plan, execute, decrypt, and post-process queries,
+//! returning plaintext results together with a timing breakdown.
+
+use crate::cost::{bind_params, DecryptProfile};
+use crate::design::{Encryptor, PhysicalDesign};
+use crate::designer::{DesignOutcome, Designer};
+use crate::localexec::{QueryTimings, SplitExecutor};
+use crate::network::NetworkModel;
+use crate::plan::{PlanOptions, SplitPlan};
+use crate::planner::Planner;
+use crate::CoreError;
+use monomi_crypto::{MasterKey, PaillierKey};
+use monomi_engine::{Database, ResultSet, Value};
+use monomi_sql::{parse_query, Query};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for building a MONOMI deployment.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Paillier modulus size in bits (the paper uses 1,024; tests use less).
+    pub paillier_bits: usize,
+    /// Server space budget as a multiple of the plaintext size (paper: S = 2).
+    pub space_budget: Option<f64>,
+    /// Link / storage simulation parameters.
+    pub network: NetworkModel,
+    /// Which optimizations the planner may use.
+    pub plan_options: PlanOptions,
+    /// Deterministic seed for key generation and encryption randomness.
+    pub seed: u64,
+    /// Skip the startup decryption profiler (use defaults) for fast tests.
+    pub skip_profiling: bool,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            paillier_bits: 512,
+            space_budget: Some(2.0),
+            network: NetworkModel::paper_default(),
+            plan_options: PlanOptions::default(),
+            seed: 42,
+            skip_profiling: false,
+        }
+    }
+}
+
+/// How the physical design is chosen during setup.
+#[derive(Clone, Debug)]
+pub enum DesignStrategy {
+    /// Run the designer (ILP when a space budget is configured).
+    Designer,
+    /// Space-Greedy baseline: drop largest columns until within budget.
+    SpaceGreedy,
+    /// Use an explicitly provided design (e.g. the CryptDB-style baseline).
+    Manual(PhysicalDesign),
+}
+
+/// The trusted MONOMI client.
+pub struct MonomiClient {
+    plain_stats_db: Database,
+    encryptor: Encryptor,
+    encrypted_db: Database,
+    network: NetworkModel,
+    profile: DecryptProfile,
+    plan_options: PlanOptions,
+    design_outcome: Option<DesignOutcome>,
+}
+
+impl MonomiClient {
+    /// Sets up a MONOMI deployment: designs the encrypted schema for the given
+    /// representative workload, encrypts `plain` and loads it as the untrusted
+    /// server's database.
+    ///
+    /// `plain` plays two roles, matching the paper: it is the data to outsource
+    /// and the statistics sample the designer uses.
+    pub fn setup(
+        plain: &Database,
+        workload: &[Query],
+        strategy: DesignStrategy,
+        config: &ClientConfig,
+    ) -> Result<(Self, DesignOutcome), CoreError> {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let master = MasterKey::generate(&mut rng);
+        let paillier = PaillierKey::generate(&mut rng, config.paillier_bits.max(128));
+
+        let profile = DecryptProfile::default();
+        let designer = Designer {
+            plain,
+            master: master.clone(),
+            paillier: paillier.clone(),
+            paillier_bits: config.paillier_bits,
+            network: config.network,
+            profile,
+            options: config.plan_options,
+        };
+        let outcome = match strategy {
+            DesignStrategy::Designer => match config.space_budget {
+                Some(s) => designer.with_space_budget(workload, s),
+                None => designer.unconstrained(workload),
+            },
+            DesignStrategy::SpaceGreedy => {
+                designer.space_greedy(workload, config.space_budget.unwrap_or(2.0))
+            }
+            DesignStrategy::Manual(design) => DesignOutcome {
+                design,
+                estimated_cost: 0.0,
+                setup_seconds: 0.0,
+            },
+        };
+
+        let client = Self::from_design(plain, outcome.design.clone(), master, paillier, config)?;
+        let mut client = client;
+        client.design_outcome = Some(outcome.clone());
+        Ok((client, outcome))
+    }
+
+    /// Builds a client from an explicit design and keys (used by the baselines
+    /// and the design-sensitivity experiments).
+    pub fn from_design(
+        plain: &Database,
+        design: PhysicalDesign,
+        master: MasterKey,
+        paillier: PaillierKey,
+        config: &ClientConfig,
+    ) -> Result<Self, CoreError> {
+        let encryptor = Encryptor::with_keys(master, paillier, design);
+        let encrypted_db = encryptor.encrypt_database(plain, config.seed ^ 0x5eed)?;
+        let profile = if config.skip_profiling {
+            DecryptProfile::default()
+        } else {
+            DecryptProfile::measure(&encryptor)
+        };
+        // Keep a statistics-only copy of the plaintext database on the client
+        // for the planner's cardinality estimates (the paper's client keeps
+        // schema + statistics, not data; we reuse the same object for both
+        // since it lives on the trusted side anyway).
+        let plain_stats_db = clone_database(plain);
+        Ok(MonomiClient {
+            plain_stats_db,
+            encryptor,
+            encrypted_db,
+            network: config.network,
+            profile,
+            plan_options: config.plan_options,
+            design_outcome: None,
+        })
+    }
+
+    /// The physical design in use.
+    pub fn design(&self) -> &PhysicalDesign {
+        self.encryptor.design()
+    }
+
+    /// The outcome of the designer run, if the client was built via `setup`.
+    pub fn design_outcome(&self) -> Option<&DesignOutcome> {
+        self.design_outcome.as_ref()
+    }
+
+    /// The encrypted server database (exposed for space accounting and tests;
+    /// a real deployment would only hold a connection to it).
+    pub fn encrypted_database(&self) -> &Database {
+        &self.encrypted_db
+    }
+
+    /// Actual bytes stored on the untrusted server.
+    pub fn server_size_bytes(&self) -> usize {
+        self.encrypted_db.total_size_bytes()
+    }
+
+    /// Analytic server size under the design (reflects multi-row packing).
+    pub fn designed_size_bytes(&self) -> usize {
+        self.design()
+            .storage_bytes(&self.plain_stats_db, self.encryptor.paillier())
+    }
+
+    fn planner(&self) -> Planner<'_> {
+        Planner {
+            plain: &self.plain_stats_db,
+            master: self.encryptor.master_key().clone(),
+            paillier: self.encryptor.paillier().clone(),
+            profile: self.profile,
+            network: self.network,
+            options: self.plan_options,
+            paillier_bits: self.design().paillier_bits,
+            max_subsets: 64,
+        }
+    }
+
+    /// Plans a query without executing it (EXPLAIN).
+    pub fn plan(&self, sql: &str, params: &[Value]) -> Result<SplitPlan, CoreError> {
+        let query = parse_query(sql).map_err(|e| CoreError::new(e.to_string()))?;
+        let bound = bind_params(&query, params);
+        let (plan, _) = self.planner().best_plan(&bound, &self.encryptor);
+        Ok(plan)
+    }
+
+    /// Executes a query end to end: plan, run remote parts on the encrypted
+    /// server, decrypt, finish locally. Returns plaintext rows and timings.
+    pub fn execute(
+        &self,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<(ResultSet, QueryTimings), CoreError> {
+        let query = parse_query(sql).map_err(|e| CoreError::new(e.to_string()))?;
+        self.execute_query(&query, params)
+    }
+
+    /// Executes an already parsed query.
+    pub fn execute_query(
+        &self,
+        query: &Query,
+        params: &[Value],
+    ) -> Result<(ResultSet, QueryTimings), CoreError> {
+        let bound = bind_params(query, params);
+        let (plan, _) = self.planner().best_plan(&bound, &self.encryptor);
+        let executor = SplitExecutor {
+            encrypted_db: &self.encrypted_db,
+            encryptor: &self.encryptor,
+            network: &self.network,
+        };
+        executor.execute(&plan)
+    }
+
+    /// Executes a specific plan (used by the optimization-ablation harnesses).
+    pub fn execute_plan(&self, plan: &SplitPlan) -> Result<(ResultSet, QueryTimings), CoreError> {
+        let executor = SplitExecutor {
+            encrypted_db: &self.encrypted_db,
+            encryptor: &self.encryptor,
+            network: &self.network,
+        };
+        executor.execute(plan)
+    }
+
+    /// Generates a plan with explicit options (bypassing the cost-based choice).
+    pub fn plan_with_options(
+        &self,
+        sql: &str,
+        params: &[Value],
+        options: &PlanOptions,
+        force_greedy: bool,
+    ) -> Result<SplitPlan, CoreError> {
+        let query = parse_query(sql).map_err(|e| CoreError::new(e.to_string()))?;
+        let bound = bind_params(&query, params);
+        if force_greedy {
+            // Greedy execution: always push as much as possible to the server,
+            // regardless of cost (the Execution-Greedy baseline).
+            Ok(crate::plan::generate_query_plan(
+                &bound,
+                &self.plain_stats_db,
+                &self.encryptor,
+                options,
+            ))
+        } else {
+            let mut planner = self.planner();
+            planner.options = *options;
+            Ok(planner.best_plan(&bound, &self.encryptor).0)
+        }
+    }
+}
+
+/// Deep-copies a database (schema + rows). The engine intentionally has no
+/// `Clone` on `Database` because real deployments would not copy servers; the
+/// trusted client here only needs it for statistics.
+fn clone_database(db: &Database) -> Database {
+    let mut out = Database::new();
+    for schema in db.catalog().tables() {
+        out.create_table(schema.clone());
+    }
+    for name in db.table_names() {
+        let table = db.table(&name).expect("listed table exists");
+        let rows: Vec<Vec<Value>> = (0..table.row_count()).map(|i| table.row(i)).collect();
+        out.bulk_load(&name, rows).expect("row shapes match schema");
+    }
+    if let Some(m) = db.paillier_modulus() {
+        out.register_paillier_modulus(m);
+    }
+    out
+}

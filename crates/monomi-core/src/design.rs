@@ -1,0 +1,976 @@
+//! Physical designs: which encryptions of which expressions the server stores.
+//!
+//! A [`PhysicalDesign`] is the output of MONOMI's designer (§6): for every
+//! table, the set of source expressions (plain columns and per-row precomputed
+//! expressions, §5.1) and the encryption schemes materialized for each. From a
+//! design we derive the encrypted schema, encrypt and load data, and account
+//! for server-side space (§8.4 / Table 2).
+
+use crate::schemes::EncScheme;
+use crate::CoreError;
+use monomi_crypto::{MasterKey, PaillierKey};
+use monomi_engine::{
+    ColumnDef, ColumnType, Database, EvalContext, RowSchema, TableSchema, Value,
+};
+use monomi_math::BigUint;
+use monomi_sql::ast::{ColumnRef, Expr};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Bias added to date values before integer encryption so they are
+/// non-negative.
+const DATE_BIAS: i64 = 1 << 20;
+
+/// Bit width of a packed homomorphic value slot (value bits).
+pub const HOM_VALUE_BITS: u32 = 36;
+/// Zero padding per slot so sums of up to 2^28 rows cannot overflow into the
+/// next slot (the paper assumes ~2^27 rows).
+pub const HOM_OVERFLOW_BITS: u32 = 28;
+
+/// Design of one source expression within a table.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDesign {
+    /// Base name used to derive encrypted column names (`<base>_<scheme>`).
+    pub base_name: String,
+    /// The plaintext expression this encrypted column stores. A bare column
+    /// reference for ordinary columns; any row-local expression for per-row
+    /// precomputation (§5.1).
+    pub source: Expr,
+    /// Logical type of the source expression.
+    pub ty: ColumnType,
+    /// Encryption schemes materialized for this source.
+    pub schemes: std::collections::BTreeSet<EncScheme>,
+}
+
+impl ColumnDesign {
+    /// True if this is a precomputed expression rather than a base column.
+    pub fn is_precomputed(&self) -> bool {
+        !matches!(self.source, Expr::Column(_))
+    }
+
+    /// The encrypted column name for a scheme.
+    pub fn enc_name(&self, scheme: EncScheme) -> String {
+        format!("{}_{}", self.base_name, scheme.suffix())
+    }
+
+    /// The weakest (most-revealing) scheme materialized, for the security
+    /// summary of Table 3.
+    pub fn weakest_scheme(&self) -> Option<EncScheme> {
+        self.schemes.iter().copied().max_by_key(|s| s.strength_rank())
+    }
+}
+
+/// Design of one table.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableDesign {
+    pub table: String,
+    pub columns: Vec<ColumnDesign>,
+    /// Grouped homomorphic addition (§5.3): pack all HOM sources of this table
+    /// into a single per-row Paillier ciphertext column.
+    pub col_packing: bool,
+    /// Multi-row packing (§5.2, "+Columnar agg"): pack several rows' HOM slots
+    /// into one ciphertext. Reproduced in the space accounting and the I/O
+    /// component of the cost model; see DESIGN.md for the substitution note.
+    pub multirow_packing: bool,
+}
+
+impl TableDesign {
+    /// Creates an empty design for a table.
+    pub fn new(table: impl Into<String>) -> Self {
+        TableDesign {
+            table: table.into(),
+            columns: Vec::new(),
+            col_packing: false,
+            multirow_packing: false,
+        }
+    }
+
+    /// Finds the column design for a source expression.
+    pub fn find_source(&self, source: &Expr) -> Option<&ColumnDesign> {
+        self.columns.iter().find(|c| &c.source == source)
+    }
+
+    /// Finds the column design by base name.
+    pub fn find_base(&self, base: &str) -> Option<&ColumnDesign> {
+        self.columns.iter().find(|c| c.base_name == base)
+    }
+
+    /// Adds (or extends) a ⟨source, scheme⟩ pair; returns the base name.
+    pub fn add(&mut self, source: Expr, ty: ColumnType, scheme: EncScheme) -> String {
+        if let Some(c) = self.columns.iter_mut().find(|c| c.source == source) {
+            c.schemes.insert(scheme);
+            return c.base_name.clone();
+        }
+        let base_name = match &source {
+            Expr::Column(c) => c.column.to_lowercase(),
+            _ => format!("precomp_{}", self.columns.iter().filter(|c| c.is_precomputed()).count()),
+        };
+        let mut schemes = std::collections::BTreeSet::new();
+        schemes.insert(scheme);
+        self.columns.push(ColumnDesign {
+            base_name: base_name.clone(),
+            source,
+            ty,
+            schemes,
+        });
+        base_name
+    }
+
+    /// Base names of HOM sources in slot order (for grouped packing).
+    pub fn hom_slots(&self) -> Vec<String> {
+        self.columns
+            .iter()
+            .filter(|c| c.schemes.contains(&EncScheme::Hom))
+            .map(|c| c.base_name.clone())
+            .collect()
+    }
+
+    /// Slot index of a HOM source when grouped packing is enabled.
+    pub fn hom_slot_index(&self, base: &str) -> Option<usize> {
+        self.hom_slots().iter().position(|b| b == base)
+    }
+
+    /// Name of the packed HOM group column.
+    pub fn hom_group_column(&self) -> String {
+        format!("{}_homgrp_hom", self.table)
+    }
+}
+
+/// A full physical design.
+#[derive(Clone, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PhysicalDesign {
+    pub tables: BTreeMap<String, TableDesign>,
+    /// Paillier modulus size in bits used for this design.
+    pub paillier_bits: usize,
+}
+
+impl PhysicalDesign {
+    /// Creates an empty design with the given Paillier key size.
+    pub fn new(paillier_bits: usize) -> Self {
+        PhysicalDesign {
+            tables: BTreeMap::new(),
+            paillier_bits,
+        }
+    }
+
+    /// The design for a table, creating it if needed.
+    pub fn table_mut(&mut self, table: &str) -> &mut TableDesign {
+        self.tables
+            .entry(table.to_lowercase())
+            .or_insert_with(|| TableDesign::new(table.to_lowercase()))
+    }
+
+    /// The design for a table.
+    pub fn table(&self, table: &str) -> Option<&TableDesign> {
+        self.tables.get(&table.to_lowercase())
+    }
+
+    /// Ensures every column of every table in the plaintext catalog is stored
+    /// at least once (the paper: "MONOMI conservatively encrypts all data").
+    /// Key-like and categorical integer/string/date columns default to DET;
+    /// everything else defaults to RND.
+    pub fn add_baseline_coverage(&mut self, plain: &Database) {
+        for schema in plain.catalog().tables() {
+            let tname = schema.name.to_lowercase();
+            let schema = schema.clone();
+            let td = self.table_mut(&tname);
+            for col in &schema.columns {
+                let source = Expr::Column(ColumnRef::new(col.name.to_lowercase()));
+                let default_scheme = match col.ty {
+                    ColumnType::Int | ColumnType::Date => EncScheme::Det,
+                    ColumnType::Str if col.name.to_lowercase().contains("comment") => EncScheme::Rnd,
+                    ColumnType::Str => EncScheme::Det,
+                    _ => EncScheme::Rnd,
+                };
+                match td.columns.iter_mut().find(|c| c.source == source) {
+                    // Every base column must carry at least one scheme the
+                    // client can decrypt, otherwise its values could never be
+                    // fetched (OPE and SEARCH are one-way on the client side).
+                    Some(existing) => {
+                        if !existing.schemes.iter().any(|s| s.decryptable()) {
+                            existing.schemes.insert(default_scheme);
+                        }
+                    }
+                    None => {
+                        td.add(source, col.ty, default_scheme);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total number of ⟨source, scheme⟩ pairs in the design.
+    pub fn total_targets(&self) -> usize {
+        self.tables
+            .values()
+            .map(|t| t.columns.iter().map(|c| c.schemes.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Derives the encrypted server schema for this design.
+    pub fn encrypted_schema(&self, paillier: &PaillierKey) -> Vec<TableSchema> {
+        let mut out = Vec::new();
+        for td in self.tables.values() {
+            let mut cols = Vec::new();
+            let mut has_hom = false;
+            for cd in &td.columns {
+                for scheme in &cd.schemes {
+                    if *scheme == EncScheme::Hom && td.col_packing {
+                        has_hom = true;
+                        continue;
+                    }
+                    let ty = match (scheme, cd.ty) {
+                        (EncScheme::Det, ColumnType::Int | ColumnType::Date | ColumnType::Float) => {
+                            ColumnType::Int
+                        }
+                        (EncScheme::Det, _) => ColumnType::Bytes,
+                        _ => ColumnType::Bytes,
+                    };
+                    cols.push(ColumnDef::new(cd.enc_name(*scheme), ty));
+                }
+            }
+            if has_hom && !td.hom_slots().is_empty() {
+                cols.push(ColumnDef::new(td.hom_group_column(), ColumnType::Bytes));
+            }
+            let _ = paillier;
+            out.push(TableSchema::new(td.table.clone(), cols));
+        }
+        out
+    }
+
+    /// Analytic server space accounting in bytes, given the plaintext
+    /// database the design will be applied to. Multi-row packing divides the
+    /// HOM column footprint by the number of rows per ciphertext.
+    pub fn storage_bytes(&self, plain: &Database, paillier: &PaillierKey) -> usize {
+        let mut total = 0usize;
+        for td in self.tables.values() {
+            let table = match plain.table(&td.table) {
+                Some(t) => t,
+                None => continue,
+            };
+            let rows = table.row_count();
+            let hom_ct_bytes = paillier.ciphertext_bytes();
+            let hom_slots = td.hom_slots().len();
+            for cd in &td.columns {
+                let plain_width = match cd.ty {
+                    ColumnType::Int => 8,
+                    ColumnType::Float => 8,
+                    ColumnType::Date => 4,
+                    ColumnType::Str | ColumnType::Bytes => {
+                        // Use the real average width of the underlying column if
+                        // it is a base column; 24 bytes otherwise.
+                        match &cd.source {
+                            Expr::Column(c) => table
+                                .schema()
+                                .column_index(&c.column)
+                                .map(|i| {
+                                    (table.column_size_bytes(i) / rows.max(1)).max(1)
+                                })
+                                .unwrap_or(24),
+                            _ => 24,
+                        }
+                    }
+                };
+                for scheme in &cd.schemes {
+                    let width = match scheme {
+                        EncScheme::Det => match cd.ty {
+                            ColumnType::Int | ColumnType::Date => 8,
+                            _ => ((plain_width / 16) + 1) * 16,
+                        },
+                        EncScheme::Ope => 16,
+                        EncScheme::Rnd => ((plain_width / 16) + 1) * 16 + 16,
+                        EncScheme::Search => {
+                            // roughly one 16-byte token per 6 characters of text
+                            (plain_width / 6 + 1) * 16
+                        }
+                        EncScheme::Hom => {
+                            if td.col_packing {
+                                // Accounted once per table below.
+                                0
+                            } else {
+                                hom_ct_bytes
+                            }
+                        }
+                    };
+                    total += width * rows;
+                }
+            }
+            if td.col_packing && hom_slots > 0 {
+                let slot_bits = (HOM_VALUE_BITS + HOM_OVERFLOW_BITS) as usize;
+                let rows_per_ct = if td.multirow_packing {
+                    (paillier.plaintext_bits() / (slot_bits * hom_slots)).max(1)
+                } else {
+                    1
+                };
+                total += (rows / rows_per_ct + 1) * hom_ct_bytes;
+            }
+        }
+        total
+    }
+
+    /// Table 3 summary: per table, the number of columns whose weakest
+    /// materialized scheme falls in each class. Returns
+    /// `(strong, det, ope)` counts where `strong` covers RND/HOM/SEARCH.
+    /// Precomputed columns are counted separately in the second tuple element.
+    pub fn security_summary(&self) -> BTreeMap<String, SecuritySummary> {
+        let mut out = BTreeMap::new();
+        for td in self.tables.values() {
+            let mut summary = SecuritySummary::default();
+            for cd in &td.columns {
+                let weakest = match cd.weakest_scheme() {
+                    Some(w) => w,
+                    None => continue,
+                };
+                let bucket = match weakest {
+                    EncScheme::Rnd | EncScheme::Hom | EncScheme::Search => 0,
+                    EncScheme::Det => 1,
+                    EncScheme::Ope => 2,
+                };
+                if cd.is_precomputed() {
+                    summary.precomputed[bucket] += 1;
+                } else {
+                    summary.base[bucket] += 1;
+                }
+            }
+            out.insert(td.table.clone(), summary);
+        }
+        out
+    }
+}
+
+/// Per-table count of columns at each weakest-scheme level (Table 3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SecuritySummary {
+    /// Base columns: `[strong (RND/HOM/SEARCH), DET, OPE]`.
+    pub base: [usize; 3],
+    /// Precomputed expression columns, same buckets.
+    pub precomputed: [usize; 3],
+}
+
+/// Holds the keys and performs all value-level encryption and decryption for a
+/// design. Lives only on the trusted client.
+pub struct Encryptor {
+    master: MasterKey,
+    paillier: PaillierKey,
+    design: PhysicalDesign,
+}
+
+impl Encryptor {
+    /// Creates an encryptor with a deterministic RNG seed (reproducible
+    /// experiments) for the given design.
+    pub fn new(master: MasterKey, design: PhysicalDesign, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let paillier = PaillierKey::generate(&mut rng, design.paillier_bits.max(128));
+        Encryptor {
+            master,
+            paillier,
+            design,
+        }
+    }
+
+    /// Creates an encryptor reusing existing keys with a different design.
+    /// The planner uses this to evaluate candidate designs without paying for
+    /// Paillier key generation per candidate.
+    pub fn with_keys(master: MasterKey, paillier: PaillierKey, design: PhysicalDesign) -> Self {
+        Encryptor {
+            master,
+            paillier,
+            design,
+        }
+    }
+
+    /// The Paillier key (the public part of which is shared with the server).
+    pub fn paillier(&self) -> &PaillierKey {
+        &self.paillier
+    }
+
+    /// The master key (never leaves the trusted client).
+    pub fn master_key(&self) -> &MasterKey {
+        &self.master
+    }
+
+    /// The key-derivation label used for DET encryption of a column.
+    ///
+    /// Foreign-key / primary-key columns (TPC-H naming convention: a one- or
+    /// two-letter table prefix followed by a name ending in `key`) share a
+    /// label so equi-joins over DET ciphertexts compare correctly — the
+    /// adjustable-join simplification of CryptDB/MONOMI. All other columns use
+    /// a per-table, per-column label.
+    pub fn det_label(table: &str, base: &str) -> String {
+        if let Some(idx) = base.find('_') {
+            let suffix = &base[idx + 1..];
+            if suffix.ends_with("key") && idx <= 2 {
+                return format!("joinkey.{suffix}");
+            }
+        }
+        format!("{table}.{base}")
+    }
+
+    /// The physical design in effect.
+    pub fn design(&self) -> &PhysicalDesign {
+        &self.design
+    }
+
+    fn plain_to_u64(v: &Value, ty: ColumnType, order_preserving: bool) -> Result<u64, CoreError> {
+        match (v, ty) {
+            (Value::Int(i), _) => {
+                if order_preserving {
+                    Ok(monomi_crypto::i64_to_ordered_u64(*i))
+                } else {
+                    Ok(*i as u64)
+                }
+            }
+            (Value::Date(d), _) => {
+                let biased = *d as i64 + DATE_BIAS;
+                if order_preserving {
+                    Ok(monomi_crypto::i64_to_ordered_u64(biased))
+                } else {
+                    Ok(biased as u64)
+                }
+            }
+            (Value::Float(f), _) => {
+                // Scale floats to fixed-point before integer encryption.
+                let scaled = (*f * 100.0).round() as i64;
+                if order_preserving {
+                    Ok(monomi_crypto::i64_to_ordered_u64(scaled))
+                } else {
+                    Ok(scaled as u64)
+                }
+            }
+            (other, ty) => Err(CoreError::new(format!(
+                "cannot encode {other:?} of type {ty:?} as an integer"
+            ))),
+        }
+    }
+
+    /// Encrypts one plaintext value under a scheme for a column design.
+    pub fn encrypt_value(
+        &self,
+        table: &str,
+        cd: &ColumnDesign,
+        scheme: EncScheme,
+        v: &Value,
+        rng: &mut StdRng,
+    ) -> Result<Value, CoreError> {
+        if v.is_null() {
+            return Ok(Value::Null);
+        }
+        match scheme {
+            EncScheme::Det => match cd.ty {
+                ColumnType::Int | ColumnType::Date | ColumnType::Float => {
+                    let u = Self::plain_to_u64(v, cd.ty, false)?;
+                    let fpe = self.master.det_int("shared", &Self::det_label(table, &cd.base_name), 64);
+                    Ok(Value::Int(fpe.encrypt(u) as i64))
+                }
+                _ => {
+                    let s = v
+                        .as_str()
+                        .ok_or_else(|| CoreError::new("DET of non-string value"))?;
+                    let det = self.master.det_bytes("shared", &Self::det_label(table, &cd.base_name));
+                    Ok(Value::Bytes(det.encrypt(s.as_bytes())))
+                }
+            },
+            EncScheme::Ope => {
+                let u = Self::plain_to_u64(v, cd.ty, true)?;
+                let ope = self.master.ope(table, &cd.base_name);
+                Ok(Value::Bytes(ope.encrypt(u).to_be_bytes().to_vec()))
+            }
+            EncScheme::Rnd => {
+                let payload = encode_plain(v);
+                let rnd = self.master.rnd(table, &cd.base_name);
+                Ok(Value::Bytes(rnd.encrypt(rng, &payload)))
+            }
+            EncScheme::Search => {
+                let s = v
+                    .as_str()
+                    .ok_or_else(|| CoreError::new("SEARCH of non-string value"))?;
+                let search = self.master.search(table, &cd.base_name);
+                Ok(Value::Bytes(search.encrypt(s).to_bytes()))
+            }
+            EncScheme::Hom => {
+                let u = Self::plain_to_u64(v, cd.ty, false)?;
+                let m = BigUint::from_u64(u);
+                Ok(Value::Bytes(
+                    self.paillier
+                        .encrypt(rng, &m)
+                        .to_bytes_be_padded(self.paillier.ciphertext_bytes()),
+                ))
+            }
+        }
+    }
+
+    /// Encrypts a constant for comparison against an encrypted column (used by
+    /// the query rewriter for predicates like `col = 'x'` or `col > 10`).
+    pub fn encrypt_constant(
+        &self,
+        table: &str,
+        cd: &ColumnDesign,
+        scheme: EncScheme,
+        v: &Value,
+    ) -> Result<Value, CoreError> {
+        let mut rng = StdRng::seed_from_u64(0);
+        self.encrypt_value(table, cd, scheme, v, &mut rng)
+    }
+
+    /// Builds the packed HOM group value for one row of a table (grouped
+    /// homomorphic addition, §5.3).
+    pub fn encrypt_hom_group(
+        &self,
+        td: &TableDesign,
+        slot_values: &[u64],
+        rng: &mut StdRng,
+    ) -> Value {
+        let slot_bits = (HOM_VALUE_BITS + HOM_OVERFLOW_BITS) as usize;
+        let mut plaintext = BigUint::zero();
+        for (i, &v) in slot_values.iter().enumerate() {
+            plaintext = plaintext.add(&BigUint::from_u64(v).shl(i * slot_bits));
+        }
+        let _ = td;
+        Value::Bytes(
+            self.paillier
+                .encrypt(rng, &plaintext)
+                .to_bytes_be_padded(self.paillier.ciphertext_bytes()),
+        )
+    }
+
+    /// Decrypts a value previously produced by [`encrypt_value`](Self::encrypt_value).
+    pub fn decrypt_value(
+        &self,
+        table: &str,
+        cd: &ColumnDesign,
+        scheme: EncScheme,
+        v: &Value,
+    ) -> Result<Value, CoreError> {
+        if v.is_null() {
+            return Ok(Value::Null);
+        }
+        match scheme {
+            EncScheme::Det => match cd.ty {
+                ColumnType::Int | ColumnType::Date | ColumnType::Float => {
+                    let ct = v
+                        .as_int()
+                        .ok_or_else(|| CoreError::new("DET int ciphertext must be an integer"))?;
+                    let fpe = self.master.det_int("shared", &Self::det_label(table, &cd.base_name), 64);
+                    let plain = fpe.decrypt(ct as u64);
+                    Ok(decode_int(plain, cd.ty))
+                }
+                _ => {
+                    let bytes = v
+                        .as_bytes()
+                        .ok_or_else(|| CoreError::new("DET string ciphertext must be bytes"))?;
+                    let det = self.master.det_bytes("shared", &Self::det_label(table, &cd.base_name));
+                    let plain = det.decrypt(bytes);
+                    Ok(Value::Str(String::from_utf8_lossy(&plain).into_owned()))
+                }
+            },
+            EncScheme::Rnd => {
+                let bytes = v
+                    .as_bytes()
+                    .ok_or_else(|| CoreError::new("RND ciphertext must be bytes"))?;
+                let rnd = self.master.rnd(table, &cd.base_name);
+                Ok(decode_plain(&rnd.decrypt(bytes)))
+            }
+            EncScheme::Hom => {
+                let bytes = v
+                    .as_bytes()
+                    .ok_or_else(|| CoreError::new("HOM ciphertext must be bytes"))?;
+                let m = self.paillier.decrypt(&BigUint::from_bytes_be(bytes));
+                let u = m
+                    .to_u128()
+                    .ok_or_else(|| CoreError::new("decrypted HOM value exceeds 128 bits"))?;
+                Ok(decode_hom_sum(u as u64, cd.ty))
+            }
+            EncScheme::Ope | EncScheme::Search => Err(CoreError::new(format!(
+                "{scheme} ciphertexts are not client-decryptable"
+            ))),
+        }
+    }
+
+    /// Decrypts a `paillier_sum` aggregate over a packed HOM group column and
+    /// extracts the sum of the slot at `slot_index`.
+    pub fn decrypt_hom_group_sum(
+        &self,
+        v: &Value,
+        slot_index: usize,
+        ty: ColumnType,
+    ) -> Result<Value, CoreError> {
+        if v.is_null() {
+            return Ok(Value::Null);
+        }
+        let bytes = v
+            .as_bytes()
+            .ok_or_else(|| CoreError::new("HOM ciphertext must be bytes"))?;
+        let m = self.paillier.decrypt(&BigUint::from_bytes_be(bytes));
+        let slot_bits = (HOM_VALUE_BITS + HOM_OVERFLOW_BITS) as usize;
+        let slot = m.shr(slot_index * slot_bits).low_bits(slot_bits);
+        let u = slot
+            .to_u128()
+            .ok_or_else(|| CoreError::new("slot exceeds 128 bits"))? as u64;
+        Ok(decode_hom_sum(u, ty))
+    }
+
+    /// Encrypts an entire plaintext database according to the design,
+    /// producing the encrypted server database (with the Paillier public
+    /// modulus registered so `paillier_sum` works).
+    pub fn encrypt_database(&self, plain: &Database, seed: u64) -> Result<Database, CoreError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut enc_db = Database::new();
+        for schema in self.design.encrypted_schema(&self.paillier) {
+            enc_db.create_table(schema);
+        }
+        enc_db.register_paillier_modulus(self.paillier.n_squared().clone());
+
+        for td in self.design.tables.values() {
+            let table = match plain.table(&td.table) {
+                Some(t) => t,
+                None => continue,
+            };
+            let plain_schema = RowSchema::new(
+                table
+                    .schema()
+                    .columns
+                    .iter()
+                    .map(|c| (Some(td.table.clone()), c.name.clone()))
+                    .collect(),
+            );
+            let enc_schema = enc_db
+                .table(&td.table)
+                .expect("encrypted table just created")
+                .schema()
+                .clone();
+            let hom_slots = td.hom_slots();
+            let mut enc_rows: Vec<Vec<Value>> = Vec::with_capacity(table.row_count());
+            for ridx in 0..table.row_count() {
+                let row = table.row(ridx);
+                let ctx = EvalContext::with_params(&[]);
+                let mut enc_row: Vec<Value> = Vec::with_capacity(enc_schema.columns.len());
+                let mut hom_slot_values = vec![0u64; hom_slots.len()];
+                // Evaluate each source expression once.
+                let mut source_values: BTreeMap<String, Value> = BTreeMap::new();
+                for cd in &td.columns {
+                    let v = monomi_engine::expr::eval(&cd.source, &plain_schema, &row, &ctx)
+                        .map_err(|e| CoreError::new(e.to_string()))?;
+                    source_values.insert(cd.base_name.clone(), v);
+                }
+                for enc_col in &enc_schema.columns {
+                    if td.col_packing && enc_col.name == td.hom_group_column() {
+                        for (i, base) in hom_slots.iter().enumerate() {
+                            let cd = td.find_base(base).expect("hom slot must exist");
+                            let v = &source_values[base];
+                            hom_slot_values[i] = if v.is_null() {
+                                0
+                            } else {
+                                Self::plain_to_u64(v, cd.ty, false)?
+                            };
+                        }
+                        enc_row.push(self.encrypt_hom_group(td, &hom_slot_values, &mut rng));
+                        continue;
+                    }
+                    // Find the (base, scheme) this encrypted column encodes.
+                    let (base, scheme) = parse_enc_name(&enc_col.name)
+                        .ok_or_else(|| CoreError::new(format!("bad enc column {}", enc_col.name)))?;
+                    let cd = td
+                        .find_base(&base)
+                        .ok_or_else(|| CoreError::new(format!("no design for {base}")))?;
+                    let v = &source_values[&base];
+                    enc_row.push(self.encrypt_value(&td.table, cd, scheme, v, &mut rng)?);
+                }
+                enc_rows.push(enc_row);
+            }
+            enc_db
+                .bulk_load(&td.table, enc_rows)
+                .map_err(|e| CoreError::new(e.to_string()))?;
+        }
+        Ok(enc_db)
+    }
+}
+
+/// Splits an encrypted column name `<base>_<scheme>` back into its parts.
+pub fn parse_enc_name(name: &str) -> Option<(String, EncScheme)> {
+    let idx = name.rfind('_')?;
+    let (base, suffix) = (&name[..idx], &name[idx + 1..]);
+    let scheme = match suffix {
+        "rnd" => EncScheme::Rnd,
+        "det" => EncScheme::Det,
+        "ope" => EncScheme::Ope,
+        "hom" => EncScheme::Hom,
+        "search" => EncScheme::Search,
+        _ => return None,
+    };
+    Some((base.to_string(), scheme))
+}
+
+/// Serializes a plaintext value for RND encryption.
+fn encode_plain(v: &Value) -> Vec<u8> {
+    match v {
+        Value::Int(i) => {
+            let mut out = vec![1u8];
+            out.extend_from_slice(&i.to_be_bytes());
+            out
+        }
+        Value::Date(d) => {
+            let mut out = vec![2u8];
+            out.extend_from_slice(&d.to_be_bytes());
+            out
+        }
+        Value::Float(f) => {
+            let mut out = vec![3u8];
+            out.extend_from_slice(&f.to_be_bytes());
+            out
+        }
+        Value::Str(s) => {
+            let mut out = vec![4u8];
+            out.extend_from_slice(s.as_bytes());
+            out
+        }
+        other => {
+            let mut out = vec![4u8];
+            out.extend_from_slice(other.to_string().as_bytes());
+            out
+        }
+    }
+}
+
+/// Inverse of [`encode_plain`].
+fn decode_plain(bytes: &[u8]) -> Value {
+    match bytes.first() {
+        Some(1) => Value::Int(i64::from_be_bytes(bytes[1..9].try_into().unwrap())),
+        Some(2) => Value::Date(i32::from_be_bytes(bytes[1..5].try_into().unwrap())),
+        Some(3) => Value::Float(f64::from_be_bytes(bytes[1..9].try_into().unwrap())),
+        Some(4) => Value::Str(String::from_utf8_lossy(&bytes[1..]).into_owned()),
+        _ => Value::Null,
+    }
+}
+
+fn decode_int(u: u64, ty: ColumnType) -> Value {
+    match ty {
+        ColumnType::Date => Value::Date((u as i64 - DATE_BIAS) as i32),
+        ColumnType::Float => Value::Float(u as i64 as f64 / 100.0),
+        _ => Value::Int(u as i64),
+    }
+}
+
+/// Decodes a homomorphic sum back to the logical type. Sums of date-biased or
+/// fixed-point values only make sense for Int columns, which is what the
+/// designer offers HOM for.
+fn decode_hom_sum(u: u64, ty: ColumnType) -> Value {
+    match ty {
+        ColumnType::Float => Value::Float(u as f64 / 100.0),
+        _ => Value::Int(u as i64),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monomi_sql::parse_query;
+
+    fn plain_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "orders",
+            vec![
+                ColumnDef::new("o_orderkey", ColumnType::Int),
+                ColumnDef::new("o_totalprice", ColumnType::Int),
+                ColumnDef::new("o_orderdate", ColumnType::Date),
+                ColumnDef::new("o_comment", ColumnType::Str),
+            ],
+        ));
+        for i in 0..20i64 {
+            db.insert(
+                "orders",
+                vec![
+                    Value::Int(i),
+                    Value::Int(100 + i),
+                    Value::Date(8000 + i as i32),
+                    Value::Str(format!("comment number {i} with express words")),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    fn sample_design(plain: &Database) -> PhysicalDesign {
+        // 512-bit Paillier so multi-row packing has room for more than one row.
+        let mut design = PhysicalDesign::new(512);
+        {
+            let td = design.table_mut("orders");
+            td.add(Expr::col("o_orderkey"), ColumnType::Int, EncScheme::Det);
+            td.add(Expr::col("o_totalprice"), ColumnType::Int, EncScheme::Det);
+            td.add(Expr::col("o_totalprice"), ColumnType::Int, EncScheme::Hom);
+            td.add(Expr::col("o_totalprice"), ColumnType::Int, EncScheme::Ope);
+            td.add(Expr::col("o_orderdate"), ColumnType::Date, EncScheme::Ope);
+            td.add(Expr::col("o_orderdate"), ColumnType::Date, EncScheme::Det);
+            td.add(Expr::col("o_comment"), ColumnType::Str, EncScheme::Search);
+            td.add(Expr::col("o_comment"), ColumnType::Str, EncScheme::Rnd);
+            // A precomputed expression: o_totalprice * 2.
+            let pre = parse_query("SELECT o_totalprice * 2 FROM orders").unwrap().projections[0]
+                .expr
+                .clone();
+            td.add(pre, ColumnType::Int, EncScheme::Hom);
+            td.col_packing = true;
+        }
+        design.add_baseline_coverage(plain);
+        design
+    }
+
+    #[test]
+    fn design_construction_and_names() {
+        let plain = plain_db();
+        let design = sample_design(&plain);
+        let td = design.table("orders").unwrap();
+        let ok = td.find_base("o_totalprice").unwrap();
+        assert!(ok.schemes.contains(&EncScheme::Det));
+        assert!(ok.schemes.contains(&EncScheme::Hom));
+        assert_eq!(ok.enc_name(EncScheme::Det), "o_totalprice_det");
+        let pre = td.columns.iter().find(|c| c.is_precomputed()).unwrap();
+        assert_eq!(pre.base_name, "precomp_0");
+        assert_eq!(td.hom_slots().len(), 2);
+        assert_eq!(td.hom_slot_index("o_totalprice"), Some(0));
+        assert_eq!(td.hom_slot_index("precomp_0"), Some(1));
+    }
+
+    #[test]
+    fn parse_enc_name_roundtrip() {
+        assert_eq!(
+            parse_enc_name("l_quantity_det"),
+            Some(("l_quantity".into(), EncScheme::Det))
+        );
+        assert_eq!(
+            parse_enc_name("precomp_3_hom"),
+            Some(("precomp_3".into(), EncScheme::Hom))
+        );
+        assert_eq!(parse_enc_name("nounderscore"), None);
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip_per_scheme() {
+        let plain = plain_db();
+        let design = sample_design(&plain);
+        let enc = Encryptor::new(MasterKey::from_bytes([1u8; 32]), design, 7);
+        let td = enc.design().table("orders").unwrap().clone();
+        let mut rng = StdRng::seed_from_u64(3);
+
+        let key_cd = td.find_base("o_orderkey").unwrap();
+        let ct = enc
+            .encrypt_value("orders", key_cd, EncScheme::Det, &Value::Int(5), &mut rng)
+            .unwrap();
+        assert_ne!(ct, Value::Int(5));
+        assert_eq!(
+            enc.decrypt_value("orders", key_cd, EncScheme::Det, &ct).unwrap(),
+            Value::Int(5)
+        );
+
+        let date_cd = td.find_base("o_orderdate").unwrap();
+        let dct = enc
+            .encrypt_value("orders", date_cd, EncScheme::Det, &Value::Date(8005), &mut rng)
+            .unwrap();
+        assert_eq!(
+            enc.decrypt_value("orders", date_cd, EncScheme::Det, &dct).unwrap(),
+            Value::Date(8005)
+        );
+
+        let comment_cd = td.find_base("o_comment").unwrap();
+        let rct = enc
+            .encrypt_value(
+                "orders",
+                comment_cd,
+                EncScheme::Rnd,
+                &Value::Str("hello".into()),
+                &mut rng,
+            )
+            .unwrap();
+        assert_eq!(
+            enc.decrypt_value("orders", comment_cd, EncScheme::Rnd, &rct).unwrap(),
+            Value::Str("hello".into())
+        );
+
+        let price_cd = td.find_base("o_totalprice").unwrap();
+        let hct = enc
+            .encrypt_value("orders", price_cd, EncScheme::Hom, &Value::Int(123), &mut rng)
+            .unwrap();
+        assert_eq!(
+            enc.decrypt_value("orders", price_cd, EncScheme::Hom, &hct).unwrap(),
+            Value::Int(123)
+        );
+    }
+
+    #[test]
+    fn ope_constants_preserve_order() {
+        let plain = plain_db();
+        let design = sample_design(&plain);
+        let enc = Encryptor::new(MasterKey::from_bytes([1u8; 32]), design, 7);
+        let td = enc.design().table("orders").unwrap().clone();
+        let price_cd = td.find_base("o_totalprice").unwrap();
+        let a = enc
+            .encrypt_constant("orders", price_cd, EncScheme::Ope, &Value::Int(100))
+            .unwrap();
+        let b = enc
+            .encrypt_constant("orders", price_cd, EncScheme::Ope, &Value::Int(110))
+            .unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn encrypted_database_has_no_plaintext_and_right_shape() {
+        let plain = plain_db();
+        let design = sample_design(&plain);
+        let enc = Encryptor::new(MasterKey::from_bytes([2u8; 32]), design, 11);
+        let enc_db = enc.encrypt_database(&plain, 99).unwrap();
+        let table = enc_db.table("orders").unwrap();
+        assert_eq!(table.row_count(), 20);
+        // The encrypted schema contains only suffixed columns and the group column.
+        for col in &table.schema().columns {
+            assert!(
+                parse_enc_name(&col.name).is_some() || col.name.ends_with("_homgrp_hom"),
+                "unexpected column {}",
+                col.name
+            );
+        }
+        // Encrypted sums work end to end through the engine UDF.
+        let (rs, _) = enc_db
+            .execute_sql("SELECT paillier_sum(orders_homgrp_hom) FROM orders", &[])
+            .unwrap();
+        let slot0 = enc
+            .decrypt_hom_group_sum(&rs.rows[0][0], 0, ColumnType::Int)
+            .unwrap();
+        let expected: i64 = (0..20).map(|i| 100 + i).sum();
+        assert_eq!(slot0, Value::Int(expected));
+        let slot1 = enc
+            .decrypt_hom_group_sum(&rs.rows[0][0], 1, ColumnType::Int)
+            .unwrap();
+        assert_eq!(slot1, Value::Int(expected * 2));
+    }
+
+    #[test]
+    fn storage_accounting_orders_scheme_sizes() {
+        let plain = plain_db();
+        let design = sample_design(&plain);
+        let enc = Encryptor::new(MasterKey::from_bytes([2u8; 32]), design.clone(), 11);
+        let bytes = design.storage_bytes(&plain, enc.paillier());
+        assert!(bytes > plain.total_size_bytes());
+        // Multi-row packing shrinks the footprint.
+        let mut packed = design.clone();
+        packed.table_mut("orders").multirow_packing = true;
+        let packed_bytes = packed.storage_bytes(&plain, enc.paillier());
+        assert!(packed_bytes < bytes);
+    }
+
+    #[test]
+    fn security_summary_buckets() {
+        let plain = plain_db();
+        let design = sample_design(&plain);
+        let summary = design.security_summary();
+        let orders = &summary["orders"];
+        // o_comment weakest is SEARCH (strong bucket includes RND/HOM/SEARCH)?
+        // o_comment has Search + Rnd => weakest = Search (rank 1) => bucket 0.
+        assert!(orders.base[0] >= 1);
+        // o_totalprice has OPE => bucket 2.
+        assert!(orders.base[2] >= 1);
+        // The precomputed HOM column is strong.
+        assert_eq!(orders.precomputed[0], 1);
+    }
+}

@@ -1,0 +1,667 @@
+//! Client-side execution of split plans: RemoteSQL dispatch, LocalDecrypt,
+//! LocalFilter, LocalGroupBy/LocalGroupFilter, LocalProjection, LocalSort.
+//!
+//! The executor measures the client's own work (decryption and residual
+//! computation), the server's work (engine execution plus a simulated disk
+//! read), and the simulated wide-area transfer of intermediate results, so the
+//! benchmark harnesses can report the same breakdowns as the paper.
+
+use crate::design::Encryptor;
+use crate::network::NetworkModel;
+use crate::plan::{DecryptSpec, OutputColumn, RemotePlan, SplitPlan};
+use crate::CoreError;
+use monomi_engine::{ColumnDef, ColumnType, Database, ResultSet, RowSchema, TableSchema, Value};
+use monomi_sql::ast::*;
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Timing breakdown of one query execution through MONOMI.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryTimings {
+    /// Wall-clock time spent executing server queries plus simulated disk I/O.
+    pub server_seconds: f64,
+    /// Simulated time to ship intermediate results over the client/server link.
+    pub network_seconds: f64,
+    /// Client time spent decrypting intermediate results.
+    pub decrypt_seconds: f64,
+    /// Client time spent on residual query processing.
+    pub client_seconds: f64,
+    /// Bytes shipped from server to client.
+    pub transfer_bytes: u64,
+    /// Bytes the server read from storage.
+    pub server_bytes_scanned: u64,
+}
+
+impl QueryTimings {
+    /// Total end-to-end time.
+    pub fn total_seconds(&self) -> f64 {
+        self.server_seconds + self.network_seconds + self.decrypt_seconds + self.client_seconds
+    }
+
+    /// Client CPU time (decrypt + residual compute), for Figure 7.
+    pub fn client_cpu_seconds(&self) -> f64 {
+        self.decrypt_seconds + self.client_seconds
+    }
+
+    fn add(&mut self, other: &QueryTimings) {
+        self.server_seconds += other.server_seconds;
+        self.network_seconds += other.network_seconds;
+        self.decrypt_seconds += other.decrypt_seconds;
+        self.client_seconds += other.client_seconds;
+        self.transfer_bytes += other.transfer_bytes;
+        self.server_bytes_scanned += other.server_bytes_scanned;
+    }
+}
+
+/// Executes split plans against an encrypted database.
+pub struct SplitExecutor<'a> {
+    pub encrypted_db: &'a Database,
+    pub encryptor: &'a Encryptor,
+    pub network: &'a NetworkModel,
+}
+
+/// The decrypted intermediate result of a RemoteSQL + LocalDecrypt step: rows
+/// whose columns are keyed by the plaintext expression they carry.
+struct Environment {
+    keys: Vec<Expr>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl<'a> SplitExecutor<'a> {
+    /// Executes a plan, returning plaintext results and the timing breakdown.
+    pub fn execute(&self, plan: &SplitPlan) -> Result<(ResultSet, QueryTimings), CoreError> {
+        match plan {
+            SplitPlan::Remote(rp) => self.execute_remote(rp),
+            SplitPlan::Client { query, children } => self.execute_client(query, children),
+        }
+    }
+
+    fn execute_client(
+        &self,
+        query: &Query,
+        children: &[(String, SplitPlan)],
+    ) -> Result<(ResultSet, QueryTimings), CoreError> {
+        let mut timings = QueryTimings::default();
+        // Materialize every child into a local plaintext database.
+        let mut local_db = Database::new();
+        for (binding, child) in children {
+            let (rs, t) = self.execute(child)?;
+            timings.add(&t);
+            let started = Instant::now();
+            let schema = TableSchema::new(
+                binding.clone(),
+                rs.columns
+                    .iter()
+                    .enumerate()
+                    .map(|(i, name)| {
+                        let ty = rs
+                            .rows
+                            .iter()
+                            .find_map(|r| value_column_type(&r[i]))
+                            .unwrap_or(ColumnType::Int);
+                        ColumnDef::new(name.clone(), ty)
+                    })
+                    .collect(),
+            );
+            local_db.create_table(schema);
+            local_db
+                .bulk_load(binding, rs.rows)
+                .map_err(|e| CoreError::new(e.to_string()))?;
+            timings.client_seconds += started.elapsed().as_secs_f64();
+        }
+        let started = Instant::now();
+        let (rs, _) = local_db
+            .execute(query, &[])
+            .map_err(|e| CoreError::new(e.to_string()))?;
+        timings.client_seconds += started.elapsed().as_secs_f64();
+        Ok((rs, timings))
+    }
+
+    fn execute_remote(&self, rp: &RemotePlan) -> Result<(ResultSet, QueryTimings), CoreError> {
+        let mut timings = QueryTimings::default();
+
+        // 1. Child subqueries (uncorrelated) referenced by local predicates.
+        let mut sub_results: HashMap<Query, Vec<Vec<Value>>> = HashMap::new();
+        for (sub, child) in &rp.subquery_children {
+            let (rs, t) = self.execute(child)?;
+            timings.add(&t);
+            sub_results.insert(sub.clone(), rs.rows);
+        }
+
+        // 2. RemoteSQL on the untrusted server.
+        let started = Instant::now();
+        let (enc_rs, stats) = self
+            .encrypted_db
+            .execute(&rp.server_query, &[])
+            .map_err(|e| CoreError::new(e.to_string()))?;
+        let exec_elapsed = started.elapsed().as_secs_f64();
+        timings.server_seconds += exec_elapsed + self.network.disk_seconds(stats.bytes_scanned);
+        timings.server_bytes_scanned += stats.bytes_scanned;
+        let transfer = enc_rs.size_bytes() as u64;
+        timings.transfer_bytes += transfer;
+        timings.network_seconds += self.network.transfer_seconds(transfer);
+
+        // 3. LocalDecrypt.
+        let started = Instant::now();
+        let env = self.decrypt(&rp.outputs, &enc_rs)?;
+        timings.decrypt_seconds += started.elapsed().as_secs_f64();
+
+        // 4. Residual client-side operators.
+        let started = Instant::now();
+        let result = self.finish_locally(rp, env, &sub_results)?;
+        timings.client_seconds += started.elapsed().as_secs_f64();
+        Ok((result, timings))
+    }
+
+    fn decrypt(
+        &self,
+        outputs: &[OutputColumn],
+        enc_rs: &ResultSet,
+    ) -> Result<Environment, CoreError> {
+        let design = self.encryptor.design();
+        let keys: Vec<Expr> = outputs.iter().map(|o| o.source.clone()).collect();
+        let mut rows = Vec::with_capacity(enc_rs.rows.len());
+        for enc_row in &enc_rs.rows {
+            let mut out_row = Vec::with_capacity(outputs.len());
+            for (i, out) in outputs.iter().enumerate() {
+                let v = &enc_row[i];
+                let plain = match &out.decrypt {
+                    DecryptSpec::Plain => v.clone(),
+                    DecryptSpec::Column {
+                        table,
+                        base,
+                        scheme,
+                        ..
+                    } => {
+                        let cd = design
+                            .table(table)
+                            .and_then(|t| t.find_base(base))
+                            .ok_or_else(|| CoreError::new(format!("missing design for {table}.{base}")))?;
+                        self.encryptor.decrypt_value(table, cd, *scheme, v)?
+                    }
+                    DecryptSpec::HomSum { table, base, .. } => {
+                        let cd = design
+                            .table(table)
+                            .and_then(|t| t.find_base(base))
+                            .ok_or_else(|| CoreError::new(format!("missing design for {table}.{base}")))?;
+                        self.encryptor
+                            .decrypt_value(table, cd, crate::schemes::EncScheme::Hom, v)?
+                    }
+                    DecryptSpec::HomGroupSum { table, base, ty } => {
+                        let td = design
+                            .table(table)
+                            .ok_or_else(|| CoreError::new(format!("missing design for {table}")))?;
+                        let slot = td
+                            .hom_slot_index(base)
+                            .ok_or_else(|| CoreError::new(format!("{base} is not a HOM slot")))?;
+                        self.encryptor.decrypt_hom_group_sum(v, slot, *ty)?
+                    }
+                    DecryptSpec::GroupValues {
+                        table,
+                        base,
+                        agg,
+                        distinct,
+                        ..
+                    } => {
+                        let cd = design
+                            .table(table)
+                            .and_then(|t| t.find_base(base))
+                            .ok_or_else(|| CoreError::new(format!("missing design for {table}.{base}")))?;
+                        let list = match v {
+                            Value::List(items) => items.clone(),
+                            Value::Null => Vec::new(),
+                            other => vec![other.clone()],
+                        };
+                        let mut plain_items = Vec::with_capacity(list.len());
+                        for item in &list {
+                            plain_items.push(self.encryptor.decrypt_value(
+                                table,
+                                cd,
+                                crate::schemes::EncScheme::Det,
+                                item,
+                            )?);
+                        }
+                        fold_group(plain_items, *agg, *distinct)
+                    }
+                };
+                out_row.push(plain);
+            }
+            rows.push(out_row);
+        }
+        Ok(Environment { keys, rows })
+    }
+
+    fn finish_locally(
+        &self,
+        rp: &RemotePlan,
+        env: Environment,
+        sub_results: &HashMap<Query, Vec<Vec<Value>>>,
+    ) -> Result<ResultSet, CoreError> {
+        // Build an engine row schema with synthetic names for every environment
+        // key so we can reuse the engine's expression evaluator.
+        let schema = RowSchema::new(
+            (0..env.keys.len())
+                .map(|i| (None, format!("__env{i}")))
+                .collect(),
+        );
+        let substitute = |expr: &Expr| substitute_env(expr, &env.keys);
+        let subquery_fn = move |q: &Query,
+                                _outer: Option<(&RowSchema, &[Value])>|
+              -> Result<Vec<Vec<Value>>, monomi_engine::EngineError> {
+            sub_results
+                .get(q)
+                .cloned()
+                .ok_or_else(|| monomi_engine::EngineError::new("subquery result not precomputed"))
+        };
+
+        let eval_row = |expr: &Expr, row: &[Value]| -> Result<Value, CoreError> {
+            let substituted = substitute(expr);
+            let ctx = monomi_engine::EvalContext {
+                params: &[],
+                aggregates: None,
+                subquery: Some(&subquery_fn),
+                outer: None,
+            };
+            monomi_engine::expr::eval(&substituted, &schema, row, &ctx)
+                .map_err(|e| CoreError::new(e.to_string()))
+        };
+
+        // 1. Local filters.
+        let mut rows = env.rows;
+        for filter in &rp.local_filters {
+            let mut kept = Vec::with_capacity(rows.len());
+            for row in rows {
+                if eval_row(filter, &row)?.as_bool().unwrap_or(false) {
+                    kept.push(row);
+                }
+            }
+            rows = kept;
+        }
+
+        // 2. Local grouping if the server did not group.
+        let (final_keys, mut final_rows): (Vec<Expr>, Vec<Vec<Value>>) =
+            if let Some(group_keys) = &rp.local_group_by {
+                let mut agg_exprs: Vec<Expr> = Vec::new();
+                let mut collect = |e: &Expr| {
+                    e.walk(&mut |n| {
+                        if matches!(n, Expr::Aggregate { .. }) && !agg_exprs.contains(n) {
+                            agg_exprs.push(n.clone());
+                        }
+                    })
+                };
+                for p in &rp.projections {
+                    collect(&p.expr);
+                }
+                if let Some(h) = &rp.local_having {
+                    collect(h);
+                }
+                for o in &rp.order_by {
+                    collect(&o.expr);
+                }
+
+                let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+                let mut index: HashMap<Vec<Value>, usize> = HashMap::new();
+                for (ri, row) in rows.iter().enumerate() {
+                    let key: Vec<Value> = group_keys
+                        .iter()
+                        .map(|k| eval_row(k, row))
+                        .collect::<Result<_, _>>()?;
+                    let gi = *index.entry(key.clone()).or_insert_with(|| {
+                        groups.push((key, Vec::new()));
+                        groups.len() - 1
+                    });
+                    groups[gi].1.push(ri);
+                }
+                if groups.is_empty() && group_keys.is_empty() {
+                    groups.push((Vec::new(), Vec::new()));
+                }
+
+                let mut keys: Vec<Expr> = group_keys.iter().map(normalize_key).collect();
+                keys.extend(agg_exprs.iter().map(normalize_key));
+                let mut out_rows = Vec::with_capacity(groups.len());
+                for (key_vals, members) in &groups {
+                    let mut row_out = key_vals.clone();
+                    for agg in &agg_exprs {
+                        row_out.push(compute_local_aggregate(agg, members, &rows, &eval_row)?);
+                    }
+                    out_rows.push(row_out);
+                }
+                (keys, out_rows)
+            } else {
+                (env.keys.clone(), rows)
+            };
+
+        // When aggregating on the client we must also handle queries with no
+        // GROUP BY but local aggregates over ungrouped rows (handled above via
+        // empty group_keys), so nothing more to do here.
+
+        // 3. Local HAVING.
+        let schema2 = RowSchema::new(
+            (0..final_keys.len())
+                .map(|i| (None, format!("__env{i}")))
+                .collect(),
+        );
+        let eval_final = |expr: &Expr, row: &[Value]| -> Result<Value, CoreError> {
+            let substituted = substitute_env(expr, &final_keys);
+            let ctx = monomi_engine::EvalContext {
+                params: &[],
+                aggregates: None,
+                subquery: Some(&subquery_fn),
+                outer: None,
+            };
+            monomi_engine::expr::eval(&substituted, &schema2, row, &ctx)
+                .map_err(|e| CoreError::new(e.to_string()))
+        };
+        if let Some(having) = &rp.local_having {
+            let mut kept = Vec::with_capacity(final_rows.len());
+            for row in final_rows {
+                if eval_final(having, &row)?.as_bool().unwrap_or(false) {
+                    kept.push(row);
+                }
+            }
+            final_rows = kept;
+        }
+
+        // 4. Projection.
+        let (columns, mut projected): (Vec<String>, Vec<(Vec<Value>, Vec<Value>)>) =
+            if rp.projections.is_empty() {
+                // Table-fetch plan: output the environment columns directly.
+                let columns = final_keys
+                    .iter()
+                    .map(|k| match k {
+                        Expr::Column(c) => c.column.clone(),
+                        other => other.to_string(),
+                    })
+                    .collect();
+                (
+                    columns,
+                    final_rows.into_iter().map(|r| (r, Vec::new())).collect(),
+                )
+            } else {
+                let columns = rp
+                    .projections
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| p.output_name(i))
+                    .collect();
+                let mut out = Vec::with_capacity(final_rows.len());
+                for row in &final_rows {
+                    let mut proj = Vec::with_capacity(rp.projections.len());
+                    for p in &rp.projections {
+                        proj.push(eval_final(&p.expr, row)?);
+                    }
+                    // Sort keys.
+                    let mut sort_keys = Vec::with_capacity(rp.order_by.len());
+                    for ob in &rp.order_by {
+                        let key = resolve_order_key(ob, rp, &proj, row, &eval_final)?;
+                        sort_keys.push(key);
+                    }
+                    out.push((proj, sort_keys));
+                }
+                (columns, out)
+            };
+
+        // 5. DISTINCT.
+        if rp.distinct {
+            let mut seen = std::collections::HashSet::new();
+            projected.retain(|(row, _)| seen.insert(row.clone()));
+        }
+
+        // 6. LocalSort + LIMIT.
+        if !rp.order_by.is_empty() {
+            projected.sort_by(|(_, ka), (_, kb)| {
+                for (i, ob) in rp.order_by.iter().enumerate() {
+                    let ord = ka[i].compare(&kb[i]);
+                    let ord = if ob.desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+        }
+        let mut rows_out: Vec<Vec<Value>> = projected.into_iter().map(|(r, _)| r).collect();
+        if let Some(limit) = rp.limit {
+            rows_out.truncate(limit as usize);
+        }
+
+        Ok(ResultSet {
+            columns,
+            rows: rows_out,
+        })
+    }
+}
+
+fn resolve_order_key(
+    ob: &OrderByItem,
+    rp: &RemotePlan,
+    projected: &[Value],
+    row: &[Value],
+    eval_final: &impl Fn(&Expr, &[Value]) -> Result<Value, CoreError>,
+) -> Result<Value, CoreError> {
+    if let Expr::Column(c) = &ob.expr {
+        if c.table.is_none() {
+            if let Some(pos) = rp.projections.iter().position(|p| {
+                p.alias
+                    .as_deref()
+                    .map_or(false, |a| a.eq_ignore_ascii_case(&c.column))
+            }) {
+                return Ok(projected[pos].clone());
+            }
+        }
+    }
+    if let Expr::Literal(Literal::Number(n)) = &ob.expr {
+        if let Ok(pos) = n.parse::<usize>() {
+            if pos >= 1 && pos <= projected.len() {
+                return Ok(projected[pos - 1].clone());
+            }
+        }
+    }
+    if let Some(pos) = rp.projections.iter().position(|p| p.expr == ob.expr) {
+        return Ok(projected[pos].clone());
+    }
+    eval_final(&ob.expr, row)
+}
+
+/// Replaces every subtree of `expr` that structurally matches one of the
+/// environment keys with a reference to the corresponding synthetic column.
+fn substitute_env(expr: &Expr, keys: &[Expr]) -> Expr {
+    let normalized = crate::rewrite::normalize_expr(expr);
+    if let Some(idx) = keys.iter().position(|k| *k == normalized) {
+        return Expr::col(format!("__env{idx}"));
+    }
+    match expr {
+        Expr::BinaryOp { left, op, right } => Expr::BinaryOp {
+            left: Box::new(substitute_env(left, keys)),
+            op: *op,
+            right: Box::new(substitute_env(right, keys)),
+        },
+        Expr::UnaryOp { op, expr } => Expr::UnaryOp {
+            op: *op,
+            expr: Box::new(substitute_env(expr, keys)),
+        },
+        Expr::Aggregate {
+            func,
+            arg,
+            distinct,
+        } => {
+            // AVG over a fetched SUM: rewrite AVG(x) as SUM(x) / COUNT(*) when
+            // both are available in the environment.
+            if *func == AggFunc::Avg {
+                if let Some(a) = arg {
+                    let sum = Expr::Aggregate {
+                        func: AggFunc::Sum,
+                        arg: Some(a.clone()),
+                        distinct: *distinct,
+                    };
+                    let count = Expr::Aggregate {
+                        func: AggFunc::Count,
+                        arg: None,
+                        distinct: false,
+                    };
+                    let sum_n = crate::rewrite::normalize_expr(&sum);
+                    let count_n = crate::rewrite::normalize_expr(&count);
+                    if keys.contains(&sum_n) && keys.contains(&count_n) {
+                        return substitute_env(&sum, keys)
+                            .binop(BinaryOp::Div, substitute_env(&count, keys));
+                    }
+                }
+            }
+            Expr::Aggregate {
+                func: *func,
+                arg: arg.as_ref().map(|a| Box::new(substitute_env(a, keys))),
+                distinct: *distinct,
+            }
+        }
+        Expr::Function { name, args } => Expr::Function {
+            name: name.clone(),
+            args: args.iter().map(|a| substitute_env(a, keys)).collect(),
+        },
+        Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        } => Expr::Case {
+            operand: operand.as_ref().map(|o| Box::new(substitute_env(o, keys))),
+            when_then: when_then
+                .iter()
+                .map(|(w, t)| (substitute_env(w, keys), substitute_env(t, keys)))
+                .collect(),
+            else_expr: else_expr.as_ref().map(|e| Box::new(substitute_env(e, keys))),
+        },
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Expr::Like {
+            expr: Box::new(substitute_env(expr, keys)),
+            pattern: Box::new(substitute_env(pattern, keys)),
+            negated: *negated,
+        },
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Expr::InList {
+            expr: Box::new(substitute_env(expr, keys)),
+            list: list.iter().map(|e| substitute_env(e, keys)).collect(),
+            negated: *negated,
+        },
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => Expr::InSubquery {
+            expr: Box::new(substitute_env(expr, keys)),
+            subquery: subquery.clone(),
+            negated: *negated,
+        },
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => Expr::Between {
+            expr: Box::new(substitute_env(expr, keys)),
+            low: Box::new(substitute_env(low, keys)),
+            high: Box::new(substitute_env(high, keys)),
+            negated: *negated,
+        },
+        Expr::Extract { field, expr } => Expr::Extract {
+            field: *field,
+            expr: Box::new(substitute_env(expr, keys)),
+        },
+        Expr::IsNull { expr, negated } => Expr::IsNull {
+            expr: Box::new(substitute_env(expr, keys)),
+            negated: *negated,
+        },
+        other => other.clone(),
+    }
+}
+
+fn normalize_key(e: &Expr) -> Expr {
+    crate::rewrite::normalize_expr(e)
+}
+
+/// Computes one aggregate over the member rows of a local group.
+fn compute_local_aggregate(
+    agg: &Expr,
+    members: &[usize],
+    rows: &[Vec<Value>],
+    eval_row: &impl Fn(&Expr, &[Value]) -> Result<Value, CoreError>,
+) -> Result<Value, CoreError> {
+    let (func, arg, distinct) = match agg {
+        Expr::Aggregate {
+            func,
+            arg,
+            distinct,
+        } => (*func, arg.clone(), *distinct),
+        _ => return Err(CoreError::new("not an aggregate")),
+    };
+    let mut values: Vec<Value> = Vec::with_capacity(members.len());
+    for &ri in members {
+        match &arg {
+            Some(a) => values.push(eval_row(a, &rows[ri])?),
+            None => values.push(Value::Int(1)),
+        }
+    }
+    if distinct {
+        let mut seen = std::collections::HashSet::new();
+        values.retain(|v| seen.insert(v.clone()));
+    }
+    Ok(fold_group(values, Some(func), false))
+}
+
+/// Folds a list of plaintext values with an aggregate function (or keeps the
+/// list when `agg` is `None`).
+fn fold_group(values: Vec<Value>, agg: Option<AggFunc>, distinct: bool) -> Value {
+    let mut values = values;
+    if distinct {
+        let mut seen = std::collections::HashSet::new();
+        values.retain(|v| seen.insert(v.clone()));
+    }
+    let agg = match agg {
+        Some(a) => a,
+        None => return Value::List(values),
+    };
+    let non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
+    match agg {
+        AggFunc::Count => Value::Int(non_null.len() as i64),
+        AggFunc::Min => non_null.iter().min().map(|v| (*v).clone()).unwrap_or(Value::Null),
+        AggFunc::Max => non_null.iter().max().map(|v| (*v).clone()).unwrap_or(Value::Null),
+        AggFunc::Sum | AggFunc::Avg => {
+            if non_null.is_empty() {
+                return Value::Null;
+            }
+            let any_float = non_null.iter().any(|v| matches!(v, Value::Float(_)));
+            if any_float {
+                let total: f64 = non_null.iter().filter_map(|v| v.as_float()).sum();
+                if agg == AggFunc::Avg {
+                    Value::Float(total / non_null.len() as f64)
+                } else {
+                    Value::Float(total)
+                }
+            } else {
+                let total: i64 = non_null.iter().filter_map(|v| v.as_int()).sum();
+                if agg == AggFunc::Avg {
+                    Value::Float(total as f64 / non_null.len() as f64)
+                } else {
+                    Value::Int(total)
+                }
+            }
+        }
+    }
+}
+
+/// Infers an engine column type from a value (for materializing client-side
+/// relations).
+fn value_column_type(v: &Value) -> Option<ColumnType> {
+    match v {
+        Value::Null => None,
+        Value::Int(_) => Some(ColumnType::Int),
+        Value::Float(_) => Some(ColumnType::Float),
+        Value::Str(_) => Some(ColumnType::Str),
+        Value::Date(_) => Some(ColumnType::Date),
+        Value::Bytes(_) | Value::List(_) => Some(ColumnType::Bytes),
+    }
+}

@@ -1,0 +1,62 @@
+//! Simulated client/server link and server storage.
+//!
+//! The paper's evaluation throttles the client/server link to 10 Mbit/s with
+//! `tc` and flushes the server's caches so queries hit disk. The engine here
+//! is in-memory, so both effects are modelled explicitly from byte counts:
+//! transfer time is `bytes / bandwidth` and server disk time is
+//! `bytes_scanned / disk_bandwidth`.
+
+/// Byte-accounting model of the environment between client and server.
+#[derive(Clone, Copy, Debug)]
+pub struct NetworkModel {
+    /// Client/server link bandwidth in bits per second (paper: 10 Mbit/s).
+    pub bandwidth_bits_per_sec: f64,
+    /// Server storage scan bandwidth in bytes per second.
+    pub disk_bytes_per_sec: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel {
+            bandwidth_bits_per_sec: 10_000_000.0,
+            disk_bytes_per_sec: 200_000_000.0,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// A model with the paper's 10 Mbit/s link.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// Seconds to transfer `bytes` over the link.
+    pub fn transfer_seconds(&self, bytes: u64) -> f64 {
+        (bytes as f64 * 8.0) / self.bandwidth_bits_per_sec
+    }
+
+    /// Seconds for the server to read `bytes` from storage.
+    pub fn disk_seconds(&self, bytes: u64) -> f64 {
+        bytes as f64 / self.disk_bytes_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_matches_bandwidth() {
+        let net = NetworkModel::paper_default();
+        // 10 Mbit/s => 1.25 MB/s => 1 MB takes 0.8 s.
+        let t = net.transfer_seconds(1_000_000);
+        assert!((t - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disk_time_scales_linearly() {
+        let net = NetworkModel::default();
+        assert!(net.disk_seconds(200_000_000) > net.disk_seconds(100_000_000));
+        assert!((net.disk_seconds(200_000_000) - 1.0).abs() < 1e-9);
+    }
+}

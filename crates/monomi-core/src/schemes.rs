@@ -1,0 +1,169 @@
+//! Encryption scheme metadata: what each scheme can compute on the server and
+//! what it leaks (Table 1 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+/// The encryption schemes MONOMI materializes on the untrusted server.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum EncScheme {
+    /// Randomized AES-CBC: no server-side computation, no leakage.
+    Rnd,
+    /// Deterministic encryption: equality, IN, GROUP BY, equi-join; leaks duplicates.
+    Det,
+    /// Order-preserving encryption: comparisons, MAX/MIN, ORDER BY; leaks order.
+    Ope,
+    /// Paillier: SUM/AVG via homomorphic addition; no leakage.
+    Hom,
+    /// Keyword search: LIKE '%kw%'; leaks which rows match a searched keyword.
+    Search,
+}
+
+impl EncScheme {
+    /// All schemes, weakest-leakage first ordering is *not* implied here; see
+    /// [`strength_rank`](Self::strength_rank).
+    pub const ALL: [EncScheme; 5] = [
+        EncScheme::Rnd,
+        EncScheme::Det,
+        EncScheme::Ope,
+        EncScheme::Hom,
+        EncScheme::Search,
+    ];
+
+    /// Human-readable leakage description (Table 1).
+    pub fn leakage(&self) -> &'static str {
+        match self {
+            EncScheme::Rnd => "none",
+            EncScheme::Det => "duplicates",
+            EncScheme::Ope => "order + partial plaintext",
+            EncScheme::Hom => "none",
+            EncScheme::Search => "rows matching searched keywords",
+        }
+    }
+
+    /// True if the scheme lets the server evaluate equality predicates,
+    /// GROUP BY, and equi-joins.
+    pub fn supports_equality(&self) -> bool {
+        matches!(self, EncScheme::Det)
+    }
+
+    /// True if the scheme lets the server evaluate order comparisons,
+    /// MIN/MAX, and ORDER BY.
+    pub fn supports_order(&self) -> bool {
+        matches!(self, EncScheme::Ope)
+    }
+
+    /// True if the scheme lets the server compute SUM/AVG.
+    pub fn supports_sum(&self) -> bool {
+        matches!(self, EncScheme::Hom)
+    }
+
+    /// True if the scheme lets the server evaluate `LIKE '%kw%'`.
+    pub fn supports_like(&self) -> bool {
+        matches!(self, EncScheme::Search)
+    }
+
+    /// True if the client can recover the plaintext from this scheme's
+    /// ciphertext. OPE in this reproduction is a one-way order-preserving map,
+    /// so values fetched for client-side processing use DET/RND/HOM instead.
+    pub fn decryptable(&self) -> bool {
+        matches!(self, EncScheme::Rnd | EncScheme::Det | EncScheme::Hom)
+    }
+
+    /// Rank by information revealed to the server, from strongest (reveals
+    /// least) to weakest. Used for Table 3 ("weakest scheme per column") and
+    /// for the security summary.
+    pub fn strength_rank(&self) -> u8 {
+        match self {
+            EncScheme::Rnd => 0,
+            EncScheme::Hom => 0,
+            EncScheme::Search => 1,
+            EncScheme::Det => 2,
+            EncScheme::Ope => 3,
+        }
+    }
+
+    /// Column-name suffix used in the encrypted physical schema.
+    pub fn suffix(&self) -> &'static str {
+        match self {
+            EncScheme::Rnd => "rnd",
+            EncScheme::Det => "det",
+            EncScheme::Ope => "ope",
+            EncScheme::Hom => "hom",
+            EncScheme::Search => "search",
+        }
+    }
+}
+
+impl std::fmt::Display for EncScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EncScheme::Rnd => "RND",
+            EncScheme::Det => "DET",
+            EncScheme::Ope => "OPE",
+            EncScheme::Hom => "HOM",
+            EncScheme::Search => "SEARCH",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The encryption "type" REWRITESERVER is asked to produce (§4 of the paper):
+/// a plaintext-valued expression (for predicates the server must evaluate), a
+/// specific scheme's ciphertext, or any ciphertext the client can decrypt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EncRequest {
+    /// The rewritten expression must evaluate to the same (plaintext) value —
+    /// used for WHERE / HAVING predicates evaluated by the server.
+    Plain,
+    /// The rewritten expression must evaluate to the DET ciphertext of the
+    /// original expression — used for GROUP BY keys and join columns.
+    Det,
+    /// The rewritten expression must evaluate to an OPE ciphertext.
+    Ope,
+    /// Any decryptable ciphertext of the original expression — used for
+    /// projections fetched to the client.
+    AnyDecryptable,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_matrix_matches_table1() {
+        assert!(EncScheme::Det.supports_equality());
+        assert!(!EncScheme::Det.supports_order());
+        assert!(EncScheme::Ope.supports_order());
+        assert!(!EncScheme::Ope.supports_sum());
+        assert!(EncScheme::Hom.supports_sum());
+        assert!(EncScheme::Search.supports_like());
+        assert!(!EncScheme::Rnd.supports_equality());
+        assert!(!EncScheme::Rnd.supports_order());
+        assert!(!EncScheme::Rnd.supports_sum());
+        assert!(!EncScheme::Rnd.supports_like());
+    }
+
+    #[test]
+    fn leakage_ordering() {
+        assert!(EncScheme::Rnd.strength_rank() < EncScheme::Det.strength_rank());
+        assert!(EncScheme::Det.strength_rank() < EncScheme::Ope.strength_rank());
+        assert_eq!(EncScheme::Hom.strength_rank(), EncScheme::Rnd.strength_rank());
+    }
+
+    #[test]
+    fn decryptability() {
+        assert!(EncScheme::Det.decryptable());
+        assert!(EncScheme::Rnd.decryptable());
+        assert!(EncScheme::Hom.decryptable());
+        assert!(!EncScheme::Ope.decryptable());
+        assert!(!EncScheme::Search.decryptable());
+    }
+
+    #[test]
+    fn suffixes_are_distinct() {
+        let mut set = std::collections::HashSet::new();
+        for s in EncScheme::ALL {
+            assert!(set.insert(s.suffix()));
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! The Paillier additively homomorphic cryptosystem.
+//!
+//! MONOMI uses Paillier (HOM) to let the untrusted server compute SUM() and
+//! AVG() aggregates over encrypted values: the product of two ciphertexts
+//! decrypts to the sum of their plaintexts. Key generation draws two primes
+//! from [`monomi_math::prime`], and all modular arithmetic uses the Montgomery
+//! contexts from `monomi-math`.
+//!
+//! The paper uses 1,024-bit plaintexts (2,048-bit ciphertexts). Key size is
+//! configurable here so unit tests and laptop-scale benchmarks stay fast; the
+//! packing layer ([`crate::packing`]) adapts to whatever plaintext width the
+//! key provides.
+
+use monomi_math::modular::{lcm, mod_inverse};
+use monomi_math::{prime, random, BigUint, MontgomeryCtx};
+use rand::Rng;
+
+/// A Paillier key pair (the private portion is only ever held by the trusted
+/// client).
+#[derive(Clone)]
+pub struct PaillierKey {
+    /// Public modulus n = p·q.
+    n: BigUint,
+    /// n².
+    n_squared: BigUint,
+    /// Private exponent λ = lcm(p-1, q-1).
+    lambda: BigUint,
+    /// Private decryption factor µ = λ⁻¹ mod n (valid because g = n+1).
+    mu: BigUint,
+    /// Montgomery context modulo n².
+    ctx_n2: MontgomeryCtx,
+    /// Pool of precomputed obfuscators rⁿ mod n², refreshed by multiplying two
+    /// random pool entries per encryption. This trades a small amount of
+    /// randomness quality for a large speedup during bulk loading; the paper's
+    /// prototype similarly amortizes encryption cost during setup.
+    obfuscator_pool: Vec<BigUint>,
+}
+
+/// Size of the precomputed obfuscator pool.
+const OBFUSCATOR_POOL_SIZE: usize = 16;
+
+impl PaillierKey {
+    /// Generates a key pair with an n of approximately `modulus_bits` bits.
+    ///
+    /// `modulus_bits` must be at least 64. The paper uses 1,024-bit moduli;
+    /// tests use smaller keys for speed.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, modulus_bits: usize) -> Self {
+        assert!(modulus_bits >= 64, "modulus must be at least 64 bits");
+        let half = modulus_bits / 2;
+        loop {
+            let p = prime::generate_prime(rng, half);
+            let q = prime::generate_prime(rng, modulus_bits - half);
+            if p == q {
+                continue;
+            }
+            let n = p.mul(&q);
+            let p1 = p.sub(&BigUint::one());
+            let q1 = q.sub(&BigUint::one());
+            let lambda = lcm(&p1, &q1);
+            // µ = λ⁻¹ mod n requires gcd(λ, n) = 1, which holds except with
+            // negligible probability; retry otherwise.
+            let mu = match mod_inverse(&lambda, &n) {
+                Some(m) => m,
+                None => continue,
+            };
+            let n_squared = n.mul(&n);
+            let ctx_n2 = MontgomeryCtx::new(n_squared.clone());
+            let mut key = PaillierKey {
+                n,
+                n_squared,
+                lambda,
+                mu,
+                ctx_n2,
+                obfuscator_pool: Vec::new(),
+            };
+            key.refill_obfuscator_pool(rng);
+            return key;
+        }
+    }
+
+    fn refill_obfuscator_pool<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        self.obfuscator_pool = (0..OBFUSCATOR_POOL_SIZE)
+            .map(|_| {
+                let r = loop {
+                    let candidate = random::random_below(rng, &self.n);
+                    if !candidate.is_zero() && candidate.gcd(&self.n).is_one() {
+                        break candidate;
+                    }
+                };
+                self.ctx_n2.mod_pow(&r, &self.n)
+            })
+            .collect();
+    }
+
+    /// The public modulus n.
+    pub fn n(&self) -> &BigUint {
+        &self.n
+    }
+
+    /// n², the ciphertext modulus.
+    pub fn n_squared(&self) -> &BigUint {
+        &self.n_squared
+    }
+
+    /// Number of plaintext bits that can safely be packed into one ciphertext.
+    /// We leave 8 bits of headroom below the modulus size.
+    pub fn plaintext_bits(&self) -> usize {
+        self.n.bits().saturating_sub(8)
+    }
+
+    /// Ciphertext size in bytes (fixed-width encoding).
+    pub fn ciphertext_bytes(&self) -> usize {
+        (self.n_squared.bits() + 7) / 8
+    }
+
+    /// Encrypts a plaintext (must be `< n`).
+    ///
+    /// Uses the `g = n + 1` shortcut: `g^m = 1 + m·n (mod n²)`, so the only
+    /// expensive operation is the obfuscation factor, which is drawn from the
+    /// precomputed pool (two random entries multiplied together).
+    pub fn encrypt<R: Rng + ?Sized>(&self, rng: &mut R, m: &BigUint) -> BigUint {
+        assert!(m < &self.n, "plaintext must be smaller than n");
+        // g^m mod n² = 1 + m*n  (strictly less than n² since m < n).
+        let g_m = BigUint::one().add(&m.mul(&self.n)).rem(&self.n_squared);
+        let i = rng.gen_range(0..self.obfuscator_pool.len());
+        let j = rng.gen_range(0..self.obfuscator_pool.len());
+        let obf = self
+            .ctx_n2
+            .mul_mod(&self.obfuscator_pool[i], &self.obfuscator_pool[j]);
+        self.ctx_n2.mul_mod(&g_m, &obf)
+    }
+
+    /// Encrypts a `u64` plaintext.
+    pub fn encrypt_u64<R: Rng + ?Sized>(&self, rng: &mut R, m: u64) -> BigUint {
+        self.encrypt(rng, &BigUint::from_u64(m))
+    }
+
+    /// Decrypts a ciphertext.
+    pub fn decrypt(&self, c: &BigUint) -> BigUint {
+        assert!(c < &self.n_squared, "ciphertext must be smaller than n²");
+        let u = self.ctx_n2.mod_pow(c, &self.lambda);
+        // L(u) = (u - 1) / n
+        let l = u.sub(&BigUint::one()).div_rem(&self.n).0;
+        l.mul(&self.mu).rem(&self.n)
+    }
+
+    /// Decrypts a ciphertext to `u64`, panicking if the plaintext does not fit.
+    pub fn decrypt_u64(&self, c: &BigUint) -> u64 {
+        self.decrypt(c)
+            .to_u64()
+            .expect("decrypted plaintext does not fit in u64")
+    }
+
+    /// Homomorphic addition: returns a ciphertext of `m1 + m2 (mod n)` given
+    /// ciphertexts of `m1` and `m2`. This is the single modular multiplication
+    /// per row that the paper's grouped homomorphic addition (§5.3) relies on.
+    pub fn add_ciphertexts(&self, c1: &BigUint, c2: &BigUint) -> BigUint {
+        self.ctx_n2.mul_mod(c1, c2)
+    }
+
+    /// Homomorphic addition of a plaintext constant.
+    pub fn add_plaintext(&self, c: &BigUint, k: &BigUint) -> BigUint {
+        let g_k = BigUint::one().add(&k.rem(&self.n).mul(&self.n)).rem(&self.n_squared);
+        self.ctx_n2.mul_mod(c, &g_k)
+    }
+
+    /// Homomorphic multiplication by a plaintext constant: ciphertext of `k·m`.
+    pub fn mul_plaintext(&self, c: &BigUint, k: &BigUint) -> BigUint {
+        self.ctx_n2.mod_pow(c, k)
+    }
+
+    /// The ciphertext of zero with no obfuscation, useful as the identity for
+    /// homomorphic summation.
+    pub fn one_ciphertext(&self) -> BigUint {
+        BigUint::one()
+    }
+
+    /// Homomorphically sums an iterator of ciphertexts.
+    pub fn sum_ciphertexts<'a, I: IntoIterator<Item = &'a BigUint>>(&self, iter: I) -> BigUint {
+        let mut acc = self.one_ciphertext();
+        for c in iter {
+            acc = self.add_ciphertexts(&acc, c);
+        }
+        acc
+    }
+}
+
+impl std::fmt::Debug for PaillierKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PaillierKey")
+            .field("modulus_bits", &self.n.bits())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_key() -> PaillierKey {
+        let mut rng = StdRng::seed_from_u64(1234);
+        PaillierKey::generate(&mut rng, 256)
+    }
+
+    #[test]
+    fn encrypt_decrypt_roundtrip() {
+        let key = test_key();
+        let mut rng = StdRng::seed_from_u64(1);
+        for m in [0u64, 1, 42, 1_000_000, u64::MAX / 3] {
+            let c = key.encrypt_u64(&mut rng, m);
+            assert_eq!(key.decrypt_u64(&c), m);
+        }
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let key = test_key();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = key.encrypt_u64(&mut rng, 77);
+        let b = key.encrypt_u64(&mut rng, 77);
+        assert_ne!(a, b);
+        assert_eq!(key.decrypt_u64(&a), key.decrypt_u64(&b));
+    }
+
+    #[test]
+    fn homomorphic_addition() {
+        let key = test_key();
+        let mut rng = StdRng::seed_from_u64(3);
+        let c1 = key.encrypt_u64(&mut rng, 1000);
+        let c2 = key.encrypt_u64(&mut rng, 234);
+        let sum = key.add_ciphertexts(&c1, &c2);
+        assert_eq!(key.decrypt_u64(&sum), 1234);
+    }
+
+    #[test]
+    fn homomorphic_sum_of_many() {
+        let key = test_key();
+        let mut rng = StdRng::seed_from_u64(4);
+        let values: Vec<u64> = (1..=50).collect();
+        let cts: Vec<BigUint> = values.iter().map(|&v| key.encrypt_u64(&mut rng, v)).collect();
+        let sum_ct = key.sum_ciphertexts(&cts);
+        assert_eq!(key.decrypt_u64(&sum_ct), values.iter().sum::<u64>());
+    }
+
+    #[test]
+    fn plaintext_operations() {
+        let key = test_key();
+        let mut rng = StdRng::seed_from_u64(5);
+        let c = key.encrypt_u64(&mut rng, 10);
+        let plus = key.add_plaintext(&c, &BigUint::from_u64(5));
+        assert_eq!(key.decrypt_u64(&plus), 15);
+        let times = key.mul_plaintext(&c, &BigUint::from_u64(7));
+        assert_eq!(key.decrypt_u64(&times), 70);
+    }
+
+    #[test]
+    fn large_plaintexts_near_capacity() {
+        let key = test_key();
+        let mut rng = StdRng::seed_from_u64(6);
+        let bits = key.plaintext_bits();
+        let m = BigUint::one().shl(bits - 1).add_u64(12345);
+        let c = key.encrypt(&mut rng, &m);
+        assert_eq!(key.decrypt(&c), m);
+    }
+
+    #[test]
+    fn ciphertext_size_reported() {
+        let key = test_key();
+        // 256-bit n => 512-bit n² => 64-byte ciphertexts.
+        assert_eq!(key.ciphertext_bytes(), 64);
+        assert!(key.plaintext_bits() >= 240);
+    }
+}

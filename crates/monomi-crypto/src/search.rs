@@ -1,0 +1,138 @@
+//! SEARCH: keyword search over encrypted text (Song–Wagner–Perrig style).
+//!
+//! MONOMI uses SEARCH to evaluate `column LIKE '%keyword%'` predicates on the
+//! untrusted server without revealing the column contents. Each text value is
+//! stored as a set of keyed keyword tokens; a query reveals only the token of
+//! the searched keyword, and the server learns which rows match that token
+//! (the leakage described in §3 of the paper).
+
+use crate::sha256::{derive_key, hmac_sha256};
+
+/// Per-column searchable-encryption context.
+pub struct SearchScheme {
+    key: [u8; 32],
+}
+
+/// The server-side representation of a searchable text value: the set of
+/// keyword tokens, sorted for deterministic storage.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SearchCiphertext {
+    tokens: Vec<[u8; 16]>,
+}
+
+/// A search trapdoor for one keyword.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SearchToken(pub [u8; 16]);
+
+impl SearchScheme {
+    /// Creates a scheme keyed by `master` and `label`.
+    pub fn from_master(master: &[u8], label: &str) -> Self {
+        SearchScheme {
+            key: derive_key(master, label),
+        }
+    }
+
+    fn token_for(&self, word: &str) -> [u8; 16] {
+        let mac = hmac_sha256(&self.key, word.to_lowercase().as_bytes());
+        let mut out = [0u8; 16];
+        out.copy_from_slice(&mac[..16]);
+        out
+    }
+
+    /// Encrypts a text value into its searchable form (the set of word tokens).
+    /// Words are split on non-alphanumeric characters, matching the paper's
+    /// single-pattern `LIKE '%word%'` support.
+    pub fn encrypt(&self, text: &str) -> SearchCiphertext {
+        let mut tokens: Vec<[u8; 16]> = text
+            .split(|c: char| !c.is_alphanumeric())
+            .filter(|w| !w.is_empty())
+            .map(|w| self.token_for(w))
+            .collect();
+        tokens.sort_unstable();
+        tokens.dedup();
+        SearchCiphertext { tokens }
+    }
+
+    /// Produces the trapdoor the client sends to the server for a keyword.
+    pub fn trapdoor(&self, keyword: &str) -> SearchToken {
+        SearchToken(self.token_for(keyword.trim_matches('%')))
+    }
+}
+
+impl SearchCiphertext {
+    /// Server-side matching: does this ciphertext contain the token?
+    pub fn matches(&self, token: &SearchToken) -> bool {
+        self.tokens.binary_search(&token.0).is_ok()
+    }
+
+    /// Serialized size in bytes (for space accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.tokens.len() * 16
+    }
+
+    /// Serializes to bytes for storage in the encrypted database.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.tokens.iter().flatten().copied().collect()
+    }
+
+    /// Deserializes from bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Self {
+        assert!(bytes.len() % 16 == 0, "malformed search ciphertext");
+        let tokens = bytes
+            .chunks_exact(16)
+            .map(|c| {
+                let mut t = [0u8; 16];
+                t.copy_from_slice(c);
+                t
+            })
+            .collect();
+        SearchCiphertext { tokens }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_match_and_mismatch() {
+        let scheme = SearchScheme::from_master(b"master", "part.p_comment.SEARCH");
+        let ct = scheme.encrypt("Customer complained about slow express delivery");
+        assert!(ct.matches(&scheme.trapdoor("express")));
+        assert!(ct.matches(&scheme.trapdoor("%slow%")));
+        assert!(!ct.matches(&scheme.trapdoor("refund")));
+    }
+
+    #[test]
+    fn matching_is_case_insensitive() {
+        let scheme = SearchScheme::from_master(b"master", "c.SEARCH");
+        let ct = scheme.encrypt("Special Requests PENDING");
+        assert!(ct.matches(&scheme.trapdoor("pending")));
+        assert!(ct.matches(&scheme.trapdoor("SPECIAL")));
+    }
+
+    #[test]
+    fn tokens_are_keyed() {
+        let a = SearchScheme::from_master(b"master-a", "c.SEARCH");
+        let b = SearchScheme::from_master(b"master-b", "c.SEARCH");
+        let ct = a.encrypt("unusual accounts");
+        assert!(!ct.matches(&b.trapdoor("unusual")));
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let scheme = SearchScheme::from_master(b"master", "c.SEARCH");
+        let ct = scheme.encrypt("packages wake quickly");
+        let restored = SearchCiphertext::from_bytes(&ct.to_bytes());
+        assert_eq!(restored, ct);
+        assert!(restored.matches(&scheme.trapdoor("wake")));
+        assert_eq!(ct.size_bytes(), ct.to_bytes().len());
+    }
+
+    #[test]
+    fn duplicate_words_deduplicated() {
+        let scheme = SearchScheme::from_master(b"master", "c.SEARCH");
+        let ct = scheme.encrypt("red red red green");
+        assert_eq!(ct.size_bytes(), 2 * 16);
+    }
+}

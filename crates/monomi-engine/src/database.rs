@@ -1,0 +1,336 @@
+//! The database facade: catalog + tables + encrypted-aggregation configuration.
+//!
+//! A [`Database`] instance plays the role of the paper's untrusted Postgres
+//! server: it stores (encrypted or plaintext) tables, executes SQL, reports
+//! EXPLAIN-style cost estimates, and exposes the cryptographic UDFs
+//! (`paillier_sum`, `group_concat`, `search_match`) that MONOMI installs on the
+//! server. It holds no decryption keys — for encrypted databases the only
+//! key-derived material it sees is the *public* Paillier modulus needed to
+//! multiply ciphertexts.
+
+use crate::exec::{execute_query, ExecStats, ResultSet};
+use crate::schema::{Catalog, TableSchema};
+use crate::stats::{collect_stats, Estimator, QueryEstimate, TableStats};
+use crate::storage::Table;
+use crate::value::Value;
+use crate::EngineError;
+use monomi_math::BigUint;
+use monomi_sql::ast::Query;
+use monomi_sql::parse_query;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// An in-memory analytical database.
+pub struct Database {
+    catalog: Catalog,
+    tables: HashMap<String, Table>,
+    paillier_modulus: Option<BigUint>,
+    stats_cache: RwLock<Option<HashMap<String, TableStats>>>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database {
+            catalog: Catalog::new(),
+            tables: HashMap::new(),
+            paillier_modulus: None,
+            stats_cache: RwLock::new(None),
+        }
+    }
+
+    /// Creates a table from a schema (replacing any existing table of that name).
+    pub fn create_table(&mut self, schema: TableSchema) {
+        let key = schema.name.to_lowercase();
+        self.catalog.register(schema.clone());
+        self.tables.insert(key, Table::new(schema));
+        self.invalidate_stats();
+    }
+
+    /// Registers the Paillier public modulus so the server can evaluate the
+    /// `paillier_sum` UDF (ciphertext multiplication modulo n²).
+    pub fn register_paillier_modulus(&mut self, n_squared: BigUint) {
+        self.paillier_modulus = Some(n_squared);
+    }
+
+    /// The registered Paillier modulus (n²), if any.
+    pub fn paillier_modulus(&self) -> Option<BigUint> {
+        self.paillier_modulus.clone()
+    }
+
+    /// Inserts one row into a table.
+    pub fn insert(&mut self, table: &str, row: Vec<Value>) -> Result<(), EngineError> {
+        let t = self
+            .tables
+            .get_mut(&table.to_lowercase())
+            .ok_or_else(|| EngineError::new(format!("unknown table {table}")))?;
+        t.insert(row).map_err(EngineError::new)?;
+        self.invalidate_stats();
+        Ok(())
+    }
+
+    /// Bulk-loads rows into a table.
+    pub fn bulk_load(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<(), EngineError> {
+        let t = self
+            .tables
+            .get_mut(&table.to_lowercase())
+            .ok_or_else(|| EngineError::new(format!("unknown table {table}")))?;
+        t.bulk_load(rows).map_err(EngineError::new)?;
+        self.invalidate_stats();
+        Ok(())
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_lowercase())
+    }
+
+    /// All table names.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The catalog of schemas.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Total stored size of all tables in bytes ("disk" footprint).
+    pub fn total_size_bytes(&self) -> usize {
+        self.tables.values().map(Table::size_bytes).sum()
+    }
+
+    /// Executes a SQL string with positional parameters.
+    pub fn execute_sql(
+        &self,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<(ResultSet, ExecStats), EngineError> {
+        let query = parse_query(sql).map_err(|e| EngineError::new(e.to_string()))?;
+        self.execute(&query, params)
+    }
+
+    /// Executes a parsed query with positional parameters.
+    pub fn execute(
+        &self,
+        query: &Query,
+        params: &[Value],
+    ) -> Result<(ResultSet, ExecStats), EngineError> {
+        execute_query(self, query, params)
+    }
+
+    /// Returns EXPLAIN-style cost and cardinality estimates for a query, the
+    /// interface MONOMI's planner uses instead of timing candidate plans.
+    pub fn estimate(&self, query: &Query) -> QueryEstimate {
+        let mut cache = self.stats_cache.write();
+        if cache.is_none() {
+            *cache = Some(collect_stats(self));
+        }
+        let stats = cache.as_ref().expect("stats just computed");
+        Estimator::new(stats).estimate(query)
+    }
+
+    /// Per-table statistics snapshot (used by the designer for data-driven
+    /// decisions such as pre-filter thresholds).
+    pub fn table_stats(&self) -> HashMap<String, TableStats> {
+        let mut cache = self.stats_cache.write();
+        if cache.is_none() {
+            *cache = Some(collect_stats(self));
+        }
+        cache.as_ref().expect("stats just computed").clone()
+    }
+
+    fn invalidate_stats(&self) {
+        *self.stats_cache.write() = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType};
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "orders",
+            vec![
+                ColumnDef::new("o_orderkey", ColumnType::Int),
+                ColumnDef::new("o_custkey", ColumnType::Int),
+                ColumnDef::new("o_totalprice", ColumnType::Int),
+                ColumnDef::new("o_status", ColumnType::Str),
+            ],
+        ));
+        db.create_table(TableSchema::new(
+            "customer",
+            vec![
+                ColumnDef::new("c_custkey", ColumnType::Int),
+                ColumnDef::new("c_name", ColumnType::Str),
+                ColumnDef::new("c_nationkey", ColumnType::Int),
+            ],
+        ));
+        for i in 0..100i64 {
+            db.insert(
+                "orders",
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 10),
+                    Value::Int(100 + i * 7),
+                    Value::Str(if i % 3 == 0 { "F" } else { "O" }.into()),
+                ],
+            )
+            .unwrap();
+        }
+        for c in 0..10i64 {
+            db.insert(
+                "customer",
+                vec![
+                    Value::Int(c),
+                    Value::Str(format!("Customer#{c}")),
+                    Value::Int(c % 5),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn filter_and_projection() {
+        let db = sample_db();
+        let (rs, stats) = db
+            .execute_sql("SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice > 700", &[])
+            .unwrap();
+        assert!(rs.rows.iter().all(|r| r[1].as_int().unwrap() > 700));
+        assert!(!rs.is_empty());
+        assert_eq!(stats.rows_scanned, 100);
+        assert_eq!(rs.columns, vec!["o_orderkey", "o_totalprice"]);
+    }
+
+    #[test]
+    fn group_by_and_having() {
+        let db = sample_db();
+        let (rs, _) = db
+            .execute_sql(
+                "SELECT o_custkey, SUM(o_totalprice) AS total, COUNT(*) FROM orders \
+                 GROUP BY o_custkey HAVING COUNT(*) >= 10 ORDER BY total DESC",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 10);
+        // Ordered descending by total.
+        for w in rs.rows.windows(2) {
+            assert!(w[0][1] >= w[1][1]);
+        }
+    }
+
+    #[test]
+    fn join_with_aggregation() {
+        let db = sample_db();
+        let (rs, _) = db
+            .execute_sql(
+                "SELECT c_name, SUM(o_totalprice) FROM customer, orders \
+                 WHERE c_custkey = o_custkey GROUP BY c_name ORDER BY c_name",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 10);
+        // Each customer has 10 orders; totals must be positive.
+        assert!(rs.rows.iter().all(|r| r[1].as_int().unwrap() > 0));
+    }
+
+    #[test]
+    fn subqueries_scalar_and_in() {
+        let db = sample_db();
+        let (rs, _) = db
+            .execute_sql(
+                "SELECT o_orderkey FROM orders WHERE o_totalprice > \
+                 (SELECT AVG(o_totalprice) FROM orders)",
+                &[],
+            )
+            .unwrap();
+        assert!(rs.rows.len() > 10 && rs.rows.len() < 100);
+
+        let (rs2, _) = db
+            .execute_sql(
+                "SELECT c_name FROM customer WHERE c_custkey IN \
+                 (SELECT o_custkey FROM orders WHERE o_totalprice > 750) ORDER BY c_name",
+                &[],
+            )
+            .unwrap();
+        assert!(!rs2.is_empty());
+    }
+
+    #[test]
+    fn correlated_exists() {
+        let db = sample_db();
+        let (rs, _) = db
+            .execute_sql(
+                "SELECT c_custkey FROM customer WHERE EXISTS \
+                 (SELECT * FROM orders WHERE o_custkey = c_custkey AND o_totalprice > 780)",
+                &[],
+            )
+            .unwrap();
+        assert!(!rs.is_empty() && rs.len() < 10);
+    }
+
+    #[test]
+    fn params_distinct_limit() {
+        let db = sample_db();
+        let (rs, _) = db
+            .execute_sql(
+                "SELECT DISTINCT o_status FROM orders WHERE o_custkey = :1 ORDER BY o_status LIMIT 5",
+                &[Value::Int(3)],
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn derived_table_in_from() {
+        let db = sample_db();
+        let (rs, _) = db
+            .execute_sql(
+                "SELECT status, total FROM \
+                 (SELECT o_status AS status, SUM(o_totalprice) AS total FROM orders GROUP BY o_status) AS t \
+                 ORDER BY total DESC",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 2);
+        assert!(rs.rows[0][1] >= rs.rows[1][1]);
+    }
+
+    #[test]
+    fn size_accounting_for_space_experiments() {
+        let db = sample_db();
+        assert!(db.total_size_bytes() > 0);
+        let orders_bytes = db.table("orders").unwrap().size_bytes();
+        let customer_bytes = db.table("customer").unwrap().size_bytes();
+        assert_eq!(db.total_size_bytes(), orders_bytes + customer_bytes);
+    }
+
+    #[test]
+    fn estimate_is_available() {
+        let db = sample_db();
+        let q = parse_query("SELECT o_custkey, SUM(o_totalprice) FROM orders GROUP BY o_custkey")
+            .unwrap();
+        let est = db.estimate(&q);
+        assert!(est.server_cost > 0.0);
+        assert!(est.result_rows >= 9.0 && est.result_rows <= 11.0);
+    }
+
+    #[test]
+    fn unknown_table_is_an_error() {
+        let db = sample_db();
+        assert!(db.execute_sql("SELECT x FROM missing", &[]).is_err());
+    }
+}

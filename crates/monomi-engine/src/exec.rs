@@ -1,0 +1,882 @@
+//! The query executor: pull-free, materialize-as-you-go evaluation of the
+//! analytical SQL subset over columnar tables.
+//!
+//! The execution strategy mirrors what a row-store does for TPC-H-style
+//! queries: scan base tables (applying single-table predicates early), hash
+//! join on equality predicates discovered in the WHERE clause, hash aggregate,
+//! apply HAVING, project, sort, and limit. Correlated and uncorrelated
+//! subqueries are evaluated through a recursive callback.
+//!
+//! Encrypted execution uses exactly the same code path — the rewritten queries
+//! produced by `monomi-core` reference encrypted columns and the engine's
+//! encrypted aggregation UDFs (`paillier_sum`, `group_concat`), which are
+//! handled in the aggregation phase.
+
+use crate::database::Database;
+use crate::expr::{eval, EvalContext, RowSchema};
+use crate::value::Value;
+use crate::EngineError;
+use monomi_math::BigUint;
+use monomi_sql::ast::*;
+use std::collections::HashMap;
+
+/// A query result: named columns and materialized rows.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Total serialized size of the result in bytes (drives the network
+    /// transfer model of the split-execution cost estimator).
+    pub fn size_bytes(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|r| r.iter().map(Value::size_bytes).sum::<usize>())
+            .sum()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Counters describing the work the "server" did for one query.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecStats {
+    /// Rows read from base tables.
+    pub rows_scanned: u64,
+    /// Bytes read from base tables.
+    pub bytes_scanned: u64,
+    /// Rows produced.
+    pub result_rows: u64,
+    /// Bytes produced.
+    pub result_bytes: u64,
+}
+
+/// An intermediate relation during execution.
+#[derive(Clone, Debug)]
+struct Relation {
+    schema: RowSchema,
+    rows: Vec<Vec<Value>>,
+}
+
+/// Executes a query against a database.
+pub fn execute_query(
+    db: &Database,
+    query: &Query,
+    params: &[Value],
+) -> Result<(ResultSet, ExecStats), EngineError> {
+    let mut stats = ExecStats::default();
+    let result = execute_inner(db, query, params, None, &mut stats)?;
+    stats.result_rows = result.rows.len() as u64;
+    stats.result_bytes = result.size_bytes() as u64;
+    Ok((result, stats))
+}
+
+fn execute_inner(
+    db: &Database,
+    query: &Query,
+    params: &[Value],
+    outer: Option<(&RowSchema, &[Value])>,
+    stats: &mut ExecStats,
+) -> Result<ResultSet, EngineError> {
+    // 1. Build the FROM relation (scans, derived tables, joins, filters).
+    let where_conjuncts: Vec<Expr> = query
+        .where_clause
+        .as_ref()
+        .map(|w| w.split_conjuncts())
+        .unwrap_or_default();
+    let relation = build_from_relation(db, query, &where_conjuncts, params, outer, stats)?;
+
+    // 2. Aggregate or plain projection. UDF aggregates (paillier_sum,
+    // group_concat) make a query an aggregation even though the parser does
+    // not know they aggregate.
+    let is_aggregate = query.is_aggregate_query() || !collect_aggregates(query).is_empty();
+    let subquery_fn = make_subquery_fn(db, params);
+    let mut output = if is_aggregate {
+        aggregate_and_project(db, query, &relation, params, outer, stats)?
+    } else {
+        project_rows(query, &relation, params, outer, &subquery_fn)?
+    };
+
+    // 3. DISTINCT.
+    if query.distinct {
+        let mut seen = std::collections::HashSet::new();
+        let mut kept_rows = Vec::new();
+        let mut kept_keys = Vec::new();
+        for (row, key) in output.rows.into_iter().zip(output.sort_keys.into_iter()) {
+            if seen.insert(row.clone()) {
+                kept_rows.push(row);
+                kept_keys.push(key);
+            }
+        }
+        output.rows = kept_rows;
+        output.sort_keys = kept_keys;
+    }
+
+    // 4. ORDER BY.
+    if !query.order_by.is_empty() {
+        let mut indexed: Vec<(Vec<Value>, Vec<Value>)> = output
+            .sort_keys
+            .into_iter()
+            .zip(output.rows.into_iter())
+            .collect();
+        indexed.sort_by(|(ka, _), (kb, _)| {
+            for (i, ob) in query.order_by.iter().enumerate() {
+                let ord = ka[i].compare(&kb[i]);
+                let ord = if ob.desc { ord.reverse() } else { ord };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        output.rows = indexed.into_iter().map(|(_, r)| r).collect();
+        output.sort_keys = Vec::new();
+    }
+
+    // 5. LIMIT.
+    if let Some(limit) = query.limit {
+        output.rows.truncate(limit as usize);
+    }
+
+    Ok(ResultSet {
+        columns: output.columns,
+        rows: output.rows,
+    })
+}
+
+/// Rows plus the pre-computed ORDER BY keys for each row.
+struct ProjectedRows {
+    columns: Vec<String>,
+    rows: Vec<Vec<Value>>,
+    sort_keys: Vec<Vec<Value>>,
+}
+
+fn make_subquery_fn<'a>(
+    db: &'a Database,
+    params: &'a [Value],
+) -> impl Fn(&Query, Option<(&RowSchema, &[Value])>) -> Result<Vec<Vec<Value>>, EngineError> + 'a {
+    // Subqueries track their scan work in a local counter; the parent query's
+    // own scans dominate the statistics we report.
+    move |q: &Query, outer: Option<(&RowSchema, &[Value])>| {
+        let mut local_stats = ExecStats::default();
+        let rs = execute_inner(db, q, params, outer, &mut local_stats)?;
+        Ok(rs.rows)
+    }
+}
+
+fn build_from_relation(
+    db: &Database,
+    query: &Query,
+    where_conjuncts: &[Expr],
+    params: &[Value],
+    outer: Option<(&RowSchema, &[Value])>,
+    stats: &mut ExecStats,
+) -> Result<Relation, EngineError> {
+    if query.from.is_empty() {
+        // SELECT without FROM: a single empty row.
+        return Ok(Relation {
+            schema: RowSchema::default(),
+            rows: vec![vec![]],
+        });
+    }
+
+    // Load each FROM entry as a relation.
+    let mut relations: Vec<Relation> = Vec::with_capacity(query.from.len());
+    for table_ref in &query.from {
+        let rel = match table_ref {
+            TableRef::Table { name, alias } => {
+                let table = db
+                    .table(name)
+                    .ok_or_else(|| EngineError::new(format!("unknown table {name}")))?;
+                let binding = alias.clone().unwrap_or_else(|| name.clone());
+                let schema = RowSchema::new(
+                    table
+                        .schema()
+                        .columns
+                        .iter()
+                        .map(|c| (Some(binding.clone()), c.name.clone()))
+                        .collect(),
+                );
+                stats.rows_scanned += table.row_count() as u64;
+                stats.bytes_scanned += table.size_bytes() as u64;
+                let rows = (0..table.row_count()).map(|i| table.row(i)).collect();
+                Relation { schema, rows }
+            }
+            TableRef::Subquery { query: sub, alias } => {
+                let rs = execute_inner(db, sub, params, outer, stats)?;
+                let schema = RowSchema::new(
+                    rs.columns
+                        .iter()
+                        .map(|c| (Some(alias.clone()), c.clone()))
+                        .collect(),
+                );
+                Relation {
+                    schema,
+                    rows: rs.rows,
+                }
+            }
+        };
+        relations.push(rel);
+    }
+
+    // Pre-filter each relation with the conjuncts it alone can answer.
+    let all_schemas: Vec<RowSchema> = relations.iter().map(|r| r.schema.clone()).collect();
+    let mut used = vec![false; where_conjuncts.len()];
+    for (ri, rel) in relations.iter_mut().enumerate() {
+        let other_schemas: Vec<&RowSchema> = all_schemas
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != ri)
+            .map(|(_, s)| s)
+            .collect();
+        for (ci, conj) in where_conjuncts.iter().enumerate() {
+            if used[ci] || conj.contains_subquery() || conj.contains_aggregate() {
+                continue;
+            }
+            if refs_resolvable(conj, &rel.schema)
+                && !refs_resolvable_elsewhere(conj, &other_schemas)
+            {
+                // Conjunct references only this relation: apply it now.
+                rel.rows = filter_rows(db, &rel.schema, std::mem::take(&mut rel.rows), conj, params, outer)?;
+                used[ci] = true;
+            }
+        }
+    }
+
+    // Join the relations left to right.
+    let mut acc = relations.remove(0);
+    while !relations.is_empty() {
+        // Prefer a relation with an equi-join conjunct against the accumulator.
+        let mut chosen = 0usize;
+        let mut join_keys: Vec<(Expr, Expr)> = Vec::new();
+        'search: for (idx, rel) in relations.iter().enumerate() {
+            let keys = find_equi_join_keys(where_conjuncts, &used, &acc.schema, &rel.schema);
+            if !keys.is_empty() {
+                chosen = idx;
+                join_keys = keys;
+                break 'search;
+            }
+        }
+        let right = relations.remove(chosen);
+        // Mark the conjuncts we are about to consume as used.
+        for (ci, conj) in where_conjuncts.iter().enumerate() {
+            if used[ci] {
+                continue;
+            }
+            if let Some((l, r)) = as_equi_join(conj) {
+                let consumed = join_keys
+                    .iter()
+                    .any(|(jl, jr)| (*jl == l && *jr == r) || (*jl == r && *jr == l));
+                if consumed {
+                    used[ci] = true;
+                }
+            }
+        }
+        acc = if join_keys.is_empty() {
+            cross_join(&acc, &right)
+        } else {
+            hash_join(db, &acc, &right, &join_keys, params, outer)?
+        };
+
+        // Apply any remaining conjuncts that are now fully resolvable (cheap
+        // early filtering between joins).
+        for (ci, conj) in where_conjuncts.iter().enumerate() {
+            if used[ci] || conj.contains_subquery() || conj.contains_aggregate() {
+                continue;
+            }
+            if refs_resolvable(conj, &acc.schema) {
+                acc.rows = filter_rows(db, &acc.schema, std::mem::take(&mut acc.rows), conj, params, outer)?;
+                used[ci] = true;
+            }
+        }
+    }
+
+    // Apply all remaining conjuncts (including those with subqueries).
+    for (ci, conj) in where_conjuncts.iter().enumerate() {
+        if used[ci] {
+            continue;
+        }
+        acc.rows = filter_rows(db, &acc.schema, std::mem::take(&mut acc.rows), conj, params, outer)?;
+        used[ci] = true;
+    }
+
+    Ok(acc)
+}
+
+/// True if every column reference in `expr` resolves in `schema`.
+fn refs_resolvable(expr: &Expr, schema: &RowSchema) -> bool {
+    expr.column_refs().iter().all(|c| schema.resolve(c).is_some())
+}
+
+/// True if any column reference in `expr` resolves in one of the other schemas
+/// with a qualified name, which would make single-relation pre-filtering wrong.
+fn refs_resolvable_elsewhere(expr: &Expr, others: &[&RowSchema]) -> bool {
+    expr.column_refs()
+        .iter()
+        .any(|c| c.table.is_some() && others.iter().any(|s| s.resolve(c).is_some()))
+}
+
+/// If the conjunct is `col_expr = col_expr`, returns the two sides.
+fn as_equi_join(conj: &Expr) -> Option<(Expr, Expr)> {
+    if let Expr::BinaryOp {
+        left,
+        op: BinaryOp::Eq,
+        right,
+    } = conj
+    {
+        let left_cols = left.column_refs();
+        let right_cols = right.column_refs();
+        if !left_cols.is_empty() && !right_cols.is_empty() {
+            return Some((*left.clone(), *right.clone()));
+        }
+    }
+    None
+}
+
+/// Finds equality conjuncts joining the accumulator schema to the right schema.
+/// Returns pairs `(left_key_expr, right_key_expr)` oriented accumulator-first.
+fn find_equi_join_keys(
+    conjuncts: &[Expr],
+    used: &[bool],
+    left: &RowSchema,
+    right: &RowSchema,
+) -> Vec<(Expr, Expr)> {
+    let mut keys = Vec::new();
+    for (ci, conj) in conjuncts.iter().enumerate() {
+        if used[ci] {
+            continue;
+        }
+        if let Some((a, b)) = as_equi_join(conj) {
+            let a_left = refs_resolvable(&a, left);
+            let a_right = refs_resolvable(&a, right);
+            let b_left = refs_resolvable(&b, left);
+            let b_right = refs_resolvable(&b, right);
+            if a_left && b_right && !(a_right && b_left) {
+                keys.push((a, b));
+            } else if b_left && a_right {
+                keys.push((b, a));
+            }
+        }
+    }
+    keys
+}
+
+fn filter_rows(
+    db: &Database,
+    schema: &RowSchema,
+    rows: Vec<Vec<Value>>,
+    predicate: &Expr,
+    params: &[Value],
+    outer: Option<(&RowSchema, &[Value])>,
+) -> Result<Vec<Vec<Value>>, EngineError> {
+    let subquery_fn = |q: &Query, o: Option<(&RowSchema, &[Value])>| {
+        let mut local = ExecStats::default();
+        execute_inner(db, q, params, o, &mut local).map(|rs| rs.rows)
+    };
+    let mut out = Vec::with_capacity(rows.len());
+    for row in rows {
+        let ctx = EvalContext {
+            params,
+            aggregates: None,
+            subquery: Some(&subquery_fn),
+            outer,
+        };
+        let keep = eval(predicate, schema, &row, &ctx)?
+            .as_bool()
+            .unwrap_or(false);
+        if keep {
+            out.push(row);
+        }
+    }
+    Ok(out)
+}
+
+fn cross_join(left: &Relation, right: &Relation) -> Relation {
+    let schema = left.schema.concat(&right.schema);
+    let mut rows = Vec::with_capacity(left.rows.len() * right.rows.len().max(1));
+    for l in &left.rows {
+        for r in &right.rows {
+            let mut row = l.clone();
+            row.extend(r.iter().cloned());
+            rows.push(row);
+        }
+    }
+    Relation { schema, rows }
+}
+
+fn hash_join(
+    db: &Database,
+    left: &Relation,
+    right: &Relation,
+    keys: &[(Expr, Expr)],
+    params: &[Value],
+    outer: Option<(&RowSchema, &[Value])>,
+) -> Result<Relation, EngineError> {
+    let ctx_template = |_row: &[Value]| EvalContext {
+        params,
+        aggregates: None,
+        subquery: None,
+        outer,
+    };
+    // Build hash table on the right side.
+    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+    for (idx, row) in right.rows.iter().enumerate() {
+        let ctx = ctx_template(row);
+        let key: Vec<Value> = keys
+            .iter()
+            .map(|(_, r)| eval(r, &right.schema, row, &ctx))
+            .collect::<Result<_, _>>()?;
+        table.entry(key).or_default().push(idx);
+    }
+    let schema = left.schema.concat(&right.schema);
+    let mut rows = Vec::new();
+    for lrow in &left.rows {
+        let ctx = ctx_template(lrow);
+        let key: Vec<Value> = keys
+            .iter()
+            .map(|(l, _)| eval(l, &left.schema, lrow, &ctx))
+            .collect::<Result<_, _>>()?;
+        if let Some(matches) = table.get(&key) {
+            for &ridx in matches {
+                let mut row = lrow.clone();
+                row.extend(right.rows[ridx].iter().cloned());
+                rows.push(row);
+            }
+        }
+    }
+    let _ = db;
+    Ok(Relation { schema, rows })
+}
+
+/// Collects every aggregate-like expression (true aggregates and the encrypted
+/// aggregation UDFs) appearing in the query's post-grouping clauses.
+fn collect_aggregates(query: &Query) -> Vec<Expr> {
+    let mut found: Vec<Expr> = Vec::new();
+    let mut push_from = |e: &Expr| {
+        e.walk(&mut |node| {
+            let is_agg = matches!(node, Expr::Aggregate { .. })
+                || matches!(node, Expr::Function { name, .. } if is_udf_aggregate(name));
+            if is_agg && !found.contains(node) {
+                found.push(node.clone());
+            }
+        });
+    };
+    for p in &query.projections {
+        push_from(&p.expr);
+    }
+    if let Some(h) = &query.having {
+        push_from(h);
+    }
+    for o in &query.order_by {
+        push_from(&o.expr);
+    }
+    found
+}
+
+/// UDF aggregates the encrypted execution path uses.
+pub fn is_udf_aggregate(name: &str) -> bool {
+    matches!(name, "paillier_sum" | "group_concat")
+}
+
+/// State for one aggregate over one group.
+enum AggState {
+    Sum { total_i: i64, total_f: f64, any_float: bool, count: u64 },
+    Avg { total: f64, count: u64 },
+    Count { count: u64, distinct: Option<std::collections::HashSet<Value>> },
+    MinMax { best: Option<Value>, is_min: bool },
+    PaillierSum { acc: BigUint, modulus: BigUint, count: u64 },
+    GroupConcat { values: Vec<Value> },
+}
+
+impl AggState {
+    fn new(expr: &Expr, db: &Database) -> Result<Self, EngineError> {
+        match expr {
+            Expr::Aggregate { func, distinct, .. } => Ok(match func {
+                AggFunc::Sum => AggState::Sum { total_i: 0, total_f: 0.0, any_float: false, count: 0 },
+                AggFunc::Avg => AggState::Avg { total: 0.0, count: 0 },
+                AggFunc::Count => AggState::Count {
+                    count: 0,
+                    distinct: if *distinct { Some(Default::default()) } else { None },
+                },
+                AggFunc::Min => AggState::MinMax { best: None, is_min: true },
+                AggFunc::Max => AggState::MinMax { best: None, is_min: false },
+            }),
+            Expr::Function { name, .. } if name == "paillier_sum" => {
+                let modulus = db.paillier_modulus().ok_or_else(|| {
+                    EngineError::new("paillier_sum requires a registered public modulus")
+                })?;
+                Ok(AggState::PaillierSum { acc: BigUint::one(), modulus, count: 0 })
+            }
+            Expr::Function { name, .. } if name == "group_concat" => {
+                Ok(AggState::GroupConcat { values: Vec::new() })
+            }
+            other => Err(EngineError::new(format!("not an aggregate: {other}"))),
+        }
+    }
+
+    fn arg<'e>(expr: &'e Expr) -> Option<&'e Expr> {
+        match expr {
+            Expr::Aggregate { arg, .. } => arg.as_deref(),
+            Expr::Function { args, .. } => args.first(),
+            _ => None,
+        }
+    }
+
+    fn update(&mut self, value: Option<Value>) {
+        match self {
+            AggState::Sum { total_i, total_f, any_float, count } => {
+                if let Some(v) = value {
+                    if v.is_null() {
+                        return;
+                    }
+                    match v {
+                        Value::Float(f) => {
+                            *any_float = true;
+                            *total_f += f;
+                        }
+                        other => {
+                            if let Some(i) = other.as_int() {
+                                *total_i += i;
+                                *total_f += i as f64;
+                            }
+                        }
+                    }
+                    *count += 1;
+                }
+            }
+            AggState::Avg { total, count } => {
+                if let Some(v) = value {
+                    if let Some(f) = v.as_float() {
+                        *total += f;
+                        *count += 1;
+                    }
+                }
+            }
+            AggState::Count { count, distinct } => match value {
+                None => *count += 1, // COUNT(*)
+                Some(v) => {
+                    if v.is_null() {
+                        return;
+                    }
+                    match distinct {
+                        Some(set) => {
+                            if set.insert(v) {
+                                *count += 1;
+                            }
+                        }
+                        None => *count += 1,
+                    }
+                }
+            },
+            AggState::MinMax { best, is_min } => {
+                if let Some(v) = value {
+                    if v.is_null() {
+                        return;
+                    }
+                    let better = match best {
+                        None => true,
+                        Some(b) => {
+                            if *is_min {
+                                v < *b
+                            } else {
+                                v > *b
+                            }
+                        }
+                    };
+                    if better {
+                        *best = Some(v);
+                    }
+                }
+            }
+            AggState::PaillierSum { acc, modulus, count } => {
+                if let Some(Value::Bytes(ct)) = value {
+                    let c = BigUint::from_bytes_be(&ct);
+                    *acc = acc.mul(&c).rem(modulus);
+                    *count += 1;
+                }
+            }
+            AggState::GroupConcat { values } => {
+                if let Some(v) = value {
+                    values.push(v);
+                }
+            }
+        }
+    }
+
+    fn finish(self, key: &PaillierWidth) -> Value {
+        match self {
+            AggState::Sum { total_i, total_f, any_float, count } => {
+                if count == 0 {
+                    Value::Null
+                } else if any_float {
+                    Value::Float(total_f)
+                } else {
+                    Value::Int(total_i)
+                }
+            }
+            AggState::Avg { total, count } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(total / count as f64)
+                }
+            }
+            AggState::Count { count, .. } => Value::Int(count as i64),
+            AggState::MinMax { best, .. } => best.unwrap_or(Value::Null),
+            AggState::PaillierSum { acc, count, .. } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Bytes(acc.to_bytes_be_padded(key.ciphertext_bytes))
+                }
+            }
+            AggState::GroupConcat { values } => Value::List(values),
+        }
+    }
+}
+
+/// Fixed ciphertext width used when serializing Paillier aggregation results.
+struct PaillierWidth {
+    ciphertext_bytes: usize,
+}
+
+fn aggregate_and_project(
+    db: &Database,
+    query: &Query,
+    relation: &Relation,
+    params: &[Value],
+    outer: Option<(&RowSchema, &[Value])>,
+    _stats: &mut ExecStats,
+) -> Result<ProjectedRows, EngineError> {
+    let subquery_fn = |q: &Query, o: Option<(&RowSchema, &[Value])>| {
+        let mut local = ExecStats::default();
+        execute_inner(db, q, params, o, &mut local).map(|rs| rs.rows)
+    };
+    let agg_exprs = collect_aggregates(query);
+    let paillier_width = PaillierWidth {
+        ciphertext_bytes: db
+            .paillier_modulus()
+            .map(|m| (m.bits() + 7) / 8)
+            .unwrap_or(0),
+    };
+
+    // Group rows.
+    let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
+    let mut group_index: HashMap<Vec<Value>, usize> = HashMap::new();
+    for (ridx, row) in relation.rows.iter().enumerate() {
+        let ctx = EvalContext {
+            params,
+            aggregates: None,
+            subquery: Some(&subquery_fn),
+            outer,
+        };
+        let key: Vec<Value> = query
+            .group_by
+            .iter()
+            .map(|g| eval(g, &relation.schema, row, &ctx))
+            .collect::<Result<_, _>>()?;
+        let gidx = *group_index.entry(key.clone()).or_insert_with(|| {
+            groups.push((key, Vec::new()));
+            groups.len() - 1
+        });
+        groups[gidx].1.push(ridx);
+    }
+    // A global aggregate over an empty input still produces one group.
+    if groups.is_empty() && query.group_by.is_empty() {
+        groups.push((Vec::new(), Vec::new()));
+    }
+
+    let mut columns = Vec::new();
+    for (i, p) in query.projections.iter().enumerate() {
+        columns.push(p.output_name(i));
+    }
+
+    let mut rows_out = Vec::new();
+    let mut sort_keys_out = Vec::new();
+    for (_key, row_indices) in &groups {
+        // Compute aggregate values for this group.
+        let mut agg_values: HashMap<Expr, Value> = HashMap::new();
+        for agg_expr in &agg_exprs {
+            let mut state = AggState::new(agg_expr, db)?;
+            let arg = AggState::arg(agg_expr).cloned();
+            let is_count_star = matches!(
+                agg_expr,
+                Expr::Aggregate {
+                    func: AggFunc::Count,
+                    arg: None,
+                    ..
+                }
+            );
+            for &ridx in row_indices {
+                let row = &relation.rows[ridx];
+                let ctx = EvalContext {
+                    params,
+                    aggregates: None,
+                    subquery: Some(&subquery_fn),
+                    outer,
+                };
+                if is_count_star {
+                    state.update(None);
+                } else if let Some(arg_expr) = &arg {
+                    let v = eval(arg_expr, &relation.schema, row, &ctx)?;
+                    state.update(Some(v));
+                } else {
+                    state.update(None);
+                }
+            }
+            agg_values.insert(agg_expr.clone(), state.finish(&paillier_width));
+        }
+
+        // Representative row for evaluating group-key expressions in
+        // projections / HAVING / ORDER BY.
+        let representative: Vec<Value> = row_indices
+            .first()
+            .map(|&i| relation.rows[i].clone())
+            .unwrap_or_else(|| vec![Value::Null; relation.schema.len()]);
+
+        let ctx = EvalContext {
+            params,
+            aggregates: Some(&agg_values),
+            subquery: Some(&subquery_fn),
+            outer,
+        };
+
+        // HAVING.
+        if let Some(having) = &query.having {
+            let keep = eval(having, &relation.schema, &representative, &ctx)?
+                .as_bool()
+                .unwrap_or(false);
+            if !keep {
+                continue;
+            }
+        }
+
+        // Projections.
+        let mut out_row = Vec::with_capacity(query.projections.len());
+        for p in &query.projections {
+            out_row.push(eval(&p.expr, &relation.schema, &representative, &ctx)?);
+        }
+
+        // ORDER BY keys: aliases refer to projection outputs.
+        let mut keys = Vec::with_capacity(query.order_by.len());
+        for ob in &query.order_by {
+            keys.push(resolve_order_key(
+                ob,
+                query,
+                &out_row,
+                &relation.schema,
+                &representative,
+                &ctx,
+            )?);
+        }
+
+        rows_out.push(out_row);
+        sort_keys_out.push(keys);
+    }
+
+    Ok(ProjectedRows {
+        columns,
+        rows: rows_out,
+        sort_keys: sort_keys_out,
+    })
+}
+
+fn project_rows(
+    query: &Query,
+    relation: &Relation,
+    params: &[Value],
+    outer: Option<(&RowSchema, &[Value])>,
+    subquery_fn: &impl Fn(&Query, Option<(&RowSchema, &[Value])>) -> Result<Vec<Vec<Value>>, EngineError>,
+) -> Result<ProjectedRows, EngineError> {
+    let mut columns = Vec::new();
+    let star = query
+        .projections
+        .iter()
+        .any(|p| matches!(&p.expr, Expr::Column(c) if c.column == "*"));
+    if star {
+        for (_, name) in &relation.schema.columns {
+            columns.push(name.clone());
+        }
+    } else {
+        for (i, p) in query.projections.iter().enumerate() {
+            columns.push(p.output_name(i));
+        }
+    }
+
+    let mut rows_out = Vec::with_capacity(relation.rows.len());
+    let mut sort_keys_out = Vec::with_capacity(relation.rows.len());
+    for row in &relation.rows {
+        let ctx = EvalContext {
+            params,
+            aggregates: None,
+            subquery: Some(subquery_fn),
+            outer,
+        };
+        let out_row = if star {
+            row.clone()
+        } else {
+            query
+                .projections
+                .iter()
+                .map(|p| eval(&p.expr, &relation.schema, row, &ctx))
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        let mut keys = Vec::with_capacity(query.order_by.len());
+        for ob in &query.order_by {
+            keys.push(resolve_order_key(ob, query, &out_row, &relation.schema, row, &ctx)?);
+        }
+        rows_out.push(out_row);
+        sort_keys_out.push(keys);
+    }
+    Ok(ProjectedRows {
+        columns,
+        rows: rows_out,
+        sort_keys: sort_keys_out,
+    })
+}
+
+/// Resolves an ORDER BY key: projection aliases and positions take precedence,
+/// otherwise the expression is evaluated against the source row.
+fn resolve_order_key(
+    ob: &OrderByItem,
+    query: &Query,
+    out_row: &[Value],
+    schema: &RowSchema,
+    row: &[Value],
+    ctx: &EvalContext<'_>,
+) -> Result<Value, EngineError> {
+    if let Expr::Column(c) = &ob.expr {
+        if c.table.is_none() {
+            if let Some(pos) = query.projections.iter().position(|p| {
+                p.alias
+                    .as_deref()
+                    .map_or(false, |a| a.eq_ignore_ascii_case(&c.column))
+            }) {
+                return Ok(out_row[pos].clone());
+            }
+        }
+    }
+    if let Expr::Literal(Literal::Number(n)) = &ob.expr {
+        if let Ok(pos) = n.parse::<usize>() {
+            if pos >= 1 && pos <= out_row.len() {
+                return Ok(out_row[pos - 1].clone());
+            }
+        }
+    }
+    // The expression may itself be (or contain) one of the projection
+    // expressions; evaluate directly.
+    if let Some(pos) = query.projections.iter().position(|p| p.expr == ob.expr) {
+        return Ok(out_row[pos].clone());
+    }
+    eval(&ob.expr, schema, row, ctx)
+}

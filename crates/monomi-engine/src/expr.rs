@@ -1,0 +1,652 @@
+//! Expression evaluation over rows.
+//!
+//! The evaluator implements SQL semantics for the subset MONOMI needs:
+//! arithmetic with integer/float coercion, date ± interval arithmetic,
+//! three-valued comparisons, LIKE patterns, IN / BETWEEN / CASE / EXTRACT,
+//! and the engine's encrypted-data scalar functions (e.g. `search_match`).
+//!
+//! Aggregates are *not* evaluated here: the executor computes them per group
+//! and exposes the results through [`EvalContext::aggregates`], so expressions
+//! such as `HAVING SUM(x) > 10` resolve the `SUM(x)` node by lookup.
+
+use crate::value::{date, Value};
+use crate::EngineError;
+use monomi_sql::ast::*;
+use std::collections::HashMap;
+
+/// Describes the columns of the rows an expression is evaluated against.
+#[derive(Clone, Debug, Default)]
+pub struct RowSchema {
+    /// `(binding, column_name)` pairs; `binding` is the table name or alias the
+    /// column came from, if any.
+    pub columns: Vec<(Option<String>, String)>,
+}
+
+impl RowSchema {
+    /// Creates a schema from `(binding, name)` pairs.
+    pub fn new(columns: Vec<(Option<String>, String)>) -> Self {
+        RowSchema { columns }
+    }
+
+    /// Resolves a column reference to an index.
+    pub fn resolve(&self, col: &ColumnRef) -> Option<usize> {
+        // Qualified reference: match binding and name.
+        if let Some(table) = &col.table {
+            return self.columns.iter().position(|(b, n)| {
+                n.eq_ignore_ascii_case(&col.column)
+                    && b.as_deref()
+                        .map_or(false, |b| b.eq_ignore_ascii_case(table))
+            });
+        }
+        // Unqualified: name must be unambiguous (first match wins, mirroring
+        // the permissive behaviour of most engines for our workloads).
+        self.columns
+            .iter()
+            .position(|(_, n)| n.eq_ignore_ascii_case(&col.column))
+    }
+
+    /// Appends another schema's columns (used when joining).
+    pub fn concat(&self, other: &RowSchema) -> RowSchema {
+        let mut columns = self.columns.clone();
+        columns.extend(other.columns.clone());
+        RowSchema { columns }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if there are no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+}
+
+/// Callback used to evaluate subqueries; receives the subquery and the current
+/// outer row (schema + values) for correlated references.
+pub type SubqueryFn<'a> =
+    &'a dyn Fn(&Query, Option<(&RowSchema, &[Value])>) -> Result<Vec<Vec<Value>>, EngineError>;
+
+/// Everything an expression evaluation might need besides the row itself.
+pub struct EvalContext<'a> {
+    /// Positional parameter values (`:1` is `params[0]`).
+    pub params: &'a [Value],
+    /// Computed aggregate values for the current group, keyed by the aggregate
+    /// expression node.
+    pub aggregates: Option<&'a HashMap<Expr, Value>>,
+    /// Callback for executing subqueries.
+    pub subquery: Option<SubqueryFn<'a>>,
+    /// Outer row for correlated subqueries (schema and values of the row in
+    /// the enclosing query).
+    pub outer: Option<(&'a RowSchema, &'a [Value])>,
+}
+
+impl<'a> EvalContext<'a> {
+    /// A context with only parameters.
+    pub fn with_params(params: &'a [Value]) -> Self {
+        EvalContext {
+            params,
+            aggregates: None,
+            subquery: None,
+            outer: None,
+        }
+    }
+}
+
+/// Evaluates `expr` against a row.
+pub fn eval(
+    expr: &Expr,
+    schema: &RowSchema,
+    row: &[Value],
+    ctx: &EvalContext<'_>,
+) -> Result<Value, EngineError> {
+    match expr {
+        Expr::Column(c) => {
+            if let Some(idx) = schema.resolve(c) {
+                return Ok(row[idx].clone());
+            }
+            // Correlated reference to the outer query's row.
+            if let Some((outer_schema, outer_row)) = ctx.outer {
+                if let Some(idx) = outer_schema.resolve(c) {
+                    return Ok(outer_row[idx].clone());
+                }
+            }
+            Err(EngineError::new(format!("unknown column {c}")))
+        }
+        Expr::Literal(l) => literal_value(l),
+        Expr::Param(n) => ctx
+            .params
+            .get(n - 1)
+            .cloned()
+            .ok_or_else(|| EngineError::new(format!("missing parameter :{n}"))),
+        Expr::BinaryOp { left, op, right } => {
+            let l = eval(left, schema, row, ctx)?;
+            let r = eval(right, schema, row, ctx)?;
+            eval_binop(&l, *op, &r)
+        }
+        Expr::UnaryOp { op, expr } => {
+            let v = eval(expr, schema, row, ctx)?;
+            match op {
+                UnaryOp::Not => match v.as_bool() {
+                    None => Ok(Value::Null),
+                    Some(b) => Ok(Value::Int(!b as i64)),
+                },
+                UnaryOp::Neg => match v {
+                    Value::Null => Ok(Value::Null),
+                    Value::Int(i) => Ok(Value::Int(-i)),
+                    Value::Float(f) => Ok(Value::Float(-f)),
+                    other => Err(EngineError::new(format!("cannot negate {other:?}"))),
+                },
+            }
+        }
+        Expr::Aggregate { .. } => {
+            if let Some(aggs) = ctx.aggregates {
+                if let Some(v) = aggs.get(expr) {
+                    return Ok(v.clone());
+                }
+            }
+            Err(EngineError::new(format!(
+                "aggregate {expr} used outside of an aggregation context"
+            )))
+        }
+        Expr::Function { name, args } => {
+            // UDF aggregates (paillier_sum, group_concat) are computed by the
+            // executor per group; resolve them from the aggregate context.
+            if let Some(aggs) = ctx.aggregates {
+                if let Some(v) = aggs.get(expr) {
+                    return Ok(v.clone());
+                }
+            }
+            eval_function(name, args, schema, row, ctx)
+        }
+        Expr::Case {
+            operand,
+            when_then,
+            else_expr,
+        } => {
+            for (when, then) in when_then {
+                let matched = match operand {
+                    Some(op_expr) => {
+                        let op_v = eval(op_expr, schema, row, ctx)?;
+                        let w_v = eval(when, schema, row, ctx)?;
+                        op_v.equals(&w_v)
+                    }
+                    None => eval(when, schema, row, ctx)?.as_bool().unwrap_or(false),
+                };
+                if matched {
+                    return eval(then, schema, row, ctx);
+                }
+            }
+            match else_expr {
+                Some(e) => eval(e, schema, row, ctx),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => {
+            let v = eval(expr, schema, row, ctx)?;
+            let p = eval(pattern, schema, row, ctx)?;
+            match (v, p) {
+                (Value::Null, _) | (_, Value::Null) => Ok(Value::Null),
+                (Value::Str(s), Value::Str(pat)) => {
+                    let m = like_match(&s, &pat);
+                    Ok(Value::Int((m ^ negated) as i64))
+                }
+                (v, p) => Err(EngineError::new(format!(
+                    "LIKE requires strings, got {v:?} LIKE {p:?}"
+                ))),
+            }
+        }
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => {
+            let v = eval(expr, schema, row, ctx)?;
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            let mut found = false;
+            for item in list {
+                let item_v = eval(item, schema, row, ctx)?;
+                if v.equals(&item_v) {
+                    found = true;
+                    break;
+                }
+            }
+            Ok(Value::Int((found ^ negated) as i64))
+        }
+        Expr::InSubquery {
+            expr,
+            subquery,
+            negated,
+        } => {
+            let v = eval(expr, schema, row, ctx)?;
+            let rows = run_subquery(subquery, schema, row, ctx)?;
+            let found = rows.iter().any(|r| r.first().map_or(false, |x| v.equals(x)));
+            Ok(Value::Int((found ^ negated) as i64))
+        }
+        Expr::Exists { subquery, negated } => {
+            let rows = run_subquery(subquery, schema, row, ctx)?;
+            Ok(Value::Int((!rows.is_empty() ^ negated) as i64))
+        }
+        Expr::ScalarSubquery(subquery) => {
+            let rows = run_subquery(subquery, schema, row, ctx)?;
+            match rows.first() {
+                Some(r) => Ok(r.first().cloned().unwrap_or(Value::Null)),
+                None => Ok(Value::Null),
+            }
+        }
+        Expr::Between {
+            expr,
+            low,
+            high,
+            negated,
+        } => {
+            let v = eval(expr, schema, row, ctx)?;
+            let lo = eval(low, schema, row, ctx)?;
+            let hi = eval(high, schema, row, ctx)?;
+            if v.is_null() || lo.is_null() || hi.is_null() {
+                return Ok(Value::Null);
+            }
+            let within = v >= lo && v <= hi;
+            Ok(Value::Int((within ^ negated) as i64))
+        }
+        Expr::Extract { field, expr } => {
+            let v = eval(expr, schema, row, ctx)?;
+            match v {
+                Value::Null => Ok(Value::Null),
+                Value::Date(d) => Ok(Value::Int(match field {
+                    DateField::Year => date::year_of(d) as i64,
+                    DateField::Month => date::month_of(d) as i64,
+                    DateField::Day => date::day_of(d) as i64,
+                })),
+                other => Err(EngineError::new(format!("EXTRACT from non-date {other:?}"))),
+            }
+        }
+        Expr::IsNull { expr, negated } => {
+            let v = eval(expr, schema, row, ctx)?;
+            Ok(Value::Int((v.is_null() ^ negated) as i64))
+        }
+    }
+}
+
+fn run_subquery(
+    subquery: &Query,
+    schema: &RowSchema,
+    row: &[Value],
+    ctx: &EvalContext<'_>,
+) -> Result<Vec<Vec<Value>>, EngineError> {
+    let f = ctx
+        .subquery
+        .ok_or_else(|| EngineError::new("subquery evaluation not available in this context"))?;
+    f(subquery, Some((schema, row)))
+}
+
+/// Converts a literal AST node into a runtime value.
+pub fn literal_value(l: &Literal) -> Result<Value, EngineError> {
+    match l {
+        Literal::Number(s) => {
+            if let Ok(i) = s.parse::<i64>() {
+                Ok(Value::Int(i))
+            } else {
+                s.parse::<f64>()
+                    .map(Value::Float)
+                    .map_err(|_| EngineError::new(format!("bad numeric literal {s}")))
+            }
+        }
+        Literal::String(s) => Ok(Value::Str(s.clone())),
+        Literal::Date(s) => date::parse_date(s)
+            .map(Value::Date)
+            .ok_or_else(|| EngineError::new(format!("bad date literal {s}"))),
+        Literal::Interval { value, unit } => {
+            // Represent intervals as (days, months) packed into an Int pair:
+            // days in the low 32 bits, months in the high 32 bits.
+            let n: i64 = value
+                .parse()
+                .map_err(|_| EngineError::new(format!("bad interval value {value}")))?;
+            let (days, months) = match unit {
+                IntervalUnit::Day => (n, 0i64),
+                IntervalUnit::Month => (0, n),
+                IntervalUnit::Year => (0, n * 12),
+            };
+            Ok(Value::Int((months << 32) | (days & 0xffff_ffff)))
+        }
+        Literal::Null => Ok(Value::Null),
+        Literal::Boolean(b) => Ok(Value::Int(*b as i64)),
+    }
+}
+
+/// True if an expression is an interval literal (needed to give `date + X`
+/// interval semantics).
+fn interval_parts(v: i64) -> (i64, i64) {
+    let days = (v & 0xffff_ffff) as i32 as i64;
+    let months = v >> 32;
+    (days, months)
+}
+
+fn eval_binop(l: &Value, op: BinaryOp, r: &Value) -> Result<Value, EngineError> {
+    use BinaryOp::*;
+    if matches!(op, And | Or) {
+        let lb = l.as_bool();
+        let rb = r.as_bool();
+        return Ok(match (op, lb, rb) {
+            (And, Some(false), _) | (And, _, Some(false)) => Value::Int(0),
+            (And, Some(true), Some(true)) => Value::Int(1),
+            (Or, Some(true), _) | (Or, _, Some(true)) => Value::Int(1),
+            (Or, Some(false), Some(false)) => Value::Int(0),
+            _ => Value::Null,
+        });
+    }
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    if op.is_comparison() {
+        let ord = l.compare(r);
+        let result = match op {
+            Eq => ord == std::cmp::Ordering::Equal,
+            NotEq => ord != std::cmp::Ordering::Equal,
+            Lt => ord == std::cmp::Ordering::Less,
+            LtEq => ord != std::cmp::Ordering::Greater,
+            Gt => ord == std::cmp::Ordering::Greater,
+            GtEq => ord != std::cmp::Ordering::Less,
+            _ => unreachable!(),
+        };
+        return Ok(Value::Int(result as i64));
+    }
+    // Arithmetic.
+    match (l, r) {
+        // Date arithmetic with intervals and day counts.
+        (Value::Date(d), Value::Int(i)) => {
+            let (days, months) = interval_parts(*i);
+            let base = if months != 0 {
+                date::add_months(*d, months as i32)
+            } else {
+                *d
+            };
+            match op {
+                Add => Ok(Value::Date(base + days as i32)),
+                Sub => {
+                    let base = if months != 0 {
+                        date::add_months(*d, -(months as i32))
+                    } else {
+                        *d
+                    };
+                    Ok(Value::Date(base - days as i32))
+                }
+                _ => Err(EngineError::new("unsupported date arithmetic")),
+            }
+        }
+        (Value::Date(a), Value::Date(b)) if op == Sub => Ok(Value::Int((*a - *b) as i64)),
+        (Value::Int(a), Value::Int(b)) => match op {
+            Add => Ok(Value::Int(a.wrapping_add(*b))),
+            Sub => Ok(Value::Int(a.wrapping_sub(*b))),
+            Mul => Ok(Value::Int(a.wrapping_mul(*b))),
+            Div => {
+                if *b == 0 {
+                    Ok(Value::Null)
+                } else {
+                    // Integer division would silently change TPC-H ratio
+                    // results; use float division like the plaintext baseline.
+                    Ok(Value::Float(*a as f64 / *b as f64))
+                }
+            }
+            Mod => {
+                if *b == 0 {
+                    Ok(Value::Null)
+                } else {
+                    Ok(Value::Int(a % b))
+                }
+            }
+            _ => unreachable!(),
+        },
+        _ => {
+            let (a, b) = (
+                l.as_float()
+                    .ok_or_else(|| EngineError::new(format!("non-numeric operand {l:?}")))?,
+                r.as_float()
+                    .ok_or_else(|| EngineError::new(format!("non-numeric operand {r:?}")))?,
+            );
+            let out = match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => {
+                    if b == 0.0 {
+                        return Ok(Value::Null);
+                    }
+                    a / b
+                }
+                Mod => a % b,
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(out))
+        }
+    }
+}
+
+fn eval_function(
+    name: &str,
+    args: &[Expr],
+    schema: &RowSchema,
+    row: &[Value],
+    ctx: &EvalContext<'_>,
+) -> Result<Value, EngineError> {
+    let vals: Vec<Value> = args
+        .iter()
+        .map(|a| eval(a, schema, row, ctx))
+        .collect::<Result<_, _>>()?;
+    match name {
+        "substring" | "substr" => {
+            let s = vals
+                .first()
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| EngineError::new("substring: first argument must be a string"))?;
+            let start = vals.get(1).and_then(Value::as_int).unwrap_or(1).max(1) as usize;
+            let len = vals.get(2).and_then(Value::as_int);
+            let chars: Vec<char> = s.chars().collect();
+            let begin = (start - 1).min(chars.len());
+            let end = match len {
+                Some(l) => (begin + l.max(0) as usize).min(chars.len()),
+                None => chars.len(),
+            };
+            Ok(Value::Str(chars[begin..end].iter().collect()))
+        }
+        "year" => match vals.first() {
+            Some(Value::Date(d)) => Ok(Value::Int(date::year_of(*d) as i64)),
+            _ => Err(EngineError::new("year() expects a date")),
+        },
+        // search_match(search_ciphertext, hex_token): server-side evaluation of
+        // an encrypted LIKE '%kw%' predicate.
+        "search_match" => {
+            let ct = vals
+                .first()
+                .and_then(Value::as_bytes)
+                .ok_or_else(|| EngineError::new("search_match: first arg must be bytes"))?;
+            let token_hex = vals
+                .get(1)
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| EngineError::new("search_match: second arg must be a hex token"))?;
+            let token = decode_hex(token_hex)
+                .ok_or_else(|| EngineError::new("search_match: bad hex token"))?;
+            if token.len() != 16 {
+                return Err(EngineError::new("search_match: token must be 16 bytes"));
+            }
+            let mut t = [0u8; 16];
+            t.copy_from_slice(&token);
+            let ct = monomi_crypto::SearchCiphertext::from_bytes(ct);
+            Ok(Value::Int(
+                ct.matches(&monomi_crypto::SearchToken(t)) as i64
+            ))
+        }
+        // hex_bytes('deadbeef'): literal byte strings in rewritten queries.
+        "hex_bytes" => {
+            let s = vals
+                .first()
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| EngineError::new("hex_bytes expects a hex string"))?;
+            decode_hex(s)
+                .map(Value::Bytes)
+                .ok_or_else(|| EngineError::new("hex_bytes: invalid hex"))
+        }
+        other => Err(EngineError::new(format!("unknown function {other}"))),
+    }
+}
+
+/// SQL LIKE matching with `%` and `_` wildcards.
+pub fn like_match(s: &str, pattern: &str) -> bool {
+    fn rec(s: &[char], p: &[char]) -> bool {
+        if p.is_empty() {
+            return s.is_empty();
+        }
+        match p[0] {
+            '%' => {
+                // Match zero or more characters.
+                (0..=s.len()).any(|k| rec(&s[k..], &p[1..]))
+            }
+            '_' => !s.is_empty() && rec(&s[1..], &p[1..]),
+            c => !s.is_empty() && s[0] == c && rec(&s[1..], &p[1..]),
+        }
+    }
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = pattern.chars().collect();
+    rec(&s, &p)
+}
+
+/// Decodes a lowercase/uppercase hex string.
+pub fn decode_hex(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
+}
+
+/// Encodes bytes as lowercase hex.
+pub fn encode_hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use monomi_sql::parse_query;
+
+    fn schema() -> RowSchema {
+        RowSchema::new(vec![
+            (Some("t".into()), "a".into()),
+            (Some("t".into()), "b".into()),
+            (Some("t".into()), "ship".into()),
+            (Some("t".into()), "d".into()),
+        ])
+    }
+
+    fn row() -> Vec<Value> {
+        vec![
+            Value::Int(10),
+            Value::Int(4),
+            Value::Str("AIR".into()),
+            Value::Date(date::parse_date("1995-09-17").unwrap()),
+        ]
+    }
+
+    fn eval_str(expr_sql: &str) -> Value {
+        // Parse by wrapping into a SELECT.
+        let q = parse_query(&format!("SELECT {expr_sql} FROM t")).unwrap();
+        let ctx = EvalContext::with_params(&[Value::Int(7)]);
+        eval(&q.projections[0].expr, &schema(), &row(), &ctx).unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(eval_str("a + b * 2"), Value::Int(18));
+        assert_eq!(eval_str("(a + b) * 2"), Value::Int(28));
+        assert_eq!(eval_str("a / b"), Value::Float(2.5));
+        assert_eq!(eval_str("a % b"), Value::Int(2));
+        assert_eq!(eval_str("-a + 3"), Value::Int(-7));
+    }
+
+    #[test]
+    fn comparisons_and_boolean_logic() {
+        assert_eq!(eval_str("a > b"), Value::Int(1));
+        assert_eq!(eval_str("a = 10 AND b = 4"), Value::Int(1));
+        assert_eq!(eval_str("a < b OR b = 4"), Value::Int(1));
+        assert_eq!(eval_str("NOT (a = 10)"), Value::Int(0));
+        assert_eq!(eval_str("a BETWEEN 5 AND 15"), Value::Int(1));
+        assert_eq!(eval_str("a BETWEEN 11 AND 15"), Value::Int(0));
+    }
+
+    #[test]
+    fn null_propagation() {
+        assert_eq!(eval_str("NULL + 1"), Value::Null);
+        assert_eq!(eval_str("a > NULL"), Value::Null);
+        assert_eq!(eval_str("NULL IS NULL"), Value::Int(1));
+        assert_eq!(eval_str("a IS NOT NULL"), Value::Int(1));
+        // AND short-circuits on false even with NULL.
+        assert_eq!(eval_str("1 = 0 AND NULL"), Value::Int(0));
+    }
+
+    #[test]
+    fn strings_like_in_case() {
+        assert_eq!(eval_str("ship LIKE 'A%'"), Value::Int(1));
+        assert_eq!(eval_str("ship LIKE '%I_'"), Value::Int(1));
+        assert_eq!(eval_str("ship NOT LIKE 'R%'"), Value::Int(1));
+        assert_eq!(eval_str("ship IN ('AIR', 'RAIL')"), Value::Int(1));
+        assert_eq!(eval_str("ship IN ('TRUCK', 'RAIL')"), Value::Int(0));
+        assert_eq!(
+            eval_str("CASE WHEN ship = 'AIR' THEN 1 ELSE 2 END"),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_str("CASE ship WHEN 'RAIL' THEN 1 WHEN 'AIR' THEN 5 END"),
+            Value::Int(5)
+        );
+        assert_eq!(eval_str("substring(ship, 1, 2)"), Value::Str("AI".into()));
+    }
+
+    #[test]
+    fn date_arithmetic_and_extract() {
+        assert_eq!(eval_str("EXTRACT(YEAR FROM d)"), Value::Int(1995));
+        assert_eq!(eval_str("EXTRACT(MONTH FROM d)"), Value::Int(9));
+        assert_eq!(
+            eval_str("d < DATE '1996-01-01'"),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_str("d + INTERVAL '3' MONTH >= DATE '1995-12-17'"),
+            Value::Int(1)
+        );
+        assert_eq!(
+            eval_str("DATE '1995-09-20' - 3"),
+            Value::Date(date::parse_date("1995-09-17").unwrap())
+        );
+    }
+
+    #[test]
+    fn params_resolve() {
+        assert_eq!(eval_str(":1 + 1"), Value::Int(8));
+    }
+
+    #[test]
+    fn like_matcher_edge_cases() {
+        assert!(like_match("", ""));
+        assert!(like_match("", "%"));
+        assert!(!like_match("", "_"));
+        assert!(like_match("promo burnished", "%promo%"));
+        assert!(!like_match("standard", "%promo%"));
+        assert!(like_match("MEDIUM POLISHED BRASS", "MEDIUM POLISHED%"));
+    }
+
+    #[test]
+    fn hex_helpers() {
+        assert_eq!(decode_hex("00ff10"), Some(vec![0, 255, 16]));
+        assert_eq!(decode_hex("xyz"), None);
+        assert_eq!(encode_hex(&[0, 255, 16]), "00ff10");
+    }
+}

@@ -1,0 +1,210 @@
+//! Table schemas and the catalog of the analytical engine.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Logical column types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    Int,
+    Float,
+    Str,
+    Date,
+    Bytes,
+}
+
+impl ColumnType {
+    /// Approximate fixed width for the cost model, in bytes (strings and byte
+    /// columns use per-value sizes from the data instead).
+    pub fn nominal_width(&self) -> usize {
+        match self {
+            ColumnType::Int => 8,
+            ColumnType::Float => 8,
+            ColumnType::Date => 4,
+            ColumnType::Str => 16,
+            ColumnType::Bytes => 16,
+        }
+    }
+}
+
+/// A column definition.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: ColumnType,
+}
+
+impl ColumnDef {
+    /// Creates a column definition.
+    pub fn new(name: impl Into<String>, ty: ColumnType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// A table schema.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    /// Creates a schema.
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
+        TableSchema {
+            name: name.into(),
+            columns,
+        }
+    }
+
+    /// Index of a column by name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Column definition by name.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.column_index(name).map(|i| &self.columns[i])
+    }
+
+    /// Column names in declaration order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Validates a row against the schema (arity and rough type check).
+    pub fn check_row(&self, row: &[Value]) -> Result<(), String> {
+        if row.len() != self.columns.len() {
+            return Err(format!(
+                "row has {} values but table {} has {} columns",
+                row.len(),
+                self.name,
+                self.columns.len()
+            ));
+        }
+        for (v, c) in row.iter().zip(&self.columns) {
+            let ok = match (v, c.ty) {
+                (Value::Null, _) => true,
+                (Value::Int(_), ColumnType::Int) => true,
+                (Value::Float(_), ColumnType::Float) => true,
+                (Value::Int(_), ColumnType::Float) => true,
+                (Value::Str(_), ColumnType::Str) => true,
+                (Value::Date(_), ColumnType::Date) => true,
+                (Value::Int(_), ColumnType::Date) => true,
+                (Value::Bytes(_), ColumnType::Bytes) => true,
+                (Value::List(_), ColumnType::Bytes) => true,
+                _ => false,
+            };
+            if !ok {
+                return Err(format!(
+                    "value {v:?} does not match column {}.{} of type {:?}",
+                    self.name, c.name, c.ty
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The set of table schemas known to a database.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Catalog {
+    tables: BTreeMap<String, TableSchema>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a table schema, replacing any previous definition.
+    pub fn register(&mut self, schema: TableSchema) {
+        self.tables.insert(schema.name.to_lowercase(), schema);
+    }
+
+    /// Looks up a schema by case-insensitive name.
+    pub fn get(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.get(&name.to_lowercase())
+    }
+
+    /// All schemas.
+    pub fn tables(&self) -> impl Iterator<Item = &TableSchema> {
+        self.tables.values()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn orders_schema() -> TableSchema {
+        TableSchema::new(
+            "orders",
+            vec![
+                ColumnDef::new("o_orderkey", ColumnType::Int),
+                ColumnDef::new("o_custkey", ColumnType::Int),
+                ColumnDef::new("o_totalprice", ColumnType::Int),
+                ColumnDef::new("o_orderdate", ColumnType::Date),
+                ColumnDef::new("o_comment", ColumnType::Str),
+            ],
+        )
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let s = orders_schema();
+        assert_eq!(s.column_index("O_ORDERKEY"), Some(0));
+        assert_eq!(s.column("o_comment").unwrap().ty, ColumnType::Str);
+        assert!(s.column_index("missing").is_none());
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = orders_schema();
+        let good = vec![
+            Value::Int(1),
+            Value::Int(7),
+            Value::Int(1000),
+            Value::Date(9000),
+            Value::Str("fast".into()),
+        ];
+        assert!(s.check_row(&good).is_ok());
+        let bad_arity = vec![Value::Int(1)];
+        assert!(s.check_row(&bad_arity).is_err());
+        let bad_type = vec![
+            Value::Str("x".into()),
+            Value::Int(7),
+            Value::Int(1000),
+            Value::Date(9000),
+            Value::Str("fast".into()),
+        ];
+        assert!(s.check_row(&bad_type).is_err());
+    }
+
+    #[test]
+    fn catalog_register_and_lookup() {
+        let mut cat = Catalog::new();
+        assert!(cat.is_empty());
+        cat.register(orders_schema());
+        assert_eq!(cat.len(), 1);
+        assert!(cat.get("ORDERS").is_some());
+        assert!(cat.get("lineitem").is_none());
+    }
+}

@@ -1,0 +1,425 @@
+//! Table statistics and a Postgres-flavoured cost estimator.
+//!
+//! MONOMI's planner asks the server's optimizer for cost estimates of candidate
+//! server-side queries (§6.4 of the paper). This module is the stand-in: it
+//! keeps per-table statistics (row counts, byte widths, distinct counts,
+//! min/max) and produces an estimated execution cost, result cardinality, and
+//! result width for a query AST, using the same shape of formulas Postgres
+//! uses (sequential page cost + per-tuple CPU cost, multiplicative predicate
+//! selectivities, distinct-count-capped group cardinalities).
+
+use crate::database::Database;
+use crate::value::Value;
+use monomi_sql::ast::*;
+use std::collections::HashMap;
+
+/// Cost-model constants, loosely mirroring Postgres defaults.
+pub const SEQ_PAGE_COST: f64 = 1.0;
+pub const CPU_TUPLE_COST: f64 = 0.01;
+pub const CPU_OPERATOR_COST: f64 = 0.0025;
+pub const PAGE_BYTES: f64 = 8192.0;
+
+/// Statistics for one column.
+#[derive(Clone, Debug)]
+pub struct ColumnStats {
+    pub distinct: usize,
+    pub avg_width: usize,
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+}
+
+/// Statistics for one table.
+#[derive(Clone, Debug, Default)]
+pub struct TableStats {
+    pub rows: usize,
+    pub bytes: usize,
+    pub columns: HashMap<String, ColumnStats>,
+}
+
+/// Estimated execution characteristics of a query at the server.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QueryEstimate {
+    /// Abstract server cost units (comparable across candidate plans).
+    pub server_cost: f64,
+    /// Estimated number of result rows.
+    pub result_rows: f64,
+    /// Estimated size of one result row in bytes.
+    pub result_row_bytes: f64,
+}
+
+impl QueryEstimate {
+    /// Estimated total result size in bytes.
+    pub fn result_bytes(&self) -> f64 {
+        self.result_rows * self.result_row_bytes
+    }
+}
+
+/// Collects statistics for every table in the database.
+pub fn collect_stats(db: &Database) -> HashMap<String, TableStats> {
+    let mut out = HashMap::new();
+    for name in db.table_names() {
+        let table = db.table(&name).expect("table listed but missing");
+        let mut columns = HashMap::new();
+        for (idx, col) in table.schema().columns.iter().enumerate() {
+            let bytes = table.column_size_bytes(idx);
+            let rows = table.row_count().max(1);
+            let (min, max) = table
+                .min_max(idx)
+                .map(|(a, b)| (Some(a), Some(b)))
+                .unwrap_or((None, None));
+            columns.insert(
+                col.name.to_lowercase(),
+                ColumnStats {
+                    distinct: table.distinct_count(idx).max(1),
+                    avg_width: (bytes / rows).max(1),
+                    min,
+                    max,
+                },
+            );
+        }
+        out.insert(
+            name.clone(),
+            TableStats {
+                rows: table.row_count(),
+                bytes: table.size_bytes(),
+                columns,
+            },
+        );
+    }
+    out
+}
+
+/// Cost estimator over previously collected statistics.
+pub struct Estimator<'a> {
+    stats: &'a HashMap<String, TableStats>,
+}
+
+impl<'a> Estimator<'a> {
+    /// Creates an estimator.
+    pub fn new(stats: &'a HashMap<String, TableStats>) -> Self {
+        Estimator { stats }
+    }
+
+    /// Estimates the server cost and output shape of a query.
+    pub fn estimate(&self, query: &Query) -> QueryEstimate {
+        // Input side: scan every base relation (and derived tables).
+        let mut scan_cost = 0.0;
+        let mut input_rows: f64 = 1.0;
+        let mut max_rows: f64 = 0.0;
+        let mut column_width: HashMap<String, usize> = HashMap::new();
+        let mut column_distinct: HashMap<String, usize> = HashMap::new();
+
+        for table_ref in &query.from {
+            match table_ref {
+                TableRef::Table { name, .. } => {
+                    if let Some(ts) = self.stats.get(&name.to_lowercase()) {
+                        scan_cost += (ts.bytes as f64 / PAGE_BYTES) * SEQ_PAGE_COST
+                            + ts.rows as f64 * CPU_TUPLE_COST;
+                        max_rows = max_rows.max(ts.rows as f64);
+                        input_rows = input_rows.max(ts.rows as f64);
+                        for (cname, cs) in &ts.columns {
+                            column_width.insert(cname.clone(), cs.avg_width);
+                            column_distinct.insert(cname.clone(), cs.distinct);
+                        }
+                    }
+                }
+                TableRef::Subquery { query: sub, alias } => {
+                    let inner = self.estimate(sub);
+                    scan_cost += inner.server_cost;
+                    max_rows = max_rows.max(inner.result_rows);
+                    input_rows = input_rows.max(inner.result_rows);
+                    for (i, p) in sub.projections.iter().enumerate() {
+                        column_width.insert(
+                            format!("{}.{}", alias, p.output_name(i)).to_lowercase(),
+                            (inner.result_row_bytes / sub.projections.len().max(1) as f64) as usize,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Joins: assume key/foreign-key joins, so the output cardinality tracks
+        // the largest relation rather than the Cartesian product.
+        let join_count = query.from.len().saturating_sub(1) as f64;
+        let joined_rows = max_rows.max(1.0);
+        scan_cost += join_count * joined_rows * CPU_OPERATOR_COST * 2.0;
+
+        // WHERE selectivity.
+        let selectivity = query
+            .where_clause
+            .as_ref()
+            .map(|w| self.predicate_selectivity(w, &column_distinct))
+            .unwrap_or(1.0);
+        let filtered_rows = (joined_rows * selectivity).max(1.0);
+
+        // Aggregation.
+        let (result_rows, agg_cost) = if query.is_aggregate_query() {
+            let groups = if query.group_by.is_empty() {
+                1.0
+            } else {
+                let mut g = 1.0f64;
+                for key in &query.group_by {
+                    let d = key
+                        .column_refs()
+                        .first()
+                        .and_then(|c| column_distinct.get(&c.column.to_lowercase()))
+                        .copied()
+                        .unwrap_or(10);
+                    g *= d as f64;
+                }
+                g.min(filtered_rows)
+            };
+            (groups, filtered_rows * CPU_OPERATOR_COST)
+        } else {
+            (filtered_rows, 0.0)
+        };
+
+        // HAVING halves the groups by default.
+        let result_rows = if query.having.is_some() {
+            (result_rows * 0.5).max(1.0)
+        } else {
+            result_rows
+        };
+
+        // Sorting cost (n log n over the rows feeding the sort).
+        let sort_cost = if query.order_by.is_empty() {
+            0.0
+        } else {
+            let n = result_rows.max(2.0);
+            n * n.log2() * CPU_OPERATOR_COST
+        };
+
+        // Output row width.
+        let rows_per_group = (filtered_rows / result_rows).max(1.0);
+        let mut row_bytes = 0.0;
+        for p in &query.projections {
+            row_bytes += self.projection_width(&p.expr, &column_width, rows_per_group);
+        }
+        let result_rows = match query.limit {
+            Some(l) => result_rows.min(l as f64),
+            None => result_rows,
+        };
+
+        QueryEstimate {
+            server_cost: scan_cost + agg_cost + sort_cost,
+            result_rows,
+            result_row_bytes: row_bytes.max(1.0),
+        }
+    }
+
+    fn projection_width(
+        &self,
+        expr: &Expr,
+        widths: &HashMap<String, usize>,
+        rows_per_group: f64,
+    ) -> f64 {
+        match expr {
+            // The group_concat UDF ships every value of the group to the client.
+            Expr::Function { name, args } if name == "group_concat" => {
+                let inner = args
+                    .first()
+                    .map(|a| self.projection_width(a, widths, 1.0))
+                    .unwrap_or(8.0);
+                inner * rows_per_group
+            }
+            Expr::Function { name, args } if name == "paillier_sum" => args
+                .first()
+                .map(|a| self.projection_width(a, widths, 1.0))
+                .unwrap_or(256.0),
+            Expr::Column(c) => *widths
+                .get(&c.column.to_lowercase())
+                .or_else(|| widths.get(&format!("{}.{}", c.table.clone().unwrap_or_default(), c.column).to_lowercase()))
+                .unwrap_or(&8) as f64,
+            Expr::Aggregate { arg, .. } => arg
+                .as_ref()
+                .map(|a| self.projection_width(a, widths, 1.0))
+                .unwrap_or(8.0)
+                .max(8.0),
+            Expr::BinaryOp { left, right, .. } => self
+                .projection_width(left, widths, rows_per_group)
+                .max(self.projection_width(right, widths, rows_per_group)),
+            Expr::Case {
+                when_then,
+                else_expr,
+                ..
+            } => {
+                let mut w: f64 = 8.0;
+                for (_, t) in when_then {
+                    w = w.max(self.projection_width(t, widths, rows_per_group));
+                }
+                if let Some(e) = else_expr {
+                    w = w.max(self.projection_width(e, widths, rows_per_group));
+                }
+                w
+            }
+            _ => 8.0,
+        }
+    }
+
+    fn predicate_selectivity(&self, expr: &Expr, distinct: &HashMap<String, usize>) -> f64 {
+        match expr {
+            Expr::BinaryOp {
+                left,
+                op: BinaryOp::And,
+                right,
+            } => {
+                self.predicate_selectivity(left, distinct)
+                    * self.predicate_selectivity(right, distinct)
+            }
+            Expr::BinaryOp {
+                left,
+                op: BinaryOp::Or,
+                right,
+            } => {
+                let a = self.predicate_selectivity(left, distinct);
+                let b = self.predicate_selectivity(right, distinct);
+                (a + b - a * b).min(1.0)
+            }
+            Expr::BinaryOp { left, op, right } if op.is_comparison() => {
+                // Join predicates (column = column) do not reduce cardinality
+                // under the FK-join assumption.
+                let lcols = left.column_refs();
+                let rcols = right.column_refs();
+                if !lcols.is_empty() && !rcols.is_empty() {
+                    return 1.0;
+                }
+                match op {
+                    BinaryOp::Eq => {
+                        let d = lcols
+                            .first()
+                            .or_else(|| rcols.first())
+                            .and_then(|c| distinct.get(&c.column.to_lowercase()))
+                            .copied()
+                            .unwrap_or(20);
+                        1.0 / d as f64
+                    }
+                    BinaryOp::NotEq => 0.9,
+                    _ => 0.33,
+                }
+            }
+            Expr::Between { .. } => 0.2,
+            Expr::Like { negated, .. } => {
+                if *negated {
+                    0.9
+                } else {
+                    0.1
+                }
+            }
+            Expr::InList { list, expr, .. } => {
+                let d = expr
+                    .column_refs()
+                    .first()
+                    .and_then(|c| distinct.get(&c.column.to_lowercase()))
+                    .copied()
+                    .unwrap_or(20);
+                (list.len() as f64 / d as f64).min(1.0)
+            }
+            Expr::InSubquery { .. } | Expr::Exists { .. } => 0.5,
+            Expr::IsNull { negated, .. } => {
+                if *negated {
+                    0.95
+                } else {
+                    0.05
+                }
+            }
+            Expr::UnaryOp {
+                op: UnaryOp::Not,
+                expr,
+            } => 1.0 - self.predicate_selectivity(expr, distinct),
+            Expr::Function { name, .. } if name == "search_match" => 0.1,
+            _ => 0.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::schema::{ColumnDef, ColumnType, TableSchema};
+    use monomi_sql::parse_query;
+
+    fn db_with_data() -> Database {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "items",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("category", ColumnType::Str),
+                ColumnDef::new("price", ColumnType::Int),
+            ],
+        ));
+        for i in 0..1000i64 {
+            db.insert(
+                "items",
+                vec![
+                    Value::Int(i),
+                    Value::Str(format!("cat{}", i % 10)),
+                    Value::Int(i * 3),
+                ],
+            )
+            .unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn scan_cost_scales_with_table_size() {
+        let db = db_with_data();
+        let stats = collect_stats(&db);
+        let est = Estimator::new(&stats);
+        let full = est.estimate(&parse_query("SELECT id FROM items").unwrap());
+        assert!(full.server_cost > 0.0);
+        assert!((full.result_rows - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn equality_filter_reduces_cardinality() {
+        let db = db_with_data();
+        let stats = collect_stats(&db);
+        let est = Estimator::new(&stats);
+        let all = est.estimate(&parse_query("SELECT id FROM items").unwrap());
+        let filtered = est.estimate(
+            &parse_query("SELECT id FROM items WHERE category = 'cat3'").unwrap(),
+        );
+        assert!(filtered.result_rows < all.result_rows / 5.0);
+    }
+
+    #[test]
+    fn group_by_caps_at_distinct_count() {
+        let db = db_with_data();
+        let stats = collect_stats(&db);
+        let est = Estimator::new(&stats);
+        let grouped = est.estimate(
+            &parse_query("SELECT category, SUM(price) FROM items GROUP BY category").unwrap(),
+        );
+        assert!((grouped.result_rows - 10.0).abs() < 1.0);
+        let global = est.estimate(&parse_query("SELECT SUM(price) FROM items").unwrap());
+        assert!((global.result_rows - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn group_concat_width_reflects_group_size() {
+        let db = db_with_data();
+        let stats = collect_stats(&db);
+        let est = Estimator::new(&stats);
+        let concat = est.estimate(
+            &parse_query("SELECT category, group_concat(price) FROM items GROUP BY category")
+                .unwrap(),
+        );
+        let plain = est.estimate(
+            &parse_query("SELECT category, SUM(price) FROM items GROUP BY category").unwrap(),
+        );
+        assert!(concat.result_row_bytes > plain.result_row_bytes * 10.0);
+    }
+
+    #[test]
+    fn limit_caps_result_rows() {
+        let db = db_with_data();
+        let stats = collect_stats(&db);
+        let est = Estimator::new(&stats);
+        let limited =
+            est.estimate(&parse_query("SELECT id FROM items ORDER BY id LIMIT 20").unwrap());
+        assert!((limited.result_rows - 20.0).abs() < f64::EPSILON);
+    }
+}

@@ -1,0 +1,181 @@
+//! Columnar table storage with byte-size accounting.
+//!
+//! Tables are stored column-major (`Vec<Value>` per column). The engine is an
+//! in-memory stand-in for the paper's Postgres server, so "disk size" is the
+//! sum of the stored values' serialized sizes; that number drives both the
+//! space-overhead experiments (Table 2) and the sequential-scan component of
+//! the cost model.
+
+use crate::schema::TableSchema;
+use crate::value::Value;
+
+/// A columnar table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    schema: TableSchema,
+    columns: Vec<Vec<Value>>,
+    row_count: usize,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn new(schema: TableSchema) -> Self {
+        let columns = vec![Vec::new(); schema.columns.len()];
+        Table {
+            schema,
+            columns,
+            row_count: 0,
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Appends a row after validating it against the schema.
+    pub fn insert(&mut self, row: Vec<Value>) -> Result<(), String> {
+        self.schema.check_row(&row)?;
+        for (col, v) in self.columns.iter_mut().zip(row) {
+            col.push(v);
+        }
+        self.row_count += 1;
+        Ok(())
+    }
+
+    /// Bulk-loads rows; stops at the first invalid row.
+    pub fn bulk_load(&mut self, rows: Vec<Vec<Value>>) -> Result<(), String> {
+        for (col, _) in self.columns.iter_mut().zip(self.schema.columns.iter()) {
+            col.reserve(rows.len());
+        }
+        for row in rows {
+            self.insert(row)?;
+        }
+        Ok(())
+    }
+
+    /// The value at `(row, column)`.
+    pub fn value(&self, row: usize, column: usize) -> &Value {
+        &self.columns[column][row]
+    }
+
+    /// A whole column.
+    pub fn column(&self, column: usize) -> &[Value] {
+        &self.columns[column]
+    }
+
+    /// Materializes one row.
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c[row].clone()).collect()
+    }
+
+    /// Total stored bytes across all columns.
+    pub fn size_bytes(&self) -> usize {
+        self.columns
+            .iter()
+            .map(|c| c.iter().map(Value::size_bytes).sum::<usize>())
+            .sum()
+    }
+
+    /// Stored bytes of a single column.
+    pub fn column_size_bytes(&self, column: usize) -> usize {
+        self.columns[column].iter().map(Value::size_bytes).sum()
+    }
+
+    /// Average row width in bytes (0 for an empty table).
+    pub fn avg_row_bytes(&self) -> usize {
+        if self.row_count == 0 {
+            0
+        } else {
+            self.size_bytes() / self.row_count
+        }
+    }
+
+    /// Number of distinct values in a column (exact; used by the statistics
+    /// collector on the sample the designer is given).
+    pub fn distinct_count(&self, column: usize) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for v in &self.columns[column] {
+            set.insert(v.clone());
+        }
+        set.len()
+    }
+
+    /// Minimum and maximum of a column, ignoring NULLs.
+    pub fn min_max(&self, column: usize) -> Option<(Value, Value)> {
+        let mut min: Option<&Value> = None;
+        let mut max: Option<&Value> = None;
+        for v in &self.columns[column] {
+            if v.is_null() {
+                continue;
+            }
+            if min.map_or(true, |m| v < m) {
+                min = Some(v);
+            }
+            if max.map_or(true, |m| v > m) {
+                max = Some(v);
+            }
+        }
+        Some((min?.clone(), max?.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, ColumnType};
+
+    fn small_table() -> Table {
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("name", ColumnType::Str),
+            ],
+        );
+        let mut t = Table::new(schema);
+        t.bulk_load(vec![
+            vec![Value::Int(1), Value::Str("alpha".into())],
+            vec![Value::Int(2), Value::Str("beta".into())],
+            vec![Value::Int(3), Value::Str("alpha".into())],
+        ])
+        .unwrap();
+        t
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let t = small_table();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.value(1, 1), &Value::Str("beta".into()));
+        assert_eq!(t.row(2), vec![Value::Int(3), Value::Str("alpha".into())]);
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        let mut t = small_table();
+        assert!(t.insert(vec![Value::Int(4)]).is_err());
+        assert!(t
+            .insert(vec![Value::Str("oops".into()), Value::Str("x".into())])
+            .is_err());
+        assert_eq!(t.row_count(), 3);
+    }
+
+    #[test]
+    fn size_accounting_and_stats() {
+        let t = small_table();
+        // 3 ints (8 bytes each) + "alpha","beta","alpha" (+1 each).
+        assert_eq!(t.size_bytes(), 24 + 6 + 5 + 6);
+        assert_eq!(t.column_size_bytes(0), 24);
+        assert_eq!(t.distinct_count(1), 2);
+        let (min, max) = t.min_max(0).unwrap();
+        assert_eq!(min, Value::Int(1));
+        assert_eq!(max, Value::Int(3));
+        assert!(t.avg_row_bytes() > 0);
+    }
+}

@@ -1,0 +1,391 @@
+//! Runtime values flowing through the execution engine.
+//!
+//! The engine stores and processes both plaintext values (integers, strings,
+//! dates) and ciphertext values (fixed-width byte strings produced by the
+//! encryption schemes in `monomi-crypto`). Ciphertexts are ordinary [`Value`]s
+//! to the engine — the server never interprets them beyond equality and byte
+//! ordering, which is exactly what DET and OPE ciphertexts support.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single cell value.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// 64-bit signed integer (also used for DET ciphertexts of integers).
+    Int(i64),
+    /// Double-precision float (used for computed averages and ratios).
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Date as days since 1970-01-01 (can be negative).
+    Date(i32),
+    /// Raw bytes: RND/DET string ciphertexts, OPE ciphertexts (16-byte
+    /// big-endian), Paillier ciphertexts, SEARCH token sets.
+    Bytes(Vec<u8>),
+    /// An ordered list of values, produced by the `group_concat` aggregate the
+    /// split-execution client uses to fetch whole groups.
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// True iff NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Integer view (casts floats, parses nothing else).
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::Date(d) => Some(*d as i64),
+            Value::Float(f) => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Float view of numeric values.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Float(f) => Some(*f),
+            Value::Date(d) => Some(*d as f64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Byte view.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Approximate storage footprint in bytes, used for space accounting
+    /// (Table 2 of the paper) and the I/O cost model.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Value::Null => 1,
+            Value::Int(_) => 8,
+            Value::Float(_) => 8,
+            Value::Str(s) => s.len() + 1,
+            Value::Date(_) => 4,
+            Value::Bytes(b) => b.len(),
+            Value::List(vs) => vs.iter().map(Value::size_bytes).sum::<usize>() + 8,
+        }
+    }
+
+    /// SQL three-valued-logic truthiness: NULL propagates as `None`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Null => None,
+            Value::Int(v) => Some(*v != 0),
+            Value::Float(f) => Some(*f != 0.0),
+            _ => None,
+        }
+    }
+
+    /// Total ordering used by ORDER BY, MIN/MAX, and comparison predicates.
+    /// NULLs sort first; numeric types compare numerically across Int/Float/
+    /// Date; bytes compare lexicographically (which matches numeric order for
+    /// fixed-width big-endian OPE ciphertexts).
+    pub fn compare(&self, other: &Value) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Less,
+            (_, Null) => Ordering::Greater,
+            (Int(a), Int(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bytes(a), Bytes(b)) => a.cmp(b),
+            (List(a), List(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    match x.compare(y) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            // Mixed numerics via f64.
+            (a, b) => match (a.as_float(), b.as_float()) {
+                (Some(x), Some(y)) => x.total_cmp(&y),
+                _ => format!("{a:?}").cmp(&format!("{b:?}")),
+            },
+        }
+    }
+
+    /// Equality following the same coercion rules as [`compare`](Self::compare).
+    pub fn equals(&self, other: &Value) -> bool {
+        self.compare(other) == Ordering::Equal
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.equals(other)
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.compare(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.compare(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Int(v) => {
+                1u8.hash(state);
+                v.hash(state);
+            }
+            Value::Float(f) => {
+                // Hash the bit pattern of the canonical float; equal Int/Float
+                // values that compare equal may hash differently, so group keys
+                // should not mix types for the same column (they do not: a
+                // column has a single type).
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                3u8.hash(state);
+                s.hash(state);
+            }
+            Value::Date(d) => {
+                4u8.hash(state);
+                d.hash(state);
+            }
+            Value::Bytes(b) => {
+                5u8.hash(state);
+                b.hash(state);
+            }
+            Value::List(vs) => {
+                6u8.hash(state);
+                for v in vs {
+                    v.hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v:.4}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Date(d) => write!(f, "{}", date::format_date(*d)),
+            Value::Bytes(b) => {
+                write!(f, "0x")?;
+                for byte in b.iter().take(8) {
+                    write!(f, "{byte:02x}")?;
+                }
+                if b.len() > 8 {
+                    write!(f, "…({}B)", b.len())?;
+                }
+                Ok(())
+            }
+            Value::List(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+/// Date helpers: conversion between `YYYY-MM-DD` strings and days since the
+/// Unix epoch, plus calendar arithmetic for INTERVAL handling.
+pub mod date {
+    /// Days in each month of a non-leap year.
+    const DAYS_IN_MONTH: [i32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+    fn is_leap(year: i32) -> bool {
+        (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
+    }
+
+    fn days_in_month(year: i32, month: i32) -> i32 {
+        if month == 2 && is_leap(year) {
+            29
+        } else {
+            DAYS_IN_MONTH[(month - 1) as usize]
+        }
+    }
+
+    /// Converts `(year, month, day)` to days since 1970-01-01.
+    pub fn ymd_to_days(year: i32, month: i32, day: i32) -> i32 {
+        let mut days: i64 = 0;
+        if year >= 1970 {
+            for y in 1970..year {
+                days += if is_leap(y) { 366 } else { 365 };
+            }
+        } else {
+            for y in year..1970 {
+                days -= if is_leap(y) { 366 } else { 365 };
+            }
+        }
+        for m in 1..month {
+            days += days_in_month(year, m) as i64;
+        }
+        days += (day - 1) as i64;
+        days as i32
+    }
+
+    /// Converts days since 1970-01-01 back to `(year, month, day)`.
+    pub fn days_to_ymd(days: i32) -> (i32, i32, i32) {
+        let mut remaining = days as i64;
+        let mut year = 1970;
+        loop {
+            let year_days = if is_leap(year) { 366 } else { 365 } as i64;
+            if remaining >= year_days {
+                remaining -= year_days;
+                year += 1;
+            } else if remaining < 0 {
+                year -= 1;
+                remaining += if is_leap(year) { 366 } else { 365 } as i64;
+            } else {
+                break;
+            }
+        }
+        let mut month = 1;
+        while remaining >= days_in_month(year, month) as i64 {
+            remaining -= days_in_month(year, month) as i64;
+            month += 1;
+        }
+        (year, month, remaining as i32 + 1)
+    }
+
+    /// Parses `YYYY-MM-DD` into days since the epoch.
+    pub fn parse_date(s: &str) -> Option<i32> {
+        let mut parts = s.split('-');
+        let year: i32 = parts.next()?.parse().ok()?;
+        let month: i32 = parts.next()?.parse().ok()?;
+        let day: i32 = parts.next()?.parse().ok()?;
+        if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+            return None;
+        }
+        Some(ymd_to_days(year, month, day))
+    }
+
+    /// Formats days since the epoch as `YYYY-MM-DD`.
+    pub fn format_date(days: i32) -> String {
+        let (y, m, d) = days_to_ymd(days);
+        format!("{y:04}-{m:02}-{d:02}")
+    }
+
+    /// Adds calendar months to a date, clamping the day to the target month.
+    pub fn add_months(days: i32, months: i32) -> i32 {
+        let (y, m, d) = days_to_ymd(days);
+        let total = (y * 12 + (m - 1)) + months;
+        let ny = total.div_euclid(12);
+        let nm = total.rem_euclid(12) + 1;
+        let nd = d.min(days_in_month(ny, nm));
+        ymd_to_days(ny, nm, nd)
+    }
+
+    /// The year component of a date.
+    pub fn year_of(days: i32) -> i32 {
+        days_to_ymd(days).0
+    }
+
+    /// The month component of a date.
+    pub fn month_of(days: i32) -> i32 {
+        days_to_ymd(days).1
+    }
+
+    /// The day-of-month component of a date.
+    pub fn day_of(days: i32) -> i32 {
+        days_to_ymd(days).2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::date::*;
+    use super::*;
+
+    #[test]
+    fn date_roundtrip_known_values() {
+        assert_eq!(parse_date("1970-01-01"), Some(0));
+        assert_eq!(parse_date("1970-01-02"), Some(1));
+        assert_eq!(parse_date("1971-01-01"), Some(365));
+        assert_eq!(parse_date("1996-02-29"), Some(ymd_to_days(1996, 2, 29)));
+        for s in ["1992-01-01", "1995-09-17", "1998-12-31", "2000-02-29", "1969-12-31", "1965-03-07"] {
+            let d = parse_date(s).unwrap();
+            assert_eq!(format_date(d), s, "roundtrip {s}");
+        }
+    }
+
+    #[test]
+    fn date_arithmetic() {
+        let d = parse_date("1994-01-01").unwrap();
+        assert_eq!(format_date(add_months(d, 3)), "1994-04-01");
+        assert_eq!(format_date(add_months(d, 12)), "1995-01-01");
+        assert_eq!(format_date(add_months(parse_date("1995-01-31").unwrap(), 1)), "1995-02-28");
+        assert_eq!(year_of(d), 1994);
+        assert_eq!(month_of(parse_date("1995-09-17").unwrap()), 9);
+        assert_eq!(day_of(parse_date("1995-09-17").unwrap()), 17);
+    }
+
+    #[test]
+    fn value_ordering_and_nulls() {
+        assert!(Value::Null < Value::Int(i64::MIN));
+        assert!(Value::Int(3) < Value::Int(5));
+        assert!(Value::Float(2.5) < Value::Int(3));
+        assert!(Value::Str("AIR".into()) < Value::Str("RAIL".into()));
+        assert!(Value::Date(100) < Value::Date(200));
+        assert!(Value::Bytes(vec![0, 1]) < Value::Bytes(vec![0, 2]));
+    }
+
+    #[test]
+    fn value_equality_coerces_numerics() {
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        assert_ne!(Value::Int(3), Value::Float(3.5));
+        assert!(!Value::Null.equals(&Value::Int(0)));
+    }
+
+    #[test]
+    fn size_accounting() {
+        assert_eq!(Value::Int(7).size_bytes(), 8);
+        assert_eq!(Value::Str("abc".into()).size_bytes(), 4);
+        assert_eq!(Value::Bytes(vec![0u8; 256]).size_bytes(), 256);
+    }
+
+    #[test]
+    fn bytes_ordering_matches_big_endian_numeric() {
+        // OPE ciphertexts are stored big-endian: byte order must equal numeric order.
+        let a = 12345u128.to_be_bytes().to_vec();
+        let b = 12346u128.to_be_bytes().to_vec();
+        assert!(Value::Bytes(a) < Value::Bytes(b));
+    }
+}

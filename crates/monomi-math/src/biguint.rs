@@ -1,0 +1,649 @@
+//! Dynamically sized unsigned big integers stored as little-endian `u64` limbs.
+//!
+//! The representation invariant is that `limbs` never has trailing zero limbs;
+//! zero is represented by an empty limb vector. All public constructors and
+//! arithmetic operations maintain this invariant.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+///
+/// Limbs are stored little-endian (least significant limb first). The value
+/// zero is the empty limb vector.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BigUint {
+    pub(crate) limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// The value zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// The value one.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// Builds a value from a single `u64`.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// Builds a value from a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut out = BigUint { limbs: vec![lo, hi] };
+        out.normalize();
+        out
+    }
+
+    /// Builds a value from little-endian limbs, normalizing trailing zeros.
+    pub fn from_limbs(limbs: Vec<u64>) -> Self {
+        let mut out = BigUint { limbs };
+        out.normalize();
+        out
+    }
+
+    /// Builds a value from big-endian bytes.
+    pub fn from_bytes_be(bytes: &[u8]) -> Self {
+        let mut limbs = Vec::with_capacity((bytes.len() + 7) / 8);
+        let mut acc: u64 = 0;
+        let mut shift = 0u32;
+        for &b in bytes.iter().rev() {
+            acc |= (b as u64) << shift;
+            shift += 8;
+            if shift == 64 {
+                limbs.push(acc);
+                acc = 0;
+                shift = 0;
+            }
+        }
+        if shift > 0 {
+            limbs.push(acc);
+        }
+        Self::from_limbs(limbs)
+    }
+
+    /// Serializes to big-endian bytes with no leading zero bytes (empty for zero).
+    pub fn to_bytes_be(&self) -> Vec<u8> {
+        if self.is_zero() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() * 8);
+        for (i, &limb) in self.limbs.iter().enumerate().rev() {
+            let bytes = limb.to_be_bytes();
+            if i == self.limbs.len() - 1 {
+                // Skip leading zeros of the most significant limb.
+                let mut started = false;
+                for &b in &bytes {
+                    if b != 0 || started {
+                        started = true;
+                        out.push(b);
+                    }
+                }
+            } else {
+                out.extend_from_slice(&bytes);
+            }
+        }
+        out
+    }
+
+    /// Serializes to a fixed-width big-endian byte array, left-padded with zeros.
+    ///
+    /// Panics if the value does not fit in `width` bytes.
+    pub fn to_bytes_be_padded(&self, width: usize) -> Vec<u8> {
+        let raw = self.to_bytes_be();
+        assert!(
+            raw.len() <= width,
+            "value of {} bytes does not fit in {} bytes",
+            raw.len(),
+            width
+        );
+        let mut out = vec![0u8; width - raw.len()];
+        out.extend_from_slice(&raw);
+        out
+    }
+
+    /// Returns the value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Returns the value as `u128` if it fits.
+    pub fn to_u128(&self) -> Option<u128> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0] as u128),
+            2 => Some(self.limbs[0] as u128 | ((self.limbs[1] as u128) << 64)),
+            _ => None,
+        }
+    }
+
+    /// True iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// True iff the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs.len() == 1 && self.limbs[0] == 1
+    }
+
+    /// True iff the value is even.
+    pub fn is_even(&self) -> bool {
+        self.limbs.first().map_or(true, |l| l & 1 == 0)
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(&top) => (self.limbs.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Number of limbs in the normalized representation.
+    pub fn limb_count(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Returns bit `i` (little-endian indexing) as a boolean.
+    pub fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        let off = i % 64;
+        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+    }
+
+    pub(crate) fn normalize(&mut self) {
+        while self.limbs.last() == Some(&0) {
+            self.limbs.pop();
+        }
+    }
+
+    /// Comparison.
+    pub fn cmp_to(&self, other: &BigUint) -> Ordering {
+        if self.limbs.len() != other.limbs.len() {
+            return self.limbs.len().cmp(&other.limbs.len());
+        }
+        for i in (0..self.limbs.len()).rev() {
+            match self.limbs[i].cmp(&other.limbs[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Addition.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (longer, shorter) = if self.limbs.len() >= other.limbs.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = Vec::with_capacity(longer.limbs.len() + 1);
+        let mut carry = 0u64;
+        for i in 0..longer.limbs.len() {
+            let a = longer.limbs[i];
+            let b = shorter.limbs.get(i).copied().unwrap_or(0);
+            let (s1, c1) = a.overflowing_add(b);
+            let (s2, c2) = s1.overflowing_add(carry);
+            out.push(s2);
+            carry = (c1 as u64) + (c2 as u64);
+        }
+        if carry > 0 {
+            out.push(carry);
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Adds a small `u64`.
+    pub fn add_u64(&self, v: u64) -> BigUint {
+        self.add(&BigUint::from_u64(v))
+    }
+
+    /// Subtraction. Panics if `other > self`.
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(
+            self.cmp_to(other) != Ordering::Less,
+            "BigUint::sub underflow"
+        );
+        let mut out = Vec::with_capacity(self.limbs.len());
+        let mut borrow = 0u64;
+        for i in 0..self.limbs.len() {
+            let a = self.limbs[i];
+            let b = other.limbs.get(i).copied().unwrap_or(0);
+            let (d1, b1) = a.overflowing_sub(b);
+            let (d2, b2) = d1.overflowing_sub(borrow);
+            out.push(d2);
+            borrow = (b1 as u64) + (b2 as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        BigUint::from_limbs(out)
+    }
+
+    /// Subtracts a small `u64`. Panics on underflow.
+    pub fn sub_u64(&self, v: u64) -> BigUint {
+        self.sub(&BigUint::from_u64(v))
+    }
+
+    /// Schoolbook multiplication.
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return BigUint::zero();
+        }
+        let mut out = vec![0u64; self.limbs.len() + other.limbs.len()];
+        for (i, &a) in self.limbs.iter().enumerate() {
+            let mut carry: u128 = 0;
+            for (j, &b) in other.limbs.iter().enumerate() {
+                let cur = out[i + j] as u128 + (a as u128) * (b as u128) + carry;
+                out[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut k = i + other.limbs.len();
+            while carry > 0 {
+                let cur = out[k] as u128 + carry;
+                out[k] = cur as u64;
+                carry = cur >> 64;
+                k += 1;
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Multiplies by a small `u64`.
+    pub fn mul_u64(&self, v: u64) -> BigUint {
+        self.mul(&BigUint::from_u64(v))
+    }
+
+    /// Left shift by `bits` bits.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let limb_shift = bits / 64;
+        let bit_shift = bits % 64;
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &l in &self.limbs {
+                out.push((l << bit_shift) | carry);
+                carry = l >> (64 - bit_shift);
+            }
+            if carry > 0 {
+                out.push(carry);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Right shift by `bits` bits.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let limb_shift = bits / 64;
+        if limb_shift >= self.limbs.len() {
+            return BigUint::zero();
+        }
+        let bit_shift = bits % 64;
+        let mut out = Vec::with_capacity(self.limbs.len() - limb_shift);
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs[limb_shift..]);
+        } else {
+            let src = &self.limbs[limb_shift..];
+            for i in 0..src.len() {
+                let lo = src[i] >> bit_shift;
+                let hi = if i + 1 < src.len() {
+                    src[i + 1] << (64 - bit_shift)
+                } else {
+                    0
+                };
+                out.push(lo | hi);
+            }
+        }
+        BigUint::from_limbs(out)
+    }
+
+    /// Returns the low `bits` bits of the value.
+    pub fn low_bits(&self, bits: usize) -> BigUint {
+        if bits == 0 {
+            return BigUint::zero();
+        }
+        let full_limbs = bits / 64;
+        let rem_bits = bits % 64;
+        let mut limbs: Vec<u64> = self
+            .limbs
+            .iter()
+            .copied()
+            .take(full_limbs + if rem_bits > 0 { 1 } else { 0 })
+            .collect();
+        if rem_bits > 0 {
+            if let Some(last) = limbs.get_mut(full_limbs) {
+                *last &= (1u64 << rem_bits) - 1;
+            }
+        }
+        BigUint::from_limbs(limbs)
+    }
+
+    /// Division with remainder, returning `(quotient, remainder)`.
+    ///
+    /// Uses bit-at-a-time long division. This is not the hot path in MONOMI
+    /// (Montgomery arithmetic avoids division during modular exponentiation);
+    /// it is used for Montgomery context setup, Paillier decryption's `L`
+    /// function, and decimal formatting.
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
+        assert!(!divisor.is_zero(), "division by zero");
+        if self.cmp_to(divisor) == Ordering::Less {
+            return (BigUint::zero(), self.clone());
+        }
+        if divisor.limbs.len() == 1 {
+            let (q, r) = self.div_rem_u64(divisor.limbs[0]);
+            return (q, BigUint::from_u64(r));
+        }
+        let shift = self.bits() - divisor.bits();
+        let mut remainder = self.clone();
+        let mut quotient_limbs = vec![0u64; shift / 64 + 1];
+        let mut shifted = divisor.shl(shift);
+        let mut i = shift as isize;
+        while i >= 0 {
+            if remainder.cmp_to(&shifted) != Ordering::Less {
+                remainder = remainder.sub(&shifted);
+                quotient_limbs[(i as usize) / 64] |= 1u64 << ((i as usize) % 64);
+            }
+            shifted = shifted.shr(1);
+            i -= 1;
+        }
+        (BigUint::from_limbs(quotient_limbs), remainder)
+    }
+
+    /// Division by a `u64` divisor, returning `(quotient, remainder)`.
+    pub fn div_rem_u64(&self, divisor: u64) -> (BigUint, u64) {
+        assert!(divisor != 0, "division by zero");
+        let mut quotient = vec![0u64; self.limbs.len()];
+        let mut rem: u128 = 0;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            quotient[i] = (cur / divisor as u128) as u64;
+            rem = cur % divisor as u128;
+        }
+        (BigUint::from_limbs(quotient), rem as u64)
+    }
+
+    /// Computes `self mod modulus`.
+    pub fn rem(&self, modulus: &BigUint) -> BigUint {
+        self.div_rem(modulus).1
+    }
+
+    /// Modular addition: `(self + other) mod modulus`. Inputs must already be
+    /// reduced modulo `modulus`.
+    pub fn add_mod(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
+        let s = self.add(other);
+        if s.cmp_to(modulus) == Ordering::Less {
+            s
+        } else {
+            s.sub(modulus)
+        }
+    }
+
+    /// Modular subtraction: `(self - other) mod modulus`. Inputs must already
+    /// be reduced modulo `modulus`.
+    pub fn sub_mod(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
+        if self.cmp_to(other) != Ordering::Less {
+            self.sub(other)
+        } else {
+            self.add(modulus).sub(other)
+        }
+    }
+
+    /// Modular multiplication via full product and reduction.
+    pub fn mul_mod(&self, other: &BigUint, modulus: &BigUint) -> BigUint {
+        self.mul(other).rem(modulus)
+    }
+
+    /// Modular exponentiation. Dispatches to Montgomery arithmetic for odd
+    /// moduli and falls back to square-and-multiply with division otherwise.
+    pub fn mod_pow(&self, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+        assert!(!modulus.is_zero(), "modulus must be nonzero");
+        if modulus.is_one() {
+            return BigUint::zero();
+        }
+        if !modulus.is_even() {
+            let ctx = crate::montgomery::MontgomeryCtx::new(modulus.clone());
+            return ctx.mod_pow(self, exponent);
+        }
+        // Generic square-and-multiply for even moduli (rare in MONOMI).
+        let mut result = BigUint::one();
+        let mut base = self.rem(modulus);
+        for i in 0..exponent.bits() {
+            if exponent.bit(i) {
+                result = result.mul_mod(&base, modulus);
+            }
+            base = base.mul_mod(&base, modulus);
+        }
+        result
+    }
+
+    /// Greatest common divisor (binary / Euclid hybrid).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        while !b.is_zero() {
+            let r = a.rem(&b);
+            a = b;
+            b = r;
+        }
+        a
+    }
+
+    /// Parses a decimal string.
+    pub fn from_decimal(s: &str) -> Option<BigUint> {
+        if s.is_empty() {
+            return None;
+        }
+        let mut out = BigUint::zero();
+        for c in s.chars() {
+            let d = c.to_digit(10)?;
+            out = out.mul_u64(10).add_u64(d as u64);
+        }
+        Some(out)
+    }
+
+    /// Formats as a decimal string.
+    pub fn to_decimal(&self) -> String {
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        let mut digits = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(10);
+            digits.push(char::from_digit(r as u32, 10).unwrap());
+            cur = q;
+        }
+        digits.iter().rev().collect()
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp_to(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.cmp_to(other)
+    }
+}
+
+impl fmt::Debug for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigUint({})", self.to_decimal())
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_decimal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_one() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(BigUint::one().bits(), 1);
+    }
+
+    #[test]
+    fn from_to_u128_roundtrip() {
+        let v = 0x1234_5678_9abc_def0_1122_3344_5566_7788u128;
+        assert_eq!(BigUint::from_u128(v).to_u128(), Some(v));
+    }
+
+    #[test]
+    fn add_with_carry_across_limbs() {
+        let a = BigUint::from_u128(u128::MAX);
+        let b = BigUint::one();
+        let s = a.add(&b);
+        assert_eq!(s.bits(), 129);
+        assert_eq!(s.sub(&b).to_u128(), Some(u128::MAX));
+    }
+
+    #[test]
+    fn sub_borrow() {
+        let a = BigUint::from_u128(1u128 << 64);
+        let b = BigUint::from_u64(1);
+        assert_eq!(a.sub(&b).to_u128(), Some((1u128 << 64) - 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn sub_underflow_panics() {
+        BigUint::from_u64(1).sub(&BigUint::from_u64(2));
+    }
+
+    #[test]
+    fn mul_matches_u128() {
+        let a = 0xdead_beef_u64;
+        let b = 0xcafe_babe_1234_u64;
+        let p = BigUint::from_u64(a).mul(&BigUint::from_u64(b));
+        assert_eq!(p.to_u128(), Some(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn shifts() {
+        let a = BigUint::from_u64(0b1011);
+        assert_eq!(a.shl(3).to_u64(), Some(0b1011000));
+        assert_eq!(a.shl(64).to_u128(), Some(0b1011u128 << 64));
+        assert_eq!(a.shl(64).shr(64).to_u64(), Some(0b1011));
+        assert_eq!(a.shr(2).to_u64(), Some(0b10));
+        assert_eq!(a.shr(100).to_u64(), Some(0));
+    }
+
+    #[test]
+    fn div_rem_small() {
+        let a = BigUint::from_u64(1_000_003);
+        let (q, r) = a.div_rem(&BigUint::from_u64(97));
+        assert_eq!(q.to_u64(), Some(1_000_003 / 97));
+        assert_eq!(r.to_u64(), Some(1_000_003 % 97));
+    }
+
+    #[test]
+    fn div_rem_multi_limb() {
+        let a = BigUint::from_u128(u128::MAX - 12345);
+        let b = BigUint::from_u64(0xffff_ffff_0000_0001);
+        let (q, r) = a.div_rem(&b);
+        let recomposed = q.mul(&b).add(&r);
+        assert_eq!(recomposed.to_u128(), Some(u128::MAX - 12345));
+        assert!(r.cmp_to(&b) == Ordering::Less);
+    }
+
+    #[test]
+    fn mod_pow_small_numbers() {
+        // 3^20 mod 1000003
+        let base = BigUint::from_u64(3);
+        let exp = BigUint::from_u64(20);
+        let modulus = BigUint::from_u64(1_000_003);
+        let expected = {
+            let mut acc = 1u64;
+            for _ in 0..20 {
+                acc = acc * 3 % 1_000_003;
+            }
+            acc
+        };
+        assert_eq!(base.mod_pow(&exp, &modulus).to_u64(), Some(expected));
+    }
+
+    #[test]
+    fn mod_pow_even_modulus() {
+        let base = BigUint::from_u64(7);
+        let exp = BigUint::from_u64(13);
+        let modulus = BigUint::from_u64(1 << 20);
+        let mut acc = 1u64;
+        for _ in 0..13 {
+            acc = acc.wrapping_mul(7) % (1 << 20);
+        }
+        assert_eq!(base.mod_pow(&exp, &modulus).to_u64(), Some(acc));
+    }
+
+    #[test]
+    fn gcd_basic() {
+        let a = BigUint::from_u64(48);
+        let b = BigUint::from_u64(36);
+        assert_eq!(a.gcd(&b).to_u64(), Some(12));
+        assert_eq!(a.gcd(&BigUint::zero()).to_u64(), Some(48));
+    }
+
+    #[test]
+    fn decimal_roundtrip() {
+        let s = "123456789012345678901234567890123456789";
+        let v = BigUint::from_decimal(s).unwrap();
+        assert_eq!(v.to_decimal(), s);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let v = BigUint::from_decimal("987654321098765432109876543210").unwrap();
+        let bytes = v.to_bytes_be();
+        assert_eq!(BigUint::from_bytes_be(&bytes), v);
+        let padded = v.to_bytes_be_padded(32);
+        assert_eq!(padded.len(), 32);
+        assert_eq!(BigUint::from_bytes_be(&padded), v);
+    }
+
+    #[test]
+    fn low_bits_masks_correctly() {
+        let v = BigUint::from_u128(0xffff_ffff_ffff_ffff_ffff_ffff_ffff_ffffu128);
+        assert_eq!(v.low_bits(12).to_u64(), Some(0xfff));
+        assert_eq!(v.low_bits(64).to_u64(), Some(u64::MAX));
+        assert_eq!(v.low_bits(72).to_u128(), Some((1u128 << 72) - 1));
+    }
+
+    #[test]
+    fn bit_indexing() {
+        let v = BigUint::from_u128(1u128 << 100);
+        assert!(v.bit(100));
+        assert!(!v.bit(99));
+        assert!(!v.bit(101));
+    }
+}

@@ -1,0 +1,36 @@
+//! # monomi-math
+//!
+//! Arbitrary-precision unsigned integer arithmetic for the MONOMI encrypted
+//! analytics system.
+//!
+//! The MONOMI paper (Tu et al., VLDB 2013) relies on NTL for "infinite-precision
+//! numerical arithmetic" backing the Paillier cryptosystem. This crate is the
+//! from-scratch Rust replacement: a dynamically sized [`BigUint`], Montgomery
+//! modular arithmetic for fast modular exponentiation ([`MontgomeryCtx`]),
+//! Miller–Rabin primality testing and prime generation ([`prime`]), and the
+//! extended-Euclid modular inverse ([`modular::mod_inverse`]).
+//!
+//! The implementation favours clarity and testability over raw speed: Paillier
+//! key generation and encryption dominate MONOMI's data-loading phase, not its
+//! query phase, and the benchmark harnesses use configurable key sizes.
+//!
+//! ## Example
+//!
+//! ```
+//! use monomi_math::BigUint;
+//!
+//! let a = BigUint::from_u64(123_456_789);
+//! let b = BigUint::from_u64(987_654_321);
+//! let product = a.mul(&b);
+//! assert_eq!(product.to_u128(), Some(123_456_789u128 * 987_654_321u128));
+//! ```
+
+pub mod biguint;
+pub mod modular;
+pub mod montgomery;
+pub mod prime;
+pub mod random;
+
+pub use biguint::BigUint;
+pub use montgomery::MontgomeryCtx;
+pub use random::{random_below, random_bits};

@@ -1,0 +1,138 @@
+//! Modular inverse and least-common-multiple helpers used by Paillier key
+//! generation and decryption.
+
+use crate::biguint::BigUint;
+
+/// Computes the modular inverse of `a` modulo `m`, i.e. the unique `x` with
+/// `a * x ≡ 1 (mod m)`, if `gcd(a, m) == 1`.
+///
+/// Implemented with the iterative extended Euclidean algorithm. Because
+/// [`BigUint`] is unsigned, the Bézout coefficient is tracked as a magnitude
+/// plus sign flag.
+pub fn mod_inverse(a: &BigUint, m: &BigUint) -> Option<BigUint> {
+    if m.is_zero() {
+        return None;
+    }
+    if m.is_one() {
+        return Some(BigUint::zero());
+    }
+    let mut r0 = m.clone();
+    let mut r1 = a.rem(m);
+    // t coefficients with explicit signs: t0 = 0, t1 = 1.
+    let mut t0 = BigUint::zero();
+    let mut t0_neg = false;
+    let mut t1 = BigUint::one();
+    let mut t1_neg = false;
+
+    while !r1.is_zero() {
+        let (q, r2) = r0.div_rem(&r1);
+        // t2 = t0 - q * t1 (signed arithmetic on magnitudes).
+        let q_t1 = q.mul(&t1);
+        let (t2, t2_neg) = signed_sub(&t0, t0_neg, &q_t1, t1_neg);
+        r0 = r1;
+        r1 = r2;
+        t0 = t1;
+        t0_neg = t1_neg;
+        t1 = t2;
+        t1_neg = t2_neg;
+    }
+
+    if !r0.is_one() {
+        return None; // not coprime
+    }
+    // t0 is the Bézout coefficient of a; normalize into [0, m).
+    let inv = if t0_neg {
+        m.sub(&t0.rem(m)).rem(m)
+    } else {
+        t0.rem(m)
+    };
+    Some(inv)
+}
+
+/// Signed subtraction of magnitudes: returns `(|x - y|, sign)` where the sign
+/// is true iff `x - y < 0`, with `x = ±x_mag` and `y = ±y_mag`.
+fn signed_sub(
+    x_mag: &BigUint,
+    x_neg: bool,
+    y_mag: &BigUint,
+    y_neg: bool,
+) -> (BigUint, bool) {
+    match (x_neg, y_neg) {
+        // x - y with both nonnegative.
+        (false, false) => {
+            if x_mag >= y_mag {
+                (x_mag.sub(y_mag), false)
+            } else {
+                (y_mag.sub(x_mag), true)
+            }
+        }
+        // x - (-y) = x + y
+        (false, true) => (x_mag.add(y_mag), false),
+        // -x - y = -(x + y)
+        (true, false) => (x_mag.add(y_mag), true),
+        // -x - (-y) = y - x
+        (true, true) => {
+            if y_mag >= x_mag {
+                (y_mag.sub(x_mag), false)
+            } else {
+                (x_mag.sub(y_mag), true)
+            }
+        }
+    }
+}
+
+/// Least common multiple.
+pub fn lcm(a: &BigUint, b: &BigUint) -> BigUint {
+    if a.is_zero() || b.is_zero() {
+        return BigUint::zero();
+    }
+    let g = a.gcd(b);
+    a.div_rem(&g).0.mul(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_small_prime_modulus() {
+        let m = BigUint::from_u64(101);
+        for a in 1u64..101 {
+            let inv = mod_inverse(&BigUint::from_u64(a), &m).unwrap();
+            let prod = inv.mul_u64(a).rem(&m);
+            assert!(prod.is_one(), "a={a}");
+        }
+    }
+
+    #[test]
+    fn inverse_composite_modulus() {
+        let m = BigUint::from_u64(2 * 3 * 5 * 7 * 11 * 13);
+        let a = BigUint::from_u64(17 * 19);
+        let inv = mod_inverse(&a, &m).unwrap();
+        assert!(a.mul(&inv).rem(&m).is_one());
+    }
+
+    #[test]
+    fn non_coprime_has_no_inverse() {
+        let m = BigUint::from_u64(100);
+        assert!(mod_inverse(&BigUint::from_u64(10), &m).is_none());
+        assert!(mod_inverse(&BigUint::zero(), &m).is_none());
+    }
+
+    #[test]
+    fn inverse_large_values() {
+        let m = BigUint::from_decimal("340282366920938463463374607431768211507").unwrap();
+        let a = BigUint::from_decimal("123456789123456789123456789").unwrap();
+        let inv = mod_inverse(&a, &m).unwrap();
+        assert!(a.mul(&inv).rem(&m).is_one());
+    }
+
+    #[test]
+    fn lcm_basic() {
+        assert_eq!(
+            lcm(&BigUint::from_u64(4), &BigUint::from_u64(6)).to_u64(),
+            Some(12)
+        );
+        assert!(lcm(&BigUint::zero(), &BigUint::from_u64(5)).is_zero());
+    }
+}

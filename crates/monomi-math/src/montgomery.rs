@@ -1,0 +1,228 @@
+//! Montgomery modular multiplication and exponentiation.
+//!
+//! Paillier encryption and decryption are dominated by modular exponentiation
+//! with a 2·k-bit modulus (n²). Montgomery arithmetic keeps that loop free of
+//! long division: a context is built once per modulus and reused across all
+//! ciphertext operations.
+
+use crate::biguint::BigUint;
+use std::cmp::Ordering;
+
+/// Precomputed Montgomery context for a fixed odd modulus.
+#[derive(Clone, Debug)]
+pub struct MontgomeryCtx {
+    modulus: BigUint,
+    /// Number of 64-bit limbs in the modulus; R = 2^(64 * limbs).
+    limbs: usize,
+    /// -modulus^{-1} mod 2^64.
+    n0_inv: u64,
+    /// R^2 mod modulus, used to convert into Montgomery form.
+    r2: BigUint,
+    /// R mod modulus, the Montgomery representation of 1.
+    r1: BigUint,
+}
+
+impl MontgomeryCtx {
+    /// Builds a context for the given odd modulus.
+    ///
+    /// Panics if the modulus is even or zero.
+    pub fn new(modulus: BigUint) -> Self {
+        assert!(!modulus.is_zero(), "modulus must be nonzero");
+        assert!(!modulus.is_even(), "Montgomery arithmetic requires an odd modulus");
+        let limbs = modulus.limb_count();
+        let n0 = modulus.limbs[0];
+        let n0_inv = inv64(n0).wrapping_neg();
+        // R = 2^(64*limbs); r1 = R mod N; r2 = R^2 mod N.
+        let r = BigUint::one().shl(64 * limbs);
+        let r1 = r.rem(&modulus);
+        let r2 = r.mul(&r).rem(&modulus);
+        MontgomeryCtx {
+            modulus,
+            limbs,
+            n0_inv,
+            r2,
+            r1,
+        }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.modulus
+    }
+
+    /// Converts a reduced value into Montgomery form.
+    pub fn to_mont(&self, a: &BigUint) -> BigUint {
+        debug_assert!(a.cmp_to(&self.modulus) == Ordering::Less);
+        self.mont_mul(a, &self.r2)
+    }
+
+    /// Converts a Montgomery-form value back to the ordinary representation.
+    pub fn from_mont(&self, a: &BigUint) -> BigUint {
+        self.mont_mul(a, &BigUint::one())
+    }
+
+    /// Montgomery multiplication: returns `a * b * R^{-1} mod N`.
+    ///
+    /// Both inputs must be < N.
+    pub fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let k = self.limbs;
+        // t has 2k+1 limbs to absorb carries during interleaved reduction.
+        let mut t = vec![0u64; 2 * k + 1];
+
+        // Full product a*b into t.
+        for (i, &ai) in a.limbs.iter().enumerate() {
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let bj = b.limbs.get(j).copied().unwrap_or(0);
+                let cur = t[i + j] as u128 + (ai as u128) * (bj as u128) + carry;
+                t[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut idx = i + k;
+            while carry > 0 {
+                let cur = t[idx] as u128 + carry;
+                t[idx] = cur as u64;
+                carry = cur >> 64;
+                idx += 1;
+            }
+        }
+
+        // Reduction: for each low limb, add m*N shifted so the limb cancels.
+        for i in 0..k {
+            let m = t[i].wrapping_mul(self.n0_inv);
+            let mut carry: u128 = 0;
+            for j in 0..k {
+                let nj = self.modulus.limbs[j];
+                let cur = t[i + j] as u128 + (m as u128) * (nj as u128) + carry;
+                t[i + j] = cur as u64;
+                carry = cur >> 64;
+            }
+            let mut idx = i + k;
+            while carry > 0 {
+                let cur = t[idx] as u128 + carry;
+                t[idx] = cur as u64;
+                carry = cur >> 64;
+                idx += 1;
+            }
+        }
+
+        // Result is t / R, i.e. the limbs k..2k (+ possible carry limb).
+        let mut result = BigUint::from_limbs(t[k..].to_vec());
+        if result.cmp_to(&self.modulus) != Ordering::Less {
+            result = result.sub(&self.modulus);
+        }
+        result
+    }
+
+    /// Modular multiplication of ordinary-form values: `a * b mod N`.
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(&a.rem(&self.modulus));
+        let bm = self.to_mont(&b.rem(&self.modulus));
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+
+    /// Modular exponentiation: `base^exponent mod N` using left-to-right
+    /// square-and-multiply in Montgomery form.
+    pub fn mod_pow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        if exponent.is_zero() {
+            return BigUint::one().rem(&self.modulus);
+        }
+        let base_red = base.rem(&self.modulus);
+        let base_m = self.to_mont(&base_red);
+        let mut acc = self.r1.clone(); // Montgomery form of 1.
+        for i in (0..exponent.bits()).rev() {
+            acc = self.mont_mul(&acc, &acc);
+            if exponent.bit(i) {
+                acc = self.mont_mul(&acc, &base_m);
+            }
+        }
+        self.from_mont(&acc)
+    }
+}
+
+/// Computes the inverse of an odd `u64` modulo 2^64 via Newton iteration.
+fn inv64(n: u64) -> u64 {
+    debug_assert!(n & 1 == 1);
+    // Start with an inverse correct to 4 bits and double precision each step.
+    let mut x = n; // correct mod 2^3 for odd n
+    for _ in 0..6 {
+        x = x.wrapping_mul(2u64.wrapping_sub(n.wrapping_mul(x)));
+    }
+    debug_assert_eq!(n.wrapping_mul(x), 1);
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_mod_pow(mut base: u128, mut exp: u128, modulus: u128) -> u128 {
+        let mut result = 1u128;
+        base %= modulus;
+        while exp > 0 {
+            if exp & 1 == 1 {
+                result = result * base % modulus;
+            }
+            base = base * base % modulus;
+            exp >>= 1;
+        }
+        result
+    }
+
+    #[test]
+    fn inv64_is_inverse() {
+        for n in [1u64, 3, 5, 7, 0xdead_beef_1234_5677, u64::MAX] {
+            assert_eq!(n.wrapping_mul(inv64(n)), 1);
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_naive() {
+        let modulus = BigUint::from_u64(0xffff_ffff_ffff_ffc5); // large odd prime-ish
+        let ctx = MontgomeryCtx::new(modulus.clone());
+        let a = BigUint::from_u64(0x1234_5678_9abc_def1);
+        let b = BigUint::from_u64(0x0fed_cba9_8765_4321);
+        let expected = (a.to_u128().unwrap() * b.to_u128().unwrap())
+            % modulus.to_u128().unwrap();
+        assert_eq!(ctx.mul_mod(&a, &b).to_u128(), Some(expected));
+    }
+
+    #[test]
+    fn mod_pow_matches_naive_u128() {
+        let modulus_u = 0x0000_7fff_ffff_ffe7u64; // odd
+        let modulus = BigUint::from_u64(modulus_u);
+        let ctx = MontgomeryCtx::new(modulus);
+        for (b, e) in [(3u64, 1000u64), (65537, 123456), (2, 0), (12345, 1)] {
+            let expected = naive_mod_pow(b as u128, e as u128, modulus_u as u128);
+            let got = ctx
+                .mod_pow(&BigUint::from_u64(b), &BigUint::from_u64(e))
+                .to_u128()
+                .unwrap();
+            assert_eq!(got, expected, "base={b} exp={e}");
+        }
+    }
+
+    #[test]
+    fn mod_pow_multi_limb_fermat() {
+        // For prime p, a^(p-1) = 1 mod p. Use a known 89-bit Mersenne prime 2^89-1.
+        let p = BigUint::one().shl(89).sub(&BigUint::one());
+        let ctx = MontgomeryCtx::new(p.clone());
+        let a = BigUint::from_u64(1234567891011);
+        let result = ctx.mod_pow(&a, &p.sub(&BigUint::one()));
+        assert!(result.is_one());
+    }
+
+    #[test]
+    fn to_from_mont_roundtrip() {
+        let modulus = BigUint::from_decimal("170141183460469231731687303715884105727").unwrap();
+        let ctx = MontgomeryCtx::new(modulus);
+        let v = BigUint::from_decimal("123456789012345678901234567").unwrap();
+        assert_eq!(ctx.from_mont(&ctx.to_mont(&v)), v);
+    }
+
+    #[test]
+    #[should_panic]
+    fn even_modulus_rejected() {
+        MontgomeryCtx::new(BigUint::from_u64(100));
+    }
+}

@@ -1,0 +1,128 @@
+//! Primality testing and random prime generation for Paillier key generation.
+
+use crate::biguint::BigUint;
+use crate::montgomery::MontgomeryCtx;
+use crate::random;
+use rand::Rng;
+
+/// Small primes used for fast trial division before Miller–Rabin.
+const SMALL_PRIMES: &[u64] = &[
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
+    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
+    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+];
+
+/// Probabilistic primality test: trial division by small primes followed by
+/// `rounds` rounds of Miller–Rabin with random bases.
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rounds: usize, rng: &mut R) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    for &p in SMALL_PRIMES {
+        let pb = BigUint::from_u64(p);
+        if *n == pb {
+            return true;
+        }
+        if n.rem(&pb).is_zero() {
+            return false;
+        }
+    }
+    // n is odd and > largest small prime here.
+    let one = BigUint::one();
+    let n_minus_1 = n.sub(&one);
+    // Write n-1 = d * 2^s with d odd.
+    let mut s = 0usize;
+    let mut d = n_minus_1.clone();
+    while d.is_even() {
+        d = d.shr(1);
+        s += 1;
+    }
+    let ctx = MontgomeryCtx::new(n.clone());
+    let two = BigUint::from_u64(2);
+    'witness: for _ in 0..rounds {
+        let a = random::random_range(rng, &two, &n_minus_1);
+        let mut x = ctx.mod_pow(&a, &d);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = ctx.mul_mod(&x, &x);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random probable prime with exactly `bits` bits.
+///
+/// The top bit and the lowest bit are always set, so the prime has the
+/// requested size and is odd.
+pub fn generate_prime<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    assert!(bits >= 8, "prime size must be at least 8 bits");
+    loop {
+        let mut candidate = random::random_bits(rng, bits);
+        // Force odd.
+        if candidate.is_even() {
+            candidate = candidate.add_u64(1);
+        }
+        if candidate.bits() != bits {
+            continue;
+        }
+        if is_probable_prime(&candidate, 16, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn small_primes_accepted() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &p in &[2u64, 3, 5, 7, 11, 13, 97, 101, 257, 65537, 1_000_003] {
+            assert!(
+                is_probable_prime(&BigUint::from_u64(p), 16, &mut rng),
+                "{p} should be prime"
+            );
+        }
+    }
+
+    #[test]
+    fn composites_rejected() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for &c in &[1u64, 4, 6, 9, 15, 91, 561, 1105, 1729, 2465, 6601, 8911, 1_000_001] {
+            assert!(
+                !is_probable_prime(&BigUint::from_u64(c), 16, &mut rng),
+                "{c} should be composite"
+            );
+        }
+    }
+
+    #[test]
+    fn known_large_prime() {
+        // 2^89 - 1 is a Mersenne prime.
+        let mut rng = StdRng::seed_from_u64(9);
+        let p = BigUint::one().shl(89).sub(&BigUint::one());
+        assert!(is_probable_prime(&p, 20, &mut rng));
+        // 2^90 - 1 is obviously composite.
+        let c = BigUint::one().shl(90).sub(&BigUint::one());
+        assert!(!is_probable_prime(&c, 20, &mut rng));
+    }
+
+    #[test]
+    fn generated_primes_have_requested_size() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for bits in [32usize, 64, 128] {
+            let p = generate_prime(&mut rng, bits);
+            assert_eq!(p.bits(), bits);
+            assert!(is_probable_prime(&p, 16, &mut rng));
+        }
+    }
+}

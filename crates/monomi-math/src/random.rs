@@ -1,0 +1,92 @@
+//! Random big-integer generation.
+
+use crate::biguint::BigUint;
+use rand::Rng;
+
+/// Generates a uniformly random integer with exactly `bits` significant bits
+/// (i.e. the top bit is always set) when `bits > 0`.
+pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    if bits == 0 {
+        return BigUint::zero();
+    }
+    let limbs = (bits + 63) / 64;
+    let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+    let top_bits = bits % 64;
+    if top_bits != 0 {
+        let mask = (1u64 << top_bits) - 1;
+        v[limbs - 1] &= mask;
+        v[limbs - 1] |= 1u64 << (top_bits - 1);
+    } else {
+        v[limbs - 1] |= 1u64 << 63;
+    }
+    BigUint::from_limbs(v)
+}
+
+/// Generates a uniformly random integer in `[0, bound)` by rejection sampling.
+///
+/// Panics if `bound` is zero.
+pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+    assert!(!bound.is_zero(), "bound must be positive");
+    let bits = bound.bits();
+    loop {
+        // Sample `bits` random bits without forcing the top bit.
+        let limbs = (bits + 63) / 64;
+        let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
+        let top_bits = bits % 64;
+        if top_bits != 0 {
+            v[limbs - 1] &= (1u64 << top_bits) - 1;
+        }
+        let candidate = BigUint::from_limbs(v);
+        if candidate < *bound {
+            return candidate;
+        }
+    }
+}
+
+/// Generates a uniformly random integer in `[low, high)`.
+pub fn random_range<R: Rng + ?Sized>(rng: &mut R, low: &BigUint, high: &BigUint) -> BigUint {
+    assert!(low < high, "empty range");
+    let span = high.sub(low);
+    low.add(&random_below(rng, &span))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_bits_has_requested_width() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for bits in [1usize, 8, 63, 64, 65, 128, 257, 512] {
+            let v = random_bits(&mut rng, bits);
+            assert_eq!(v.bits(), bits, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn random_below_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bound = BigUint::from_decimal("123456789012345678901").unwrap();
+        for _ in 0..200 {
+            let v = random_below(&mut rng, &bound);
+            assert!(v < bound);
+        }
+    }
+
+    #[test]
+    fn random_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let low = BigUint::from_u64(1000);
+        let high = BigUint::from_u64(1010);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let v = random_range(&mut rng, &low, &high);
+            assert!(v >= low && v < high);
+            seen.insert(v.to_u64().unwrap());
+        }
+        // With 500 samples over 10 values we should see most of them.
+        assert!(seen.len() >= 8);
+    }
+}

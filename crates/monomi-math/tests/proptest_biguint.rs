@@ -1,0 +1,109 @@
+//! Property-based tests for the big-integer substrate, cross-checked against
+//! native `u128` arithmetic and algebraic identities.
+
+use monomi_math::modular::mod_inverse;
+use monomi_math::{BigUint, MontgomeryCtx};
+use proptest::prelude::*;
+
+fn big(v: u128) -> BigUint {
+    BigUint::from_u128(v)
+}
+
+proptest! {
+    #[test]
+    fn add_matches_u128(a in 0u128..u128::MAX / 2, b in 0u128..u128::MAX / 2) {
+        prop_assert_eq!(big(a).add(&big(b)).to_u128(), Some(a + b));
+    }
+
+    #[test]
+    fn sub_matches_u128(a in 0u128..u128::MAX, b in 0u128..u128::MAX) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(big(hi).sub(&big(lo)).to_u128(), Some(hi - lo));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+        prop_assert_eq!(
+            BigUint::from_u64(a).mul(&BigUint::from_u64(b)).to_u128(),
+            Some(a as u128 * b as u128)
+        );
+    }
+
+    #[test]
+    fn div_rem_recomposes(a in any::<u128>(), b in 1u128..u128::MAX) {
+        let (q, r) = big(a).div_rem(&big(b));
+        let recomposed = q.mul(&big(b)).add(&r);
+        prop_assert_eq!(recomposed.to_u128(), Some(a));
+        prop_assert!(r < big(b));
+    }
+
+    #[test]
+    fn div_rem_u64_matches(a in any::<u128>(), b in 1u64..u64::MAX) {
+        let (q, r) = big(a).div_rem_u64(b);
+        prop_assert_eq!(q.to_u128(), Some(a / b as u128));
+        prop_assert_eq!(r, (a % b as u128) as u64);
+    }
+
+    #[test]
+    fn shift_roundtrip(a in any::<u128>(), s in 0usize..200) {
+        prop_assert_eq!(big(a).shl(s).shr(s).to_u128(), Some(a));
+    }
+
+    #[test]
+    fn bytes_roundtrip(a in any::<u128>()) {
+        let v = big(a);
+        prop_assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);
+    }
+
+    #[test]
+    fn decimal_roundtrip(a in any::<u128>()) {
+        let v = big(a);
+        prop_assert_eq!(BigUint::from_decimal(&v.to_decimal()), Some(v));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (a, b, c) = (BigUint::from_u64(a), BigUint::from_u64(b), BigUint::from_u64(c));
+        let lhs = a.mul(&b.add(&c));
+        let rhs = a.mul(&b).add(&a.mul(&c));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn montgomery_mul_matches_naive(a in any::<u64>(), b in any::<u64>(), m in any::<u64>()) {
+        let m = (m | 1).max(3);
+        let ctx = MontgomeryCtx::new(BigUint::from_u64(m));
+        let expected = (a as u128 * b as u128) % m as u128;
+        let got = ctx.mul_mod(&BigUint::from_u64(a), &BigUint::from_u64(b));
+        prop_assert_eq!(got.to_u128(), Some(expected));
+    }
+
+    #[test]
+    fn mod_pow_multiplicative(a in 2u64..1000, b in 2u64..1000, e in 0u64..50) {
+        // (a*b)^e = a^e * b^e mod m
+        let m = BigUint::from_u64(1_000_000_007);
+        let e = BigUint::from_u64(e);
+        let lhs = BigUint::from_u64(a).mul(&BigUint::from_u64(b)).mod_pow(&e, &m);
+        let rhs = BigUint::from_u64(a)
+            .mod_pow(&e, &m)
+            .mul_mod(&BigUint::from_u64(b).mod_pow(&e, &m), &m);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn mod_inverse_is_inverse(a in 1u64..u64::MAX) {
+        // Use a prime modulus so every nonzero residue is invertible.
+        let p = BigUint::from_u64(0xffff_ffff_ffff_ffc5);
+        let a_red = BigUint::from_u64(a).rem(&p);
+        prop_assume!(!a_red.is_zero());
+        let inv = mod_inverse(&a_red, &p).unwrap();
+        prop_assert!(a_red.mul(&inv).rem(&p).is_one());
+    }
+
+    #[test]
+    fn gcd_divides_both(a in 1u64..u64::MAX, b in 1u64..u64::MAX) {
+        let g = BigUint::from_u64(a).gcd(&BigUint::from_u64(b));
+        prop_assert!(BigUint::from_u64(a).rem(&g).is_zero());
+        prop_assert!(BigUint::from_u64(b).rem(&g).is_zero());
+    }
+}

@@ -1,0 +1,270 @@
+//! Rendering AST nodes back to SQL text.
+//!
+//! MONOMI's split-execution planner builds `RemoteSQL` operators that carry a
+//! rewritten query to run on the untrusted server; rendering that query back to
+//! text makes plans debuggable and is used by the examples and the EXPLAIN-style
+//! plan printer.
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Literal::Number(n) => write!(f, "{n}"),
+            Literal::String(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Literal::Date(d) => write!(f, "DATE '{d}'"),
+            Literal::Interval { value, unit } => {
+                let u = match unit {
+                    IntervalUnit::Day => "DAY",
+                    IntervalUnit::Month => "MONTH",
+                    IntervalUnit::Year => "YEAR",
+                };
+                write!(f, "INTERVAL '{value}' {u}")
+            }
+            Literal::Null => write!(f, "NULL"),
+            Literal::Boolean(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Eq => "=",
+            BinaryOp::NotEq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::LtEq => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::GtEq => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        };
+        write!(f, "{s}")
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_inner(f)
+    }
+}
+
+impl Expr {
+    fn fmt_inner(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(l) => write!(f, "{l}"),
+            Expr::Param(n) => write!(f, ":{n}"),
+            Expr::BinaryOp { left, op, right } => write!(f, "({left} {op} {right})"),
+            Expr::UnaryOp { op, expr } => match op {
+                UnaryOp::Not => write!(f, "(NOT {expr})"),
+                UnaryOp::Neg => write!(f, "(-{expr})"),
+            },
+            Expr::Aggregate {
+                func,
+                arg,
+                distinct,
+            } => {
+                let d = if *distinct { "DISTINCT " } else { "" };
+                match arg {
+                    Some(a) => write!(f, "{func}({d}{a})"),
+                    None => write!(f, "{func}(*)"),
+                }
+            }
+            Expr::Function { name, args } => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Case {
+                operand,
+                when_then,
+                else_expr,
+            } => {
+                write!(f, "CASE")?;
+                if let Some(o) = operand {
+                    write!(f, " {o}")?;
+                }
+                for (w, t) in when_then {
+                    write!(f, " WHEN {w} THEN {t}")?;
+                }
+                if let Some(e) = else_expr {
+                    write!(f, " ELSE {e}")?;
+                }
+                write!(f, " END")
+            }
+            Expr::Like {
+                expr,
+                pattern,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}LIKE {pattern})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
+                write!(f, "({expr} {}IN (", if *negated { "NOT " } else { "" })?;
+                for (i, e) in list.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, "))")
+            }
+            Expr::InSubquery {
+                expr,
+                subquery,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}IN ({subquery}))",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Exists { subquery, negated } => write!(
+                f,
+                "({}EXISTS ({subquery}))",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::ScalarSubquery(q) => write!(f, "({q})"),
+            Expr::Between {
+                expr,
+                low,
+                high,
+                negated,
+            } => write!(
+                f,
+                "({expr} {}BETWEEN {low} AND {high})",
+                if *negated { "NOT " } else { "" }
+            ),
+            Expr::Extract { field, expr } => {
+                let fld = match field {
+                    DateField::Year => "YEAR",
+                    DateField::Month => "MONTH",
+                    DateField::Day => "DAY",
+                };
+                write!(f, "EXTRACT({fld} FROM {expr})")
+            }
+            Expr::IsNull { expr, negated } => {
+                write!(f, "({expr} IS {}NULL)", if *negated { "NOT " } else { "" })
+            }
+        }
+    }
+}
+
+impl fmt::Display for TableRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableRef::Table { name, alias } => match alias {
+                Some(a) => write!(f, "{name} AS {a}"),
+                None => write!(f, "{name}"),
+            },
+            TableRef::Subquery { query, alias } => write!(f, "({query}) AS {alias}"),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        if self.distinct {
+            write!(f, "DISTINCT ")?;
+        }
+        for (i, p) in self.projections.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}", p.expr)?;
+            if let Some(a) = &p.alias {
+                write!(f, " AS {a}")?;
+            }
+        }
+        if !self.from.is_empty() {
+            write!(f, " FROM ")?;
+            for (i, t) in self.from.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{t}")?;
+            }
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        if !self.group_by.is_empty() {
+            write!(f, " GROUP BY ")?;
+            for (i, g) in self.group_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+        }
+        if let Some(h) = &self.having {
+            write!(f, " HAVING {h}")?;
+        }
+        if !self.order_by.is_empty() {
+            write!(f, " ORDER BY ")?;
+            for (i, o) in self.order_by.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", o.expr)?;
+                if o.desc {
+                    write!(f, " DESC")?;
+                }
+            }
+        }
+        if let Some(l) = self.limit {
+            write!(f, " LIMIT {l}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::parse_query;
+
+    #[test]
+    fn roundtrip_simple() {
+        let sql = "SELECT a, SUM(b) AS total FROM t WHERE (a > 10) GROUP BY a ORDER BY total DESC LIMIT 3";
+        let q = parse_query(sql).unwrap();
+        let rendered = q.to_string();
+        // Re-parsing the rendered text must yield the same AST.
+        assert_eq!(parse_query(&rendered).unwrap(), q);
+    }
+
+    #[test]
+    fn roundtrip_complex_expressions() {
+        let sql = "SELECT SUM(CASE WHEN p_type LIKE 'PROMO%' THEN l_extendedprice * (1 - l_discount) ELSE 0 END) \
+                   FROM lineitem, part \
+                   WHERE l_partkey = p_partkey AND l_shipdate >= DATE '1995-09-01' \
+                     AND l_shipdate < DATE '1995-09-01' + INTERVAL '1' MONTH";
+        let q = parse_query(sql).unwrap();
+        assert_eq!(parse_query(&q.to_string()).unwrap(), q);
+    }
+
+    #[test]
+    fn roundtrip_subqueries() {
+        let sql = "SELECT o_orderkey FROM orders WHERE o_totalprice > (SELECT AVG(o_totalprice) FROM orders) \
+                   AND o_orderkey IN (SELECT l_orderkey FROM lineitem GROUP BY l_orderkey HAVING SUM(l_quantity) > 300)";
+        let q = parse_query(sql).unwrap();
+        assert_eq!(parse_query(&q.to_string()).unwrap(), q);
+    }
+}

@@ -1,0 +1,32 @@
+//! # monomi-sql
+//!
+//! SQL front end for the MONOMI reproduction: a lexer, recursive-descent
+//! parser, and AST for the analytical SQL subset exercised by the TPC-H
+//! workload (the paper's evaluation workload), plus rendering back to SQL text.
+//!
+//! The same AST is consumed by two very different backends:
+//!
+//! * `monomi-engine` executes it directly over plaintext (or encrypted)
+//!   columnar tables — the stand-in for the paper's unmodified Postgres server.
+//! * `monomi-core` rewrites it into a *split plan*: a server-side query over
+//!   encrypted columns plus client-side operators that decrypt and finish the
+//!   computation (Algorithm 1 of the paper).
+//!
+//! ```
+//! use monomi_sql::parse_query;
+//!
+//! let q = parse_query("SELECT o_custkey, SUM(o_totalprice) FROM orders GROUP BY o_custkey").unwrap();
+//! assert!(q.is_aggregate_query());
+//! ```
+
+pub mod ast;
+pub mod display;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    AggFunc, BinaryOp, ColumnRef, DateField, Expr, IntervalUnit, Literal, OrderByItem, Query,
+    SelectItem, TableRef, UnaryOp,
+};
+pub use lexer::{tokenize, LexError, Token};
+pub use parser::{parse_query, ParseError};

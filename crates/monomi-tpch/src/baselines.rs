@@ -1,0 +1,228 @@
+//! The systems compared in the paper's evaluation (§8.2–§8.6):
+//!
+//! * **Plaintext** — unencrypted database on the server; the client only pays
+//!   for transferring final results.
+//! * **CryptDB+Client** — per-column encryption only (no precomputation, no
+//!   packing, no pre-filtering), greedy maximal push-down, remainder on the
+//!   client (the strawman built from prior work).
+//! * **Execution-Greedy** — all of MONOMI's physical-design techniques but a
+//!   greedy "always push to the server" execution strategy instead of the
+//!   cost-based planner.
+//! * **MONOMI** — the full system: optimizing designer + planner.
+
+use crate::queries::TpchQuery;
+use monomi_core::client::{ClientConfig, DesignStrategy, MonomiClient};
+use monomi_core::cost::bind_params;
+use monomi_core::design::PhysicalDesign;
+use monomi_core::designer::Designer;
+use monomi_core::localexec::QueryTimings;
+use monomi_core::plan::PlanOptions;
+use monomi_core::schemes::EncScheme;
+use monomi_core::{CoreError, NetworkModel};
+use monomi_crypto::{MasterKey, PaillierKey};
+use monomi_engine::{ColumnType, Database, ResultSet};
+use monomi_sql::ast::Expr;
+use monomi_sql::parse_query;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Which system executes the workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SystemKind {
+    Plaintext,
+    CryptDbClient,
+    ExecutionGreedy,
+    Monomi,
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            SystemKind::Plaintext => "Plaintext",
+            SystemKind::CryptDbClient => "CryptDB+Client",
+            SystemKind::ExecutionGreedy => "Execution-Greedy",
+            SystemKind::Monomi => "MONOMI",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The result of running one query on one system.
+#[derive(Clone, Debug)]
+pub struct QueryRun {
+    pub query_number: u32,
+    pub system: SystemKind,
+    pub timings: QueryTimings,
+    pub result: ResultSet,
+}
+
+/// Runs a query on an unencrypted server database, charging the simulated disk
+/// and link for the scan and the (small) final result.
+pub fn run_plaintext(
+    plain: &Database,
+    query: &TpchQuery,
+    network: &NetworkModel,
+) -> Result<QueryRun, CoreError> {
+    let parsed = parse_query(query.sql).map_err(|e| CoreError::new(e.to_string()))?;
+    let bound = bind_params(&parsed, &query.params);
+    let started = Instant::now();
+    let (rs, stats) = plain
+        .execute(&bound, &[])
+        .map_err(|e| CoreError::new(e.to_string()))?;
+    let exec = started.elapsed().as_secs_f64();
+    let timings = QueryTimings {
+        server_seconds: exec + network.disk_seconds(stats.bytes_scanned),
+        network_seconds: network.transfer_seconds(rs.size_bytes() as u64),
+        decrypt_seconds: 0.0,
+        client_seconds: 0.0,
+        transfer_bytes: rs.size_bytes() as u64,
+        server_bytes_scanned: stats.bytes_scanned,
+    };
+    Ok(QueryRun {
+        query_number: query.number,
+        system: SystemKind::Plaintext,
+        timings,
+        result: rs,
+    })
+}
+
+/// Builds a CryptDB-style physical design: one encryption per column per
+/// operation class it appears in, but no precomputed expressions, no grouped
+/// packing, and no multi-row packing.
+pub fn cryptdb_design(plain: &Database, workload: &[TpchQuery], paillier_bits: usize) -> PhysicalDesign {
+    // Start from MONOMI's unconstrained designer to find which columns need
+    // which schemes, then strip the MONOMI-specific parts.
+    let mut rng = StdRng::seed_from_u64(0xCDB);
+    let master = MasterKey::generate(&mut rng);
+    let paillier = PaillierKey::generate(&mut rng, paillier_bits.max(128));
+    let designer = Designer {
+        plain,
+        master,
+        paillier,
+        paillier_bits,
+        network: NetworkModel::paper_default(),
+        profile: Default::default(),
+        options: PlanOptions {
+            use_precomputation: false,
+            use_hom_aggregation: true,
+            use_prefiltering: false,
+        },
+    };
+    let queries: Vec<_> = workload
+        .iter()
+        .filter_map(|q| parse_query(q.sql).ok())
+        .collect();
+    let mut design = designer.unconstrained(&queries).design;
+    for td in design.tables.values_mut() {
+        // CryptDB has no precomputed columns, no packing.
+        td.columns.retain(|c| matches!(c.source, Expr::Column(_)));
+        td.col_packing = false;
+        td.multirow_packing = false;
+        // CryptDB's onion encryption stores RND on top of every column, which
+        // is what drives its 4.21× space overhead; model that by adding RND to
+        // every column.
+        for cd in &mut td.columns {
+            cd.schemes.insert(EncScheme::Rnd);
+            if matches!(cd.ty, ColumnType::Int | ColumnType::Date) {
+                cd.schemes.insert(EncScheme::Ope);
+            }
+        }
+    }
+    design
+}
+
+/// Configuration of one evaluated system.
+pub struct SystemSetup {
+    pub kind: SystemKind,
+    pub client: Option<MonomiClient>,
+}
+
+/// Builds the client for a system over the given plaintext database/workload.
+pub fn build_system(
+    kind: SystemKind,
+    plain: &Database,
+    workload: &[TpchQuery],
+    config: &ClientConfig,
+) -> Result<SystemSetup, CoreError> {
+    let queries: Vec<_> = workload
+        .iter()
+        .filter_map(|q| parse_query(q.sql).ok())
+        .collect();
+    let client = match kind {
+        SystemKind::Plaintext => None,
+        SystemKind::CryptDbClient => {
+            let design = cryptdb_design(plain, workload, config.paillier_bits);
+            let mut rng = StdRng::seed_from_u64(config.seed);
+            let master = MasterKey::generate(&mut rng);
+            let paillier = PaillierKey::generate(&mut rng, config.paillier_bits.max(128));
+            let mut cfg = config.clone();
+            cfg.plan_options = PlanOptions {
+                use_precomputation: false,
+                use_hom_aggregation: true,
+                use_prefiltering: false,
+            };
+            Some(MonomiClient::from_design(plain, design, master, paillier, &cfg)?)
+        }
+        SystemKind::ExecutionGreedy | SystemKind::Monomi => {
+            let (client, _) =
+                MonomiClient::setup(plain, &queries, DesignStrategy::Designer, config)?;
+            Some(client)
+        }
+    };
+    Ok(SystemSetup { kind, client })
+}
+
+impl SystemSetup {
+    /// Runs one query under this system.
+    pub fn run(
+        &self,
+        plain: &Database,
+        query: &TpchQuery,
+        network: &NetworkModel,
+    ) -> Result<QueryRun, CoreError> {
+        match (self.kind, &self.client) {
+            (SystemKind::Plaintext, _) => run_plaintext(plain, query, network),
+            (SystemKind::Monomi, Some(client)) => {
+                let (result, timings) = client.execute(query.sql, &query.params)?;
+                Ok(QueryRun {
+                    query_number: query.number,
+                    system: self.kind,
+                    timings,
+                    result,
+                })
+            }
+            (SystemKind::ExecutionGreedy, Some(client))
+            | (SystemKind::CryptDbClient, Some(client)) => {
+                // Greedy execution: always push everything possible to the
+                // server, never consult the cost-based planner.
+                let options = if self.kind == SystemKind::CryptDbClient {
+                    PlanOptions {
+                        use_precomputation: false,
+                        use_hom_aggregation: true,
+                        use_prefiltering: false,
+                    }
+                } else {
+                    PlanOptions::default()
+                };
+                let plan = client.plan_with_options(query.sql, &query.params, &options, true)?;
+                let (result, timings) = client.execute_plan(&plan)?;
+                Ok(QueryRun {
+                    query_number: query.number,
+                    system: self.kind,
+                    timings,
+                    result,
+                })
+            }
+            _ => Err(CoreError::new("system not initialized")),
+        }
+    }
+
+    /// Server storage footprint of this system (plaintext size for Plaintext).
+    pub fn server_bytes(&self, plain: &Database) -> usize {
+        match (&self.client, self.kind) {
+            (Some(client), _) => client.designed_size_bytes(),
+            (None, _) => plain.total_size_bytes(),
+        }
+    }
+}

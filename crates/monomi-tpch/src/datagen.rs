@@ -1,0 +1,374 @@
+//! Deterministic, seedable TPC-H-style data generator.
+//!
+//! The paper evaluates on dbgen scale 10 (~10 GB). This generator produces the
+//! same schema, key relationships, categorical domains, and value ranges at a
+//! configurable scale factor so the whole evaluation runs on a laptop; see
+//! DESIGN.md for the substitution note. At scale factor 1.0 the row counts
+//! match dbgen's (6M lineitem rows); benchmarks default to much smaller scale.
+
+use crate::schema;
+use monomi_engine::{date, Database, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// TPC-H categorical domains.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+pub const SHIP_INSTRUCT: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+pub const CONTAINERS: [&str; 8] = [
+    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG", "WRAP JAR",
+];
+pub const TYPE_SYLL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+pub const TYPE_SYLL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+pub const TYPE_SYLL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+pub const COMMENT_WORDS: [&str; 16] = [
+    "express", "special", "pending", "regular", "unusual", "furious", "careful", "quick",
+    "ironic", "final", "bold", "silent", "even", "blithe", "dogged", "ruthless",
+];
+
+/// Generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GeneratorConfig {
+    /// Scale factor: 1.0 matches dbgen row counts (6M lineitem rows).
+    pub scale_factor: f64,
+    /// Seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            scale_factor: 0.002,
+            seed: 20130826, // the paper's VLDB presentation date
+        }
+    }
+}
+
+/// Row counts at a given scale factor (mirroring dbgen's proportions).
+#[derive(Clone, Copy, Debug)]
+pub struct RowCounts {
+    pub supplier: usize,
+    pub customer: usize,
+    pub part: usize,
+    pub orders: usize,
+}
+
+impl RowCounts {
+    /// dbgen proportions for a scale factor.
+    pub fn for_scale(sf: f64) -> RowCounts {
+        RowCounts {
+            supplier: ((10_000.0 * sf) as usize).max(5),
+            customer: ((150_000.0 * sf) as usize).max(20),
+            part: ((200_000.0 * sf) as usize).max(25),
+            orders: ((1_500_000.0 * sf) as usize).max(100),
+        }
+    }
+}
+
+/// Generates a plaintext TPC-H database.
+pub fn generate(config: &GeneratorConfig) -> Database {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let counts = RowCounts::for_scale(config.scale_factor);
+    let mut db = Database::new();
+    for schema in schema::all_tables() {
+        db.create_table(schema);
+    }
+
+    // region
+    for (i, name) in REGIONS.iter().enumerate() {
+        db.insert(
+            "region",
+            vec![
+                Value::Int(i as i64),
+                Value::Str((*name).into()),
+                Value::Str(comment(&mut rng)),
+            ],
+        )
+        .expect("region row");
+    }
+
+    // nation
+    for (i, (name, region)) in NATIONS.iter().enumerate() {
+        db.insert(
+            "nation",
+            vec![
+                Value::Int(i as i64),
+                Value::Str((*name).into()),
+                Value::Int(*region),
+                Value::Str(comment(&mut rng)),
+            ],
+        )
+        .expect("nation row");
+    }
+
+    // supplier
+    for s in 0..counts.supplier {
+        db.insert(
+            "supplier",
+            vec![
+                Value::Int(s as i64 + 1),
+                Value::Str(format!("Supplier#{:09}", s + 1)),
+                Value::Str(format!("{} supply road", s * 7 + 13)),
+                Value::Int(rng.gen_range(0..NATIONS.len() as i64)),
+                Value::Str(phone(&mut rng)),
+                Value::Int(rng.gen_range(-99_999..999_999)),
+                Value::Str(comment(&mut rng)),
+            ],
+        )
+        .expect("supplier row");
+    }
+
+    // customer
+    for c in 0..counts.customer {
+        db.insert(
+            "customer",
+            vec![
+                Value::Int(c as i64 + 1),
+                Value::Str(format!("Customer#{:09}", c + 1)),
+                Value::Str(format!("{} market street", c * 3 + 7)),
+                Value::Int(rng.gen_range(0..NATIONS.len() as i64)),
+                Value::Str(phone(&mut rng)),
+                Value::Int(rng.gen_range(-99_999..999_999)),
+                Value::Str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].into()),
+                Value::Str(comment(&mut rng)),
+            ],
+        )
+        .expect("customer row");
+    }
+
+    // part
+    for p in 0..counts.part {
+        let ty = format!(
+            "{} {} {}",
+            TYPE_SYLL1[rng.gen_range(0..TYPE_SYLL1.len())],
+            TYPE_SYLL2[rng.gen_range(0..TYPE_SYLL2.len())],
+            TYPE_SYLL3[rng.gen_range(0..TYPE_SYLL3.len())]
+        );
+        db.insert(
+            "part",
+            vec![
+                Value::Int(p as i64 + 1),
+                Value::Str(format!(
+                    "{} {} part",
+                    COMMENT_WORDS[p % COMMENT_WORDS.len()],
+                    TYPE_SYLL3[p % TYPE_SYLL3.len()].to_lowercase()
+                )),
+                Value::Str(format!("Manufacturer#{}", p % 5 + 1)),
+                Value::Str(format!("Brand#{}{}", p % 5 + 1, p % 5 + 1)),
+                Value::Str(ty),
+                Value::Int(rng.gen_range(1..=50)),
+                Value::Str(CONTAINERS[rng.gen_range(0..CONTAINERS.len())].into()),
+                Value::Int(90_000 + (p as i64 % 200) * 100 + rng.gen_range(0..100)),
+                Value::Str(comment(&mut rng)),
+            ],
+        )
+        .expect("part row");
+    }
+
+    // partsupp: 4 suppliers per part.
+    for p in 0..counts.part {
+        for i in 0..4usize {
+            let supp = (p * 4 + i * 7) % counts.supplier;
+            db.insert(
+                "partsupp",
+                vec![
+                    Value::Int(p as i64 + 1),
+                    Value::Int(supp as i64 + 1),
+                    Value::Int(rng.gen_range(1..10_000)),
+                    Value::Int(rng.gen_range(100..100_000)),
+                    Value::Str(comment(&mut rng)),
+                ],
+            )
+            .expect("partsupp row");
+        }
+    }
+
+    // orders + lineitem.
+    let start_date = date::parse_date("1992-01-01").expect("valid date");
+    let end_date = date::parse_date("1998-08-02").expect("valid date");
+    let mut lineitem_rows = Vec::new();
+    for o in 0..counts.orders {
+        let orderkey = (o as i64) * 4 + 1; // sparse keys like dbgen
+        let custkey = rng.gen_range(1..=counts.customer as i64);
+        let orderdate = rng.gen_range(start_date..end_date - 151);
+        let lines = rng.gen_range(1..=7usize);
+        let mut total = 0i64;
+        for l in 0..lines {
+            let partkey = rng.gen_range(1..=counts.part as i64);
+            let suppkey = ((partkey - 1) as usize * 4 + rng.gen_range(0..4) * 7) % counts.supplier;
+            let quantity = rng.gen_range(1..=50i64);
+            let extendedprice = quantity * rng.gen_range(900..100_000);
+            let discount = rng.gen_range(0..=10i64); // percent
+            let tax = rng.gen_range(0..=8i64);
+            let shipdate = orderdate + rng.gen_range(1..=121);
+            let commitdate = orderdate + rng.gen_range(30..=90);
+            let receiptdate = shipdate + rng.gen_range(1..=30);
+            let returnflag = if receiptdate
+                <= date::parse_date("1995-06-17").expect("valid date")
+            {
+                if rng.gen_bool(0.5) {
+                    "R"
+                } else {
+                    "A"
+                }
+            } else {
+                "N"
+            };
+            let linestatus = if shipdate > date::parse_date("1995-06-17").expect("valid date") {
+                "O"
+            } else {
+                "F"
+            };
+            total += extendedprice * (100 - discount) / 100;
+            lineitem_rows.push(vec![
+                Value::Int(orderkey),
+                Value::Int(partkey),
+                Value::Int(suppkey as i64 + 1),
+                Value::Int(l as i64 + 1),
+                Value::Int(quantity),
+                Value::Int(extendedprice),
+                Value::Int(discount),
+                Value::Int(tax),
+                Value::Str(returnflag.into()),
+                Value::Str(linestatus.into()),
+                Value::Date(shipdate),
+                Value::Date(commitdate),
+                Value::Date(receiptdate),
+                Value::Str(SHIP_INSTRUCT[rng.gen_range(0..SHIP_INSTRUCT.len())].into()),
+                Value::Str(SHIP_MODES[rng.gen_range(0..SHIP_MODES.len())].into()),
+                Value::Str(comment(&mut rng)),
+            ]);
+        }
+        db.insert(
+            "orders",
+            vec![
+                Value::Int(orderkey),
+                Value::Int(custkey),
+                Value::Str(if rng.gen_bool(0.48) { "F" } else { "O" }.into()),
+                Value::Int(total),
+                Value::Date(orderdate),
+                Value::Str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())].into()),
+                Value::Str(format!("Clerk#{:06}", rng.gen_range(1..1000))),
+                Value::Int(0),
+                Value::Str(comment(&mut rng)),
+            ],
+        )
+        .expect("orders row");
+    }
+    db.bulk_load("lineitem", lineitem_rows).expect("lineitem rows");
+    db
+}
+
+fn comment(rng: &mut StdRng) -> String {
+    let n = rng.gen_range(3..7);
+    (0..n)
+        .map(|_| COMMENT_WORDS[rng.gen_range(0..COMMENT_WORDS.len())])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn phone(rng: &mut StdRng) -> String {
+    format!(
+        "{}-{:03}-{:03}-{:04}",
+        rng.gen_range(10..35),
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10_000)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GeneratorConfig {
+            scale_factor: 0.001,
+            seed: 7,
+        };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.total_size_bytes(), b.total_size_bytes());
+        assert_eq!(
+            a.table("lineitem").unwrap().row_count(),
+            b.table("lineitem").unwrap().row_count()
+        );
+    }
+
+    #[test]
+    fn row_counts_scale() {
+        let small = generate(&GeneratorConfig {
+            scale_factor: 0.001,
+            seed: 1,
+        });
+        let larger = generate(&GeneratorConfig {
+            scale_factor: 0.004,
+            seed: 1,
+        });
+        assert!(
+            larger.table("orders").unwrap().row_count()
+                > 2 * small.table("orders").unwrap().row_count()
+        );
+        // Referential integrity: every lineitem orderkey exists in orders.
+        let orders = small.table("orders").unwrap();
+        let mut keys = std::collections::HashSet::new();
+        for i in 0..orders.row_count() {
+            keys.insert(orders.value(i, 0).clone());
+        }
+        let lineitem = small.table("lineitem").unwrap();
+        for i in 0..lineitem.row_count() {
+            assert!(keys.contains(lineitem.value(i, 0)));
+        }
+    }
+
+    #[test]
+    fn queries_run_on_generated_data() {
+        let db = generate(&GeneratorConfig {
+            scale_factor: 0.001,
+            seed: 3,
+        });
+        let (rs, _) = db
+            .execute_sql(
+                "SELECT l_returnflag, l_linestatus, SUM(l_quantity) FROM lineitem \
+                 GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus",
+                &[],
+            )
+            .unwrap();
+        assert!(!rs.is_empty() && rs.len() <= 6);
+    }
+}

@@ -1,0 +1,168 @@
+//! The TPC-H schema (all eight tables), with DECIMAL columns mapped to
+//! integers exactly as the paper's evaluation does ("we replace all DECIMAL
+//! data types with regular integers", §8.1). Monetary values are stored in
+//! cents; percentages (discount, tax) as integer percent points.
+
+use monomi_engine::{ColumnDef, ColumnType, TableSchema};
+
+/// All eight TPC-H table schemas.
+pub fn all_tables() -> Vec<TableSchema> {
+    vec![
+        region(),
+        nation(),
+        supplier(),
+        customer(),
+        part(),
+        partsupp(),
+        orders(),
+        lineitem(),
+    ]
+}
+
+/// `region(r_regionkey, r_name, r_comment)`
+pub fn region() -> TableSchema {
+    TableSchema::new(
+        "region",
+        vec![
+            ColumnDef::new("r_regionkey", ColumnType::Int),
+            ColumnDef::new("r_name", ColumnType::Str),
+            ColumnDef::new("r_comment", ColumnType::Str),
+        ],
+    )
+}
+
+/// `nation(n_nationkey, n_name, n_regionkey, n_comment)`
+pub fn nation() -> TableSchema {
+    TableSchema::new(
+        "nation",
+        vec![
+            ColumnDef::new("n_nationkey", ColumnType::Int),
+            ColumnDef::new("n_name", ColumnType::Str),
+            ColumnDef::new("n_regionkey", ColumnType::Int),
+            ColumnDef::new("n_comment", ColumnType::Str),
+        ],
+    )
+}
+
+/// `supplier(s_suppkey, s_name, s_address, s_nationkey, s_phone, s_acctbal, s_comment)`
+pub fn supplier() -> TableSchema {
+    TableSchema::new(
+        "supplier",
+        vec![
+            ColumnDef::new("s_suppkey", ColumnType::Int),
+            ColumnDef::new("s_name", ColumnType::Str),
+            ColumnDef::new("s_address", ColumnType::Str),
+            ColumnDef::new("s_nationkey", ColumnType::Int),
+            ColumnDef::new("s_phone", ColumnType::Str),
+            ColumnDef::new("s_acctbal", ColumnType::Int),
+            ColumnDef::new("s_comment", ColumnType::Str),
+        ],
+    )
+}
+
+/// `customer(c_custkey, c_name, c_address, c_nationkey, c_phone, c_acctbal, c_mktsegment, c_comment)`
+pub fn customer() -> TableSchema {
+    TableSchema::new(
+        "customer",
+        vec![
+            ColumnDef::new("c_custkey", ColumnType::Int),
+            ColumnDef::new("c_name", ColumnType::Str),
+            ColumnDef::new("c_address", ColumnType::Str),
+            ColumnDef::new("c_nationkey", ColumnType::Int),
+            ColumnDef::new("c_phone", ColumnType::Str),
+            ColumnDef::new("c_acctbal", ColumnType::Int),
+            ColumnDef::new("c_mktsegment", ColumnType::Str),
+            ColumnDef::new("c_comment", ColumnType::Str),
+        ],
+    )
+}
+
+/// `part(p_partkey, p_name, p_mfgr, p_brand, p_type, p_size, p_container, p_retailprice, p_comment)`
+pub fn part() -> TableSchema {
+    TableSchema::new(
+        "part",
+        vec![
+            ColumnDef::new("p_partkey", ColumnType::Int),
+            ColumnDef::new("p_name", ColumnType::Str),
+            ColumnDef::new("p_mfgr", ColumnType::Str),
+            ColumnDef::new("p_brand", ColumnType::Str),
+            ColumnDef::new("p_type", ColumnType::Str),
+            ColumnDef::new("p_size", ColumnType::Int),
+            ColumnDef::new("p_container", ColumnType::Str),
+            ColumnDef::new("p_retailprice", ColumnType::Int),
+            ColumnDef::new("p_comment", ColumnType::Str),
+        ],
+    )
+}
+
+/// `partsupp(ps_partkey, ps_suppkey, ps_availqty, ps_supplycost, ps_comment)`
+pub fn partsupp() -> TableSchema {
+    TableSchema::new(
+        "partsupp",
+        vec![
+            ColumnDef::new("ps_partkey", ColumnType::Int),
+            ColumnDef::new("ps_suppkey", ColumnType::Int),
+            ColumnDef::new("ps_availqty", ColumnType::Int),
+            ColumnDef::new("ps_supplycost", ColumnType::Int),
+            ColumnDef::new("ps_comment", ColumnType::Str),
+        ],
+    )
+}
+
+/// `orders(o_orderkey, o_custkey, o_orderstatus, o_totalprice, o_orderdate, o_orderpriority, o_clerk, o_shippriority, o_comment)`
+pub fn orders() -> TableSchema {
+    TableSchema::new(
+        "orders",
+        vec![
+            ColumnDef::new("o_orderkey", ColumnType::Int),
+            ColumnDef::new("o_custkey", ColumnType::Int),
+            ColumnDef::new("o_orderstatus", ColumnType::Str),
+            ColumnDef::new("o_totalprice", ColumnType::Int),
+            ColumnDef::new("o_orderdate", ColumnType::Date),
+            ColumnDef::new("o_orderpriority", ColumnType::Str),
+            ColumnDef::new("o_clerk", ColumnType::Str),
+            ColumnDef::new("o_shippriority", ColumnType::Int),
+            ColumnDef::new("o_comment", ColumnType::Str),
+        ],
+    )
+}
+
+/// `lineitem(l_orderkey, l_partkey, l_suppkey, l_linenumber, l_quantity, l_extendedprice, l_discount, l_tax, l_returnflag, l_linestatus, l_shipdate, l_commitdate, l_receiptdate, l_shipinstruct, l_shipmode, l_comment)`
+pub fn lineitem() -> TableSchema {
+    TableSchema::new(
+        "lineitem",
+        vec![
+            ColumnDef::new("l_orderkey", ColumnType::Int),
+            ColumnDef::new("l_partkey", ColumnType::Int),
+            ColumnDef::new("l_suppkey", ColumnType::Int),
+            ColumnDef::new("l_linenumber", ColumnType::Int),
+            ColumnDef::new("l_quantity", ColumnType::Int),
+            ColumnDef::new("l_extendedprice", ColumnType::Int),
+            ColumnDef::new("l_discount", ColumnType::Int),
+            ColumnDef::new("l_tax", ColumnType::Int),
+            ColumnDef::new("l_returnflag", ColumnType::Str),
+            ColumnDef::new("l_linestatus", ColumnType::Str),
+            ColumnDef::new("l_shipdate", ColumnType::Date),
+            ColumnDef::new("l_commitdate", ColumnType::Date),
+            ColumnDef::new("l_receiptdate", ColumnType::Date),
+            ColumnDef::new("l_shipinstruct", ColumnType::Str),
+            ColumnDef::new("l_shipmode", ColumnType::Str),
+            ColumnDef::new("l_comment", ColumnType::Str),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_tables_with_tpch_columns() {
+        let tables = all_tables();
+        assert_eq!(tables.len(), 8);
+        assert_eq!(lineitem().columns.len(), 16);
+        assert_eq!(orders().columns.len(), 9);
+        assert!(lineitem().column_index("l_extendedprice").is_some());
+        assert!(partsupp().column_index("ps_supplycost").is_some());
+    }
+}

@@ -1,0 +1,73 @@
+//! Physical-design exploration: shows how the designer's choices change with
+//! the space budget (the paper's §8.6), and how the ILP designer compares to
+//! the Space-Greedy heuristic.
+//!
+//! Run with: `cargo run --release --example design_exploration`
+
+use monomi_core::cost::DecryptProfile;
+use monomi_core::designer::Designer;
+use monomi_core::plan::PlanOptions;
+use monomi_core::NetworkModel;
+use monomi_crypto::{MasterKey, PaillierKey};
+use monomi_sql::parse_query;
+use monomi_tpch::{datagen, queries};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let plain = datagen::generate(&datagen::GeneratorConfig {
+        scale_factor: 0.001,
+        ..Default::default()
+    });
+    let workload: Vec<_> = queries::workload()
+        .iter()
+        .map(|q| parse_query(q.sql).unwrap())
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let master = MasterKey::generate(&mut rng);
+    let paillier = PaillierKey::generate(&mut rng, 256);
+    let designer = Designer {
+        plain: &plain,
+        master,
+        paillier: paillier.clone(),
+        paillier_bits: 256,
+        network: NetworkModel::paper_default(),
+        profile: DecryptProfile::default(),
+        options: PlanOptions::default(),
+    };
+
+    let plain_bytes = plain.total_size_bytes() as f64;
+    println!("plaintext size: {:.2} MB\n", plain_bytes / 1e6);
+    println!("  budget S   strategy       est. cost    design size   targets");
+    for s in [2.0f64, 1.7, 1.4, 1.2] {
+        let ilp = designer.with_space_budget(&workload, s);
+        let greedy = designer.space_greedy(&workload, s);
+        for (name, outcome) in [("ILP", &ilp), ("Space-Greedy", &greedy)] {
+            let size = outcome.design.storage_bytes(&plain, &paillier) as f64;
+            println!(
+                "  S={:<7.1} {:<13} {:>10.3}s   {:>6.2}x plain   {}",
+                s,
+                name,
+                outcome.estimated_cost,
+                size / plain_bytes,
+                outcome.design.total_targets()
+            );
+        }
+    }
+
+    println!("\nPer-table security summary of the S=2 ILP design (paper Table 3):");
+    let outcome = designer.with_space_budget(&workload, 2.0);
+    println!("  table        strong(RND/HOM/SEARCH)  DET  OPE   (+precomputed)");
+    for (table, summary) in outcome.design.security_summary() {
+        println!(
+            "  {:<12} {:>8}               {:>4} {:>4}   (+{})",
+            table,
+            summary.base[0],
+            summary.base[1],
+            summary.base[2],
+            summary.precomputed.iter().sum::<usize>()
+        );
+    }
+    Ok(())
+}

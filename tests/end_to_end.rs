@@ -1,0 +1,157 @@
+//! Cross-crate integration tests: MONOMI must return the same answers as the
+//! plaintext engine for the TPC-H workload, while never storing plaintext on
+//! the untrusted server.
+
+use monomi_core::{ClientConfig, DesignStrategy, MonomiClient, NetworkModel};
+use monomi_engine::Value;
+use monomi_sql::parse_query;
+use monomi_tpch::{baselines, datagen, queries};
+
+fn small_plain() -> monomi_engine::Database {
+    datagen::generate(&datagen::GeneratorConfig {
+        scale_factor: 0.001,
+        seed: 99,
+    })
+}
+
+fn fast_config() -> ClientConfig {
+    ClientConfig {
+        paillier_bits: 256,
+        space_budget: Some(2.0),
+        skip_profiling: true,
+        ..Default::default()
+    }
+}
+
+fn values_close(a: &Value, b: &Value) -> bool {
+    match (a.as_float(), b.as_float()) {
+        (Some(x), Some(y)) => {
+            let denom = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() / denom < 1e-6
+        }
+        _ => a == b,
+    }
+}
+
+fn rows_match(plain: &[Vec<Value>], monomi: &[Vec<Value>]) -> bool {
+    if plain.len() != monomi.len() {
+        return false;
+    }
+    plain
+        .iter()
+        .zip(monomi.iter())
+        .all(|(p, m)| p.len() == m.len() && p.iter().zip(m.iter()).all(|(a, b)| values_close(a, b)))
+}
+
+#[test]
+fn monomi_matches_plaintext_on_tpch_workload() {
+    let plain = small_plain();
+    let workload = queries::workload();
+    let parsed: Vec<_> = workload
+        .iter()
+        .map(|q| parse_query(q.sql).expect("workload query parses"))
+        .collect();
+    let (client, outcome) =
+        MonomiClient::setup(&plain, &parsed, DesignStrategy::Designer, &fast_config())
+            .expect("setup succeeds");
+    assert!(outcome.setup_seconds >= 0.0);
+
+    // Check a representative subset covering each optimization class; the
+    // benchmark harnesses exercise the full workload.
+    for number in [1u32, 3, 4, 5, 6, 10, 12, 14, 18, 19, 22] {
+        let q = queries::query(number).expect("query exists");
+        let (expected, _) = plain
+            .execute_sql(q.sql, &q.params)
+            .unwrap_or_else(|e| panic!("plaintext Q{number} failed: {e}"));
+        let (got, timings) = client
+            .execute(q.sql, &q.params)
+            .unwrap_or_else(|e| panic!("MONOMI Q{number} failed: {e}"));
+        assert!(
+            rows_match(&expected.rows, &got.rows),
+            "Q{number}: plaintext {} rows vs MONOMI {} rows\nplaintext: {:?}\nmonomi: {:?}",
+            expected.rows.len(),
+            got.rows.len(),
+            expected.rows.iter().take(3).collect::<Vec<_>>(),
+            got.rows.iter().take(3).collect::<Vec<_>>(),
+        );
+        assert!(timings.total_seconds() >= 0.0);
+    }
+}
+
+#[test]
+fn encrypted_server_never_sees_plaintext_strings() {
+    let plain = small_plain();
+    let workload = queries::workload();
+    let parsed: Vec<_> = workload
+        .iter()
+        .map(|q| parse_query(q.sql).expect("workload query parses"))
+        .collect();
+    let (client, _) =
+        MonomiClient::setup(&plain, &parsed, DesignStrategy::Designer, &fast_config())
+            .expect("setup succeeds");
+    let enc = client.encrypted_database();
+    // No encrypted table may contain any of the well-known TPC-H categorical
+    // strings in the clear.
+    let sensitive = ["AIR", "BUILDING", "GERMANY", "PROMO", "1-URGENT"];
+    for table in enc.table_names() {
+        let t = enc.table(&table).unwrap();
+        for col in 0..t.schema().columns.len() {
+            for row in 0..t.row_count().min(50) {
+                if let Value::Str(s) = t.value(row, col) {
+                    for needle in sensitive {
+                        assert!(
+                            !s.contains(needle),
+                            "plaintext '{needle}' leaked in {table} column {col}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn space_budget_is_respected_and_orderings_hold() {
+    let plain = small_plain();
+    let workload = queries::workload();
+    let config = fast_config();
+    let monomi = baselines::build_system(baselines::SystemKind::Monomi, &plain, &workload, &config)
+        .expect("monomi setup");
+    let cryptdb = baselines::build_system(
+        baselines::SystemKind::CryptDbClient,
+        &plain,
+        &workload,
+        &config,
+    )
+    .expect("cryptdb setup");
+    let plain_bytes = plain.total_size_bytes();
+    let monomi_bytes = monomi.server_bytes(&plain);
+    let cryptdb_bytes = cryptdb.server_bytes(&plain);
+    // Table 2 ordering: plaintext < MONOMI < CryptDB+Client.
+    assert!(monomi_bytes > plain_bytes);
+    assert!(cryptdb_bytes > monomi_bytes);
+}
+
+#[test]
+fn baseline_systems_return_correct_answers_too() {
+    let plain = small_plain();
+    let workload = queries::workload();
+    let config = fast_config();
+    let network = NetworkModel::paper_default();
+    let greedy = baselines::build_system(
+        baselines::SystemKind::ExecutionGreedy,
+        &plain,
+        &workload,
+        &config,
+    )
+    .expect("greedy setup");
+    for number in [1u32, 6, 12] {
+        let q = queries::query(number).unwrap();
+        let (expected, _) = plain.execute_sql(q.sql, &q.params).unwrap();
+        let run = greedy.run(&plain, &q, &network).unwrap();
+        assert!(
+            rows_match(&expected.rows, &run.result.rows),
+            "Execution-Greedy Q{number} diverged"
+        );
+    }
+}
