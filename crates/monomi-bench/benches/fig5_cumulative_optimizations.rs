@@ -63,7 +63,10 @@ fn main() {
         },
     ];
 
-    println!("{:<26} {:>12} {:>16}", "configuration", "mean (s)", "geometric mean (s)");
+    println!(
+        "{:<26} {:>12} {:>16}",
+        "configuration", "mean (s)", "geometric mean (s)"
+    );
     for level in levels {
         let setup = baselines::build_system(level.kind, &exp.plain, &exp.workload, &exp.config)
             .expect("setup");
@@ -88,10 +91,14 @@ fn main() {
                 times.push(run.timings.total_seconds());
             }
         }
-        let mean = times.iter().sum::<f64>() / times.len().max(1) as f64;
-        let geo = (times.iter().map(|t| t.max(1e-9).ln()).sum::<f64>()
-            / times.len().max(1) as f64)
-            .exp();
+        if times.is_empty() {
+            // Every query at this level errored; don't fabricate means
+            // (exp(0/1) would print a nonexistent 1.000 s geometric mean).
+            println!("{:<26} {:>12} {:>16}", level.name, "n/a", "n/a");
+            continue;
+        }
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        let geo = (times.iter().map(|t| t.max(1e-9).ln()).sum::<f64>() / times.len() as f64).exp();
         println!("{:<26} {:>12.3} {:>16.3}", level.name, mean, geo);
     }
     println!("\n(Paper shape: each added technique reduces both means; the planner never hurts.)");

@@ -64,26 +64,41 @@ fn main() {
     };
     let all = PlanOptions::default();
 
-    println!("{:<34} {:>12} {:>12}", "optimization (query)", "before (s)", "after (s)");
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "optimization (query)", "before (s)", "after (s)"
+    );
     // Col packing: CryptDB-style per-column HOM vs grouped packing (Q1).
     let before = run_with(&cryptdb, &exp, 1, &no_precomp, true);
     let after = run_with(&greedy, &exp, 1, &no_precomp, true);
-    println!("{:<34} {:>12.3} {:>12.3}", "+Col packing (Q1)", before, after);
+    println!(
+        "{:<34} {:>12.3} {:>12.3}",
+        "+Col packing (Q1)", before, after
+    );
 
     // Precomputation: Q1 aggregates over expressions.
     let before = run_with(&greedy, &exp, 1, &no_precomp, true);
     let after = run_with(&greedy, &exp, 1, &with_precomp, true);
-    println!("{:<34} {:>12.3} {:>12.3}", "+Precomputation (Q1)", before, after);
+    println!(
+        "{:<34} {:>12.3} {:>12.3}",
+        "+Precomputation (Q1)", before, after
+    );
 
     // Precomputation also dominates Q5/Q14-style revenue expressions.
     let before = run_with(&greedy, &exp, 5, &no_precomp, true);
     let after = run_with(&greedy, &exp, 5, &with_precomp, true);
-    println!("{:<34} {:>12.3} {:>12.3}", "+Precomputation (Q5)", before, after);
+    println!(
+        "{:<34} {:>12.3} {:>12.3}",
+        "+Precomputation (Q5)", before, after
+    );
 
     // Pre-filtering: Q18's HAVING SUM(l_quantity) > k.
     let before = run_with(&greedy, &exp, 18, &with_precomp, true);
     let after = run_with(&greedy, &exp, 18, &all, true);
-    println!("{:<34} {:>12.3} {:>12.3}", "+Pre-filtering (Q18)", before, after);
+    println!(
+        "{:<34} {:>12.3} {:>12.3}",
+        "+Pre-filtering (Q18)", before, after
+    );
 
     // Planner: greedy push-everything vs cost-based plan for Q18.
     let before = run_with(&greedy, &exp, 18, &all, true);

@@ -5,13 +5,19 @@ use monomi_bench::{print_header, Experiment};
 use monomi_tpch::{baselines, baselines::SystemKind};
 
 fn main() {
-    print_header("Figure 7: client CPU time vs. local plaintext execution", "Figure 7");
+    print_header(
+        "Figure 7: client CPU time vs. local plaintext execution",
+        "Figure 7",
+    );
     let exp = Experiment::standard();
     let monomi =
         baselines::build_system(SystemKind::Monomi, &exp.plain, &exp.workload, &exp.config)
             .expect("monomi setup");
 
-    println!("{:<6} {:>16} {:>16} {:>10}", "query", "client CPU (s)", "local plain (s)", "ratio");
+    println!(
+        "{:<6} {:>16} {:>16} {:>10}",
+        "query", "client CPU (s)", "local plain (s)", "ratio"
+    );
     for q in &exp.workload {
         let plain_run = baselines::run_plaintext(&exp.plain, q, &exp.network).expect("plaintext");
         let monomi_run = match monomi.run(&exp.plain, q, &exp.network) {

@@ -47,7 +47,12 @@ fn main() {
                 Err(_) => total += f64::NAN,
             }
         }
-        println!("{:<22} {:>18.3} {:>22.3}", label, total, outcome.estimated_cost);
+        println!(
+            "{:<22} {:>18.3} {:>22.3}",
+            label, total, outcome.estimated_cost
+        );
     }
-    println!("\n(Paper shape: a few well-chosen queries reach the full-workload design's performance.)");
+    println!(
+        "\n(Paper shape: a few well-chosen queries reach the full-workload design's performance.)"
+    );
 }

@@ -6,7 +6,10 @@ use monomi_core::client::{ClientConfig, DesignStrategy, MonomiClient};
 use monomi_sql::parse_query;
 
 fn main() {
-    print_header("Figure 9: performance under a reduced space budget", "Figure 9");
+    print_header(
+        "Figure 9: performance under a reduced space budget",
+        "Figure 9",
+    );
     let exp = Experiment::standard();
     let parsed: Vec<_> = exp
         .workload
@@ -21,14 +24,20 @@ fn main() {
     ];
     let affected = [1u32, 6, 14, 18];
 
-    println!("{:<22} {}", "configuration", affected.map(|q| format!("{:>10}", format!("Q{q}(s)"))).join(""));
+    println!(
+        "{:<22} {}",
+        "configuration",
+        affected
+            .map(|q| format!("{:>10}", format!("Q{q}(s)")))
+            .join("")
+    );
     for (label, strategy, budget) in configs {
         let config = ClientConfig {
             space_budget: Some(budget),
             ..exp.config.clone()
         };
-        let (client, _) = MonomiClient::setup(&exp.plain, &parsed, strategy, &config)
-            .expect("setup");
+        let (client, _) =
+            MonomiClient::setup(&exp.plain, &parsed, strategy, &config).expect("setup");
         let mut row = format!("{label:<22}");
         for number in affected {
             let q = monomi_tpch::queries::query(number).expect("query");

@@ -8,7 +8,10 @@ fn main() {
     print_header("Table 2: server space requirements", "Table 2");
     let exp = Experiment::standard();
     let plain_bytes = exp.plain.total_size_bytes();
-    println!("{:<18} {:>12} {:>22}", "system", "size (MB)", "relative to plaintext");
+    println!(
+        "{:<18} {:>12} {:>22}",
+        "system", "size (MB)", "relative to plaintext"
+    );
     println!(
         "{:<18} {:>12.2} {:>22}",
         "Plaintext",
@@ -20,8 +23,8 @@ fn main() {
         SystemKind::ExecutionGreedy,
         SystemKind::Monomi,
     ] {
-        let setup = baselines::build_system(kind, &exp.plain, &exp.workload, &exp.config)
-            .expect("setup");
+        let setup =
+            baselines::build_system(kind, &exp.plain, &exp.workload, &exp.config).expect("setup");
         let bytes = setup.server_bytes(&exp.plain);
         println!(
             "{:<18} {:>12.2} {:>21.2}x",
@@ -38,5 +41,7 @@ fn main() {
             }
         }
     }
-    println!("\n(Paper: plaintext 17.1 GB, CryptDB+Client 4.21x, Execution-Greedy 1.90x, MONOMI 1.72x.)");
+    println!(
+        "\n(Paper: plaintext 17.1 GB, CryptDB+Client 4.21x, Execution-Greedy 1.90x, MONOMI 1.72x.)"
+    );
 }

@@ -5,7 +5,10 @@ use monomi_bench::{print_header, Experiment};
 use monomi_tpch::{baselines, baselines::SystemKind};
 
 fn main() {
-    print_header("Table 3: encryption schemes chosen per TPC-H column", "Table 3");
+    print_header(
+        "Table 3: encryption schemes chosen per TPC-H column",
+        "Table 3",
+    );
     let exp = Experiment::standard();
     let monomi =
         baselines::build_system(SystemKind::Monomi, &exp.plain, &exp.workload, &exp.config)
@@ -34,6 +37,10 @@ fn main() {
             summary.precomputed[2],
         );
     }
-    println!("\n(Numbers after '+' are precomputed expression columns, as in the paper's Table 3.)");
-    println!("(Paper shape: OPE is rare and concentrated in lineitem; no plaintext is ever stored.)");
+    println!(
+        "\n(Numbers after '+' are precomputed expression columns, as in the paper's Table 3.)"
+    );
+    println!(
+        "(Paper shape: OPE is rare and concentrated in lineitem; no plaintext is ever stored.)"
+    );
 }

@@ -70,7 +70,9 @@ impl DecryptProfile {
         }
         let rnd_seconds = start.elapsed().as_secs_f64() / rnd_ct.len() as f64;
 
-        let hom_ct: Vec<_> = (0..8u64).map(|i| paillier.encrypt_u64(&mut rng, i)).collect();
+        let hom_ct: Vec<_> = (0..8u64)
+            .map(|i| paillier.encrypt_u64(&mut rng, i))
+            .collect();
         let start = Instant::now();
         for c in &hom_ct {
             std::hint::black_box(paillier.decrypt(c));
@@ -216,9 +218,7 @@ impl<'a> CostModel<'a> {
                 }
                 DecryptSpec::GroupValues { ty, .. } => {
                     let per_value = match ty {
-                        monomi_engine::ColumnType::Str => {
-                            (32.0, self.profile.det_str_seconds)
-                        }
+                        monomi_engine::ColumnType::Str => (32.0, self.profile.det_str_seconds),
                         _ => (8.0, self.profile.det_int_seconds),
                     };
                     row_bytes += per_value.0 * rows_per_group;
@@ -271,7 +271,7 @@ pub fn bind_params(query: &Query, params: &[Value]) -> Query {
     if let Some(w) = &q.where_clause {
         q.where_clause = Some(bind_expr(w));
     }
-    q.group_by = q.group_by.iter().map(|g| bind_expr(g)).collect();
+    q.group_by = q.group_by.iter().map(&bind_expr).collect();
     if let Some(h) = &q.having {
         q.having = Some(bind_expr(h));
     }

@@ -9,9 +9,7 @@
 use crate::schemes::EncScheme;
 use crate::CoreError;
 use monomi_crypto::{MasterKey, PaillierKey};
-use monomi_engine::{
-    ColumnDef, ColumnType, Database, EvalContext, RowSchema, TableSchema, Value,
-};
+use monomi_engine::{ColumnDef, ColumnType, Database, EvalContext, RowSchema, TableSchema, Value};
 use monomi_math::BigUint;
 use monomi_sql::ast::{ColumnRef, Expr};
 use rand::rngs::StdRng;
@@ -58,7 +56,10 @@ impl ColumnDesign {
     /// The weakest (most-revealing) scheme materialized, for the security
     /// summary of Table 3.
     pub fn weakest_scheme(&self) -> Option<EncScheme> {
-        self.schemes.iter().copied().max_by_key(|s| s.strength_rank())
+        self.schemes
+            .iter()
+            .copied()
+            .max_by_key(|s| s.strength_rank())
     }
 }
 
@@ -105,7 +106,10 @@ impl TableDesign {
         }
         let base_name = match &source {
             Expr::Column(c) => c.column.to_lowercase(),
-            _ => format!("precomp_{}", self.columns.iter().filter(|c| c.is_precomputed()).count()),
+            _ => format!(
+                "precomp_{}",
+                self.columns.iter().filter(|c| c.is_precomputed()).count()
+            ),
         };
         let mut schemes = std::collections::BTreeSet::new();
         schemes.insert(scheme);
@@ -180,7 +184,9 @@ impl PhysicalDesign {
                 let source = Expr::Column(ColumnRef::new(col.name.to_lowercase()));
                 let default_scheme = match col.ty {
                     ColumnType::Int | ColumnType::Date => EncScheme::Det,
-                    ColumnType::Str if col.name.to_lowercase().contains("comment") => EncScheme::Rnd,
+                    ColumnType::Str if col.name.to_lowercase().contains("comment") => {
+                        EncScheme::Rnd
+                    }
                     ColumnType::Str => EncScheme::Det,
                     _ => EncScheme::Rnd,
                 };
@@ -222,9 +228,10 @@ impl PhysicalDesign {
                         continue;
                     }
                     let ty = match (scheme, cd.ty) {
-                        (EncScheme::Det, ColumnType::Int | ColumnType::Date | ColumnType::Float) => {
-                            ColumnType::Int
-                        }
+                        (
+                            EncScheme::Det,
+                            ColumnType::Int | ColumnType::Date | ColumnType::Float,
+                        ) => ColumnType::Int,
                         (EncScheme::Det, _) => ColumnType::Bytes,
                         _ => ColumnType::Bytes,
                     };
@@ -265,9 +272,7 @@ impl PhysicalDesign {
                             Expr::Column(c) => table
                                 .schema()
                                 .column_index(&c.column)
-                                .map(|i| {
-                                    (table.column_size_bytes(i) / rows.max(1)).max(1)
-                                })
+                                .map(|i| (table.column_size_bytes(i) / rows.max(1)).max(1))
                                 .unwrap_or(24),
                             _ => 24,
                         }
@@ -461,14 +466,18 @@ impl Encryptor {
             EncScheme::Det => match cd.ty {
                 ColumnType::Int | ColumnType::Date | ColumnType::Float => {
                     let u = Self::plain_to_u64(v, cd.ty, false)?;
-                    let fpe = self.master.det_int("shared", &Self::det_label(table, &cd.base_name), 64);
+                    let fpe =
+                        self.master
+                            .det_int("shared", &Self::det_label(table, &cd.base_name), 64);
                     Ok(Value::Int(fpe.encrypt(u) as i64))
                 }
                 _ => {
                     let s = v
                         .as_str()
                         .ok_or_else(|| CoreError::new("DET of non-string value"))?;
-                    let det = self.master.det_bytes("shared", &Self::det_label(table, &cd.base_name));
+                    let det = self
+                        .master
+                        .det_bytes("shared", &Self::det_label(table, &cd.base_name));
                     Ok(Value::Bytes(det.encrypt(s.as_bytes())))
                 }
             },
@@ -552,7 +561,9 @@ impl Encryptor {
                     let ct = v
                         .as_int()
                         .ok_or_else(|| CoreError::new("DET int ciphertext must be an integer"))?;
-                    let fpe = self.master.det_int("shared", &Self::det_label(table, &cd.base_name), 64);
+                    let fpe =
+                        self.master
+                            .det_int("shared", &Self::det_label(table, &cd.base_name), 64);
                     let plain = fpe.decrypt(ct as u64);
                     Ok(decode_int(plain, cd.ty))
                 }
@@ -560,7 +571,9 @@ impl Encryptor {
                     let bytes = v
                         .as_bytes()
                         .ok_or_else(|| CoreError::new("DET string ciphertext must be bytes"))?;
-                    let det = self.master.det_bytes("shared", &Self::det_label(table, &cd.base_name));
+                    let det = self
+                        .master
+                        .det_bytes("shared", &Self::det_label(table, &cd.base_name));
                     let plain = det.decrypt(bytes);
                     Ok(Value::Str(String::from_utf8_lossy(&plain).into_owned()))
                 }
@@ -669,8 +682,9 @@ impl Encryptor {
                         continue;
                     }
                     // Find the (base, scheme) this encrypted column encodes.
-                    let (base, scheme) = parse_enc_name(&enc_col.name)
-                        .ok_or_else(|| CoreError::new(format!("bad enc column {}", enc_col.name)))?;
+                    let (base, scheme) = parse_enc_name(&enc_col.name).ok_or_else(|| {
+                        CoreError::new(format!("bad enc column {}", enc_col.name))
+                    })?;
                     let cd = td
                         .find_base(&base)
                         .ok_or_else(|| CoreError::new(format!("no design for {base}")))?;
@@ -807,7 +821,9 @@ mod tests {
             td.add(Expr::col("o_comment"), ColumnType::Str, EncScheme::Search);
             td.add(Expr::col("o_comment"), ColumnType::Str, EncScheme::Rnd);
             // A precomputed expression: o_totalprice * 2.
-            let pre = parse_query("SELECT o_totalprice * 2 FROM orders").unwrap().projections[0]
+            let pre = parse_query("SELECT o_totalprice * 2 FROM orders")
+                .unwrap()
+                .projections[0]
                 .expr
                 .clone();
             td.add(pre, ColumnType::Int, EncScheme::Hom);
@@ -860,16 +876,24 @@ mod tests {
             .unwrap();
         assert_ne!(ct, Value::Int(5));
         assert_eq!(
-            enc.decrypt_value("orders", key_cd, EncScheme::Det, &ct).unwrap(),
+            enc.decrypt_value("orders", key_cd, EncScheme::Det, &ct)
+                .unwrap(),
             Value::Int(5)
         );
 
         let date_cd = td.find_base("o_orderdate").unwrap();
         let dct = enc
-            .encrypt_value("orders", date_cd, EncScheme::Det, &Value::Date(8005), &mut rng)
+            .encrypt_value(
+                "orders",
+                date_cd,
+                EncScheme::Det,
+                &Value::Date(8005),
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(
-            enc.decrypt_value("orders", date_cd, EncScheme::Det, &dct).unwrap(),
+            enc.decrypt_value("orders", date_cd, EncScheme::Det, &dct)
+                .unwrap(),
             Value::Date(8005)
         );
 
@@ -884,16 +908,24 @@ mod tests {
             )
             .unwrap();
         assert_eq!(
-            enc.decrypt_value("orders", comment_cd, EncScheme::Rnd, &rct).unwrap(),
+            enc.decrypt_value("orders", comment_cd, EncScheme::Rnd, &rct)
+                .unwrap(),
             Value::Str("hello".into())
         );
 
         let price_cd = td.find_base("o_totalprice").unwrap();
         let hct = enc
-            .encrypt_value("orders", price_cd, EncScheme::Hom, &Value::Int(123), &mut rng)
+            .encrypt_value(
+                "orders",
+                price_cd,
+                EncScheme::Hom,
+                &Value::Int(123),
+                &mut rng,
+            )
             .unwrap();
         assert_eq!(
-            enc.decrypt_value("orders", price_cd, EncScheme::Hom, &hct).unwrap(),
+            enc.decrypt_value("orders", price_cd, EncScheme::Hom, &hct)
+                .unwrap(),
             Value::Int(123)
         );
     }

@@ -129,10 +129,7 @@ impl<'a> Designer<'a> {
         }
 
         // Incremental size of each pair beyond the baseline.
-        let pair_sizes: Vec<f64> = all_pairs
-            .iter()
-            .map(|p| self.pair_size_bytes(p))
-            .collect();
+        let pair_sizes: Vec<f64> = all_pairs.iter().map(|p| self.pair_size_bytes(p)).collect();
 
         let problem = ilp::DesignProblem {
             per_query,
@@ -188,7 +185,7 @@ impl<'a> Designer<'a> {
                             EncScheme::Det => 8.0,
                         };
                         let size = width * rows;
-                        if best.as_ref().map_or(true, |(_, _, _, s)| size > *s) {
+                        if best.as_ref().is_none_or(|(_, _, _, s)| size > *s) {
                             best = Some((td.table.clone(), cd.base_name.clone(), *scheme, size));
                         }
                     }

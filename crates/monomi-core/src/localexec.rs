@@ -176,16 +176,24 @@ impl<'a> SplitExecutor<'a> {
                         let cd = design
                             .table(table)
                             .and_then(|t| t.find_base(base))
-                            .ok_or_else(|| CoreError::new(format!("missing design for {table}.{base}")))?;
+                            .ok_or_else(|| {
+                                CoreError::new(format!("missing design for {table}.{base}"))
+                            })?;
                         self.encryptor.decrypt_value(table, cd, *scheme, v)?
                     }
                     DecryptSpec::HomSum { table, base, .. } => {
                         let cd = design
                             .table(table)
                             .and_then(|t| t.find_base(base))
-                            .ok_or_else(|| CoreError::new(format!("missing design for {table}.{base}")))?;
-                        self.encryptor
-                            .decrypt_value(table, cd, crate::schemes::EncScheme::Hom, v)?
+                            .ok_or_else(|| {
+                                CoreError::new(format!("missing design for {table}.{base}"))
+                            })?;
+                        self.encryptor.decrypt_value(
+                            table,
+                            cd,
+                            crate::schemes::EncScheme::Hom,
+                            v,
+                        )?
                     }
                     DecryptSpec::HomGroupSum { table, base, ty } => {
                         let td = design
@@ -206,7 +214,9 @@ impl<'a> SplitExecutor<'a> {
                         let cd = design
                             .table(table)
                             .and_then(|t| t.find_base(base))
-                            .ok_or_else(|| CoreError::new(format!("missing design for {table}.{base}")))?;
+                            .ok_or_else(|| {
+                                CoreError::new(format!("missing design for {table}.{base}"))
+                            })?;
                         let list = match v {
                             Value::List(items) => items.clone(),
                             Value::Null => Vec::new(),
@@ -363,43 +373,44 @@ impl<'a> SplitExecutor<'a> {
         }
 
         // 4. Projection.
-        let (columns, mut projected): (Vec<String>, Vec<(Vec<Value>, Vec<Value>)>) =
-            if rp.projections.is_empty() {
-                // Table-fetch plan: output the environment columns directly.
-                let columns = final_keys
-                    .iter()
-                    .map(|k| match k {
-                        Expr::Column(c) => c.column.clone(),
-                        other => other.to_string(),
-                    })
-                    .collect();
-                (
-                    columns,
-                    final_rows.into_iter().map(|r| (r, Vec::new())).collect(),
-                )
-            } else {
-                let columns = rp
-                    .projections
-                    .iter()
-                    .enumerate()
-                    .map(|(i, p)| p.output_name(i))
-                    .collect();
-                let mut out = Vec::with_capacity(final_rows.len());
-                for row in &final_rows {
-                    let mut proj = Vec::with_capacity(rp.projections.len());
-                    for p in &rp.projections {
-                        proj.push(eval_final(&p.expr, row)?);
-                    }
-                    // Sort keys.
-                    let mut sort_keys = Vec::with_capacity(rp.order_by.len());
-                    for ob in &rp.order_by {
-                        let key = resolve_order_key(ob, rp, &proj, row, &eval_final)?;
-                        sort_keys.push(key);
-                    }
-                    out.push((proj, sort_keys));
+        // Each projected row carries its ORDER BY sort key alongside the values.
+        type KeyedRows = Vec<(Vec<Value>, Vec<Value>)>;
+        let (columns, mut projected): (Vec<String>, KeyedRows) = if rp.projections.is_empty() {
+            // Table-fetch plan: output the environment columns directly.
+            let columns = final_keys
+                .iter()
+                .map(|k| match k {
+                    Expr::Column(c) => c.column.clone(),
+                    other => other.to_string(),
+                })
+                .collect();
+            (
+                columns,
+                final_rows.into_iter().map(|r| (r, Vec::new())).collect(),
+            )
+        } else {
+            let columns = rp
+                .projections
+                .iter()
+                .enumerate()
+                .map(|(i, p)| p.output_name(i))
+                .collect();
+            let mut out = Vec::with_capacity(final_rows.len());
+            for row in &final_rows {
+                let mut proj = Vec::with_capacity(rp.projections.len());
+                for p in &rp.projections {
+                    proj.push(eval_final(&p.expr, row)?);
                 }
-                (columns, out)
-            };
+                // Sort keys.
+                let mut sort_keys = Vec::with_capacity(rp.order_by.len());
+                for ob in &rp.order_by {
+                    let key = resolve_order_key(ob, rp, &proj, row, &eval_final)?;
+                    sort_keys.push(key);
+                }
+                out.push((proj, sort_keys));
+            }
+            (columns, out)
+        };
 
         // 5. DISTINCT.
         if rp.distinct {
@@ -444,7 +455,7 @@ fn resolve_order_key(
             if let Some(pos) = rp.projections.iter().position(|p| {
                 p.alias
                     .as_deref()
-                    .map_or(false, |a| a.eq_ignore_ascii_case(&c.column))
+                    .is_some_and(|a| a.eq_ignore_ascii_case(&c.column))
             }) {
                 return Ok(projected[pos].clone());
             }
@@ -527,7 +538,9 @@ fn substitute_env(expr: &Expr, keys: &[Expr]) -> Expr {
                 .iter()
                 .map(|(w, t)| (substitute_env(w, keys), substitute_env(t, keys)))
                 .collect(),
-            else_expr: else_expr.as_ref().map(|e| Box::new(substitute_env(e, keys))),
+            else_expr: else_expr
+                .as_ref()
+                .map(|e| Box::new(substitute_env(e, keys))),
         },
         Expr::Like {
             expr,
@@ -627,8 +640,16 @@ fn fold_group(values: Vec<Value>, agg: Option<AggFunc>, distinct: bool) -> Value
     let non_null: Vec<&Value> = values.iter().filter(|v| !v.is_null()).collect();
     match agg {
         AggFunc::Count => Value::Int(non_null.len() as i64),
-        AggFunc::Min => non_null.iter().min().map(|v| (*v).clone()).unwrap_or(Value::Null),
-        AggFunc::Max => non_null.iter().max().map(|v| (*v).clone()).unwrap_or(Value::Null),
+        AggFunc::Min => non_null
+            .iter()
+            .min()
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null),
+        AggFunc::Max => non_null
+            .iter()
+            .max()
+            .map(|v| (*v).clone())
+            .unwrap_or(Value::Null),
         AggFunc::Sum | AggFunc::Avg => {
             if non_null.is_empty() {
                 return Value::Null;

@@ -89,6 +89,9 @@ pub struct RemotePlan {
 }
 
 /// A split execution plan.
+// `Client` embeds a full `Query` inline; plans are built once per query and
+// never stored in bulk, so boxing it would cost indirection for no gain.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq)]
 pub enum SplitPlan {
     /// Algorithm-1 style: one server query plus local operators.
@@ -113,10 +116,9 @@ impl SplitPlan {
                     .map(|(_, p)| p.remote_query_count())
                     .sum::<usize>()
             }
-            SplitPlan::Client { children, .. } => children
-                .iter()
-                .map(|(_, p)| p.remote_query_count())
-                .sum(),
+            SplitPlan::Client { children, .. } => {
+                children.iter().map(|(_, p)| p.remote_query_count()).sum()
+            }
         }
     }
 
@@ -139,7 +141,11 @@ impl SplitPlan {
                 let mut parts = vec![format!(
                     "RemoteSQL[{} outputs{}]",
                     rp.outputs.len(),
-                    if rp.server_grouped { ", server GROUP BY" } else { "" }
+                    if rp.server_grouped {
+                        ", server GROUP BY"
+                    } else {
+                        ""
+                    }
                 )];
                 if !rp.local_filters.is_empty() {
                     parts.push(format!("LocalFilter×{}", rp.local_filters.len()));
@@ -415,8 +421,9 @@ fn generate_remote_plan(
             let mut failed = false;
             let mut subs: Vec<Query> = Vec::new();
             conj.walk(&mut |node| match node {
-                Expr::InSubquery { subquery, .. }
-                | Expr::Exists { subquery, .. } => subs.push((**subquery).clone()),
+                Expr::InSubquery { subquery, .. } | Expr::Exists { subquery, .. } => {
+                    subs.push((**subquery).clone())
+                }
                 Expr::ScalarSubquery(subquery) => subs.push((**subquery).clone()),
                 _ => {}
             });
@@ -561,20 +568,23 @@ fn generate_remote_plan(
         // Group keys must be fetched (decryptable) so the client can produce
         // the final projection.
         for key in &query.group_by {
-            let spec = rewriter.fetch_source(key).or_else(|| {
-                // Fall back to fetching the underlying columns.
-                None
-            });
-            match spec {
+            match rewriter.fetch_source(key) {
                 Some(spec) => add_fetch(&mut outputs, &spec, normalize_expr(key)),
                 None => {
+                    // Fall back to fetching the underlying columns.
                     fetch_exprs_for(&mut outputs, key)?;
                 }
             }
         }
-        let needs_count = needed_aggregates
-            .iter()
-            .any(|a| matches!(a, Expr::Aggregate { func: AggFunc::Avg, .. }));
+        let needs_count = needed_aggregates.iter().any(|a| {
+            matches!(
+                a,
+                Expr::Aggregate {
+                    func: AggFunc::Avg,
+                    ..
+                }
+            )
+        });
         for agg in &needed_aggregates {
             let out = plan_aggregate(&rewriter, agg, options)?;
             if !outputs.iter().any(|o| o.source == out.source) {
@@ -640,10 +650,11 @@ fn generate_remote_plan(
             }
             if let Expr::Column(c) = &o.expr {
                 // Alias of a projection: already available.
-                let is_alias = query
-                    .projections
-                    .iter()
-                    .any(|p| p.alias.as_deref().map_or(false, |a| a.eq_ignore_ascii_case(&c.column)));
+                let is_alias = query.projections.iter().any(|p| {
+                    p.alias
+                        .as_deref()
+                        .is_some_and(|a| a.eq_ignore_ascii_case(&c.column))
+                });
                 if is_alias {
                     continue;
                 }
@@ -909,7 +920,9 @@ fn prefilter_for(rewriter: &Rewriter<'_>, having: &Expr, plain: &Database) -> Op
     let enc_m_expr = match enc_m {
         Value::Bytes(b) => Expr::Function {
             name: "hex_bytes".into(),
-            args: vec![Expr::Literal(Literal::String(monomi_engine::encode_hex(&b)))],
+            args: vec![Expr::Literal(Literal::String(monomi_engine::encode_hex(
+                &b,
+            )))],
         },
         Value::Int(i) => Expr::Literal(Literal::Number(i.to_string())),
         _ => return None,
@@ -927,7 +940,10 @@ fn prefilter_for(rewriter: &Rewriter<'_>, having: &Expr, plain: &Database) -> Op
     }
     .binop(
         BinaryOp::Gt,
-        Expr::Literal(Literal::Number(format!("{}", (threshold / m).floor() as i64))),
+        Expr::Literal(Literal::Number(format!(
+            "{}",
+            (threshold / m).floor() as i64
+        ))),
     );
     Some(max_clause.binop(BinaryOp::Or, count_clause))
 }

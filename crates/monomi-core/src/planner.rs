@@ -388,11 +388,7 @@ impl<'a> Planner<'a> {
     }
 
     /// Chooses the best plan for a query given a fixed design (runtime use).
-    pub fn best_plan(
-        &self,
-        query: &Query,
-        encryptor: &Encryptor,
-    ) -> (SplitPlan, CostBreakdown) {
+    pub fn best_plan(&self, query: &Query, encryptor: &Encryptor) -> (SplitPlan, CostBreakdown) {
         let cost_model = CostModel {
             plain: self.plain,
             profile: self.profile,

@@ -82,7 +82,10 @@ impl QueryScope {
     /// Infers the logical type of an expression.
     pub fn infer_type(&self, expr: &Expr) -> ColumnType {
         match expr {
-            Expr::Column(c) => self.resolve(c).map(|(_, _, t)| t).unwrap_or(ColumnType::Int),
+            Expr::Column(c) => self
+                .resolve(c)
+                .map(|(_, _, t)| t)
+                .unwrap_or(ColumnType::Int),
             Expr::Literal(Literal::Number(n)) => {
                 if n.contains('.') {
                     ColumnType::Float
@@ -125,7 +128,9 @@ impl QueryScope {
                 .map(|(_, t)| self.infer_type(t))
                 .or_else(|| else_expr.as_ref().map(|e| self.infer_type(e)))
                 .unwrap_or(ColumnType::Int),
-            Expr::Function { name, .. } if name == "substring" || name == "substr" => ColumnType::Str,
+            Expr::Function { name, .. } if name == "substring" || name == "substr" => {
+                ColumnType::Str
+            }
             Expr::UnaryOp { expr, .. } => self.infer_type(expr),
             _ => ColumnType::Int,
         }
@@ -223,12 +228,17 @@ impl<'a> Rewriter<'a> {
         })
     }
 
-    fn encrypt_constant(&self, spec: &FetchSpecLike<'_>, scheme: EncScheme, v: &Value) -> Option<Expr> {
-        let td = self.design.table(&spec.table)?;
-        let cd = td.find_base(&spec.base)?;
+    fn encrypt_constant(
+        &self,
+        spec: &FetchSpecLike<'_>,
+        scheme: EncScheme,
+        v: &Value,
+    ) -> Option<Expr> {
+        let td = self.design.table(spec.table)?;
+        let cd = td.find_base(spec.base)?;
         let ct = self
             .encryptor
-            .encrypt_constant(&spec.table, cd, scheme, v)
+            .encrypt_constant(spec.table, cd, scheme, v)
             .ok()?;
         Some(match ct {
             Value::Int(i) => Expr::Literal(Literal::Number(i.to_string())),
@@ -270,12 +280,7 @@ impl<'a> Rewriter<'a> {
                 high,
                 negated,
             } => {
-                let ge = self.rewrite_comparison(
-                    expr,
-                    inner,
-                    BinaryOp::GtEq,
-                    low,
-                )?;
+                let ge = self.rewrite_comparison(expr, inner, BinaryOp::GtEq, low)?;
                 let le = self.rewrite_comparison(expr, inner, BinaryOp::LtEq, high)?;
                 let both = ge.binop(BinaryOp::And, le);
                 Some(if *negated {
@@ -347,7 +352,10 @@ impl<'a> Rewriter<'a> {
                     call
                 })
             }
-            Expr::IsNull { expr: inner, negated } => {
+            Expr::IsNull {
+                expr: inner,
+                negated,
+            } => {
                 let spec = self.fetch_source(inner)?;
                 Some(Expr::IsNull {
                     expr: Box::new(Expr::col(spec.enc_column)),
@@ -502,11 +510,7 @@ fn normalize_in_place(expr: &mut Expr) {
             normalize_in_place(right);
         }
         Expr::UnaryOp { expr, .. } => normalize_in_place(expr),
-        Expr::Aggregate { arg, .. } => {
-            if let Some(a) = arg {
-                normalize_in_place(a);
-            }
-        }
+        Expr::Aggregate { arg: Some(a), .. } => normalize_in_place(a),
         Expr::Function { args, .. } => {
             for a in args {
                 normalize_in_place(a);

@@ -147,7 +147,10 @@ mod tests {
     fn leakage_ordering() {
         assert!(EncScheme::Rnd.strength_rank() < EncScheme::Det.strength_rank());
         assert!(EncScheme::Det.strength_rank() < EncScheme::Ope.strength_rank());
-        assert_eq!(EncScheme::Hom.strength_rank(), EncScheme::Rnd.strength_rank());
+        assert_eq!(
+            EncScheme::Hom.strength_rank(),
+            EncScheme::Rnd.strength_rank()
+        );
     }
 
     #[test]

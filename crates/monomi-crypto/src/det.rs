@@ -15,6 +15,7 @@
 //!   strings (used for VARCHAR columns), padded to the AES block size.
 
 use crate::aes::Aes128;
+use crate::padding::{pkcs7_pad, pkcs7_unpad};
 use crate::sha256::derive_key;
 
 /// Number of Feistel rounds for the format-preserving cipher. NIST recommends
@@ -184,7 +185,7 @@ impl DetBytes {
     /// Decrypts a ciphertext produced by [`encrypt`](Self::encrypt).
     pub fn decrypt(&self, ciphertext: &[u8]) -> Vec<u8> {
         assert!(
-            !ciphertext.is_empty() && ciphertext.len() % 16 == 0,
+            !ciphertext.is_empty() && ciphertext.len().is_multiple_of(16),
             "DET ciphertext must be a positive multiple of 16 bytes"
         );
         let mut data = ciphertext.to_vec();
@@ -229,22 +230,6 @@ impl DetBytes {
     }
 }
 
-fn pkcs7_pad(data: &[u8]) -> Vec<u8> {
-    let pad_len = 16 - (data.len() % 16);
-    let mut out = data.to_vec();
-    out.extend(std::iter::repeat(pad_len as u8).take(pad_len));
-    out
-}
-
-fn pkcs7_unpad(data: &[u8]) -> Vec<u8> {
-    let pad_len = *data.last().expect("empty padded data") as usize;
-    assert!(
-        pad_len >= 1 && pad_len <= 16 && pad_len <= data.len(),
-        "invalid padding"
-    );
-    data[..data.len() - pad_len].to_vec()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -253,7 +238,11 @@ mod tests {
     fn fpe_roundtrip_various_widths() {
         for bits in [2u32, 8, 13, 16, 31, 32, 33, 48, 63, 64] {
             let fpe = FormatPreservingCipher::new(b"fpe-test-key-016", bits);
-            let max = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
+            let max = if bits == 64 {
+                u64::MAX
+            } else {
+                (1u64 << bits) - 1
+            };
             for v in [0u64, 1, 2, max / 3, max / 2, max] {
                 let c = fpe.encrypt(v);
                 if bits < 64 {

@@ -21,6 +21,7 @@ pub mod det;
 pub mod keys;
 pub mod ope;
 pub mod packing;
+pub(crate) mod padding;
 pub mod paillier;
 pub mod rnd;
 pub mod search;

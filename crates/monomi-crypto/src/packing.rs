@@ -75,7 +75,7 @@ impl PackingLayout {
 
     /// Number of ciphertexts required for `rows` rows.
     pub fn ciphertexts_for(&self, rows: usize) -> usize {
-        (rows + self.rows_per_ciphertext - 1) / self.rows_per_ciphertext
+        rows.div_ceil(self.rows_per_ciphertext)
     }
 }
 
@@ -142,10 +142,10 @@ impl<'a> PackedEncryptor<'a> {
         let slot_bits = self.layout.slot_bits() as usize;
         let mut sums = vec![0u128; self.layout.columns];
         for row_idx in 0..self.layout.rows_per_ciphertext {
-            for col_idx in 0..self.layout.columns {
+            for (col_idx, sum) in sums.iter_mut().enumerate() {
                 let offset = self.layout.slot_offset(row_idx, col_idx) as usize;
                 let slot = plaintext.shr(offset).low_bits(slot_bits);
-                sums[col_idx] += slot.to_u128().expect("slot exceeds 128 bits");
+                *sum += slot.to_u128().expect("slot exceeds 128 bits");
             }
         }
         sums

@@ -1,0 +1,44 @@
+//! PKCS#7 padding for the AES-block-based ciphers (DET bytes and RND),
+//! shared so the pad/unpad pair cannot diverge between schemes.
+
+/// Pads `data` to a multiple of 16 bytes; always adds at least one byte.
+pub(crate) fn pkcs7_pad(data: &[u8]) -> Vec<u8> {
+    let pad_len = 16 - (data.len() % 16);
+    let mut out = data.to_vec();
+    out.extend(std::iter::repeat_n(pad_len as u8, pad_len));
+    out
+}
+
+/// Strips PKCS#7 padding; panics on malformed input (these ciphers only ever
+/// unpad data they produced themselves, so malformed padding is a logic bug,
+/// not an input error).
+pub(crate) fn pkcs7_unpad(data: &[u8]) -> Vec<u8> {
+    let pad_len = *data.last().expect("empty padded data") as usize;
+    assert!(
+        (1..=16).contains(&pad_len) && pad_len <= data.len(),
+        "invalid padding"
+    );
+    data[..data.len() - pad_len].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_all_lengths() {
+        for len in 0..=48 {
+            let data: Vec<u8> = (0..len as u8).collect();
+            let padded = pkcs7_pad(&data);
+            assert_eq!(padded.len() % 16, 0);
+            assert!(padded.len() > data.len(), "padding must always add bytes");
+            assert_eq!(pkcs7_unpad(&padded), data);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid padding")]
+    fn rejects_invalid_padding() {
+        pkcs7_unpad(&[0u8; 16]);
+    }
+}

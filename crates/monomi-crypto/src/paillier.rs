@@ -110,7 +110,7 @@ impl PaillierKey {
 
     /// Ciphertext size in bytes (fixed-width encoding).
     pub fn ciphertext_bytes(&self) -> usize {
-        (self.n_squared.bits() + 7) / 8
+        self.n_squared.bits().div_ceil(8)
     }
 
     /// Encrypts a plaintext (must be `< n`).
@@ -160,7 +160,9 @@ impl PaillierKey {
 
     /// Homomorphic addition of a plaintext constant.
     pub fn add_plaintext(&self, c: &BigUint, k: &BigUint) -> BigUint {
-        let g_k = BigUint::one().add(&k.rem(&self.n).mul(&self.n)).rem(&self.n_squared);
+        let g_k = BigUint::one()
+            .add(&k.rem(&self.n).mul(&self.n))
+            .rem(&self.n_squared);
         self.ctx_n2.mul_mod(c, &g_k)
     }
 
@@ -239,7 +241,10 @@ mod tests {
         let key = test_key();
         let mut rng = StdRng::seed_from_u64(4);
         let values: Vec<u64> = (1..=50).collect();
-        let cts: Vec<BigUint> = values.iter().map(|&v| key.encrypt_u64(&mut rng, v)).collect();
+        let cts: Vec<BigUint> = values
+            .iter()
+            .map(|&v| key.encrypt_u64(&mut rng, v))
+            .collect();
         let sum_ct = key.sum_ciphertexts(&cts);
         assert_eq!(key.decrypt_u64(&sum_ct), values.iter().sum::<u64>());
     }

@@ -3,6 +3,7 @@
 //! length — and is used for columns that never need server-side computation.
 
 use crate::aes::Aes128;
+use crate::padding::{pkcs7_pad, pkcs7_unpad};
 use crate::sha256::derive_key;
 use rand::Rng;
 
@@ -57,7 +58,7 @@ impl RndCipher {
     /// Decrypts a ciphertext produced by [`encrypt`](Self::encrypt).
     pub fn decrypt(&self, ciphertext: &[u8]) -> Vec<u8> {
         assert!(
-            ciphertext.len() >= 32 && ciphertext.len() % 16 == 0,
+            ciphertext.len() >= 32 && ciphertext.len().is_multiple_of(16),
             "RND ciphertext must be IV + at least one block"
         );
         let iv: [u8; 16] = ciphertext[..16].try_into().unwrap();
@@ -76,22 +77,6 @@ impl RndCipher {
         }
         pkcs7_unpad(&out)
     }
-}
-
-fn pkcs7_pad(data: &[u8]) -> Vec<u8> {
-    let pad_len = 16 - (data.len() % 16);
-    let mut out = data.to_vec();
-    out.extend(std::iter::repeat(pad_len as u8).take(pad_len));
-    out
-}
-
-fn pkcs7_unpad(data: &[u8]) -> Vec<u8> {
-    let pad_len = *data.last().expect("empty padded data") as usize;
-    assert!(
-        pad_len >= 1 && pad_len <= 16 && pad_len <= data.len(),
-        "invalid padding"
-    );
-    data[..data.len() - pad_len].to_vec()
 }
 
 #[cfg(test)]

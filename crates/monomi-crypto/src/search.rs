@@ -77,7 +77,10 @@ impl SearchCiphertext {
 
     /// Deserializes from bytes.
     pub fn from_bytes(bytes: &[u8]) -> Self {
-        assert!(bytes.len() % 16 == 0, "malformed search ciphertext");
+        assert!(
+            bytes.len().is_multiple_of(16),
+            "malformed search ciphertext"
+        );
         let tokens = bytes
             .chunks_exact(16)
             .map(|c| {

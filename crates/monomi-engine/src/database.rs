@@ -207,7 +207,10 @@ mod tests {
     fn filter_and_projection() {
         let db = sample_db();
         let (rs, stats) = db
-            .execute_sql("SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice > 700", &[])
+            .execute_sql(
+                "SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice > 700",
+                &[],
+            )
             .unwrap();
         assert!(rs.rows.iter().all(|r| r[1].as_int().unwrap() > 700));
         assert!(!rs.is_empty());

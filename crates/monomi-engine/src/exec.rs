@@ -112,7 +112,7 @@ fn execute_inner(
         let mut seen = std::collections::HashSet::new();
         let mut kept_rows = Vec::new();
         let mut kept_keys = Vec::new();
-        for (row, key) in output.rows.into_iter().zip(output.sort_keys.into_iter()) {
+        for (row, key) in output.rows.into_iter().zip(output.sort_keys) {
             if seen.insert(row.clone()) {
                 kept_rows.push(row);
                 kept_keys.push(key);
@@ -124,11 +124,8 @@ fn execute_inner(
 
     // 4. ORDER BY.
     if !query.order_by.is_empty() {
-        let mut indexed: Vec<(Vec<Value>, Vec<Value>)> = output
-            .sort_keys
-            .into_iter()
-            .zip(output.rows.into_iter())
-            .collect();
+        let mut indexed: Vec<(Vec<Value>, Vec<Value>)> =
+            output.sort_keys.into_iter().zip(output.rows).collect();
         indexed.sort_by(|(ka, _), (kb, _)| {
             for (i, ob) in query.order_by.iter().enumerate() {
                 let ord = ka[i].compare(&kb[i]);
@@ -161,10 +158,13 @@ struct ProjectedRows {
     sort_keys: Vec<Vec<Value>>,
 }
 
+/// An outer row visible to a correlated subquery: its schema and values.
+type OuterRow<'s, 'v> = Option<(&'s RowSchema, &'v [Value])>;
+
 fn make_subquery_fn<'a>(
     db: &'a Database,
     params: &'a [Value],
-) -> impl Fn(&Query, Option<(&RowSchema, &[Value])>) -> Result<Vec<Vec<Value>>, EngineError> + 'a {
+) -> impl Fn(&Query, OuterRow<'_, '_>) -> Result<Vec<Vec<Value>>, EngineError> + 'a {
     // Subqueries track their scan work in a local counter; the parent query's
     // own scans dominate the statistics we report.
     move |q: &Query, outer: Option<(&RowSchema, &[Value])>| {
@@ -247,7 +247,14 @@ fn build_from_relation(
                 && !refs_resolvable_elsewhere(conj, &other_schemas)
             {
                 // Conjunct references only this relation: apply it now.
-                rel.rows = filter_rows(db, &rel.schema, std::mem::take(&mut rel.rows), conj, params, outer)?;
+                rel.rows = filter_rows(
+                    db,
+                    &rel.schema,
+                    std::mem::take(&mut rel.rows),
+                    conj,
+                    params,
+                    outer,
+                )?;
                 used[ci] = true;
             }
         }
@@ -295,7 +302,14 @@ fn build_from_relation(
                 continue;
             }
             if refs_resolvable(conj, &acc.schema) {
-                acc.rows = filter_rows(db, &acc.schema, std::mem::take(&mut acc.rows), conj, params, outer)?;
+                acc.rows = filter_rows(
+                    db,
+                    &acc.schema,
+                    std::mem::take(&mut acc.rows),
+                    conj,
+                    params,
+                    outer,
+                )?;
                 used[ci] = true;
             }
         }
@@ -306,7 +320,14 @@ fn build_from_relation(
         if used[ci] {
             continue;
         }
-        acc.rows = filter_rows(db, &acc.schema, std::mem::take(&mut acc.rows), conj, params, outer)?;
+        acc.rows = filter_rows(
+            db,
+            &acc.schema,
+            std::mem::take(&mut acc.rows),
+            conj,
+            params,
+            outer,
+        )?;
         used[ci] = true;
     }
 
@@ -315,7 +336,9 @@ fn build_from_relation(
 
 /// True if every column reference in `expr` resolves in `schema`.
 fn refs_resolvable(expr: &Expr, schema: &RowSchema) -> bool {
-    expr.column_refs().iter().all(|c| schema.resolve(c).is_some())
+    expr.column_refs()
+        .iter()
+        .all(|c| schema.resolve(c).is_some())
 }
 
 /// True if any column reference in `expr` resolves in one of the other schemas
@@ -490,32 +513,74 @@ pub fn is_udf_aggregate(name: &str) -> bool {
 
 /// State for one aggregate over one group.
 enum AggState {
-    Sum { total_i: i64, total_f: f64, any_float: bool, count: u64 },
-    Avg { total: f64, count: u64 },
-    Count { count: u64, distinct: Option<std::collections::HashSet<Value>> },
-    MinMax { best: Option<Value>, is_min: bool },
-    PaillierSum { acc: BigUint, modulus: BigUint, count: u64 },
-    GroupConcat { values: Vec<Value> },
+    Sum {
+        total_i: i64,
+        total_f: f64,
+        any_float: bool,
+        count: u64,
+    },
+    Avg {
+        total: f64,
+        count: u64,
+    },
+    Count {
+        count: u64,
+        distinct: Option<std::collections::HashSet<Value>>,
+    },
+    MinMax {
+        best: Option<Value>,
+        is_min: bool,
+    },
+    PaillierSum {
+        acc: BigUint,
+        modulus: BigUint,
+        count: u64,
+    },
+    GroupConcat {
+        values: Vec<Value>,
+    },
 }
 
 impl AggState {
     fn new(expr: &Expr, db: &Database) -> Result<Self, EngineError> {
         match expr {
             Expr::Aggregate { func, distinct, .. } => Ok(match func {
-                AggFunc::Sum => AggState::Sum { total_i: 0, total_f: 0.0, any_float: false, count: 0 },
-                AggFunc::Avg => AggState::Avg { total: 0.0, count: 0 },
+                AggFunc::Sum => AggState::Sum {
+                    total_i: 0,
+                    total_f: 0.0,
+                    any_float: false,
+                    count: 0,
+                },
+                AggFunc::Avg => AggState::Avg {
+                    total: 0.0,
+                    count: 0,
+                },
                 AggFunc::Count => AggState::Count {
                     count: 0,
-                    distinct: if *distinct { Some(Default::default()) } else { None },
+                    distinct: if *distinct {
+                        Some(Default::default())
+                    } else {
+                        None
+                    },
                 },
-                AggFunc::Min => AggState::MinMax { best: None, is_min: true },
-                AggFunc::Max => AggState::MinMax { best: None, is_min: false },
+                AggFunc::Min => AggState::MinMax {
+                    best: None,
+                    is_min: true,
+                },
+                AggFunc::Max => AggState::MinMax {
+                    best: None,
+                    is_min: false,
+                },
             }),
             Expr::Function { name, .. } if name == "paillier_sum" => {
                 let modulus = db.paillier_modulus().ok_or_else(|| {
                     EngineError::new("paillier_sum requires a registered public modulus")
                 })?;
-                Ok(AggState::PaillierSum { acc: BigUint::one(), modulus, count: 0 })
+                Ok(AggState::PaillierSum {
+                    acc: BigUint::one(),
+                    modulus,
+                    count: 0,
+                })
             }
             Expr::Function { name, .. } if name == "group_concat" => {
                 Ok(AggState::GroupConcat { values: Vec::new() })
@@ -524,7 +589,7 @@ impl AggState {
         }
     }
 
-    fn arg<'e>(expr: &'e Expr) -> Option<&'e Expr> {
+    fn arg(expr: &Expr) -> Option<&Expr> {
         match expr {
             Expr::Aggregate { arg, .. } => arg.as_deref(),
             Expr::Function { args, .. } => args.first(),
@@ -534,7 +599,12 @@ impl AggState {
 
     fn update(&mut self, value: Option<Value>) {
         match self {
-            AggState::Sum { total_i, total_f, any_float, count } => {
+            AggState::Sum {
+                total_i,
+                total_f,
+                any_float,
+                count,
+            } => {
                 if let Some(v) = value {
                     if v.is_null() {
                         return;
@@ -598,7 +668,11 @@ impl AggState {
                     }
                 }
             }
-            AggState::PaillierSum { acc, modulus, count } => {
+            AggState::PaillierSum {
+                acc,
+                modulus,
+                count,
+            } => {
                 if let Some(Value::Bytes(ct)) = value {
                     let c = BigUint::from_bytes_be(&ct);
                     *acc = acc.mul(&c).rem(modulus);
@@ -615,7 +689,12 @@ impl AggState {
 
     fn finish(self, key: &PaillierWidth) -> Value {
         match self {
-            AggState::Sum { total_i, total_f, any_float, count } => {
+            AggState::Sum {
+                total_i,
+                total_f,
+                any_float,
+                count,
+            } => {
                 if count == 0 {
                     Value::Null
                 } else if any_float {
@@ -666,7 +745,7 @@ fn aggregate_and_project(
     let paillier_width = PaillierWidth {
         ciphertext_bytes: db
             .paillier_modulus()
-            .map(|m| (m.bits() + 7) / 8)
+            .map(|m| m.bits().div_ceil(8))
             .unwrap_or(0),
     };
 
@@ -796,7 +875,10 @@ fn project_rows(
     relation: &Relation,
     params: &[Value],
     outer: Option<(&RowSchema, &[Value])>,
-    subquery_fn: &impl Fn(&Query, Option<(&RowSchema, &[Value])>) -> Result<Vec<Vec<Value>>, EngineError>,
+    subquery_fn: &impl Fn(
+        &Query,
+        Option<(&RowSchema, &[Value])>,
+    ) -> Result<Vec<Vec<Value>>, EngineError>,
 ) -> Result<ProjectedRows, EngineError> {
     let mut columns = Vec::new();
     let star = query
@@ -833,7 +915,14 @@ fn project_rows(
         };
         let mut keys = Vec::with_capacity(query.order_by.len());
         for ob in &query.order_by {
-            keys.push(resolve_order_key(ob, query, &out_row, &relation.schema, row, &ctx)?);
+            keys.push(resolve_order_key(
+                ob,
+                query,
+                &out_row,
+                &relation.schema,
+                row,
+                &ctx,
+            )?);
         }
         rows_out.push(out_row);
         sort_keys_out.push(keys);
@@ -860,7 +949,7 @@ fn resolve_order_key(
             if let Some(pos) = query.projections.iter().position(|p| {
                 p.alias
                     .as_deref()
-                    .map_or(false, |a| a.eq_ignore_ascii_case(&c.column))
+                    .is_some_and(|a| a.eq_ignore_ascii_case(&c.column))
             }) {
                 return Ok(out_row[pos].clone());
             }

@@ -34,8 +34,7 @@ impl RowSchema {
         if let Some(table) = &col.table {
             return self.columns.iter().position(|(b, n)| {
                 n.eq_ignore_ascii_case(&col.column)
-                    && b.as_deref()
-                        .map_or(false, |b| b.eq_ignore_ascii_case(table))
+                    && b.as_deref().is_some_and(|b| b.eq_ignore_ascii_case(table))
             });
         }
         // Unqualified: name must be unambiguous (first match wins, mirroring
@@ -227,7 +226,7 @@ pub fn eval(
         } => {
             let v = eval(expr, schema, row, ctx)?;
             let rows = run_subquery(subquery, schema, row, ctx)?;
-            let found = rows.iter().any(|r| r.first().map_or(false, |x| v.equals(x)));
+            let found = rows.iter().any(|r| r.first().is_some_and(|x| v.equals(x)));
             Ok(Value::Int((found ^ negated) as i64))
         }
         Expr::Exists { subquery, negated } => {
@@ -479,9 +478,7 @@ fn eval_function(
             let mut t = [0u8; 16];
             t.copy_from_slice(&token);
             let ct = monomi_crypto::SearchCiphertext::from_bytes(ct);
-            Ok(Value::Int(
-                ct.matches(&monomi_crypto::SearchToken(t)) as i64
-            ))
+            Ok(Value::Int(ct.matches(&monomi_crypto::SearchToken(t)) as i64))
         }
         // hex_bytes('deadbeef'): literal byte strings in rewritten queries.
         "hex_bytes" => {
@@ -519,7 +516,7 @@ pub fn like_match(s: &str, pattern: &str) -> bool {
 
 /// Decodes a lowercase/uppercase hex string.
 pub fn decode_hex(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     (0..s.len())
@@ -614,10 +611,7 @@ mod tests {
     fn date_arithmetic_and_extract() {
         assert_eq!(eval_str("EXTRACT(YEAR FROM d)"), Value::Int(1995));
         assert_eq!(eval_str("EXTRACT(MONTH FROM d)"), Value::Int(9));
-        assert_eq!(
-            eval_str("d < DATE '1996-01-01'"),
-            Value::Int(1)
-        );
+        assert_eq!(eval_str("d < DATE '1996-01-01'"), Value::Int(1));
         assert_eq!(
             eval_str("d + INTERVAL '3' MONTH >= DATE '1995-12-17'"),
             Value::Int(1)

@@ -89,18 +89,18 @@ impl TableSchema {
             ));
         }
         for (v, c) in row.iter().zip(&self.columns) {
-            let ok = match (v, c.ty) {
-                (Value::Null, _) => true,
-                (Value::Int(_), ColumnType::Int) => true,
-                (Value::Float(_), ColumnType::Float) => true,
-                (Value::Int(_), ColumnType::Float) => true,
-                (Value::Str(_), ColumnType::Str) => true,
-                (Value::Date(_), ColumnType::Date) => true,
-                (Value::Int(_), ColumnType::Date) => true,
-                (Value::Bytes(_), ColumnType::Bytes) => true,
-                (Value::List(_), ColumnType::Bytes) => true,
-                _ => false,
-            };
+            let ok = matches!(
+                (v, c.ty),
+                (Value::Null, _)
+                    | (Value::Int(_), ColumnType::Int)
+                    | (Value::Float(_), ColumnType::Float)
+                    | (Value::Int(_), ColumnType::Float)
+                    | (Value::Str(_), ColumnType::Str)
+                    | (Value::Date(_), ColumnType::Date)
+                    | (Value::Int(_), ColumnType::Date)
+                    | (Value::Bytes(_), ColumnType::Bytes)
+                    | (Value::List(_), ColumnType::Bytes)
+            );
             if !ok {
                 return Err(format!(
                     "value {v:?} does not match column {}.{} of type {:?}",

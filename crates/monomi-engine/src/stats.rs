@@ -228,7 +228,12 @@ impl<'a> Estimator<'a> {
                 .unwrap_or(256.0),
             Expr::Column(c) => *widths
                 .get(&c.column.to_lowercase())
-                .or_else(|| widths.get(&format!("{}.{}", c.table.clone().unwrap_or_default(), c.column).to_lowercase()))
+                .or_else(|| {
+                    widths.get(
+                        &format!("{}.{}", c.table.clone().unwrap_or_default(), c.column)
+                            .to_lowercase(),
+                    )
+                })
                 .unwrap_or(&8) as f64,
             Expr::Aggregate { arg, .. } => arg
                 .as_ref()
@@ -379,9 +384,8 @@ mod tests {
         let stats = collect_stats(&db);
         let est = Estimator::new(&stats);
         let all = est.estimate(&parse_query("SELECT id FROM items").unwrap());
-        let filtered = est.estimate(
-            &parse_query("SELECT id FROM items WHERE category = 'cat3'").unwrap(),
-        );
+        let filtered =
+            est.estimate(&parse_query("SELECT id FROM items WHERE category = 'cat3'").unwrap());
         assert!(filtered.result_rows < all.result_rows / 5.0);
     }
 

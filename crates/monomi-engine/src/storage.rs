@@ -89,11 +89,7 @@ impl Table {
 
     /// Average row width in bytes (0 for an empty table).
     pub fn avg_row_bytes(&self) -> usize {
-        if self.row_count == 0 {
-            0
-        } else {
-            self.size_bytes() / self.row_count
-        }
+        self.size_bytes().checked_div(self.row_count).unwrap_or(0)
     }
 
     /// Number of distinct values in a column (exact; used by the statistics
@@ -114,10 +110,10 @@ impl Table {
             if v.is_null() {
                 continue;
             }
-            if min.map_or(true, |m| v < m) {
+            if min.is_none_or(|m| v < m) {
                 min = Some(v);
             }
-            if max.map_or(true, |m| v > m) {
+            if max.is_none_or(|m| v > m) {
                 max = Some(v);
             }
         }

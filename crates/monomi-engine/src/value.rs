@@ -144,7 +144,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.compare(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -340,7 +340,14 @@ mod tests {
         assert_eq!(parse_date("1970-01-02"), Some(1));
         assert_eq!(parse_date("1971-01-01"), Some(365));
         assert_eq!(parse_date("1996-02-29"), Some(ymd_to_days(1996, 2, 29)));
-        for s in ["1992-01-01", "1995-09-17", "1998-12-31", "2000-02-29", "1969-12-31", "1965-03-07"] {
+        for s in [
+            "1992-01-01",
+            "1995-09-17",
+            "1998-12-31",
+            "2000-02-29",
+            "1969-12-31",
+            "1965-03-07",
+        ] {
             let d = parse_date(s).unwrap();
             assert_eq!(format_date(d), s, "roundtrip {s}");
         }
@@ -351,7 +358,10 @@ mod tests {
         let d = parse_date("1994-01-01").unwrap();
         assert_eq!(format_date(add_months(d, 3)), "1994-04-01");
         assert_eq!(format_date(add_months(d, 12)), "1995-01-01");
-        assert_eq!(format_date(add_months(parse_date("1995-01-31").unwrap(), 1)), "1995-02-28");
+        assert_eq!(
+            format_date(add_months(parse_date("1995-01-31").unwrap(), 1)),
+            "1995-02-28"
+        );
         assert_eq!(year_of(d), 1994);
         assert_eq!(month_of(parse_date("1995-09-17").unwrap()), 9);
         assert_eq!(day_of(parse_date("1995-09-17").unwrap()), 17);

@@ -40,7 +40,9 @@ impl BigUint {
     pub fn from_u128(v: u128) -> Self {
         let lo = v as u64;
         let hi = (v >> 64) as u64;
-        let mut out = BigUint { limbs: vec![lo, hi] };
+        let mut out = BigUint {
+            limbs: vec![lo, hi],
+        };
         out.normalize();
         out
     }
@@ -54,7 +56,7 @@ impl BigUint {
 
     /// Builds a value from big-endian bytes.
     pub fn from_bytes_be(bytes: &[u8]) -> Self {
-        let mut limbs = Vec::with_capacity((bytes.len() + 7) / 8);
+        let mut limbs = Vec::with_capacity(bytes.len().div_ceil(8));
         let mut acc: u64 = 0;
         let mut shift = 0u32;
         for &b in bytes.iter().rev() {
@@ -143,7 +145,7 @@ impl BigUint {
 
     /// True iff the value is even.
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (0 for zero).
@@ -163,7 +165,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 64;
         let off = i % 64;
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     pub(crate) fn normalize(&mut self) {
@@ -480,7 +482,7 @@ impl BigUint {
 
 impl PartialOrd for BigUint {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp_to(other))
+        Some(self.cmp(other))
     }
 }
 

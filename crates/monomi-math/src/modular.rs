@@ -51,12 +51,7 @@ pub fn mod_inverse(a: &BigUint, m: &BigUint) -> Option<BigUint> {
 
 /// Signed subtraction of magnitudes: returns `(|x - y|, sign)` where the sign
 /// is true iff `x - y < 0`, with `x = ±x_mag` and `y = ±y_mag`.
-fn signed_sub(
-    x_mag: &BigUint,
-    x_neg: bool,
-    y_mag: &BigUint,
-    y_neg: bool,
-) -> (BigUint, bool) {
+fn signed_sub(x_mag: &BigUint, x_neg: bool, y_mag: &BigUint, y_neg: bool) -> (BigUint, bool) {
     match (x_neg, y_neg) {
         // x - y with both nonnegative.
         (false, false) => {

@@ -28,7 +28,10 @@ impl MontgomeryCtx {
     /// Panics if the modulus is even or zero.
     pub fn new(modulus: BigUint) -> Self {
         assert!(!modulus.is_zero(), "modulus must be nonzero");
-        assert!(!modulus.is_even(), "Montgomery arithmetic requires an odd modulus");
+        assert!(
+            !modulus.is_even(),
+            "Montgomery arithmetic requires an odd modulus"
+        );
         let limbs = modulus.limb_count();
         let n0 = modulus.limbs[0];
         let n0_inv = inv64(n0).wrapping_neg();
@@ -182,8 +185,7 @@ mod tests {
         let ctx = MontgomeryCtx::new(modulus.clone());
         let a = BigUint::from_u64(0x1234_5678_9abc_def1);
         let b = BigUint::from_u64(0x0fed_cba9_8765_4321);
-        let expected = (a.to_u128().unwrap() * b.to_u128().unwrap())
-            % modulus.to_u128().unwrap();
+        let expected = (a.to_u128().unwrap() * b.to_u128().unwrap()) % modulus.to_u128().unwrap();
         assert_eq!(ctx.mul_mod(&a, &b).to_u128(), Some(expected));
     }
 

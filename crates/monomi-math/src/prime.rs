@@ -7,9 +7,9 @@ use rand::Rng;
 
 /// Small primes used for fast trial division before Miller–Rabin.
 const SMALL_PRIMES: &[u64] = &[
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97, 101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191,
-    193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+    101, 103, 107, 109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181, 191, 193,
+    197, 199, 211, 223, 227, 229, 233, 239, 241, 251,
 ];
 
 /// Probabilistic primality test: trial division by small primes followed by
@@ -97,7 +97,9 @@ mod tests {
     #[test]
     fn composites_rejected() {
         let mut rng = StdRng::seed_from_u64(8);
-        for &c in &[1u64, 4, 6, 9, 15, 91, 561, 1105, 1729, 2465, 6601, 8911, 1_000_001] {
+        for &c in &[
+            1u64, 4, 6, 9, 15, 91, 561, 1105, 1729, 2465, 6601, 8911, 1_000_001,
+        ] {
             assert!(
                 !is_probable_prime(&BigUint::from_u64(c), 16, &mut rng),
                 "{c} should be composite"

@@ -9,7 +9,7 @@ pub fn random_bits<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
     if bits == 0 {
         return BigUint::zero();
     }
-    let limbs = (bits + 63) / 64;
+    let limbs = bits.div_ceil(64);
     let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
     let top_bits = bits % 64;
     if top_bits != 0 {
@@ -30,7 +30,7 @@ pub fn random_below<R: Rng + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
     let bits = bound.bits();
     loop {
         // Sample `bits` random bits without forcing the top bit.
-        let limbs = (bits + 63) / 64;
+        let limbs = bits.div_ceil(64);
         let mut v: Vec<u64> = (0..limbs).map(|_| rng.gen()).collect();
         let top_bits = bits % 64;
         if top_bits != 0 {

@@ -281,10 +281,7 @@ mod tests {
     #[test]
     fn tokenizes_comparison_operators() {
         let toks = tokenize("a <> b <= c >= d != e < f > g").unwrap();
-        assert_eq!(
-            toks.iter().filter(|t| **t == Token::NotEq).count(),
-            2
-        );
+        assert_eq!(toks.iter().filter(|t| **t == Token::NotEq).count(), 2);
         assert!(toks.contains(&Token::LtEq));
         assert!(toks.contains(&Token::GtEq));
     }

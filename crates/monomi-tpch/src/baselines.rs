@@ -90,7 +90,11 @@ pub fn run_plaintext(
 /// Builds a CryptDB-style physical design: one encryption per column per
 /// operation class it appears in, but no precomputed expressions, no grouped
 /// packing, and no multi-row packing.
-pub fn cryptdb_design(plain: &Database, workload: &[TpchQuery], paillier_bits: usize) -> PhysicalDesign {
+pub fn cryptdb_design(
+    plain: &Database,
+    workload: &[TpchQuery],
+    paillier_bits: usize,
+) -> PhysicalDesign {
     // Start from MONOMI's unconstrained designer to find which columns need
     // which schemes, then strip the MONOMI-specific parts.
     let mut rng = StdRng::seed_from_u64(0xCDB);
@@ -162,7 +166,9 @@ pub fn build_system(
                 use_hom_aggregation: true,
                 use_prefiltering: false,
             };
-            Some(MonomiClient::from_design(plain, design, master, paillier, &cfg)?)
+            Some(MonomiClient::from_design(
+                plain, design, master, paillier, &cfg,
+            )?)
         }
         SystemKind::ExecutionGreedy | SystemKind::Monomi => {
             let (client, _) =

@@ -40,7 +40,13 @@ pub const NATIONS: [(&str, i64); 25] = [
     ("UNITED KINGDOM", 3),
     ("UNITED STATES", 1),
 ];
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 pub const SHIP_INSTRUCT: [&str; 4] = [
@@ -50,14 +56,21 @@ pub const SHIP_INSTRUCT: [&str; 4] = [
     "TAKE BACK RETURN",
 ];
 pub const CONTAINERS: [&str; 8] = [
-    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG", "WRAP JAR",
+    "SM CASE",
+    "SM BOX",
+    "MED BAG",
+    "MED BOX",
+    "LG CASE",
+    "LG BOX",
+    "JUMBO PKG",
+    "WRAP JAR",
 ];
 pub const TYPE_SYLL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 pub const TYPE_SYLL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 pub const TYPE_SYLL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 pub const COMMENT_WORDS: [&str; 16] = [
-    "express", "special", "pending", "regular", "unusual", "furious", "careful", "quick",
-    "ironic", "final", "bold", "silent", "even", "blithe", "dogged", "ruthless",
+    "express", "special", "pending", "regular", "unusual", "furious", "careful", "quick", "ironic",
+    "final", "bold", "silent", "even", "blithe", "dogged", "ruthless",
 ];
 
 /// Generator configuration.
@@ -237,9 +250,7 @@ pub fn generate(config: &GeneratorConfig) -> Database {
             let shipdate = orderdate + rng.gen_range(1..=121);
             let commitdate = orderdate + rng.gen_range(30..=90);
             let receiptdate = shipdate + rng.gen_range(1..=30);
-            let returnflag = if receiptdate
-                <= date::parse_date("1995-06-17").expect("valid date")
-            {
+            let returnflag = if receiptdate <= date::parse_date("1995-06-17").expect("valid date") {
                 if rng.gen_bool(0.5) {
                     "R"
                 } else {
@@ -289,7 +300,8 @@ pub fn generate(config: &GeneratorConfig) -> Database {
         )
         .expect("orders row");
     }
-    db.bulk_load("lineitem", lineitem_rows).expect("lineitem rows");
+    db.bulk_load("lineitem", lineitem_rows)
+        .expect("lineitem rows");
     db
 }
 

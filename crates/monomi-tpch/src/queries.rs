@@ -213,10 +213,23 @@ mod tests {
     fn workload_covers_required_constructs() {
         let w = workload();
         assert!(w.len() >= 12);
-        assert!(w.iter().any(|q| q.sql.contains("LIKE 'PROMO%'")), "keyword search");
-        assert!(w.iter().any(|q| q.sql.contains("HAVING SUM")), "pre-filter shape");
-        assert!(w.iter().any(|q| q.sql.contains("ps_supplycost * ps_availqty")), "precomputation");
-        assert!(w.iter().any(|q| q.sql.contains("BETWEEN")), "range predicates");
+        assert!(
+            w.iter().any(|q| q.sql.contains("LIKE 'PROMO%'")),
+            "keyword search"
+        );
+        assert!(
+            w.iter().any(|q| q.sql.contains("HAVING SUM")),
+            "pre-filter shape"
+        );
+        assert!(
+            w.iter()
+                .any(|q| q.sql.contains("ps_supplycost * ps_availqty")),
+            "precomputation"
+        );
+        assert!(
+            w.iter().any(|q| q.sql.contains("BETWEEN")),
+            "range predicates"
+        );
     }
 
     #[test]

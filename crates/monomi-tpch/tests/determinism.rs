@@ -1,0 +1,116 @@
+//! Guards the "deterministic, seedable" contract of the TPC-H generator that
+//! the end-to-end tests and every benchmark harness rely on, plus the
+//! `fast_config()` test configuration.
+
+use monomi_engine::Database;
+use monomi_tpch::datagen::{generate, GeneratorConfig};
+
+/// Flattens a database into a comparable snapshot: every table name, schema,
+/// and row, in iteration order.
+fn snapshot(db: &Database) -> Vec<(String, usize, String)> {
+    let mut names = db.table_names();
+    names.sort();
+    names
+        .into_iter()
+        .map(|name| {
+            let table = db.table(&name).expect("table listed but missing");
+            let mut rows = String::new();
+            for r in 0..table.row_count() {
+                rows.push_str(&format!("{:?}\n", table.row(r)));
+            }
+            (name, table.row_count(), rows)
+        })
+        .collect()
+}
+
+#[test]
+fn same_seed_produces_identical_database() {
+    let config = GeneratorConfig {
+        scale_factor: 0.001,
+        seed: 7,
+    };
+    let a = generate(&config);
+    let b = generate(&config);
+    assert_eq!(snapshot(&a), snapshot(&b));
+}
+
+#[test]
+fn same_seed_is_stable_across_scale_factors() {
+    // Determinism must hold at the scales the benches actually use.
+    for scale in [0.001, 0.002] {
+        let config = GeneratorConfig {
+            scale_factor: scale,
+            seed: 20130826,
+        };
+        assert_eq!(
+            snapshot(&generate(&config)),
+            snapshot(&generate(&config)),
+            "non-deterministic at scale {scale}"
+        );
+    }
+}
+
+#[test]
+fn different_seeds_produce_different_rows() {
+    let a = generate(&GeneratorConfig {
+        scale_factor: 0.001,
+        seed: 1,
+    });
+    let b = generate(&GeneratorConfig {
+        scale_factor: 0.001,
+        seed: 2,
+    });
+    // Same shape (row counts are scale-driven)...
+    let names_a = a.table_names();
+    let names_b = b.table_names();
+    assert_eq!(names_a.len(), names_b.len());
+    // ...but the generated contents must differ somewhere.
+    assert_ne!(
+        snapshot(&a),
+        snapshot(&b),
+        "different seeds produced byte-identical databases"
+    );
+}
+
+#[test]
+fn default_config_matches_documented_seed() {
+    let config = GeneratorConfig::default();
+    assert_eq!(config.seed, 20130826);
+    assert!(config.scale_factor > 0.0);
+}
+
+#[test]
+fn fast_config_is_test_friendly() {
+    let config = monomi_tpch::fast_config();
+    assert_eq!(config.paillier_bits, 256);
+    assert_eq!(config.space_budget, Some(2.0));
+    assert!(config.skip_profiling);
+}
+
+#[test]
+fn fast_config_drives_a_working_client() {
+    use monomi_core::{DesignStrategy, MonomiClient};
+    use monomi_sql::parse_query;
+
+    let plain = generate(&GeneratorConfig {
+        scale_factor: 0.001,
+        seed: 99,
+    });
+    let workload: Vec<_> = monomi_tpch::queries::workload()
+        .into_iter()
+        .take(1)
+        .collect();
+    let parsed: Vec<_> = workload
+        .iter()
+        .map(|q| parse_query(q.sql).expect("workload query parses"))
+        .collect();
+    let (client, outcome) = MonomiClient::setup(
+        &plain,
+        &parsed,
+        DesignStrategy::Designer,
+        &monomi_tpch::fast_config(),
+    )
+    .expect("fast_config supports client setup");
+    assert!(client.server_size_bytes() > 0);
+    assert!(outcome.setup_seconds >= 0.0);
+}

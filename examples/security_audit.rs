@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nWeakest scheme per column chosen for the TPC-H design (paper Table 3):");
-    println!("  {:<12} {:>6} {:>6} {:>6}", "table", "strong", "DET", "OPE");
+    println!(
+        "  {:<12} {:>6} {:>6} {:>6}",
+        "table", "strong", "DET", "OPE"
+    );
     let mut ope_columns = Vec::new();
     for (table, summary) in client.design().security_summary() {
         println!(
@@ -55,6 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, col) in lineitem.schema().columns.iter().enumerate().take(8) {
         println!("  {:<28} {}", col.name, lineitem.value(0, i));
     }
-    println!("  ... ({} encrypted columns total)", lineitem.schema().columns.len());
+    println!(
+        "  ... ({} encrypted columns total)",
+        lineitem.schema().columns.len()
+    );
     Ok(())
 }

@@ -1,0 +1,171 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion).
+//!
+//! Provides `Criterion`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a simple
+//! calibrated wall-clock loop (warm-up, then `sample_size` samples spread over
+//! `measurement_time`) reporting min/median/max ns per iteration — enough to
+//! compare the crypto substrates against the paper's Table 4 numbers, without
+//! criterion's statistical machinery or plotting.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples_ns: Vec::new(),
+            iters_per_sample: 0,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+        };
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+
+    /// Parity with criterion's API; nothing to flush in the shim.
+    pub fn final_summary(&mut self) {}
+}
+
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    iters_per_sample: u64,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up doubles the iteration count until it covers warm_up_time,
+        // which also calibrates iterations-per-sample.
+        let mut iters: u64 = 1;
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let per = start.elapsed().as_nanos() as f64 / iters as f64;
+            if Instant::now() >= warm_deadline {
+                break per;
+            }
+            iters = iters.saturating_mul(2);
+        };
+
+        let budget_ns = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = (budget_ns / per_iter_ns.max(1.0)).max(1.0) as u64;
+        self.iters_per_sample = iters_per_sample;
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let max = sorted[sorted.len() - 1];
+        println!(
+            "{name:<40} time: [{} {} {}] ({} samples x {} iters)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max),
+            sorted.len(),
+            self.iters_per_sample,
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// `criterion_group!` — both the struct-ish form (`name = ..; config = ..;
+/// targets = ..`) and the positional form (`group_name, target, ...`).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// `criterion_main!` — expands to a `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

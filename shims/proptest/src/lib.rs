@@ -1,0 +1,372 @@
+//! Offline stand-in for [`proptest`](https://crates.io/crates/proptest).
+//!
+//! Implements the subset of the proptest API exercised by the monomi test
+//! suites: the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! [`prelude::any`], integer/float range strategies, `collection::vec`, and
+//! the `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from real proptest, deliberately accepted for an offline shim:
+//! - cases are generated from a fixed per-test seed, so runs are fully
+//!   deterministic and a failure always reproduces;
+//! - there is **no shrinking**, and argument values are not printed (that
+//!   would require a `Debug` bound the real API doesn't impose here). On
+//!   failure the harness prints the case index and seed, which — runs being
+//!   deterministic — identify the failing inputs exactly.
+
+use rand::rngs::StdRng;
+
+/// The RNG threaded through strategies. Deterministic per test case.
+pub type TestRng = StdRng;
+
+/// Runner configuration; only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+    pub max_shrink_iters: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A source of generated values. Unlike real proptest there is no value tree;
+/// `generate` directly produces a value.
+pub trait Strategy {
+    type Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_standard {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rand::Standard::sample(rng)
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_standard!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f32, f64
+);
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        use rand::Rng;
+        let len = rng.gen_range(0usize..32);
+        (0..len)
+            .map(|_| char::from(rng.gen_range(0x20u8..0x7f)))
+            .collect()
+    }
+}
+
+/// Strategy produced by [`any`].
+pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// `any::<T>()` — uniform over `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Strategy that always yields a clone of the same value.
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rand::Rng::gen_range(rng, self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, f64);
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Size specification for [`vec`]: a fixed size or a (half-open or
+    /// inclusive) range of sizes.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rand::Rng::gen_range(rng, self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `proptest::collection::vec(strategy, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Everything the tests import via `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Any, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[doc(hidden)]
+pub use rand as __rand;
+
+/// Prints the failing case's index and seed if the case body panics, so a
+/// deterministic rerun can reproduce the inputs. Armed per case; disarmed on
+/// normal completion.
+#[doc(hidden)]
+pub struct __CaseReporter {
+    pub test: &'static str,
+    pub case: u32,
+    pub seed: u64,
+    pub armed: bool,
+}
+
+impl Drop for __CaseReporter {
+    fn drop(&mut self) {
+        if self.armed && std::thread::panicking() {
+            eprintln!(
+                "proptest shim: {} failed at case {} (rng seed {:#018x}); \
+                 runs are deterministic, rerun the test to reproduce",
+                self.test, self.case, self.seed
+            );
+        }
+    }
+}
+
+#[doc(hidden)]
+pub fn __seed_for_case(test_name: &str, case: u32) -> u64 {
+    // FNV-1a over the test name, mixed with the case index, so every test gets
+    // its own deterministic stream.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ ((case as u64) << 32) ^ case as u64
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($cfg:expr; $(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let __seed =
+                    $crate::__seed_for_case(concat!(module_path!(), "::", stringify!($name)), case);
+                let mut __reporter = $crate::__CaseReporter {
+                    test: concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                    seed: __seed,
+                    armed: true,
+                };
+                let mut __rng: $crate::TestRng =
+                    <$crate::TestRng as $crate::__rand::SeedableRng>::seed_from_u64(__seed);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)*
+                // The body runs inside a closure (as in real proptest) so that
+                // `prop_assume!`'s early-exit rejects the whole case even when
+                // the body contains loops of its own.
+                #[allow(clippy::redundant_closure_call)]
+                let __case_kept = (move || -> bool {
+                    $body
+                    true
+                })();
+                let _ = __case_kept;
+                __reporter.armed = false;
+            }
+        }
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($cfg:expr;) => {};
+}
+
+/// The `proptest!` block macro: wraps each contained `#[test] fn` in a loop
+/// that regenerates its arguments from strategies each case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { <$crate::ProptestConfig as Default>::default(); $($rest)* }
+    };
+}
+
+/// `prop_assert!` — assert within a proptest case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "proptest assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// `prop_assert_eq!` — assert equality within a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        assert_eq!($lhs, $rhs)
+    };
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {
+        assert_eq!($lhs, $rhs, $($fmt)*)
+    };
+}
+
+/// `prop_assert_ne!` — assert inequality within a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {
+        assert_ne!($lhs, $rhs)
+    };
+}
+
+/// `prop_assume!` — skip (reject) the current case when the assumption fails.
+/// Expands to an early `return false` from the per-case closure generated by
+/// [`proptest!`], so it rejects the whole case even from inside a loop in the
+/// test body. Only meaningful inside a `proptest!` block.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return false;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn addition_commutes(a in any::<u32>(), b in any::<u32>()) {
+            prop_assert_eq!(a as u64 + b as u64, b as u64 + a as u64);
+        }
+
+        #[test]
+        fn ranges_respected(v in 10u64..20, w in 3usize..=5) {
+            prop_assert!((10..20).contains(&v));
+            prop_assert!((3..=5).contains(&w));
+        }
+
+        #[test]
+        fn vec_sizes(data in crate::collection::vec(any::<u8>(), 0..10)) {
+            prop_assert!(data.len() < 10);
+        }
+
+        #[test]
+        fn assume_skips(v in any::<u64>()) {
+            prop_assume!(v.is_multiple_of(2));
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn assume_rejects_whole_case_even_inside_loops(v in any::<u8>()) {
+            for i in 0..3u8 {
+                prop_assume!(v >= 3);
+                prop_assert!(v >= 3, "case v={} should have been rejected before i={}", v, i);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(x in any::<i64>()) {
+            prop_assert_eq!(x, x);
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no network access to crates.io, so this shim
+//! implements the (small) slice of the `rand` 0.8 API that the monomi crates
+//! actually use: [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and the
+//! [`Rng`] extension methods `gen`, `gen_range`, `gen_bool`, and `fill`.
+//!
+//! `StdRng` here is xoshiro256++ seeded through SplitMix64. It is *not*
+//! stream-compatible with upstream `rand`'s ChaCha-based `StdRng` — callers in
+//! this workspace only rely on determinism (same seed ⇒ same stream), never on
+//! a specific stream, so the swap is observationally equivalent for our tests.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness, mirroring `rand_core::RngCore`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A distribution-like helper: types that can be sampled uniformly from the
+/// full value domain (the `Standard` distribution in upstream rand).
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for i128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl<T: Standard, const N: usize> Standard for [T; N] {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        std::array::from_fn(|_| T::sample(rng))
+    }
+}
+
+/// Types with a uniform sampler over arbitrary sub-ranges, mirroring
+/// `rand::distributions::uniform::SampleUniform`.
+pub trait SampleUniform: Sized {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self;
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                assert!(start < end, "cannot sample empty range");
+                let span = (end as i128 - start as i128) as u128;
+                let r = u128::sample(rng) % span;
+                (start as i128 + r as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                assert!(start <= end, "cannot sample empty range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return <$t as Standard>::sample(rng);
+                }
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let r = u128::sample(rng) % span;
+                (start as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for u128 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: u128, end: u128) -> u128 {
+        assert!(start < end, "cannot sample empty range");
+        start + u128::sample(rng) % (end - start)
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, start: u128, end: u128) -> u128 {
+        assert!(start <= end, "cannot sample empty range");
+        if start == u128::MIN && end == u128::MAX {
+            return u128::sample(rng);
+        }
+        start + u128::sample(rng) % (end - start + 1)
+    }
+}
+
+impl SampleUniform for i128 {
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: i128, end: i128) -> i128 {
+        assert!(start < end, "cannot sample empty range");
+        let span = (end as u128).wrapping_sub(start as u128);
+        (start as u128).wrapping_add(u128::sample(rng) % span) as i128
+    }
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, start: i128, end: i128) -> i128 {
+        if start == i128::MIN && end == i128::MAX {
+            return i128::sample(rng);
+        }
+        let span = (end as u128).wrapping_sub(start as u128).wrapping_add(1);
+        (start as u128).wrapping_add(u128::sample(rng) % span) as i128
+    }
+}
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                assert!(start < end, "cannot sample empty range");
+                start + <$t as Standard>::sample(rng) * (end - start)
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                assert!(start <= end, "cannot sample empty range");
+                start + <$t as Standard>::sample(rng) * (end - start)
+            }
+        }
+    )*};
+}
+impl_sample_uniform_float!(f32, f64);
+
+/// Ranges that can be sampled from. The single blanket impl per range shape is
+/// what lets integer literals in `gen_range(0..100)` unify with the
+/// surrounding expression's type, exactly as with upstream rand.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Destinations for [`Rng::fill`].
+pub trait Fill {
+    fn try_fill<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn try_fill<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn try_fill<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+macro_rules! impl_fill_wide {
+    ($($t:ty),*) => {$(
+        impl Fill for [$t] {
+            fn try_fill<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+                for v in self.iter_mut() {
+                    *v = rng.next_u64() as $t;
+                }
+            }
+        }
+    )*};
+}
+impl_fill_wide!(u16, u32, u64);
+
+/// User-facing extension trait, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<T, B: SampleRange<T>>(&mut self, range: B) -> T {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p={p} out of range");
+        f64::sample(self) < p
+    }
+
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.try_fill(self);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Mirrors `rand::SeedableRng`, restricted to the constructors the workspace
+/// uses (`seed_from_u64` everywhere, `from_seed` for completeness).
+pub trait SeedableRng: Sized {
+    type Seed: Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = SplitMix64 { state };
+        let bytes = seed.as_mut();
+        let mut chunks = bytes.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&sm.next().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let b = sm.next().to_le_bytes();
+            rem.copy_from_slice(&b[..rem.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng, SplitMix64};
+
+    /// Deterministic xoshiro256++ generator standing in for `rand::rngs::StdRng`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // All-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                let mut sm = SplitMix64 { state: 0xDEAD_BEEF };
+                for word in s.iter_mut() {
+                    *word = sm.next();
+                }
+            }
+            StdRng { s }
+        }
+    }
+
+    /// Alias so code written against `SmallRng` also compiles.
+    pub type SmallRng = StdRng;
+}
+
+/// Convenience mirror of `rand::random`, backed by a thread-local generator
+/// seeded once per thread from the system clock (so consecutive calls advance
+/// one stream instead of reseeding and repeating values).
+pub fn random<T: Standard>() -> T {
+    use std::cell::RefCell;
+    use std::time::{SystemTime, UNIX_EPOCH};
+    thread_local! {
+        static THREAD_RNG: RefCell<rngs::StdRng> = RefCell::new({
+            let nanos = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x1234_5678);
+            <rngs::StdRng as SeedableRng>::seed_from_u64(nanos)
+        });
+    }
+    THREAD_RNG.with(|rng| T::sample(&mut *rng.borrow_mut()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(10i64..20);
+            assert!((10..20).contains(&v));
+            let w = rng.gen_range(5u32..=5);
+            assert_eq!(w, 5);
+            let f = rng.gen_range(0.5f64..2.0);
+            assert!((0.5..2.0).contains(&f));
+            let neg = rng.gen_range(-99_999i64..999_999);
+            assert!((-99_999..999_999).contains(&neg));
+        }
+    }
+
+    #[test]
+    fn fill_covers_whole_buffer() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut buf = [0u8; 37];
+        rng.fill(&mut buf[..]);
+        assert!(buf.iter().any(|&b| b != 0));
+        let mut arr = [0u8; 16];
+        rng.fill(&mut arr);
+        assert!(arr.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn random_advances_between_calls() {
+        // Two draws from the thread-local stream; equal u64s would mean the
+        // generator reseeded identically between calls (2^-64 false-failure).
+        let a: u64 = super::random();
+        let b: u64 = super::random();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn full_domain_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Must not overflow or panic.
+        let _: u64 = rng.gen_range(u64::MIN..=u64::MAX);
+        let _: i64 = rng.gen_range(i64::MIN..=i64::MAX);
+    }
+}

@@ -1,0 +1,32 @@
+//! Offline stand-in for [`serde`](https://crates.io/crates/serde).
+//!
+//! The monomi crates only use serde as `#[derive(Serialize, Deserialize)]`
+//! annotations on plain data types — nothing in the workspace actually
+//! serializes through a `Serializer`. With no network access to crates.io,
+//! this shim keeps those annotations compiling: the traits are markers with
+//! blanket impls, and the derives (from the `serde_derive` shim) expand to
+//! nothing. Swapping in real serde later requires only replacing the two
+//! `path` dependencies with registry versions.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+pub mod de {
+    pub use super::Deserialize;
+    pub use super::DeserializeOwned;
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}
