@@ -1,0 +1,193 @@
+//! Scan microbenchmark: the seed's row-materializing base-table scan vs. the
+//! vectorized selection-vector scan with late materialization, on TPC-H
+//! Q1/Q6-shaped single-table filters over `lineitem`.
+//!
+//! The old scan clones every `Value` of every row before a single predicate
+//! runs; the new scan evaluates compiled predicates directly over the column
+//! slices and clones only the survivors' referenced columns. Prints per-scan
+//! timings and the speedup (the PR's acceptance bar is ≥2x on the selective
+//! Q6-shaped filter).
+
+use monomi_bench::print_header;
+use monomi_engine::expr::eval;
+use monomi_engine::{
+    apply_predicate, compile_predicate, EvalContext, RowSchema, SelectionVector, Table, Value,
+};
+use monomi_sql::parse_query;
+use monomi_tpch::datagen;
+use std::time::Instant;
+
+/// A named single-table filter plus the columns the query would materialize.
+struct ScanCase {
+    name: &'static str,
+    where_sql: &'static str,
+    /// Column names referenced by the full query (projection + predicates):
+    /// what late materialization keeps.
+    referenced: &'static [&'static str],
+}
+
+const CASES: &[ScanCase] = &[
+    ScanCase {
+        name: "Q6-shaped (selective)",
+        where_sql: "l_shipdate >= DATE '1994-01-01' \
+                    AND l_shipdate < DATE '1994-01-01' + INTERVAL '1' YEAR \
+                    AND l_discount BETWEEN 5 AND 7 AND l_quantity < 24",
+        referenced: &["l_extendedprice", "l_discount", "l_shipdate", "l_quantity"],
+    },
+    ScanCase {
+        name: "Q1-shaped (low selectivity)",
+        where_sql: "l_shipdate <= DATE '1998-12-01' - INTERVAL '90' DAY",
+        referenced: &[
+            "l_returnflag",
+            "l_linestatus",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_tax",
+            "l_shipdate",
+        ],
+    },
+];
+
+/// The seed's scan: materialize every row of the table, filter row-at-a-time,
+/// then keep only the referenced columns of the survivors.
+fn old_scan(
+    table: &Table,
+    schema: &RowSchema,
+    pred: &monomi_sql::ast::Expr,
+    referenced: &[usize],
+) -> Vec<Vec<Value>> {
+    let ctx = EvalContext::with_params(&[]);
+    let rows: Vec<Vec<Value>> = (0..table.row_count()).map(|i| table.row(i)).collect();
+    rows.into_iter()
+        .filter(|row| {
+            eval(pred, schema, row, &ctx)
+                .expect("predicate evaluates")
+                .as_bool()
+                .unwrap_or(false)
+        })
+        .map(|row| referenced.iter().map(|&c| row[c].clone()).collect())
+        .collect()
+}
+
+/// The vectorized scan: compiled predicate over column slices, then late
+/// materialization of the survivors' referenced columns.
+fn new_scan(
+    table: &Table,
+    schema: &RowSchema,
+    pred: &monomi_sql::ast::Expr,
+    referenced: &[usize],
+) -> Vec<Vec<Value>> {
+    let ctx = EvalContext::with_params(&[]);
+    let batch = table.batch();
+    let compiled = compile_predicate(pred, schema, &ctx);
+    let selection = apply_predicate(
+        &compiled,
+        &batch,
+        &SelectionVector::all(table.row_count()),
+        schema,
+        &ctx,
+    )
+    .expect("columnar filter");
+    batch.gather(&selection, referenced)
+}
+
+fn median_seconds(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    print_header(
+        "Scan microbenchmark: row-materializing vs. vectorized scan",
+        "the §8 server-side scan substrate",
+    );
+    let scale = std::env::var("MONOMI_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.02);
+    let iters: usize = std::env::var("MONOMI_BENCH_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(9);
+    let db = datagen::generate(&datagen::GeneratorConfig {
+        scale_factor: scale,
+        ..Default::default()
+    });
+    let table = db.table("lineitem").expect("lineitem exists");
+    let schema = RowSchema::new(
+        table
+            .schema()
+            .columns
+            .iter()
+            .map(|c| (Some("lineitem".to_string()), c.name.clone()))
+            .collect(),
+    );
+    println!(
+        "lineitem: {} rows, {:.1} MB (MONOMI_SCALE={scale})\n",
+        table.row_count(),
+        table.size_bytes() as f64 / 1e6
+    );
+    println!(
+        "{:<28} {:>10} {:>12} {:>12} {:>9}",
+        "filter", "rows out", "old scan", "new scan", "speedup"
+    );
+
+    let mut q6_speedup = None;
+    for case in CASES {
+        let parsed = parse_query(&format!(
+            "SELECT l_orderkey FROM lineitem WHERE {}",
+            case.where_sql
+        ))
+        .expect("filter parses");
+        let pred = parsed.where_clause.expect("has WHERE");
+        let referenced: Vec<usize> = case
+            .referenced
+            .iter()
+            .map(|name| {
+                table
+                    .schema()
+                    .columns
+                    .iter()
+                    .position(|c| c.name == *name)
+                    .expect("referenced column exists")
+            })
+            .collect();
+
+        // Correctness first: both scans must select the same rows.
+        let expected = old_scan(table, &schema, &pred, &referenced);
+        let got = new_scan(table, &schema, &pred, &referenced);
+        assert_eq!(expected, got, "scans disagree on {}", case.name);
+
+        let mut old_samples = Vec::with_capacity(iters);
+        let mut new_samples = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let start = Instant::now();
+            std::hint::black_box(old_scan(table, &schema, &pred, &referenced));
+            old_samples.push(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            std::hint::black_box(new_scan(table, &schema, &pred, &referenced));
+            new_samples.push(start.elapsed().as_secs_f64());
+        }
+        let (old_s, new_s) = (median_seconds(old_samples), median_seconds(new_samples));
+        let speedup = old_s / new_s.max(1e-12);
+        if case.name.starts_with("Q6") {
+            q6_speedup = Some(speedup);
+        }
+        println!(
+            "{:<28} {:>10} {:>10.3}ms {:>10.3}ms {:>8.2}x",
+            case.name,
+            expected.len(),
+            old_s * 1e3,
+            new_s * 1e3,
+            speedup
+        );
+    }
+
+    if let Some(s) = q6_speedup {
+        println!(
+            "\nQ6-shaped selective scan speedup: {s:.2}x (acceptance bar: >= 2x){}",
+            if s >= 2.0 { "" } else { "  ** BELOW BAR **" }
+        );
+    }
+}

@@ -110,6 +110,11 @@ impl CostBreakdown {
 const COST_UNIT_SECONDS: f64 = 5e-5;
 /// Client-side per-row processing cost for residual operators.
 const CLIENT_ROW_SECONDS: f64 = 2e-6;
+/// Server-side cost per byte the vectorized scan materializes *after*
+/// filtering (selection-vector survivors only). Encrypted ciphertexts widen
+/// post-filter rows just like they widen the scan, so this term is scaled by
+/// the same expansion factor; selective queries pay proportionally less.
+const MATERIALIZE_BYTE_SECONDS: f64 = 1e-9;
 
 /// Cost model for split plans.
 pub struct CostModel<'a> {
@@ -164,10 +169,15 @@ impl<'a> CostModel<'a> {
         }
 
         // Server execution: the original query's cost estimate scaled by the
-        // width expansion of the encrypted tables it scans.
+        // width expansion of the encrypted tables it scans, plus a
+        // selectivity-aware materialization term — the vectorized scan only
+        // materializes post-filter bytes, so selective predicates shrink this
+        // component instead of paying for every scanned row.
         let est_original = self.plain.estimate(original);
         let expansion = self.scan_expansion(original);
         cost.server_seconds += est_original.server_cost * COST_UNIT_SECONDS * expansion;
+        cost.server_seconds +=
+            est_original.post_filter_bytes * MATERIALIZE_BYTE_SECONDS * expansion;
 
         // Result cardinality of the server query.
         let grouped = rp.server_grouped && original.is_aggregate_query();

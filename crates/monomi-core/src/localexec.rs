@@ -30,6 +30,10 @@ pub struct QueryTimings {
     pub transfer_bytes: u64,
     /// Bytes the server read from storage.
     pub server_bytes_scanned: u64,
+    /// Bytes the server materialized after scan-level filtering (selection-
+    /// vector survivors, referenced columns only) — the selectivity-aware
+    /// scan output the cost model's materialization term corresponds to.
+    pub server_bytes_materialized: u64,
 }
 
 impl QueryTimings {
@@ -50,6 +54,7 @@ impl QueryTimings {
         self.client_seconds += other.client_seconds;
         self.transfer_bytes += other.transfer_bytes;
         self.server_bytes_scanned += other.server_bytes_scanned;
+        self.server_bytes_materialized += other.server_bytes_materialized;
     }
 }
 
@@ -137,6 +142,7 @@ impl<'a> SplitExecutor<'a> {
         let exec_elapsed = started.elapsed().as_secs_f64();
         timings.server_seconds += exec_elapsed + self.network.disk_seconds(stats.bytes_scanned);
         timings.server_bytes_scanned += stats.bytes_scanned;
+        timings.server_bytes_materialized += stats.bytes_materialized;
         let transfer = enc_rs.size_bytes() as u64;
         timings.transfer_bytes += transfer;
         timings.network_seconds += self.network.transfer_seconds(transfer);

@@ -336,4 +336,156 @@ mod tests {
         let db = sample_db();
         assert!(db.execute_sql("SELECT x FROM missing", &[]).is_err());
     }
+
+    /// Two tables with NULLs in the join columns.
+    fn nullable_join_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "l",
+            vec![
+                ColumnDef::new("lk", ColumnType::Int),
+                ColumnDef::new("lv", ColumnType::Str),
+            ],
+        ));
+        db.create_table(TableSchema::new(
+            "r",
+            vec![
+                ColumnDef::new("rk", ColumnType::Int),
+                ColumnDef::new("rv", ColumnType::Str),
+            ],
+        ));
+        db.bulk_load(
+            "l",
+            vec![
+                vec![Value::Int(1), Value::Str("l1".into())],
+                vec![Value::Null, Value::Str("lnull".into())],
+                vec![Value::Int(2), Value::Str("l2".into())],
+            ],
+        )
+        .unwrap();
+        db.bulk_load(
+            "r",
+            vec![
+                vec![Value::Int(1), Value::Str("r1".into())],
+                vec![Value::Null, Value::Str("rnull".into())],
+                vec![Value::Int(3), Value::Str("r3".into())],
+            ],
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let db = nullable_join_db();
+        // SQL equi-join: NULL = NULL is not true, so only lk=1/rk=1 pairs up.
+        let (rs, _) = db
+            .execute_sql("SELECT lv, rv FROM l, r WHERE lk = rk", &[])
+            .unwrap();
+        assert_eq!(
+            rs.rows,
+            vec![vec![Value::Str("l1".into()), Value::Str("r1".into())]]
+        );
+    }
+
+    #[test]
+    fn group_by_keeps_one_null_group() {
+        let db = nullable_join_db();
+        // GROUP BY (unlike joins) collapses NULL keys into a single group.
+        let (rs, _) = db
+            .execute_sql("SELECT lk, COUNT(*) FROM l GROUP BY lk ORDER BY lk", &[])
+            .unwrap();
+        assert_eq!(rs.rows.len(), 3);
+        assert_eq!(rs.rows[0][0], Value::Null);
+        assert_eq!(rs.rows[0][1], Value::Int(1));
+    }
+
+    #[test]
+    fn distinct_over_mixed_int_float_expressions() {
+        let db = sample_db();
+        // The CASE yields Int(1) for even keys and Float(1.0) for odd ones;
+        // the DISTINCT hash set must treat them as a single key now that
+        // equal numerics hash identically.
+        let (rs, _) = db
+            .execute_sql(
+                "SELECT DISTINCT CASE WHEN o_orderkey % 2 = 0 THEN 1 ELSE 1.0 END FROM orders",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(rs.rows.len(), 1);
+
+        // Same contract for GROUP BY keys over a computed expression.
+        let (grouped, _) = db
+            .execute_sql(
+                "SELECT COUNT(*) FROM orders \
+                 GROUP BY CASE WHEN o_orderkey % 2 = 0 THEN 1 ELSE 1.0 END",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(grouped.rows, vec![vec![Value::Int(100)]]);
+    }
+
+    #[test]
+    fn order_by_sorts_nulls_first_and_breaks_ties_stably() {
+        let mut db = nullable_join_db();
+        db.insert("l", vec![Value::Int(1), Value::Str("l1b".into())])
+            .unwrap();
+        let (rs, _) = db
+            .execute_sql("SELECT lk, lv FROM l ORDER BY lk, lv DESC", &[])
+            .unwrap();
+        // NULL first, then ties on lk=1 broken by lv descending.
+        assert_eq!(rs.rows[0][0], Value::Null);
+        assert_eq!(rs.rows[1][1], Value::Str("l1b".into()));
+        assert_eq!(rs.rows[2][1], Value::Str("l1".into()));
+        assert_eq!(rs.rows[3][0], Value::Int(2));
+    }
+
+    #[test]
+    fn scan_stats_report_selectivity_and_materialized_bytes() {
+        let db = sample_db();
+        let (_, stats) = db
+            .execute_sql(
+                "SELECT o_orderkey FROM orders WHERE o_totalprice > 700",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(stats.rows_scanned, 100);
+        // (100 + i*7) > 700 for i in 86..100 → 14 survivors. The filter on
+        // o_totalprice was consumed by the scan, so only o_orderkey (8 bytes
+        // per row) is materialized.
+        assert_eq!(stats.rows_materialized, 14);
+        assert_eq!(stats.bytes_materialized, 14 * 8);
+        assert!(stats.bytes_materialized < stats.bytes_scanned);
+        assert!((stats.scan_selectivity() - 0.14).abs() < 1e-9);
+
+        // Unfiltered scans materialize everything they reference.
+        let (_, full) = db
+            .execute_sql("SELECT o_orderkey FROM orders", &[])
+            .unwrap();
+        assert_eq!(full.rows_materialized, 100);
+        assert!((full.scan_selectivity() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn late_materialization_prunes_unreferenced_columns() {
+        let db = sample_db();
+        // Only o_orderkey is referenced: materialized bytes must stay below
+        // 8 bytes per surviving row plus nothing else (o_status strings and
+        // the other int columns are never cloned).
+        let (_, stats) = db
+            .execute_sql("SELECT o_orderkey FROM orders WHERE o_orderkey < 10", &[])
+            .unwrap();
+        assert_eq!(stats.rows_materialized, 10);
+        assert_eq!(stats.bytes_materialized, 10 * 8);
+    }
+
+    #[test]
+    fn count_star_scan_needs_no_columns() {
+        let db = sample_db();
+        let (rs, stats) = db.execute_sql("SELECT COUNT(*) FROM orders", &[]).unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Int(100)]]);
+        // Nothing is referenced, so nothing is materialized.
+        assert_eq!(stats.bytes_materialized, 0);
+        assert_eq!(stats.rows_materialized, 100);
+    }
 }

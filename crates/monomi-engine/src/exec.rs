@@ -1,11 +1,16 @@
-//! The query executor: pull-free, materialize-as-you-go evaluation of the
-//! analytical SQL subset over columnar tables.
+//! The query executor: vectorized columnar scans feeding hash join / hash
+//! aggregate evaluation of the analytical SQL subset.
 //!
-//! The execution strategy mirrors what a row-store does for TPC-H-style
-//! queries: scan base tables (applying single-table predicates early), hash
-//! join on equality predicates discovered in the WHERE clause, hash aggregate,
-//! apply HAVING, project, sort, and limit. Correlated and uncorrelated
-//! subqueries are evaluated through a recursive callback.
+//! Base-table scans are *vectorized*: single-table WHERE conjuncts are
+//! compiled ([`crate::expr::compile_predicate`]) and evaluated directly over
+//! the stored column slices, narrowing a
+//! [`SelectionVector`](crate::storage::SelectionVector) of surviving row
+//! indices. Only after every scan-level predicate has run are the survivors
+//! materialized — and only the columns the query actually references (late
+//! materialization). The materialized relation then flows through the
+//! row-oriented tail: hash join on equality predicates discovered in the WHERE
+//! clause, hash aggregate, HAVING, projection, sort, and limit. Correlated
+//! and uncorrelated subqueries are evaluated through a recursive callback.
 //!
 //! Encrypted execution uses exactly the same code path — the rewritten queries
 //! produced by `monomi-core` reference encrypted columns and the engine's
@@ -13,7 +18,8 @@
 //! handled in the aggregation phase.
 
 use crate::database::Database;
-use crate::expr::{eval, EvalContext, RowSchema};
+use crate::expr::{apply_predicate, compile_predicate, eval, EvalContext, RowSchema};
+use crate::storage::{SelectionVector, Table};
 use crate::value::Value;
 use crate::EngineError;
 use monomi_math::BigUint;
@@ -55,10 +61,31 @@ pub struct ExecStats {
     pub rows_scanned: u64,
     /// Bytes read from base tables.
     pub bytes_scanned: u64,
+    /// Rows surviving the scan-level predicates and materialized into row
+    /// form (the input to joins/aggregation). With no scan predicates this
+    /// equals `rows_scanned`.
+    pub rows_materialized: u64,
+    /// Bytes of the values actually materialized after filtering and column
+    /// pruning — the post-filter scan output the split-execution cost model
+    /// uses for selectivity-aware scan costs (vs. `bytes_scanned`, which
+    /// counts everything the scan read).
+    pub bytes_materialized: u64,
     /// Rows produced.
     pub result_rows: u64,
     /// Bytes produced.
     pub result_bytes: u64,
+}
+
+impl ExecStats {
+    /// Observed fraction of scanned base-table rows that survived the
+    /// scan-level predicates (1.0 when nothing was scanned).
+    pub fn scan_selectivity(&self) -> f64 {
+        if self.rows_scanned == 0 {
+            1.0
+        } else {
+            self.rows_materialized as f64 / self.rows_scanned as f64
+        }
+    }
 }
 
 /// An intermediate relation during execution.
@@ -190,27 +217,31 @@ fn build_from_relation(
         });
     }
 
-    // Load each FROM entry as a relation.
-    let mut relations: Vec<Relation> = Vec::with_capacity(query.from.len());
+    // Load each FROM entry. Derived tables execute eagerly (their schema is
+    // only known from their result); base tables are *not* materialized yet —
+    // the vectorized scan below filters them in columnar form first.
+    enum Loaded<'t> {
+        Scan { table: &'t Table, binding: String },
+        Rows(Relation),
+    }
+    let mut loaded: Vec<Loaded> = Vec::with_capacity(query.from.len());
+    let mut full_schemas: Vec<RowSchema> = Vec::with_capacity(query.from.len());
     for table_ref in &query.from {
-        let rel = match table_ref {
+        match table_ref {
             TableRef::Table { name, alias } => {
                 let table = db
                     .table(name)
                     .ok_or_else(|| EngineError::new(format!("unknown table {name}")))?;
                 let binding = alias.clone().unwrap_or_else(|| name.clone());
-                let schema = RowSchema::new(
+                full_schemas.push(RowSchema::new(
                     table
                         .schema()
                         .columns
                         .iter()
                         .map(|c| (Some(binding.clone()), c.name.clone()))
                         .collect(),
-                );
-                stats.rows_scanned += table.row_count() as u64;
-                stats.bytes_scanned += table.size_bytes() as u64;
-                let rows = (0..table.row_count()).map(|i| table.row(i)).collect();
-                Relation { schema, rows }
+                ));
+                loaded.push(Loaded::Scan { table, binding });
             }
             TableRef::Subquery { query: sub, alias } => {
                 let rs = execute_inner(db, sub, params, outer, stats)?;
@@ -220,18 +251,92 @@ fn build_from_relation(
                         .map(|c| (Some(alias.clone()), c.clone()))
                         .collect(),
                 );
-                Relation {
+                full_schemas.push(schema.clone());
+                loaded.push(Loaded::Rows(Relation {
                     schema,
                     rows: rs.rows,
-                }
+                }));
             }
-        };
-        relations.push(rel);
+        }
     }
 
-    // Pre-filter each relation with the conjuncts it alone can answer.
-    let all_schemas: Vec<RowSchema> = relations.iter().map(|r| r.schema.clone()).collect();
+    // Vectorized base-table scans: evaluate each scan's single-table conjuncts
+    // over column slices (selection vectors, no row materialization), then
+    // late-materialize only the surviving rows' referenced columns.
+    let referenced = collect_referenced_columns(query);
     let mut used = vec![false; where_conjuncts.len()];
+    let mut relations: Vec<Relation> = Vec::with_capacity(loaded.len());
+    for (ri, entry) in loaded.into_iter().enumerate() {
+        match entry {
+            Loaded::Rows(rel) => relations.push(rel),
+            Loaded::Scan { table, binding } => {
+                let schema = &full_schemas[ri];
+                let other_schemas: Vec<&RowSchema> = full_schemas
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != ri)
+                    .map(|(_, s)| s)
+                    .collect();
+                stats.rows_scanned += table.row_count() as u64;
+                stats.bytes_scanned += table.size_bytes() as u64;
+
+                let batch = table.batch();
+                let mut selection = SelectionVector::all(table.row_count());
+                let ctx = EvalContext {
+                    params,
+                    aggregates: None,
+                    subquery: None,
+                    outer,
+                };
+                for (ci, conj) in where_conjuncts.iter().enumerate() {
+                    if used[ci] || conj.contains_subquery() || conj.contains_aggregate() {
+                        continue;
+                    }
+                    if refs_resolvable(conj, schema)
+                        && !refs_resolvable_elsewhere(conj, &other_schemas)
+                    {
+                        // Conjunct references only this scan: apply it now,
+                        // directly over the column slices.
+                        let compiled = compile_predicate(conj, schema, &ctx);
+                        selection = apply_predicate(&compiled, &batch, &selection, schema, &ctx)?;
+                        used[ci] = true;
+                    }
+                }
+
+                // Late materialization: survivors only, referenced columns
+                // only. Conjuncts this (or an earlier) scan consumed never run
+                // again, so only the still-pending ones pin extra columns
+                // (join keys, subquery-bearing predicates, cross-relation
+                // residuals).
+                let mut scan_refs = referenced.clone();
+                for (ci, conj) in where_conjuncts.iter().enumerate() {
+                    if !used[ci] {
+                        collect_expr_refs(conj, &mut scan_refs);
+                    }
+                }
+                let keep = scan_refs.pruned_indices(&binding, schema);
+                let pruned_schema = RowSchema::new(
+                    keep.iter()
+                        .map(|&c| schema.columns[c].clone())
+                        .collect::<Vec<_>>(),
+                );
+                let rows = batch.gather(&selection, &keep);
+                stats.rows_materialized += selection.len() as u64;
+                stats.bytes_materialized += rows
+                    .iter()
+                    .map(|r| r.iter().map(Value::size_bytes).sum::<usize>())
+                    .sum::<usize>() as u64;
+                relations.push(Relation {
+                    schema: pruned_schema,
+                    rows,
+                });
+            }
+        }
+    }
+
+    // Pre-filter derived-table relations with the conjuncts they alone can
+    // answer (base-table conjuncts were consumed by the vectorized scans).
+    let all_schemas: Vec<RowSchema> = relations.iter().map(|r| r.schema.clone()).collect();
     for (ri, rel) in relations.iter_mut().enumerate() {
         let other_schemas: Vec<&RowSchema> = all_schemas
             .iter()
@@ -332,6 +437,99 @@ fn build_from_relation(
     }
 
     Ok(acc)
+}
+
+/// Column references a query may resolve against its base-table scans, used
+/// to prune unreferenced columns at materialization time.
+#[derive(Clone)]
+struct ReferencedColumns {
+    refs: Vec<ColumnRef>,
+    /// A `SELECT *` appears somewhere: keep every column (conservative — a
+    /// star inside a nested subquery disables pruning for the whole query).
+    star: bool,
+}
+
+impl ReferencedColumns {
+    /// Indices of the scan's columns the query may reference. A qualified
+    /// reference must name this scan's binding; an unqualified one matches by
+    /// column name alone (conservative under ambiguity).
+    fn pruned_indices(&self, binding: &str, schema: &RowSchema) -> Vec<usize> {
+        if self.star {
+            return (0..schema.len()).collect();
+        }
+        (0..schema.len())
+            .filter(|&i| {
+                let (_, name) = &schema.columns[i];
+                self.refs.iter().any(|r| {
+                    r.column.eq_ignore_ascii_case(name)
+                        && r.table
+                            .as_deref()
+                            .is_none_or(|t| t.eq_ignore_ascii_case(binding))
+                })
+            })
+            .collect()
+    }
+}
+
+/// Collects every column reference the query can make against its FROM
+/// relations *outside its own WHERE clause*, descending into subqueries
+/// (correlated references resolve against the enclosing query's scans, so
+/// they count too). The top-level WHERE conjuncts are deliberately excluded:
+/// a conjunct consumed by the vectorized scan never runs again, so columns it
+/// alone references need not be materialized — each scan adds back the refs
+/// of the conjuncts still pending when it materializes.
+fn collect_referenced_columns(query: &Query) -> ReferencedColumns {
+    let mut out = ReferencedColumns {
+        refs: Vec::new(),
+        star: false,
+    };
+    collect_query_refs(query, false, &mut out);
+    out
+}
+
+fn collect_query_refs(query: &Query, include_where: bool, out: &mut ReferencedColumns) {
+    for p in &query.projections {
+        collect_expr_refs(&p.expr, out);
+    }
+    if include_where {
+        if let Some(w) = &query.where_clause {
+            collect_expr_refs(w, out);
+        }
+    }
+    for g in &query.group_by {
+        collect_expr_refs(g, out);
+    }
+    if let Some(h) = &query.having {
+        collect_expr_refs(h, out);
+    }
+    for o in &query.order_by {
+        collect_expr_refs(&o.expr, out);
+    }
+    for t in &query.from {
+        if let TableRef::Subquery { query: sub, .. } = t {
+            collect_query_refs(sub, true, out);
+        }
+    }
+}
+
+fn collect_expr_refs(expr: &Expr, out: &mut ReferencedColumns) {
+    expr.walk(&mut |node| match node {
+        Expr::Column(c) => {
+            if c.column == "*" {
+                out.star = true;
+            } else {
+                out.refs.push(c.clone());
+            }
+        }
+        // `Expr::walk` does not descend into subqueries; their (possibly
+        // correlated) references still pin columns of the outer scans. Their
+        // WHERE clauses count: they are evaluated row-at-a-time against the
+        // outer query's materialized rows, not consumed by the outer scan.
+        Expr::ScalarSubquery(q) => collect_query_refs(q, true, out),
+        Expr::InSubquery { subquery, .. } => collect_query_refs(subquery, true, out),
+        Expr::Exists { subquery, .. } => collect_query_refs(subquery, true, out),
+        _ => {}
+    });
 }
 
 /// True if every column reference in `expr` resolves in `schema`.
@@ -451,7 +649,10 @@ fn hash_join(
         subquery: None,
         outer,
     };
-    // Build hash table on the right side.
+    // Build hash table on the right side. Rows with a NULL join key are
+    // dropped on both sides: SQL equi-join predicates are never *true* for
+    // NULL keys (`NULL = NULL` is NULL), so keeping them would invent matches
+    // through `Value`'s reflexive `Eq`.
     let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
     for (idx, row) in right.rows.iter().enumerate() {
         let ctx = ctx_template(row);
@@ -459,6 +660,9 @@ fn hash_join(
             .iter()
             .map(|(_, r)| eval(r, &right.schema, row, &ctx))
             .collect::<Result<_, _>>()?;
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
         table.entry(key).or_default().push(idx);
     }
     let schema = left.schema.concat(&right.schema);
@@ -469,6 +673,9 @@ fn hash_join(
             .iter()
             .map(|(l, _)| eval(l, &left.schema, lrow, &ctx))
             .collect::<Result<_, _>>()?;
+        if key.iter().any(Value::is_null) {
+            continue;
+        }
         if let Some(matches) = table.get(&key) {
             for &ridx in matches {
                 let mut row = lrow.clone();

@@ -346,16 +346,7 @@ fn eval_binop(l: &Value, op: BinaryOp, r: &Value) -> Result<Value, EngineError> 
     }
     if op.is_comparison() {
         let ord = l.compare(r);
-        let result = match op {
-            Eq => ord == std::cmp::Ordering::Equal,
-            NotEq => ord != std::cmp::Ordering::Equal,
-            Lt => ord == std::cmp::Ordering::Less,
-            LtEq => ord != std::cmp::Ordering::Greater,
-            Gt => ord == std::cmp::Ordering::Greater,
-            GtEq => ord != std::cmp::Ordering::Less,
-            _ => unreachable!(),
-        };
-        return Ok(Value::Int(result as i64));
+        return Ok(Value::Int(comparison_holds(op, ord) as i64));
     }
     // Arithmetic.
     match (l, r) {
@@ -492,6 +483,386 @@ fn eval_function(
         }
         other => Err(EngineError::new(format!("unknown function {other}"))),
     }
+}
+
+/// A single-table predicate compiled for vectorized evaluation over the
+/// column slices of a [`ColumnBatch`](crate::storage::ColumnBatch).
+///
+/// Compilation recognizes the conjunct shapes that dominate analytical WHERE
+/// clauses (column-vs-constant comparisons, BETWEEN, IN lists, LIKE, IS NULL,
+/// and AND/OR combinations of those) and constant-folds the literal side once,
+/// so the per-row work is a borrowed `Value` comparison — no cloning, no
+/// re-evaluation of the constant expression. Anything else falls back to
+/// [`ColumnarPredicate::General`], which still avoids materializing rows: it
+/// clones only the columns the predicate references into a reused scratch row.
+///
+/// Selection semantics are SQL's WHERE semantics: a row is selected iff the
+/// predicate evaluates to *true* (NULL and false both drop the row). AND/OR
+/// over "is-true" bits agrees with three-valued logic for this purpose because
+/// `x AND y` / `x OR y` is true iff the corresponding boolean combination of
+/// "is true" holds; predicates whose NULL-ness matters deeper down (e.g. under
+/// NOT) are compiled as `General` and evaluated with full 3VL.
+#[derive(Clone, Debug)]
+pub enum ColumnarPredicate {
+    /// Every sub-predicate must select the row; applied as successive
+    /// narrowing passes over the selection vector.
+    And(Vec<ColumnarPredicate>),
+    /// Any sub-predicate may select the row; branch selections are unioned.
+    Or(Vec<ColumnarPredicate>),
+    /// `column <op> constant` with a pre-folded constant.
+    CmpConst {
+        col: usize,
+        op: BinaryOp,
+        value: Value,
+    },
+    /// `column [NOT] BETWEEN low AND high` with pre-folded bounds.
+    BetweenConst {
+        col: usize,
+        low: Value,
+        high: Value,
+        negated: bool,
+    },
+    /// `column [NOT] IN (constants…)`.
+    InListConst {
+        col: usize,
+        values: Vec<Value>,
+        negated: bool,
+    },
+    /// `column [NOT] LIKE 'pattern'`.
+    LikeConst {
+        col: usize,
+        pattern: String,
+        negated: bool,
+    },
+    /// `column IS [NOT] NULL`.
+    IsNullTest { col: usize, negated: bool },
+    /// A predicate folded to a constant truth value at compile time.
+    Const(bool),
+    /// Fallback: row-at-a-time evaluation that clones only the referenced
+    /// columns into a scratch row.
+    General { expr: Expr, referenced: Vec<usize> },
+}
+
+/// Compiles a single-relation predicate for vectorized evaluation.
+///
+/// The caller must guarantee the predicate contains no subqueries or
+/// aggregates and that every column reference resolves in `schema` (the
+/// executor's scan path checks this before compiling). `ctx` supplies
+/// parameter values for constant folding.
+pub fn compile_predicate(
+    expr: &Expr,
+    schema: &RowSchema,
+    ctx: &EvalContext<'_>,
+) -> ColumnarPredicate {
+    // A constant sub-expression: no columns, no subqueries, no aggregates.
+    let fold = |e: &Expr| -> Option<Value> {
+        if !e.column_refs().is_empty() || e.contains_subquery() || e.contains_aggregate() {
+            return None;
+        }
+        eval(e, &RowSchema::default(), &[], ctx).ok()
+    };
+    let as_column = |e: &Expr| -> Option<usize> {
+        match e {
+            Expr::Column(c) => schema.resolve(c),
+            _ => None,
+        }
+    };
+    let general = || {
+        let mut referenced: Vec<usize> = expr
+            .column_refs()
+            .iter()
+            .filter_map(|c| schema.resolve(c))
+            .collect();
+        referenced.sort_unstable();
+        referenced.dedup();
+        ColumnarPredicate::General {
+            expr: expr.clone(),
+            referenced,
+        }
+    };
+
+    match expr {
+        Expr::BinaryOp {
+            left,
+            op: BinaryOp::And,
+            right,
+        } => ColumnarPredicate::And(vec![
+            compile_predicate(left, schema, ctx),
+            compile_predicate(right, schema, ctx),
+        ]),
+        Expr::BinaryOp {
+            left,
+            op: BinaryOp::Or,
+            right,
+        } => ColumnarPredicate::Or(vec![
+            compile_predicate(left, schema, ctx),
+            compile_predicate(right, schema, ctx),
+        ]),
+        Expr::BinaryOp { left, op, right } if op.is_comparison() => {
+            // Orient as column <op> constant, flipping the operator if the
+            // column is on the right.
+            let oriented = match (as_column(left), as_column(right)) {
+                (Some(col), None) => fold(right).map(|v| (col, *op, v)),
+                (None, Some(col)) => fold(left).map(|v| (col, flip_comparison(*op), v)),
+                _ => None,
+            };
+            match oriented {
+                // Comparing against NULL is never true.
+                Some((_, _, Value::Null)) => ColumnarPredicate::Const(false),
+                Some((col, op, value)) => ColumnarPredicate::CmpConst { col, op, value },
+                None => general(),
+            }
+        }
+        Expr::Between {
+            expr: target,
+            low,
+            high,
+            negated,
+        } => match (as_column(target), fold(low), fold(high)) {
+            (Some(_), Some(Value::Null), _) | (Some(_), _, Some(Value::Null)) => {
+                ColumnarPredicate::Const(false)
+            }
+            (Some(col), Some(low), Some(high)) => ColumnarPredicate::BetweenConst {
+                col,
+                low,
+                high,
+                negated: *negated,
+            },
+            _ => general(),
+        },
+        Expr::InList {
+            expr: target,
+            list,
+            negated,
+        } => {
+            let folded: Option<Vec<Value>> = list.iter().map(fold).collect();
+            match (as_column(target), folded) {
+                (Some(col), Some(values)) => ColumnarPredicate::InListConst {
+                    col,
+                    values,
+                    negated: *negated,
+                },
+                _ => general(),
+            }
+        }
+        Expr::Like {
+            expr: target,
+            pattern,
+            negated,
+        } => match (as_column(target), fold(pattern)) {
+            (Some(_), Some(Value::Null)) => ColumnarPredicate::Const(false),
+            (Some(col), Some(Value::Str(pattern))) => ColumnarPredicate::LikeConst {
+                col,
+                pattern,
+                negated: *negated,
+            },
+            _ => general(),
+        },
+        Expr::IsNull {
+            expr: target,
+            negated,
+        } => match as_column(target) {
+            Some(col) => ColumnarPredicate::IsNullTest {
+                col,
+                negated: *negated,
+            },
+            None => general(),
+        },
+        _ => match fold(expr) {
+            Some(v) => ColumnarPredicate::Const(v.as_bool().unwrap_or(false)),
+            None => general(),
+        },
+    }
+}
+
+/// Mirror of a comparison operator across `=` (for `const <op> column`).
+fn flip_comparison(op: BinaryOp) -> BinaryOp {
+    match op {
+        BinaryOp::Lt => BinaryOp::Gt,
+        BinaryOp::LtEq => BinaryOp::GtEq,
+        BinaryOp::Gt => BinaryOp::Lt,
+        BinaryOp::GtEq => BinaryOp::LtEq,
+        other => other,
+    }
+}
+
+/// True iff `ord` satisfies the comparison operator.
+fn comparison_holds(op: BinaryOp, ord: std::cmp::Ordering) -> bool {
+    use std::cmp::Ordering;
+    match op {
+        BinaryOp::Eq => ord == Ordering::Equal,
+        BinaryOp::NotEq => ord != Ordering::Equal,
+        BinaryOp::Lt => ord == Ordering::Less,
+        BinaryOp::LtEq => ord != Ordering::Greater,
+        BinaryOp::Gt => ord == Ordering::Greater,
+        BinaryOp::GtEq => ord != Ordering::Less,
+        _ => false,
+    }
+}
+
+/// Applies a compiled predicate over a column batch, narrowing `input` to the
+/// rows on which the predicate is true. Rows are never materialized; the
+/// `General` fallback clones only the referenced columns into a scratch row.
+pub fn apply_predicate(
+    pred: &ColumnarPredicate,
+    batch: &crate::storage::ColumnBatch<'_>,
+    input: &crate::storage::SelectionVector,
+    schema: &RowSchema,
+    ctx: &EvalContext<'_>,
+) -> Result<crate::storage::SelectionVector, EngineError> {
+    use crate::storage::SelectionVector;
+    match pred {
+        ColumnarPredicate::And(parts) => {
+            let mut sel = input.clone();
+            for p in parts {
+                if sel.is_empty() {
+                    break;
+                }
+                sel = apply_predicate(p, batch, &sel, schema, ctx)?;
+            }
+            Ok(sel)
+        }
+        ColumnarPredicate::Or(parts) => {
+            let mut merged = SelectionVector::empty();
+            for p in parts {
+                let sel = apply_predicate(p, batch, input, schema, ctx)?;
+                merged = union_selections(&merged, &sel);
+            }
+            Ok(merged)
+        }
+        ColumnarPredicate::CmpConst { col, op, value } => {
+            let column = batch.column(*col);
+            let mut out = SelectionVector::empty();
+            for ridx in input.iter() {
+                let v = &column[ridx];
+                if !v.is_null() && comparison_holds(*op, v.compare(value)) {
+                    out.push(ridx);
+                }
+            }
+            Ok(out)
+        }
+        ColumnarPredicate::BetweenConst {
+            col,
+            low,
+            high,
+            negated,
+        } => {
+            let column = batch.column(*col);
+            let mut out = SelectionVector::empty();
+            for ridx in input.iter() {
+                let v = &column[ridx];
+                if v.is_null() {
+                    continue;
+                }
+                let within = v >= low && v <= high;
+                if within ^ negated {
+                    out.push(ridx);
+                }
+            }
+            Ok(out)
+        }
+        ColumnarPredicate::InListConst {
+            col,
+            values,
+            negated,
+        } => {
+            let column = batch.column(*col);
+            let mut out = SelectionVector::empty();
+            for ridx in input.iter() {
+                let v = &column[ridx];
+                if v.is_null() {
+                    continue;
+                }
+                let found = values.iter().any(|item| v.equals(item));
+                if found ^ negated {
+                    out.push(ridx);
+                }
+            }
+            Ok(out)
+        }
+        ColumnarPredicate::LikeConst {
+            col,
+            pattern,
+            negated,
+        } => {
+            let column = batch.column(*col);
+            let mut out = SelectionVector::empty();
+            for ridx in input.iter() {
+                match &column[ridx] {
+                    Value::Null => {}
+                    Value::Str(s) => {
+                        if like_match(s, pattern) ^ negated {
+                            out.push(ridx);
+                        }
+                    }
+                    other => {
+                        return Err(EngineError::new(format!(
+                            "LIKE requires strings, got {other:?} LIKE Str({pattern:?})"
+                        )))
+                    }
+                }
+            }
+            Ok(out)
+        }
+        ColumnarPredicate::IsNullTest { col, negated } => {
+            let column = batch.column(*col);
+            let mut out = SelectionVector::empty();
+            for ridx in input.iter() {
+                if column[ridx].is_null() ^ negated {
+                    out.push(ridx);
+                }
+            }
+            Ok(out)
+        }
+        ColumnarPredicate::Const(true) => Ok(input.clone()),
+        ColumnarPredicate::Const(false) => Ok(SelectionVector::empty()),
+        ColumnarPredicate::General { expr, referenced } => {
+            let mut scratch = vec![Value::Null; schema.len()];
+            let mut out = SelectionVector::empty();
+            for ridx in input.iter() {
+                for &c in referenced {
+                    scratch[c] = batch.column(c)[ridx].clone();
+                }
+                if eval(expr, schema, &scratch, ctx)?
+                    .as_bool()
+                    .unwrap_or(false)
+                {
+                    out.push(ridx);
+                }
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Merges two ascending selection vectors into their sorted union.
+fn union_selections(
+    a: &crate::storage::SelectionVector,
+    b: &crate::storage::SelectionVector,
+) -> crate::storage::SelectionVector {
+    let (xs, ys) = (a.indices(), b.indices());
+    let mut out = Vec::with_capacity(xs.len() + ys.len());
+    let (mut i, mut j) = (0, 0);
+    while i < xs.len() && j < ys.len() {
+        match xs[i].cmp(&ys[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(xs[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(ys[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(xs[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&xs[i..]);
+    out.extend_from_slice(&ys[j..]);
+    crate::storage::SelectionVector::from_indices(out)
 }
 
 /// SQL LIKE matching with `%` and `_` wildcards.
@@ -642,5 +1013,181 @@ mod tests {
         assert_eq!(decode_hex("00ff10"), Some(vec![0, 255, 16]));
         assert_eq!(decode_hex("xyz"), None);
         assert_eq!(encode_hex(&[0, 255, 16]), "00ff10");
+    }
+
+    mod columnar {
+        use super::super::*;
+        use crate::schema::{ColumnDef, ColumnType, TableSchema};
+        use crate::storage::{SelectionVector, Table};
+        use monomi_sql::parse_query;
+
+        fn table() -> Table {
+            let schema = TableSchema::new(
+                "t",
+                vec![
+                    ColumnDef::new("a", ColumnType::Int),
+                    ColumnDef::new("ship", ColumnType::Str),
+                    ColumnDef::new("d", ColumnType::Date),
+                ],
+            );
+            let mut t = Table::new(schema);
+            for i in 0..100i64 {
+                t.insert(vec![
+                    if i == 7 { Value::Null } else { Value::Int(i) },
+                    Value::Str(if i % 3 == 0 { "AIR" } else { "RAIL" }.into()),
+                    Value::Date(i as i32 * 10),
+                ])
+                .unwrap();
+            }
+            t
+        }
+
+        fn row_schema() -> RowSchema {
+            RowSchema::new(vec![
+                (Some("t".into()), "a".into()),
+                (Some("t".into()), "ship".into()),
+                (Some("t".into()), "d".into()),
+            ])
+        }
+
+        fn select(where_sql: &str, params: &[Value]) -> Vec<usize> {
+            let q = parse_query(&format!("SELECT a FROM t WHERE {where_sql}")).unwrap();
+            let pred = q.where_clause.unwrap();
+            let schema = row_schema();
+            let ctx = EvalContext::with_params(params);
+            let compiled = compile_predicate(&pred, &schema, &ctx);
+            let t = table();
+            let batch = t.batch();
+            let sel = apply_predicate(
+                &compiled,
+                &batch,
+                &SelectionVector::all(t.row_count()),
+                &schema,
+                &ctx,
+            )
+            .unwrap();
+            sel.iter().collect()
+        }
+
+        /// Reference: the old row-materializing filter.
+        fn select_by_rows(where_sql: &str, params: &[Value]) -> Vec<usize> {
+            let q = parse_query(&format!("SELECT a FROM t WHERE {where_sql}")).unwrap();
+            let pred = q.where_clause.unwrap();
+            let schema = row_schema();
+            let ctx = EvalContext::with_params(params);
+            let t = table();
+            (0..t.row_count())
+                .filter(|&i| {
+                    eval(&pred, &schema, &t.row(i), &ctx)
+                        .unwrap()
+                        .as_bool()
+                        .unwrap_or(false)
+                })
+                .collect()
+        }
+
+        #[test]
+        fn fast_paths_compile_away_from_general() {
+            let schema = row_schema();
+            let ctx = EvalContext::with_params(&[Value::Int(50)]);
+            let compiled_of = |sql: &str| {
+                let q = parse_query(&format!("SELECT a FROM t WHERE {sql}")).unwrap();
+                compile_predicate(&q.where_clause.unwrap(), &schema, &ctx)
+            };
+            assert!(matches!(
+                compiled_of("a < 10 + 2"),
+                ColumnarPredicate::CmpConst { .. }
+            ));
+            assert!(matches!(
+                compiled_of(":1 <= a"),
+                ColumnarPredicate::CmpConst {
+                    op: BinaryOp::GtEq,
+                    ..
+                }
+            ));
+            assert!(matches!(
+                compiled_of("a BETWEEN 2 AND 4"),
+                ColumnarPredicate::BetweenConst { .. }
+            ));
+            assert!(matches!(
+                compiled_of("ship IN ('AIR', 'TRUCK')"),
+                ColumnarPredicate::InListConst { .. }
+            ));
+            assert!(matches!(
+                compiled_of("ship LIKE 'A%'"),
+                ColumnarPredicate::LikeConst { .. }
+            ));
+            assert!(matches!(
+                compiled_of("a IS NOT NULL"),
+                ColumnarPredicate::IsNullTest { negated: true, .. }
+            ));
+            assert!(matches!(
+                compiled_of("a = NULL"),
+                ColumnarPredicate::Const(false)
+            ));
+            assert!(matches!(
+                compiled_of("a < 10 AND ship = 'AIR'"),
+                ColumnarPredicate::And(_)
+            ));
+            // Computed column side falls back to the scratch-row evaluator.
+            assert!(matches!(
+                compiled_of("a + 1 < 10"),
+                ColumnarPredicate::General { .. }
+            ));
+        }
+
+        #[test]
+        fn columnar_selection_matches_row_at_a_time_filtering() {
+            let cases = [
+                "a < 10",
+                "a >= 90",
+                "10 > a",
+                "a = 7",     // row 7 is NULL: no match
+                "a <> 7",    // NULL row dropped too
+                "a IS NULL", // only row 7
+                "a IS NOT NULL",
+                "a BETWEEN 20 AND 25",
+                "a NOT BETWEEN 10 AND 89",
+                "ship IN ('AIR', 'TRUCK')",
+                "ship NOT IN ('AIR', 'TRUCK')",
+                "ship LIKE 'R%'",
+                "ship NOT LIKE '%I%'",
+                "a < 5 OR a > 95",
+                "a < 20 AND ship = 'AIR'",
+                "(a < 10 OR a > 90) AND ship = 'RAIL'",
+                "d < DATE '1970-04-11'",
+                "a + 1 < 10",
+                "EXTRACT(YEAR FROM d) = 1971",
+                "1 = 1",
+                "1 = 0",
+                "NOT (a < 50)",
+                "a < :1",
+            ];
+            for case in cases {
+                assert_eq!(
+                    select(case, &[Value::Int(42)]),
+                    select_by_rows(case, &[Value::Int(42)]),
+                    "vectorized and row-at-a-time scans disagree on {case}"
+                );
+            }
+        }
+
+        #[test]
+        fn like_on_non_string_column_errors_like_the_row_path() {
+            let schema = row_schema();
+            let ctx = EvalContext::with_params(&[]);
+            let q = parse_query("SELECT a FROM t WHERE a LIKE 'A%'").unwrap();
+            let compiled = compile_predicate(&q.where_clause.unwrap(), &schema, &ctx);
+            let t = table();
+            let batch = t.batch();
+            let err = apply_predicate(
+                &compiled,
+                &batch,
+                &SelectionVector::all(t.row_count()),
+                &schema,
+                &ctx,
+            );
+            assert!(err.is_err());
+        }
     }
 }

@@ -41,10 +41,13 @@ pub mod value;
 
 pub use database::Database;
 pub use exec::{ExecStats, ResultSet};
-pub use expr::{decode_hex, encode_hex, EvalContext, RowSchema};
+pub use expr::{
+    apply_predicate, compile_predicate, decode_hex, encode_hex, ColumnarPredicate, EvalContext,
+    RowSchema,
+};
 pub use schema::{Catalog, ColumnDef, ColumnType, TableSchema};
 pub use stats::{QueryEstimate, TableStats};
-pub use storage::Table;
+pub use storage::{ColumnBatch, SelectionVector, Table};
 pub use value::{date, Value};
 
 /// Error type for all engine operations.

@@ -45,6 +45,13 @@ pub struct QueryEstimate {
     pub result_rows: f64,
     /// Estimated size of one result row in bytes.
     pub result_row_bytes: f64,
+    /// Estimated fraction of scanned rows surviving the WHERE clause — the
+    /// selectivity the vectorized scan's selection vectors realize. Mirrors
+    /// [`crate::ExecStats::scan_selectivity`] on the measurement side.
+    pub scan_selectivity: f64,
+    /// Estimated bytes the scan materializes after filtering (scanned bytes ×
+    /// selectivity); the selectivity-aware counterpart of the full scan size.
+    pub post_filter_bytes: f64,
 }
 
 impl QueryEstimate {
@@ -106,6 +113,7 @@ impl<'a> Estimator<'a> {
         let mut scan_cost = 0.0;
         let mut input_rows: f64 = 1.0;
         let mut max_rows: f64 = 0.0;
+        let mut input_bytes: f64 = 0.0;
         let mut column_width: HashMap<String, usize> = HashMap::new();
         let mut column_distinct: HashMap<String, usize> = HashMap::new();
 
@@ -115,6 +123,7 @@ impl<'a> Estimator<'a> {
                     if let Some(ts) = self.stats.get(&name.to_lowercase()) {
                         scan_cost += (ts.bytes as f64 / PAGE_BYTES) * SEQ_PAGE_COST
                             + ts.rows as f64 * CPU_TUPLE_COST;
+                        input_bytes += ts.bytes as f64;
                         max_rows = max_rows.max(ts.rows as f64);
                         input_rows = input_rows.max(ts.rows as f64);
                         for (cname, cs) in &ts.columns {
@@ -126,6 +135,7 @@ impl<'a> Estimator<'a> {
                 TableRef::Subquery { query: sub, alias } => {
                     let inner = self.estimate(sub);
                     scan_cost += inner.server_cost;
+                    input_bytes += inner.result_bytes();
                     max_rows = max_rows.max(inner.result_rows);
                     input_rows = input_rows.max(inner.result_rows);
                     for (i, p) in sub.projections.iter().enumerate() {
@@ -151,6 +161,12 @@ impl<'a> Estimator<'a> {
             .map(|w| self.predicate_selectivity(w, &column_distinct))
             .unwrap_or(1.0);
         let filtered_rows = (joined_rows * selectivity).max(1.0);
+
+        // The vectorized scan materializes rows only after filtering, so the
+        // per-tuple materialization cost scales with selectivity rather than
+        // with the raw scan size.
+        let materialize_cost = filtered_rows * CPU_TUPLE_COST;
+        let post_filter_bytes = input_bytes * selectivity;
 
         // Aggregation.
         let (result_rows, agg_cost) = if query.is_aggregate_query() {
@@ -201,9 +217,11 @@ impl<'a> Estimator<'a> {
         };
 
         QueryEstimate {
-            server_cost: scan_cost + agg_cost + sort_cost,
+            server_cost: scan_cost + materialize_cost + agg_cost + sort_cost,
             result_rows,
             result_row_bytes: row_bytes.max(1.0),
+            scan_selectivity: selectivity,
+            post_filter_bytes,
         }
     }
 

@@ -5,9 +5,125 @@
 //! sum of the stored values' serialized sizes; that number drives both the
 //! space-overhead experiments (Table 2) and the sequential-scan component of
 //! the cost model.
+//!
+//! Scans are vectorized: a [`ColumnBatch`] exposes the stored columns as
+//! borrowed slices, predicates narrow a [`SelectionVector`] of surviving row
+//! indices, and only the survivors' referenced columns are materialized into
+//! row form ("late materialization"). Nothing is cloned until a row is known
+//! to pass every scan-level predicate.
 
 use crate::schema::TableSchema;
 use crate::value::Value;
+
+/// Indices of the rows surviving a scan's predicates, in ascending order.
+///
+/// A selection vector is the unit of work the vectorized scan pipeline passes
+/// between predicate applications: each conjunct narrows the previous
+/// selection instead of copying rows. Indices are `u32` — tables are capped at
+/// `u32::MAX` rows, far beyond anything the in-memory engine holds.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SelectionVector {
+    indices: Vec<u32>,
+}
+
+impl SelectionVector {
+    /// A selection covering every row of an `n`-row relation.
+    pub fn all(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "table exceeds u32::MAX rows");
+        SelectionVector {
+            indices: (0..n as u32).collect(),
+        }
+    }
+
+    /// An empty selection.
+    pub fn empty() -> Self {
+        SelectionVector::default()
+    }
+
+    /// Builds a selection from raw indices (must be ascending).
+    pub fn from_indices(indices: Vec<u32>) -> Self {
+        debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        SelectionVector { indices }
+    }
+
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// True if no rows are selected.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Appends a row index (callers must keep indices ascending).
+    pub fn push(&mut self, idx: usize) {
+        assert!(idx <= u32::MAX as usize, "row index exceeds u32::MAX");
+        debug_assert!(self.indices.last().is_none_or(|&l| (l as usize) < idx));
+        self.indices.push(idx as u32);
+    }
+
+    /// The selected row indices.
+    pub fn indices(&self) -> &[u32] {
+        &self.indices
+    }
+
+    /// Iterates the selected row indices as `usize`.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.indices.iter().map(|&i| i as usize)
+    }
+
+    /// Fraction of `total` rows selected (1.0 for an empty relation).
+    pub fn selectivity(&self, total: usize) -> f64 {
+        if total == 0 {
+            1.0
+        } else {
+            self.len() as f64 / total as f64
+        }
+    }
+}
+
+/// A borrowed, column-major view of a relation: the unit vectorized predicate
+/// evaluation operates on. Columns are slices into the table's storage, so
+/// building a batch never copies data.
+#[derive(Clone, Copy, Debug)]
+pub struct ColumnBatch<'a> {
+    columns: &'a [Vec<Value>],
+    row_count: usize,
+}
+
+impl<'a> ColumnBatch<'a> {
+    /// Number of rows in the batch.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Number of columns in the batch.
+    pub fn column_count(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// One column as a slice.
+    pub fn column(&self, idx: usize) -> &'a [Value] {
+        &self.columns[idx]
+    }
+
+    /// Late materialization: clones the selected rows, keeping only the
+    /// columns in `projection` (in the given order). Only survivors of the
+    /// scan's predicates are ever cloned.
+    pub fn gather(&self, selection: &SelectionVector, projection: &[usize]) -> Vec<Vec<Value>> {
+        let mut rows = Vec::with_capacity(selection.len());
+        for ridx in selection.iter() {
+            rows.push(
+                projection
+                    .iter()
+                    .map(|&c| self.columns[c][ridx].clone())
+                    .collect(),
+            );
+        }
+        rows
+    }
+}
 
 /// A columnar table.
 #[derive(Clone, Debug)]
@@ -72,6 +188,14 @@ impl Table {
     /// Materializes one row.
     pub fn row(&self, row: usize) -> Vec<Value> {
         self.columns.iter().map(|c| c[row].clone()).collect()
+    }
+
+    /// A borrowed columnar view over the whole table for vectorized scans.
+    pub fn batch(&self) -> ColumnBatch<'_> {
+        ColumnBatch {
+            columns: &self.columns,
+            row_count: self.row_count,
+        }
     }
 
     /// Total stored bytes across all columns.
@@ -160,6 +284,40 @@ mod tests {
             .insert(vec![Value::Str("oops".into()), Value::Str("x".into())])
             .is_err());
         assert_eq!(t.row_count(), 3);
+    }
+
+    #[test]
+    fn selection_vectors_narrow_and_report_selectivity() {
+        let sel = SelectionVector::all(4);
+        assert_eq!(sel.len(), 4);
+        assert_eq!(sel.indices(), &[0, 1, 2, 3]);
+        let mut narrowed = SelectionVector::empty();
+        narrowed.push(1);
+        narrowed.push(3);
+        assert_eq!(narrowed.iter().collect::<Vec<_>>(), vec![1, 3]);
+        assert!((narrowed.selectivity(4) - 0.5).abs() < f64::EPSILON);
+        assert!((SelectionVector::empty().selectivity(0) - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn batch_gather_late_materializes_projected_columns() {
+        let t = small_table();
+        let batch = t.batch();
+        assert_eq!(batch.row_count(), 3);
+        assert_eq!(batch.column_count(), 2);
+        assert_eq!(batch.column(0)[2], Value::Int(3));
+        // Select rows 0 and 2, keep only the name column (index 1).
+        let sel = SelectionVector::from_indices(vec![0, 2]);
+        let rows = batch.gather(&sel, &[1]);
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Str("alpha".into())],
+                vec![Value::Str("alpha".into())]
+            ]
+        );
+        // Empty projection still yields the right number of (zero-width) rows.
+        assert_eq!(batch.gather(&sel, &[]), vec![Vec::new(), Vec::new()]);
     }
 
     #[test]

@@ -101,6 +101,27 @@ impl Value {
     /// NULLs sort first; numeric types compare numerically across Int/Float/
     /// Date; bytes compare lexicographically (which matches numeric order for
     /// fixed-width big-endian OPE ciphertexts).
+    ///
+    /// # The `Hash`/`Eq` contract
+    ///
+    /// [`equals`](Self::equals) (and thus `PartialEq`/`Eq`) is defined as
+    /// `compare(..) == Equal`, and the executor's hash joins, GROUP BY, and
+    /// DISTINCT all key `HashMap`s/`HashSet`s on `Value`, so `compare` must
+    /// induce a genuine equivalence relation whose classes the `Hash` impl
+    /// respects. The contract is:
+    ///
+    /// * `Int`, `Float`, and `Date` form one *numeric* family. Cross-type
+    ///   numeric comparisons are **exact** (no lossy `i64 → f64` rounding):
+    ///   `Int(a) == Float(b)` iff `b` is integral and numerically equals `a`.
+    ///   `-0.0` equals `0.0` (and both equal `Int(0)`); NaNs order above
+    ///   `+inf` via IEEE-754 `total_cmp`.
+    /// * The `Hash` impl canonicalizes numerics: any numeric value that is an
+    ///   exact integer hashes as its `i64` value regardless of variant, and
+    ///   every other float hashes by its (zero-normalized) bit pattern, so
+    ///   `a == b ⇒ hash(a) == hash(b)` holds across the numeric family.
+    /// * Values of different non-numeric families are never equal and order
+    ///   by a fixed type rank (Null < numerics < Str < Bytes < List),
+    ///   computed without allocating.
     pub fn compare(&self, other: &Value) -> Ordering {
         use Value::*;
         match (self, other) {
@@ -120,10 +141,10 @@ impl Value {
                 }
                 a.len().cmp(&b.len())
             }
-            // Mixed numerics via f64.
-            (a, b) => match (a.as_float(), b.as_float()) {
-                (Some(x), Some(y)) => x.total_cmp(&y),
-                _ => format!("{a:?}").cmp(&format!("{b:?}")),
+            (a, b) => match (a.numeric(), b.numeric()) {
+                (Some(x), Some(y)) => x.compare(y),
+                // Mixed non-numeric types: allocation-free type-rank order.
+                _ => a.type_rank().cmp(&b.type_rank()),
             },
         }
     }
@@ -131,6 +152,86 @@ impl Value {
     /// Equality following the same coercion rules as [`compare`](Self::compare).
     pub fn equals(&self, other: &Value) -> bool {
         self.compare(other) == Ordering::Equal
+    }
+
+    /// Numeric view preserving exactness: `Int` and `Date` stay integers.
+    fn numeric(&self) -> Option<Numeric> {
+        match self {
+            Value::Int(v) => Some(Numeric::I64(*v)),
+            Value::Date(d) => Some(Numeric::I64(*d as i64)),
+            Value::Float(f) => Some(Numeric::F64(*f)),
+            _ => None,
+        }
+    }
+
+    /// Fixed ordering rank of the value's type family, used when comparing
+    /// values no coercion can relate. Numerics share a rank: they compare
+    /// through [`Numeric`] instead.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Int(_) | Value::Float(_) | Value::Date(_) => 1,
+            Value::Str(_) => 2,
+            Value::Bytes(_) => 3,
+            Value::List(_) => 4,
+        }
+    }
+}
+
+/// An exact numeric: either a true integer or a float. Cross-representation
+/// comparisons avoid the lossy `i64 → f64` cast for |values| ≥ 2⁵³.
+#[derive(Clone, Copy, Debug)]
+enum Numeric {
+    I64(i64),
+    F64(f64),
+}
+
+impl Numeric {
+    fn compare(self, other: Numeric) -> Ordering {
+        match (self, other) {
+            (Numeric::I64(a), Numeric::I64(b)) => a.cmp(&b),
+            (Numeric::F64(a), Numeric::F64(b)) => cmp_f64(a, b),
+            (Numeric::I64(a), Numeric::F64(b)) => cmp_i64_f64(a, b),
+            (Numeric::F64(a), Numeric::I64(b)) => cmp_i64_f64(b, a).reverse(),
+        }
+    }
+}
+
+/// Float total order: IEEE-754 `total_cmp`, except `-0.0 == 0.0` so float
+/// equality agrees with the canonical numeric hash (and SQL semantics).
+fn cmp_f64(a: f64, b: f64) -> Ordering {
+    if a == 0.0 && b == 0.0 {
+        Ordering::Equal
+    } else {
+        a.total_cmp(&b)
+    }
+}
+
+/// Exact comparison of an `i64` against an `f64` (total order on the float
+/// side: NaNs sort above `+inf`, negative NaNs below `-inf`).
+fn cmp_i64_f64(a: i64, b: f64) -> Ordering {
+    if b.is_nan() {
+        return if b.is_sign_negative() {
+            Ordering::Greater
+        } else {
+            Ordering::Less
+        };
+    }
+    let af = a as f64;
+    match af.partial_cmp(&b).expect("operands are not NaN") {
+        // i64 → f64 rounding is monotonic and b is exact, so a strict
+        // inequality after rounding is already correct.
+        Ordering::Less => Ordering::Less,
+        Ordering::Greater => Ordering::Greater,
+        Ordering::Equal => {
+            // Rounded tie. `af == b` forces b to be an integer (non-integral
+            // doubles only exist below 2⁵³, where the cast is exact), and
+            // |b| ≤ 2⁶³, so comparing in i128 is exact.
+            if b.fract() != 0.0 || !(-(2f64.powi(63))..=2f64.powi(63)).contains(&b) {
+                return af.total_cmp(&b);
+            }
+            (a as i128).cmp(&(b as i128))
+        }
     }
 }
 
@@ -154,29 +255,48 @@ impl Ord for Value {
     }
 }
 
+/// Hash tag for the canonical integer form of a numeric (shared by `Int`,
+/// `Date`, and integral `Float`s so the numeric family hashes consistently).
+const HASH_TAG_INTEGER: u8 = 1;
+/// Hash tag for non-integral (or out-of-i64-range) floats.
+const HASH_TAG_FLOAT: u8 = 2;
+
+/// Hashes a numeric value canonically: see the `Hash`/`Eq` contract on
+/// [`Value::compare`]. Equal numerics — across `Int`/`Float`/`Date` — must
+/// produce identical hashes.
+fn hash_numeric<H: std::hash::Hasher>(n: Numeric, state: &mut H) {
+    use std::hash::Hash;
+    match n {
+        Numeric::I64(v) => {
+            HASH_TAG_INTEGER.hash(state);
+            v.hash(state);
+        }
+        Numeric::F64(f) => {
+            // Normalize -0.0 so it hashes like Int(0), which it equals.
+            let f = if f == 0.0 { 0.0 } else { f };
+            // Integral floats representable as i64 hash in their integer form;
+            // the range check is exact because both bounds are powers of two.
+            if f.is_finite() && f.fract() == 0.0 && (-(2f64.powi(63))..2f64.powi(63)).contains(&f) {
+                HASH_TAG_INTEGER.hash(state);
+                (f as i64).hash(state);
+            } else {
+                HASH_TAG_FLOAT.hash(state);
+                f.to_bits().hash(state);
+            }
+        }
+    }
+}
+
 impl std::hash::Hash for Value {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         match self {
             Value::Null => 0u8.hash(state),
-            Value::Int(v) => {
-                1u8.hash(state);
-                v.hash(state);
-            }
-            Value::Float(f) => {
-                // Hash the bit pattern of the canonical float; equal Int/Float
-                // values that compare equal may hash differently, so group keys
-                // should not mix types for the same column (they do not: a
-                // column has a single type).
-                2u8.hash(state);
-                f.to_bits().hash(state);
+            Value::Int(_) | Value::Float(_) | Value::Date(_) => {
+                hash_numeric(self.numeric().expect("numeric variant"), state);
             }
             Value::Str(s) => {
                 3u8.hash(state);
                 s.hash(state);
-            }
-            Value::Date(d) => {
-                4u8.hash(state);
-                d.hash(state);
             }
             Value::Bytes(b) => {
                 5u8.hash(state);
@@ -184,6 +304,7 @@ impl std::hash::Hash for Value {
             }
             Value::List(vs) => {
                 6u8.hash(state);
+                vs.len().hash(state);
                 for v in vs {
                     v.hash(state);
                 }
@@ -382,6 +503,81 @@ mod tests {
         assert_eq!(Value::Int(3), Value::Float(3.0));
         assert_ne!(Value::Int(3), Value::Float(3.5));
         assert!(!Value::Null.equals(&Value::Int(0)));
+    }
+
+    fn hash_of(v: &Value) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn equal_values_hash_identically() {
+        // The pairs equality coerces across must share hash buckets.
+        let equal_pairs = [
+            (Value::Int(5), Value::Float(5.0)),
+            (Value::Int(0), Value::Float(-0.0)),
+            (Value::Float(0.0), Value::Float(-0.0)),
+            (Value::Date(42), Value::Int(42)),
+            (Value::Date(42), Value::Float(42.0)),
+            (Value::Int(i64::MIN), Value::Float(-(2f64.powi(63)))),
+            (
+                Value::List(vec![Value::Int(1), Value::Float(2.0)]),
+                Value::List(vec![Value::Float(1.0), Value::Int(2)]),
+            ),
+        ];
+        for (a, b) in &equal_pairs {
+            assert_eq!(a, b, "{a:?} should equal {b:?}");
+            assert_eq!(hash_of(a), hash_of(b), "{a:?} and {b:?} must hash alike");
+        }
+    }
+
+    #[test]
+    fn lossy_float_casts_do_not_fake_equality() {
+        // 2^53 + 1 is not representable in f64; the old lossy i64→f64
+        // comparison called these equal while hashing them differently.
+        let a = Value::Int((1i64 << 53) + 1);
+        let b = Value::Float((1i64 << 53) as f64);
+        assert_ne!(a, b);
+        assert!(a > b);
+        // i64::MAX rounds up to 2^63 as a float; they must not be equal.
+        assert_ne!(Value::Int(i64::MAX), Value::Float(2f64.powi(63)));
+        assert!(Value::Int(i64::MAX) < Value::Float(2f64.powi(63)));
+    }
+
+    #[test]
+    fn mixed_type_ordering_is_total_and_allocation_free() {
+        use std::cmp::Ordering;
+        // Type-rank order: Null < numerics < Str < Bytes < List.
+        let ranked = [
+            Value::Null,
+            Value::Int(i64::MAX),
+            Value::Str(String::new()),
+            Value::Bytes(vec![]),
+            Value::List(vec![]),
+        ];
+        for (i, a) in ranked.iter().enumerate() {
+            for (j, b) in ranked.iter().enumerate() {
+                assert_eq!(a.compare(b), i.cmp(&j), "{a:?} vs {b:?}");
+            }
+        }
+        // Antisymmetry on a numeric/non-numeric pair.
+        assert_eq!(
+            Value::Float(f64::INFINITY).compare(&Value::Str("z".into())),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn group_keys_mixing_int_and_float_collapse() {
+        // Regression for the executor's GROUP BY/DISTINCT reliance on the
+        // Hash/Eq contract: a HashSet must treat Int(5) and Float(5.0) as one.
+        let mut set = std::collections::HashSet::new();
+        set.insert(Value::Int(5));
+        assert!(!set.insert(Value::Float(5.0)));
+        assert!(set.contains(&Value::Float(5.0)));
+        assert_eq!(set.len(), 1);
     }
 
     #[test]

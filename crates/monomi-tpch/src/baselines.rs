@@ -78,6 +78,7 @@ pub fn run_plaintext(
         client_seconds: 0.0,
         transfer_bytes: rs.size_bytes() as u64,
         server_bytes_scanned: stats.bytes_scanned,
+        server_bytes_materialized: stats.bytes_materialized,
     };
     Ok(QueryRun {
         query_number: query.number,

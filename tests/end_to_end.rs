@@ -3,9 +3,10 @@
 //! the untrusted server.
 
 use monomi_core::{ClientConfig, DesignStrategy, MonomiClient, NetworkModel};
-use monomi_engine::Value;
+use monomi_engine::{ColumnDef, ColumnType, Database, TableSchema, Value};
 use monomi_sql::parse_query;
 use monomi_tpch::{baselines, datagen, queries};
+use proptest::prelude::*;
 
 fn small_plain() -> monomi_engine::Database {
     datagen::generate(&datagen::GeneratorConfig {
@@ -130,6 +131,101 @@ fn space_budget_is_respected_and_orderings_hold() {
     // Table 2 ordering: plaintext < MONOMI < CryptDB+Client.
     assert!(monomi_bytes > plain_bytes);
     assert!(cryptdb_bytes > monomi_bytes);
+}
+
+/// Builds a two-table plaintext database whose join columns contain NULLs at
+/// generator-chosen positions.
+fn join_db_with_nulls(left: &[(i64, i64)], right: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    db.create_table(TableSchema::new(
+        "lt",
+        vec![
+            ColumnDef::new("lk", ColumnType::Int),
+            ColumnDef::new("lv", ColumnType::Int),
+        ],
+    ));
+    db.create_table(TableSchema::new(
+        "rt",
+        vec![
+            ColumnDef::new("rk", ColumnType::Int),
+            ColumnDef::new("rv", ColumnType::Int),
+        ],
+    ));
+    let key = |k: i64| {
+        if k % 5 == 0 {
+            Value::Null
+        } else {
+            Value::Int(k)
+        }
+    };
+    for &(k, v) in left {
+        db.insert("lt", vec![key(k), Value::Int(v)]).unwrap();
+    }
+    for &(k, v) in right {
+        db.insert("rt", vec![key(k), Value::Int(v)]).unwrap();
+    }
+    db
+}
+
+proptest! {
+    // Each case runs a full MONOMI setup (key generation + design +
+    // encryption), so keep the case count small; the row generators still
+    // cover empty sides, all-NULL keys, and duplicate keys.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// NULL join-key semantics must match plaintext SQL end to end: the
+    /// encrypted split execution drops NULL-keyed rows exactly where the
+    /// plaintext engine does, instead of matching NULL with NULL.
+    #[test]
+    fn monomi_matches_plaintext_on_null_join_keys(
+        left in proptest::collection::vec((0i64..12, 0i64..100), 0..14),
+        right in proptest::collection::vec((0i64..12, 0i64..100), 0..14),
+    ) {
+        let plain = join_db_with_nulls(&left, &right);
+        let sql = "SELECT lv, rv FROM lt, rt WHERE lk = rk ORDER BY lv, rv";
+        let parsed = vec![parse_query(sql).expect("join query parses")];
+        let (client, _) =
+            MonomiClient::setup(&plain, &parsed, DesignStrategy::Designer, &fast_config())
+                .expect("setup succeeds");
+        let (expected, _) = plain.execute_sql(sql, &[]).expect("plaintext join");
+        // Plaintext sanity: no NULL key ever matched.
+        for row in &expected.rows {
+            prop_assert!(row.iter().all(|v| !v.is_null()));
+        }
+        let (got, _) = client.execute(sql, &[]).expect("MONOMI join");
+        prop_assert!(
+            rows_match(&expected.rows, &got.rows),
+            "plaintext {:?} vs MONOMI {:?}", expected.rows, got.rows
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The `Value` `Hash`/`Eq` contract the executor's hash operators rely
+    /// on: equality implies equal hashes, across the Int/Float/Date family.
+    #[test]
+    fn value_hash_eq_contract(kind_a in 0u8..5, kind_b in 0u8..5, base in -1000i64..1000) {
+        use std::hash::{Hash, Hasher};
+        let make = |kind: u8| match kind {
+            0 => Value::Null,
+            1 => Value::Int(base),
+            2 => Value::Float(base as f64),
+            3 => Value::Date(base as i32),
+            _ => Value::Float(base as f64 + 0.25),
+        };
+        let hash = |v: &Value| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        };
+        let (a, b) = (make(kind_a), make(kind_b));
+        if a == b {
+            prop_assert_eq!(hash(&a), hash(&b), "{:?} == {:?} but hashes differ", a, b);
+        }
+        prop_assert_eq!(a.compare(&b), b.compare(&a).reverse());
+    }
 }
 
 #[test]
