@@ -41,14 +41,41 @@ fn bench_crypto(c: &mut Criterion) {
     c.bench_function("paillier_encrypt_u64_512bit", |b| {
         b.iter(|| std::hint::black_box(paillier.encrypt_u64(&mut rng, 424242)))
     });
-    c.bench_function("paillier_decrypt_512bit", |b| {
+    c.bench_function("paillier_decrypt_crt_512bit", |b| {
         let ct = paillier.encrypt_u64(&mut rng, 424242);
         b.iter(|| std::hint::black_box(paillier.decrypt_u64(&ct)))
+    });
+    c.bench_function("paillier_decrypt_classic_512bit", |b| {
+        let ct = paillier.encrypt_u64(&mut rng, 424242);
+        b.iter(|| std::hint::black_box(paillier.decrypt_classic(&ct)))
     });
     c.bench_function("paillier_homomorphic_add", |b| {
         let c1 = paillier.encrypt_u64(&mut rng, 1);
         let c2 = paillier.encrypt_u64(&mut rng, 2);
         b.iter(|| std::hint::black_box(paillier.add_ciphertexts(&c1, &c2)))
+    });
+    c.bench_function("hom_add_mont_resident_per_row", |b| {
+        // The engine's per-row aggregation cost: one in-place CIOS multiply
+        // through a shared scratch (drift fixup amortized to zero here).
+        let ctx = paillier.ctx_n_squared();
+        let c1 = paillier.encrypt_u64(&mut rng, 1);
+        let mut acc = ctx.one_mont();
+        let mut scratch = ctx.scratch();
+        b.iter(|| {
+            ctx.mont_mul_assign(&mut acc, &c1, &mut scratch);
+            std::hint::black_box(&acc);
+        })
+    });
+    c.bench_function("hom_add_naive_mul_rem", |b| {
+        // The pre-PR per-row cost: schoolbook product + long-division rem.
+        let c1 = paillier.encrypt_u64(&mut rng, 1);
+        let c2 = paillier.encrypt_u64(&mut rng, 2);
+        let n2 = paillier.n_squared();
+        b.iter(|| std::hint::black_box(c1.mul(&c2).rem(n2)))
+    });
+    c.bench_function("paillier_batch_encrypt_64_values", |b| {
+        let ms: Vec<_> = (0..64u64).map(monomi_math::BigUint::from_u64).collect();
+        b.iter(|| std::hint::black_box(paillier.batch_encrypt(&mut rng, &ms)))
     });
     c.bench_function("grouped_packing_encrypt_row_of_4", |b| {
         let layout = PackingLayout::plan(&paillier, 4, 36, 28);

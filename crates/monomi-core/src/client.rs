@@ -277,7 +277,7 @@ fn clone_database(db: &Database) -> Database {
         out.bulk_load(&name, rows).expect("row shapes match schema");
     }
     if let Some(m) = db.paillier_modulus() {
-        out.register_paillier_modulus(m);
+        out.register_paillier_modulus(m.clone());
     }
     out
 }

@@ -21,6 +21,12 @@ pub struct DecryptProfile {
     pub det_str_seconds: f64,
     pub rnd_seconds: f64,
     pub hom_seconds: f64,
+    /// Per-operation cost of one server-side homomorphic addition (one
+    /// Montgomery ciphertext multiplication modulo n²). Server-side HOM
+    /// aggregation pays this once per input row (§5.3), so it is measured
+    /// alongside the per-value decrypt costs and used to price
+    /// `paillier_sum` in candidate plans.
+    pub hom_add_seconds: f64,
 }
 
 impl Default for DecryptProfile {
@@ -31,6 +37,7 @@ impl Default for DecryptProfile {
             det_str_seconds: 4e-6,
             rnd_seconds: 4e-6,
             hom_seconds: 3e-4,
+            hom_add_seconds: 2e-6,
         }
     }
 }
@@ -79,11 +86,23 @@ impl DecryptProfile {
         }
         let hom_seconds = start.elapsed().as_secs_f64() / hom_ct.len() as f64;
 
+        // Per-op homomorphic-add cost: one long chained sum amortizes the
+        // Montgomery conversions exactly like the server's aggregation loop.
+        const HOM_ADD_OPS: usize = 256;
+        let start = Instant::now();
+        let chain: Vec<_> = std::iter::repeat_with(|| hom_ct.iter())
+            .take((HOM_ADD_OPS / hom_ct.len()).max(1))
+            .flatten()
+            .collect();
+        std::hint::black_box(paillier.sum_ciphertexts(chain.iter().copied()));
+        let hom_add_seconds = start.elapsed().as_secs_f64() / chain.len() as f64;
+
         DecryptProfile {
             det_int_seconds,
             det_str_seconds,
             rnd_seconds,
             hom_seconds,
+            hom_add_seconds,
         }
     }
 }
@@ -205,6 +224,7 @@ impl<'a> CostModel<'a> {
         // Transfer and decrypt per output column.
         let mut row_bytes = 0.0;
         let mut decrypt_per_row = 0.0;
+        let mut hom_agg_columns = 0.0;
         for out in &rp.outputs {
             match &out.decrypt {
                 DecryptSpec::Plain => {
@@ -225,6 +245,7 @@ impl<'a> CostModel<'a> {
                 DecryptSpec::HomGroupSum { .. } | DecryptSpec::HomSum { .. } => {
                     row_bytes += 256.0;
                     decrypt_per_row += self.profile.hom_seconds;
+                    hom_agg_columns += 1.0;
                 }
                 DecryptSpec::GroupValues { ty, .. } => {
                     let per_value = match ty {
@@ -239,6 +260,14 @@ impl<'a> CostModel<'a> {
         let transfer_bytes = row_bytes * result_rows;
         cost.network_seconds += self.network.transfer_seconds(transfer_bytes as u64);
         cost.decrypt_seconds += decrypt_per_row * result_rows;
+
+        // Server-side HOM aggregation: every `paillier_sum` output costs one
+        // ciphertext multiplication per input row of its group (§5.3), priced
+        // with the profiler-measured per-op homomorphic-add cost.
+        if hom_agg_columns > 0.0 {
+            cost.server_seconds +=
+                hom_agg_columns * self.profile.hom_add_seconds * rows_per_group * result_rows;
+        }
 
         // Residual client computation.
         let mut client_rows = result_rows;

@@ -106,6 +106,10 @@ impl<'a> PackedEncryptor<'a> {
         } else {
             (1u64 << self.layout.value_bits) - 1
         };
+        // One scratch-carrying encryption session for the whole bulk load;
+        // each packed plaintext is encrypted as soon as its chunk is built,
+        // so peak memory stays at ciphertexts + one plaintext.
+        let mut session = self.key.encryptor();
         let mut out = Vec::with_capacity(self.layout.ciphertexts_for(rows.len()));
         for chunk in rows.chunks(self.layout.rows_per_ciphertext) {
             let mut plaintext = BigUint::zero();
@@ -121,7 +125,7 @@ impl<'a> PackedEncryptor<'a> {
                     plaintext = plaintext.add(&BigUint::from_u64(value).shl(offset));
                 }
             }
-            out.push(self.key.encrypt(rng, &plaintext));
+            out.push(session.encrypt(rng, &plaintext));
         }
         out
     }

@@ -14,17 +14,47 @@ use crate::stats::{collect_stats, Estimator, QueryEstimate, TableStats};
 use crate::storage::Table;
 use crate::value::Value;
 use crate::EngineError;
-use monomi_math::BigUint;
+use monomi_math::{BigUint, MontgomeryCtx};
 use monomi_sql::ast::Query;
 use monomi_sql::parse_query;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Server-side Paillier evaluation state: the public ciphertext modulus n²
+/// together with the Montgomery context the `paillier_sum` UDF multiplies
+/// ciphertexts in. Built once when the modulus is registered and shared
+/// (via `Arc`) with every aggregation state, so per-query and per-group code
+/// never re-derives Montgomery constants or re-parses the modulus.
+#[derive(Clone, Debug)]
+pub struct PaillierServerCtx {
+    n_squared: BigUint,
+    ctx: MontgomeryCtx,
+    ciphertext_bytes: usize,
+}
+
+impl PaillierServerCtx {
+    /// The public ciphertext modulus n².
+    pub fn n_squared(&self) -> &BigUint {
+        &self.n_squared
+    }
+
+    /// The shared Montgomery context modulo n².
+    pub fn ctx(&self) -> &MontgomeryCtx {
+        &self.ctx
+    }
+
+    /// Fixed serialized ciphertext width in bytes.
+    pub fn ciphertext_bytes(&self) -> usize {
+        self.ciphertext_bytes
+    }
+}
 
 /// An in-memory analytical database.
 pub struct Database {
     catalog: Catalog,
     tables: HashMap<String, Table>,
-    paillier_modulus: Option<BigUint>,
+    paillier: Option<Arc<PaillierServerCtx>>,
     stats_cache: RwLock<Option<HashMap<String, TableStats>>>,
 }
 
@@ -40,7 +70,7 @@ impl Database {
         Database {
             catalog: Catalog::new(),
             tables: HashMap::new(),
-            paillier_modulus: None,
+            paillier: None,
             stats_cache: RwLock::new(None),
         }
     }
@@ -54,14 +84,30 @@ impl Database {
     }
 
     /// Registers the Paillier public modulus so the server can evaluate the
-    /// `paillier_sum` UDF (ciphertext multiplication modulo n²).
+    /// `paillier_sum` UDF (ciphertext multiplication modulo n²). The
+    /// Montgomery context for n² is derived once, here, and shared with every
+    /// aggregation state.
+    ///
+    /// Panics if `n_squared` is even or zero (a Paillier modulus is a product
+    /// of odd primes, so a valid n² is always odd).
     pub fn register_paillier_modulus(&mut self, n_squared: BigUint) {
-        self.paillier_modulus = Some(n_squared);
+        let ctx = MontgomeryCtx::new(n_squared.clone());
+        let ciphertext_bytes = n_squared.bits().div_ceil(8);
+        self.paillier = Some(Arc::new(PaillierServerCtx {
+            n_squared,
+            ctx,
+            ciphertext_bytes,
+        }));
     }
 
-    /// The registered Paillier modulus (n²), if any.
-    pub fn paillier_modulus(&self) -> Option<BigUint> {
-        self.paillier_modulus.clone()
+    /// Borrowed handle to the registered Paillier modulus (n²), if any.
+    pub fn paillier_modulus(&self) -> Option<&BigUint> {
+        self.paillier.as_deref().map(PaillierServerCtx::n_squared)
+    }
+
+    /// The shared Paillier evaluation context, if a modulus was registered.
+    pub fn paillier_ctx(&self) -> Option<&Arc<PaillierServerCtx>> {
+        self.paillier.as_ref()
     }
 
     /// Inserts one row into a table.

@@ -17,14 +17,15 @@
 //! encrypted aggregation UDFs (`paillier_sum`, `group_concat`), which are
 //! handled in the aggregation phase.
 
-use crate::database::Database;
+use crate::database::{Database, PaillierServerCtx};
 use crate::expr::{apply_predicate, compile_predicate, eval, EvalContext, RowSchema};
 use crate::storage::{SelectionVector, Table};
 use crate::value::Value;
 use crate::EngineError;
-use monomi_math::BigUint;
+use monomi_math::{BigUint, MontScratch};
 use monomi_sql::ast::*;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A query result: named columns and materialized rows.
 #[derive(Clone, Debug, PartialEq)]
@@ -739,8 +740,18 @@ enum AggState {
         is_min: bool,
     },
     PaillierSum {
+        /// Montgomery-resident accumulator: starts at `R` (Montgomery 1);
+        /// each row is one in-place CIOS multiply, which leaves the running
+        /// product carrying an `R^{-count}` drift that `finish` cancels with
+        /// a single `R^count` multiplication.
         acc: BigUint,
-        modulus: BigUint,
+        /// Shared modulus + Montgomery context, built once at
+        /// `register_paillier_modulus` time.
+        paillier: Arc<PaillierServerCtx>,
+        /// Reusable CIOS scratch (allocated once per group).
+        scratch: MontScratch,
+        /// Reusable parse buffer for the incoming ciphertext bytes.
+        operand: BigUint,
         count: u64,
     },
     GroupConcat {
@@ -780,12 +791,14 @@ impl AggState {
                 },
             }),
             Expr::Function { name, .. } if name == "paillier_sum" => {
-                let modulus = db.paillier_modulus().ok_or_else(|| {
+                let paillier = db.paillier_ctx().cloned().ok_or_else(|| {
                     EngineError::new("paillier_sum requires a registered public modulus")
                 })?;
                 Ok(AggState::PaillierSum {
-                    acc: BigUint::one(),
-                    modulus,
+                    acc: paillier.ctx().one_mont(),
+                    scratch: paillier.ctx().scratch(),
+                    operand: BigUint::zero(),
+                    paillier,
                     count: 0,
                 })
             }
@@ -877,12 +890,22 @@ impl AggState {
             }
             AggState::PaillierSum {
                 acc,
-                modulus,
+                paillier,
+                scratch,
+                operand,
                 count,
             } => {
                 if let Some(Value::Bytes(ct)) = value {
-                    let c = BigUint::from_bytes_be(&ct);
-                    *acc = acc.mul(&c).rem(modulus);
+                    operand.assign_from_bytes_be(&ct);
+                    // Well-formed ciphertexts are already < n²; reduce only
+                    // defensively so malformed input cannot break the CIOS
+                    // precondition.
+                    if &*operand >= paillier.n_squared() {
+                        *operand = operand.rem(paillier.n_squared());
+                    }
+                    // The paper's §5.3 cost: one modular multiplication per
+                    // row, here a single allocation-free CIOS pass.
+                    paillier.ctx().mont_mul_assign(acc, operand, scratch);
                     *count += 1;
                 }
             }
@@ -894,7 +917,7 @@ impl AggState {
         }
     }
 
-    fn finish(self, key: &PaillierWidth) -> Value {
+    fn finish(self) -> Value {
         match self {
             AggState::Sum {
                 total_i,
@@ -919,21 +942,25 @@ impl AggState {
             }
             AggState::Count { count, .. } => Value::Int(count as i64),
             AggState::MinMax { best, .. } => best.unwrap_or(Value::Null),
-            AggState::PaillierSum { acc, count, .. } => {
+            AggState::PaillierSum {
+                acc,
+                paillier,
+                count,
+                ..
+            } => {
                 if count == 0 {
                     Value::Null
                 } else {
-                    Value::Bytes(acc.to_bytes_be_padded(key.ciphertext_bytes))
+                    // Cancel the R^{-count} drift accumulated by the per-row
+                    // CIOS multiplies: one R^count fixup for the whole group.
+                    let ctx = paillier.ctx();
+                    let product = ctx.mont_mul(&acc, &ctx.r_to_the(count));
+                    Value::Bytes(product.to_bytes_be_padded(paillier.ciphertext_bytes()))
                 }
             }
             AggState::GroupConcat { values } => Value::List(values),
         }
     }
-}
-
-/// Fixed ciphertext width used when serializing Paillier aggregation results.
-struct PaillierWidth {
-    ciphertext_bytes: usize,
 }
 
 fn aggregate_and_project(
@@ -949,12 +976,6 @@ fn aggregate_and_project(
         execute_inner(db, q, params, o, &mut local).map(|rs| rs.rows)
     };
     let agg_exprs = collect_aggregates(query);
-    let paillier_width = PaillierWidth {
-        ciphertext_bytes: db
-            .paillier_modulus()
-            .map(|m| m.bits().div_ceil(8))
-            .unwrap_or(0),
-    };
 
     // Group rows.
     let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
@@ -1020,7 +1041,7 @@ fn aggregate_and_project(
                     state.update(None);
                 }
             }
-            agg_values.insert(agg_expr.clone(), state.finish(&paillier_width));
+            agg_values.insert(agg_expr.clone(), state.finish());
         }
 
         // Representative row for evaluating group-key expressions in

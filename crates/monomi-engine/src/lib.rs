@@ -39,7 +39,7 @@ pub mod stats;
 pub mod storage;
 pub mod value;
 
-pub use database::Database;
+pub use database::{Database, PaillierServerCtx};
 pub use exec::{ExecStats, ResultSet};
 pub use expr::{
     apply_predicate, compile_predicate, decode_hex, encode_hex, ColumnarPredicate, EvalContext,

@@ -74,6 +74,29 @@ impl BigUint {
         Self::from_limbs(limbs)
     }
 
+    /// Reassigns this value from big-endian bytes, reusing the existing limb
+    /// buffer. The allocation-free counterpart of
+    /// [`from_bytes_be`](Self::from_bytes_be) for hot loops that parse many
+    /// fixed-width ciphertexts into the same `BigUint`.
+    pub fn assign_from_bytes_be(&mut self, bytes: &[u8]) {
+        self.limbs.clear();
+        let mut acc: u64 = 0;
+        let mut shift = 0u32;
+        for &b in bytes.iter().rev() {
+            acc |= (b as u64) << shift;
+            shift += 8;
+            if shift == 64 {
+                self.limbs.push(acc);
+                acc = 0;
+                shift = 0;
+            }
+        }
+        if shift > 0 {
+            self.limbs.push(acc);
+        }
+        self.normalize();
+    }
+
     /// Serializes to big-endian bytes with no leading zero bytes (empty for zero).
     pub fn to_bytes_be(&self) -> Vec<u8> {
         if self.is_zero() {
@@ -341,10 +364,11 @@ impl BigUint {
 
     /// Division with remainder, returning `(quotient, remainder)`.
     ///
-    /// Uses bit-at-a-time long division. This is not the hot path in MONOMI
-    /// (Montgomery arithmetic avoids division during modular exponentiation);
-    /// it is used for Montgomery context setup, Paillier decryption's `L`
-    /// function, and decimal formatting.
+    /// Uses Knuth's Algorithm D (TAOCP vol. 2, §4.3.1) with 64-bit digits:
+    /// O(m·n) limb operations with no per-step allocation. Division sits on
+    /// the CRT decryption path (reductions modulo p²/q² and the Paillier `L`
+    /// function), so it matters that it is limb-at-a-time rather than the
+    /// former bit-at-a-time subtract-and-shift.
     ///
     /// Panics if `divisor` is zero.
     pub fn div_rem(&self, divisor: &BigUint) -> (BigUint, BigUint) {
@@ -356,20 +380,61 @@ impl BigUint {
             let (q, r) = self.div_rem_u64(divisor.limbs[0]);
             return (q, BigUint::from_u64(r));
         }
-        let shift = self.bits() - divisor.bits();
-        let mut remainder = self.clone();
-        let mut quotient_limbs = vec![0u64; shift / 64 + 1];
-        let mut shifted = divisor.shl(shift);
-        let mut i = shift as isize;
-        while i >= 0 {
-            if remainder.cmp_to(&shifted) != Ordering::Less {
-                remainder = remainder.sub(&shifted);
-                quotient_limbs[(i as usize) / 64] |= 1u64 << ((i as usize) % 64);
+        let n = divisor.limbs.len();
+        let m = self.limbs.len() - n;
+        // Normalize so the divisor's top limb has its high bit set, which
+        // bounds the quotient-digit estimate to within 2 of the true digit.
+        let s = divisor.limbs[n - 1].leading_zeros() as usize;
+        let v = divisor.shl(s).limbs;
+        let mut u = self.shl(s).limbs;
+        u.resize(self.limbs.len() + 1, 0);
+        debug_assert_eq!(v.len(), n);
+        let mut q = vec![0u64; m + 1];
+
+        for j in (0..=m).rev() {
+            // Estimate the quotient digit from the top two dividend limbs.
+            let num = ((u[j + n] as u128) << 64) | u[j + n - 1] as u128;
+            let mut qhat = num / v[n - 1] as u128;
+            let mut rhat = num % v[n - 1] as u128;
+            while qhat >> 64 != 0 || qhat * v[n - 2] as u128 > ((rhat << 64) | u[j + n - 2] as u128)
+            {
+                qhat -= 1;
+                rhat += v[n - 1] as u128;
+                if rhat >> 64 != 0 {
+                    break;
+                }
             }
-            shifted = shifted.shr(1);
-            i -= 1;
+            // u[j..=j+n] -= qhat * v, tracking a signed borrow.
+            let mut mul_carry: u128 = 0;
+            let mut borrow: i128 = 0;
+            for i in 0..n {
+                let p = qhat * v[i] as u128 + mul_carry;
+                mul_carry = p >> 64;
+                let diff = u[j + i] as i128 - (p as u64) as i128 + borrow;
+                u[j + i] = diff as u64;
+                borrow = diff >> 64; // arithmetic shift: 0 or -1
+            }
+            let diff = u[j + n] as i128 - mul_carry as i128 + borrow;
+            u[j + n] = diff as u64;
+            let mut qj = qhat as u64;
+            if diff < 0 {
+                // The estimate was one too large (probability ~2/2^64): add
+                // the divisor back.
+                qj -= 1;
+                let mut carry: u128 = 0;
+                for i in 0..n {
+                    let cur = u[j + i] as u128 + v[i] as u128 + carry;
+                    u[j + i] = cur as u64;
+                    carry = cur >> 64;
+                }
+                u[j + n] = u[j + n].wrapping_add(carry as u64);
+            }
+            q[j] = qj;
         }
-        (BigUint::from_limbs(quotient_limbs), remainder)
+
+        u.truncate(n);
+        let remainder = BigUint::from_limbs(u).shr(s);
+        (BigUint::from_limbs(q), remainder)
     }
 
     /// Division by a `u64` divisor, returning `(quotient, remainder)`.
@@ -631,6 +696,19 @@ mod tests {
         let padded = v.to_bytes_be_padded(32);
         assert_eq!(padded.len(), 32);
         assert_eq!(BigUint::from_bytes_be(&padded), v);
+    }
+
+    #[test]
+    fn assign_from_bytes_reuses_buffer() {
+        let v = BigUint::from_decimal("987654321098765432109876543210").unwrap();
+        let mut target = BigUint::from_u64(42);
+        target.assign_from_bytes_be(&v.to_bytes_be());
+        assert_eq!(target, v);
+        // Padded input and shrinking reassignment both normalize.
+        target.assign_from_bytes_be(&BigUint::from_u64(7).to_bytes_be_padded(32));
+        assert_eq!(target.to_u64(), Some(7));
+        target.assign_from_bytes_be(&[]);
+        assert!(target.is_zero());
     }
 
     #[test]

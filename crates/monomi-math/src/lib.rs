@@ -32,5 +32,5 @@ pub mod prime;
 pub mod random;
 
 pub use biguint::BigUint;
-pub use montgomery::MontgomeryCtx;
+pub use montgomery::{MontScratch, MontgomeryCtx};
 pub use random::{random_below, random_bits};

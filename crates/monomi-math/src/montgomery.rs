@@ -1,9 +1,21 @@
 //! Montgomery modular multiplication and exponentiation.
 //!
 //! Paillier encryption and decryption are dominated by modular exponentiation
-//! with a 2·k-bit modulus (n²). Montgomery arithmetic keeps that loop free of
-//! long division: a context is built once per modulus and reused across all
-//! ciphertext operations.
+//! with a 2·k-bit modulus (n²), and MONOMI's server-side `paillier_sum` UDF by
+//! one modular multiplication per row. Montgomery arithmetic keeps both loops
+//! free of long division: a context is built once per modulus and reused
+//! across all ciphertext operations.
+//!
+//! The hot primitive is [`MontgomeryCtx::mont_mul_into`], a single-pass CIOS
+//! (coarsely integrated operand scanning) multiply-and-reduce that writes into
+//! caller-provided scratch, so steady-state callers (homomorphic aggregation,
+//! exponentiation inner loops) allocate nothing per operation. On top of it
+//! sit [`mont_pow`](MontgomeryCtx::mont_pow) /
+//! [`mont_sqr`](MontgomeryCtx::mont_sqr), which take and return
+//! Montgomery-form values so callers chain operations without round-tripping
+//! through [`to_mont`](MontgomeryCtx::to_mont) /
+//! [`from_mont`](MontgomeryCtx::from_mont), and a windowed
+//! [`mod_pow`](MontgomeryCtx::mod_pow) with a precomputed odd-power table.
 
 use crate::biguint::BigUint;
 use std::cmp::Ordering;
@@ -20,6 +32,17 @@ pub struct MontgomeryCtx {
     r2: BigUint,
     /// R mod modulus, the Montgomery representation of 1.
     r1: BigUint,
+}
+
+/// Reusable scratch buffer for [`MontgomeryCtx::mont_mul_into`] and friends.
+///
+/// One CIOS pass needs `limbs + 2` temporary limbs; keeping them in a caller
+/// owned buffer makes chained multiplications (aggregation loops, windowed
+/// exponentiation) allocation-free. A scratch is tied to the context geometry
+/// it was created for, not to any particular operands.
+#[derive(Clone, Debug)]
+pub struct MontScratch {
+    t: Vec<u64>,
 }
 
 impl MontgomeryCtx {
@@ -53,6 +76,19 @@ impl MontgomeryCtx {
         &self.modulus
     }
 
+    /// Allocates a scratch buffer sized for this context.
+    pub fn scratch(&self) -> MontScratch {
+        MontScratch {
+            t: vec![0u64; self.limbs + 2],
+        }
+    }
+
+    /// The Montgomery representation of 1 (`R mod N`), the identity for chains
+    /// of [`mont_mul_assign`](Self::mont_mul_assign).
+    pub fn one_mont(&self) -> BigUint {
+        self.r1.clone()
+    }
+
     /// Converts a reduced value into Montgomery form.
     pub fn to_mont(&self, a: &BigUint) -> BigUint {
         debug_assert!(a.cmp_to(&self.modulus) == Ordering::Less);
@@ -64,83 +100,253 @@ impl MontgomeryCtx {
         self.mont_mul(a, &BigUint::one())
     }
 
+    /// Single-pass CIOS multiply-and-reduce: computes `a * b * R^{-1} mod N`
+    /// into `scratch.t[0..=limbs]`, leaving the extra carry limb in
+    /// `t[limbs]` (0 or 1 before the final conditional subtraction, 0 after).
+    ///
+    /// Interleaving one limb of multiplication with one limb of reduction
+    /// keeps the working set at `limbs + 2` limbs (vs `2·limbs + 1` for the
+    /// separate multiply-then-reduce passes) and halves the number of carry
+    /// propagation sweeps.
+    fn cios(&self, a: &[u64], b: &[u64], t: &mut [u64]) {
+        let k = self.limbs;
+        debug_assert_eq!(t.len(), k + 2);
+        t.fill(0);
+        let n = &self.modulus.limbs;
+        for i in 0..k {
+            // Multiply step: t += a[i] * b.
+            let ai = a.get(i).copied().unwrap_or(0) as u128;
+            let mut carry: u128 = 0;
+            for (j, tj) in t.iter_mut().enumerate().take(k) {
+                let bj = b.get(j).copied().unwrap_or(0) as u128;
+                let cur = *tj as u128 + ai * bj + carry;
+                *tj = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k] = cur as u64;
+            t[k + 1] = (cur >> 64) as u64;
+
+            // Reduce step: add m*N so the low limb cancels, then shift right
+            // one limb (fold the shift into the writeback index).
+            let m = t[0].wrapping_mul(self.n0_inv) as u128;
+            let cur = t[0] as u128 + m * n[0] as u128;
+            debug_assert_eq!(cur as u64, 0);
+            let mut carry = cur >> 64;
+            for j in 1..k {
+                let cur = t[j] as u128 + m * n[j] as u128 + carry;
+                t[j - 1] = cur as u64;
+                carry = cur >> 64;
+            }
+            let cur = t[k] as u128 + carry;
+            t[k - 1] = cur as u64;
+            // The final carry cannot overflow: the running value stays below
+            // 2N·R throughout, so the top two limbs sum within one limb.
+            t[k] = t[k + 1] + (cur >> 64) as u64;
+        }
+        // Conditional subtraction: result in t[0..k] plus carry limb t[k],
+        // strictly less than 2N, so at most one subtraction is needed.
+        let ge_modulus = t[k] != 0 || cmp_limbs(&t[..k], n) != Ordering::Less;
+        if ge_modulus {
+            let mut borrow = 0u64;
+            for j in 0..k {
+                let (d1, b1) = t[j].overflowing_sub(n[j]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                t[j] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+            t[k] -= borrow;
+            debug_assert_eq!(t[k], 0);
+        }
+    }
+
+    /// Montgomery multiplication into a caller-provided output, reusing the
+    /// output's limb buffer and the scratch: `out = a * b * R^{-1} mod N`
+    /// with no allocation in steady state.
+    ///
+    /// Both inputs must be < N.
+    pub fn mont_mul_into(
+        &self,
+        a: &BigUint,
+        b: &BigUint,
+        out: &mut BigUint,
+        scratch: &mut MontScratch,
+    ) {
+        self.cios(&a.limbs, &b.limbs, &mut scratch.t);
+        out.limbs.clear();
+        out.limbs.extend_from_slice(&scratch.t[..self.limbs]);
+        out.normalize();
+    }
+
+    /// In-place Montgomery multiplication: `acc = acc * b * R^{-1} mod N`.
+    ///
+    /// This is the per-row operation of homomorphic aggregation: one CIOS
+    /// pass, no allocation. Both `acc` and `b` must be < N.
+    pub fn mont_mul_assign(&self, acc: &mut BigUint, b: &BigUint, scratch: &mut MontScratch) {
+        self.cios(&acc.limbs, &b.limbs, &mut scratch.t);
+        acc.limbs.clear();
+        acc.limbs.extend_from_slice(&scratch.t[..self.limbs]);
+        acc.normalize();
+    }
+
     /// Montgomery multiplication: returns `a * b * R^{-1} mod N`.
     ///
     /// Both inputs must be < N.
     pub fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
-        let k = self.limbs;
-        // t has 2k+1 limbs to absorb carries during interleaved reduction.
-        let mut t = vec![0u64; 2 * k + 1];
+        let mut scratch = self.scratch();
+        let mut out = BigUint::zero();
+        self.mont_mul_into(a, b, &mut out, &mut scratch);
+        out
+    }
 
-        // Full product a*b into t.
-        for (i, &ai) in a.limbs.iter().enumerate() {
-            let mut carry: u128 = 0;
-            for j in 0..k {
-                let bj = b.limbs.get(j).copied().unwrap_or(0);
-                let cur = t[i + j] as u128 + (ai as u128) * (bj as u128) + carry;
-                t[i + j] = cur as u64;
-                carry = cur >> 64;
-            }
-            let mut idx = i + k;
-            while carry > 0 {
-                let cur = t[idx] as u128 + carry;
-                t[idx] = cur as u64;
-                carry = cur >> 64;
-                idx += 1;
-            }
-        }
-
-        // Reduction: for each low limb, add m*N shifted so the limb cancels.
-        for i in 0..k {
-            let m = t[i].wrapping_mul(self.n0_inv);
-            let mut carry: u128 = 0;
-            for j in 0..k {
-                let nj = self.modulus.limbs[j];
-                let cur = t[i + j] as u128 + (m as u128) * (nj as u128) + carry;
-                t[i + j] = cur as u64;
-                carry = cur >> 64;
-            }
-            let mut idx = i + k;
-            while carry > 0 {
-                let cur = t[idx] as u128 + carry;
-                t[idx] = cur as u64;
-                carry = cur >> 64;
-                idx += 1;
-            }
-        }
-
-        // Result is t / R, i.e. the limbs k..2k (+ possible carry limb).
-        let mut result = BigUint::from_limbs(t[k..].to_vec());
-        if result.cmp_to(&self.modulus) != Ordering::Less {
-            result = result.sub(&self.modulus);
-        }
-        result
+    /// Montgomery squaring: returns `a² * R^{-1} mod N`.
+    pub fn mont_sqr(&self, a: &BigUint) -> BigUint {
+        self.mont_mul(a, a)
     }
 
     /// Modular multiplication of ordinary-form values: `a * b mod N`.
+    ///
+    /// Two CIOS passes: `(a·b·R^{-1}) · R² · R^{-1} = a·b`. Inputs are only
+    /// reduced by long division when they are not already < N.
     pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
-        let am = self.to_mont(&a.rem(&self.modulus));
-        let bm = self.to_mont(&b.rem(&self.modulus));
-        self.from_mont(&self.mont_mul(&am, &bm))
+        let ar = self.reduced(a);
+        let br = self.reduced(b);
+        self.mont_mul(&self.mont_mul(&ar, &br), &self.r2)
     }
 
-    /// Modular exponentiation: `base^exponent mod N` using left-to-right
-    /// square-and-multiply in Montgomery form.
+    /// `R^k mod N` — the fixup factor for a chain of `k`
+    /// [`mont_mul_assign`](Self::mont_mul_assign) calls over *ordinary-form*
+    /// operands. Each such multiply introduces one `R^{-1}`; starting the
+    /// accumulator at [`one_mont`](Self::one_mont) (= R) and Montgomery
+    /// multiplying the result by `R^k` cancels the drift:
+    /// `R · (∏ cᵢ) · R^{-k} · R^k · R^{-1} = ∏ cᵢ mod N`.
+    ///
+    /// Costs ~log₂(k) squarings, amortized over the whole chain.
+    pub fn r_to_the(&self, k: u64) -> BigUint {
+        self.mod_pow(&self.r1, &BigUint::from_u64(k))
+    }
+
+    /// Modular exponentiation: `base^exponent mod N` via windowed Montgomery
+    /// exponentiation.
     pub fn mod_pow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
         if exponent.is_zero() {
             return BigUint::one().rem(&self.modulus);
         }
-        let base_red = base.rem(&self.modulus);
-        let base_m = self.to_mont(&base_red);
-        let mut acc = self.r1.clone(); // Montgomery form of 1.
-        for i in (0..exponent.bits()).rev() {
-            acc = self.mont_mul(&acc, &acc);
-            if exponent.bit(i) {
-                acc = self.mont_mul(&acc, &base_m);
+        let base_m = self.to_mont(&self.reduced(base));
+        self.from_mont(&self.mont_pow(&base_m, exponent))
+    }
+
+    /// Montgomery-domain exponentiation: given `base_m` in Montgomery form,
+    /// returns `base^exponent` in Montgomery form (no conversions inside).
+    ///
+    /// Uses left-to-right sliding-window exponentiation with a precomputed
+    /// table of odd powers `base^1, base^3, …, base^(2^w - 1)`; the window
+    /// width adapts to the exponent size. All inner-loop multiplications go
+    /// through a shared scratch buffer, so the loop allocates nothing.
+    pub fn mont_pow(&self, base_m: &BigUint, exponent: &BigUint) -> BigUint {
+        let bits = exponent.bits();
+        if bits == 0 {
+            return self.one_mont();
+        }
+        let w = window_bits(bits);
+        let mut scratch = self.scratch();
+
+        // table[i] = base^(2i+1) in Montgomery form.
+        let table_len = 1usize << (w - 1);
+        let mut table = Vec::with_capacity(table_len);
+        table.push(base_m.clone());
+        if table_len > 1 {
+            let sq = self.mont_sqr(base_m);
+            for i in 1..table_len {
+                let mut next = BigUint::zero();
+                self.mont_mul_into(&table[i - 1], &sq, &mut next, &mut scratch);
+                table.push(next);
             }
         }
-        self.from_mont(&acc)
+
+        let mut acc = BigUint::zero();
+        let mut started = false;
+        let mut i = bits as isize - 1;
+        while i >= 0 {
+            if !exponent.bit(i as usize) {
+                // A zero bit outside any window is a single squaring.
+                if started {
+                    self.sqr_assign(&mut acc, &mut scratch);
+                }
+                i -= 1;
+                continue;
+            }
+            // Greedily take up to `w` bits ending at a set bit, so the window
+            // value is odd and indexes the odd-power table.
+            let mut j = (i - w as isize + 1).max(0);
+            while !exponent.bit(j as usize) {
+                j += 1;
+            }
+            let width = (i - j + 1) as usize;
+            let mut val = 0usize;
+            for b in (j..=i).rev() {
+                val = (val << 1) | exponent.bit(b as usize) as usize;
+            }
+            if started {
+                for _ in 0..width {
+                    self.sqr_assign(&mut acc, &mut scratch);
+                }
+                let entry = &table[val >> 1];
+                self.cios(&acc.limbs, &entry.limbs, &mut scratch.t);
+                acc.limbs.clear();
+                acc.limbs.extend_from_slice(&scratch.t[..self.limbs]);
+                acc.normalize();
+            } else {
+                acc = table[val >> 1].clone();
+                started = true;
+            }
+            i = j - 1;
+        }
+        acc
     }
+
+    /// In-place Montgomery squaring through the scratch buffer.
+    fn sqr_assign(&self, acc: &mut BigUint, scratch: &mut MontScratch) {
+        self.cios(&acc.limbs, &acc.limbs, &mut scratch.t);
+        acc.limbs.clear();
+        acc.limbs.extend_from_slice(&scratch.t[..self.limbs]);
+        acc.normalize();
+    }
+
+    /// Returns `a` reduced modulo N, skipping the long division when `a` is
+    /// already reduced (the common case on the hot path).
+    fn reduced(&self, a: &BigUint) -> BigUint {
+        if a.cmp_to(&self.modulus) == Ordering::Less {
+            a.clone()
+        } else {
+            a.rem(&self.modulus)
+        }
+    }
+}
+
+/// Window width for an exponent of `bits` bits: the break-even points of
+/// table-build cost (2^(w-1) multiplies) vs multiplies saved (~bits/w vs
+/// ~bits/2).
+fn window_bits(bits: usize) -> usize {
+    match bits {
+        0..=23 => 1,
+        24..=79 => 2,
+        80..=239 => 3,
+        240..=767 => 4,
+        _ => 5,
+    }
+}
+
+/// Compares two equal-length little-endian limb slices.
+fn cmp_limbs(a: &[u64], b: &[u64]) -> Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
 }
 
 /// Computes the inverse of an odd `u64` modulo 2^64 via Newton iteration.
@@ -190,6 +396,49 @@ mod tests {
     }
 
     #[test]
+    fn mont_mul_into_reuses_buffers() {
+        let modulus = BigUint::from_decimal("170141183460469231731687303715884105727").unwrap();
+        let ctx = MontgomeryCtx::new(modulus.clone());
+        let mut scratch = ctx.scratch();
+        let a = BigUint::from_decimal("123456789012345678901234567").unwrap();
+        let b = BigUint::from_decimal("987654321098765432109876543").unwrap();
+        let mut out = BigUint::zero();
+        ctx.mont_mul_into(&a, &b, &mut out, &mut scratch);
+        assert_eq!(out, ctx.mont_mul(&a, &b));
+        // Same scratch and output across further calls.
+        ctx.mont_mul_into(&b, &a, &mut out, &mut scratch);
+        assert_eq!(out, ctx.mont_mul(&a, &b));
+    }
+
+    #[test]
+    fn mont_mul_assign_chains() {
+        let modulus = BigUint::from_decimal("170141183460469231731687303715884105727").unwrap();
+        let ctx = MontgomeryCtx::new(modulus.clone());
+        let mut scratch = ctx.scratch();
+        let values: Vec<BigUint> = (1..=10u64)
+            .map(|i| BigUint::from_u64(i * 7919).mul(&BigUint::from_u64(104729)))
+            .collect();
+        // Drifting chain: acc = R · ∏v · R^{-k}; fix with R^k.
+        let mut acc = ctx.one_mont();
+        for v in &values {
+            ctx.mont_mul_assign(&mut acc, v, &mut scratch);
+        }
+        let fixed = ctx.mont_mul(&acc, &ctx.r_to_the(values.len() as u64));
+        let mut expected = BigUint::one();
+        for v in &values {
+            expected = expected.mul(v).rem(&modulus);
+        }
+        assert_eq!(fixed, expected);
+    }
+
+    #[test]
+    fn empty_mont_chain_is_one() {
+        let ctx = MontgomeryCtx::new(BigUint::from_u64(0xffff_ffff_ffff_ffc5));
+        let fixed = ctx.mont_mul(&ctx.one_mont(), &ctx.r_to_the(0));
+        assert!(fixed.is_one());
+    }
+
+    #[test]
     fn mod_pow_matches_naive_u128() {
         let modulus_u = 0x0000_7fff_ffff_ffe7u64; // odd
         let modulus = BigUint::from_u64(modulus_u);
@@ -212,6 +461,50 @@ mod tests {
         let a = BigUint::from_u64(1234567891011);
         let result = ctx.mod_pow(&a, &p.sub(&BigUint::one()));
         assert!(result.is_one());
+    }
+
+    #[test]
+    fn mont_pow_stays_in_montgomery_domain() {
+        let p = BigUint::one().shl(89).sub(&BigUint::one());
+        let ctx = MontgomeryCtx::new(p.clone());
+        let a = BigUint::from_decimal("98765432109876543210").unwrap();
+        let e = BigUint::from_decimal("1234567890123456789012345").unwrap();
+        let via_mont = ctx.from_mont(&ctx.mont_pow(&ctx.to_mont(&a), &e));
+        assert_eq!(via_mont, ctx.mod_pow(&a, &e));
+    }
+
+    #[test]
+    fn mont_sqr_matches_mul() {
+        let ctx = MontgomeryCtx::new(BigUint::from_u64(0xffff_ffff_ffff_ffc5));
+        let a = ctx.to_mont(&BigUint::from_u64(0x1234_5678));
+        assert_eq!(ctx.mont_sqr(&a), ctx.mont_mul(&a, &a));
+    }
+
+    #[test]
+    fn window_sizes_cover_all_exponent_shapes() {
+        // Exercise every window-width branch with a multi-limb modulus.
+        let p = BigUint::one().shl(127).sub(&BigUint::one()); // Mersenne prime 2^127-1
+        let ctx = MontgomeryCtx::new(p.clone());
+        let base = BigUint::from_decimal("31415926535897932384626433").unwrap();
+        for exp_bits in [1usize, 5, 24, 100, 300, 1100] {
+            // Exponent with alternating bit pattern of the requested width.
+            let mut e = BigUint::zero();
+            for i in 0..exp_bits {
+                if i % 3 != 1 {
+                    e = e.add(&BigUint::one().shl(i));
+                }
+            }
+            // Reference: plain square-and-multiply via mul+rem.
+            let mut expected = BigUint::one();
+            let mut b = base.rem(&p);
+            for i in 0..e.bits() {
+                if e.bit(i) {
+                    expected = expected.mul(&b).rem(&p);
+                }
+                b = b.mul(&b).rem(&p);
+            }
+            assert_eq!(ctx.mod_pow(&base, &e), expected, "exp_bits={exp_bits}");
+        }
     }
 
     #[test]

@@ -50,6 +50,42 @@ proptest! {
     }
 
     #[test]
+    fn div_rem_recomposes_multi_limb(
+        a_limbs in proptest::collection::vec(any::<u64>(), 0..8),
+        b_limbs in proptest::collection::vec(any::<u64>(), 2..5),
+    ) {
+        // Exercises the Knuth Algorithm D path (divisor of ≥ 2 limbs),
+        // including quotient-digit estimation and the rare add-back step.
+        let a = BigUint::from_limbs(a_limbs);
+        let mut b = BigUint::from_limbs(b_limbs);
+        if b.is_zero() {
+            b = BigUint::from_u128(1u128 << 64);
+        }
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+        prop_assert!(r < b);
+    }
+
+    #[test]
+    fn div_rem_near_divisor_multiples(
+        b_limbs in proptest::collection::vec(1u64..u64::MAX, 2..5),
+        k in 0u64..1000,
+        delta in 0u64..3,
+    ) {
+        // a = k·b + delta exercises exact multiples and off-by-small cases,
+        // where quotient-digit estimates sit on their boundaries.
+        let b = BigUint::from_limbs(b_limbs);
+        let a = b.mul_u64(k).add_u64(delta);
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(q.mul(&b).add(&r), a);
+        prop_assert!(r < b);
+        if (delta as u128) < u64::MAX as u128 {
+            prop_assert_eq!(q.to_u64(), Some(k));
+            prop_assert_eq!(r.to_u64(), Some(delta));
+        }
+    }
+
+    #[test]
     fn bytes_roundtrip(a in any::<u128>()) {
         let v = big(a);
         prop_assert_eq!(BigUint::from_bytes_be(&v.to_bytes_be()), v);

@@ -1,0 +1,127 @@
+//! Property-based tests for the Montgomery hot path: the windowed
+//! exponentiation and the CIOS multiply/scratch API are cross-checked against
+//! naive square-and-multiply and schoolbook mul+rem on random multi-limb
+//! operands.
+
+use monomi_math::{BigUint, MontgomeryCtx};
+use proptest::prelude::*;
+
+/// Builds a nonzero odd modulus from random limbs.
+fn odd_modulus(limbs: Vec<u64>) -> BigUint {
+    let mut m = BigUint::from_limbs(limbs);
+    if m.is_zero() {
+        m = BigUint::from_u64(3);
+    }
+    if m.is_even() {
+        m = m.add(&BigUint::one());
+    }
+    if m.is_one() {
+        m = BigUint::from_u64(3);
+    }
+    m
+}
+
+/// Reference modular exponentiation: plain left-to-right square-and-multiply
+/// over schoolbook `mul` + long-division `rem`, no Montgomery arithmetic.
+fn naive_mod_pow(base: &BigUint, exp: &BigUint, modulus: &BigUint) -> BigUint {
+    let mut result = BigUint::one().rem(modulus);
+    let base = base.rem(modulus);
+    for i in (0..exp.bits()).rev() {
+        result = result.mul(&result).rem(modulus);
+        if exp.bit(i) {
+            result = result.mul(&base).rem(modulus);
+        }
+    }
+    result
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn windowed_mod_pow_matches_naive(
+        m_limbs in proptest::collection::vec(any::<u64>(), 1..4),
+        b_limbs in proptest::collection::vec(any::<u64>(), 0..5),
+        e_limbs in proptest::collection::vec(any::<u64>(), 0..3),
+    ) {
+        let modulus = odd_modulus(m_limbs);
+        let base = BigUint::from_limbs(b_limbs);
+        let exp = BigUint::from_limbs(e_limbs);
+        let ctx = MontgomeryCtx::new(modulus.clone());
+        prop_assert_eq!(ctx.mod_pow(&base, &exp), naive_mod_pow(&base, &exp, &modulus));
+    }
+
+    #[test]
+    fn mont_pow_matches_naive_in_montgomery_domain(
+        m_limbs in proptest::collection::vec(any::<u64>(), 1..4),
+        b_limbs in proptest::collection::vec(any::<u64>(), 0..4),
+        e_limbs in proptest::collection::vec(any::<u64>(), 0..3),
+    ) {
+        let modulus = odd_modulus(m_limbs);
+        let base = BigUint::from_limbs(b_limbs).rem(&modulus);
+        let exp = BigUint::from_limbs(e_limbs);
+        let ctx = MontgomeryCtx::new(modulus.clone());
+        let got = ctx.from_mont(&ctx.mont_pow(&ctx.to_mont(&base), &exp));
+        prop_assert_eq!(got, naive_mod_pow(&base, &exp, &modulus));
+    }
+
+    #[test]
+    fn mul_mod_matches_schoolbook(
+        m_limbs in proptest::collection::vec(any::<u64>(), 1..4),
+        a_limbs in proptest::collection::vec(any::<u64>(), 0..5),
+        b_limbs in proptest::collection::vec(any::<u64>(), 0..5),
+    ) {
+        let modulus = odd_modulus(m_limbs);
+        let a = BigUint::from_limbs(a_limbs);
+        let b = BigUint::from_limbs(b_limbs);
+        let ctx = MontgomeryCtx::new(modulus.clone());
+        prop_assert_eq!(ctx.mul_mod(&a, &b), a.mul(&b).rem(&modulus));
+    }
+
+    #[test]
+    fn cios_scratch_api_matches_allocating_api(
+        m_limbs in proptest::collection::vec(any::<u64>(), 1..4),
+        a_limbs in proptest::collection::vec(any::<u64>(), 0..4),
+        b_limbs in proptest::collection::vec(any::<u64>(), 0..4),
+    ) {
+        let modulus = odd_modulus(m_limbs);
+        let ctx = MontgomeryCtx::new(modulus.clone());
+        let a = BigUint::from_limbs(a_limbs).rem(&modulus);
+        let b = BigUint::from_limbs(b_limbs).rem(&modulus);
+        let mut scratch = ctx.scratch();
+        let mut out = BigUint::zero();
+        ctx.mont_mul_into(&a, &b, &mut out, &mut scratch);
+        prop_assert_eq!(&out, &ctx.mont_mul(&a, &b));
+        let mut acc = a.clone();
+        ctx.mont_mul_assign(&mut acc, &b, &mut scratch);
+        prop_assert_eq!(&acc, &out);
+    }
+
+    #[test]
+    fn drifting_chain_with_r_fixup_is_modular_product(
+        m_limbs in proptest::collection::vec(any::<u64>(), 1..4),
+        factors in proptest::collection::vec(
+            proptest::collection::vec(any::<u64>(), 0..4), 0..12),
+    ) {
+        // The homomorphic-aggregation contract: chaining k mont_mul_assign
+        // calls over ordinary-form values and fixing with R^k yields the plain
+        // modular product.
+        let modulus = odd_modulus(m_limbs);
+        let ctx = MontgomeryCtx::new(modulus.clone());
+        let values: Vec<BigUint> = factors
+            .into_iter()
+            .map(|l| BigUint::from_limbs(l).rem(&modulus))
+            .collect();
+        let mut scratch = ctx.scratch();
+        let mut acc = ctx.one_mont();
+        for v in &values {
+            ctx.mont_mul_assign(&mut acc, v, &mut scratch);
+        }
+        let got = ctx.mont_mul(&acc, &ctx.r_to_the(values.len() as u64));
+        let mut expected = BigUint::one().rem(&modulus);
+        for v in &values {
+            expected = expected.mul(v).rem(&modulus);
+        }
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Bench snapshot: runs the crypto and scan micro benches at a pinned
+# MONOMI_SCALE and writes the machine-readable crypto numbers to
+# BENCH_crypto.json (via the hom_agg bench's MONOMI_BENCH_JSON hook),
+# seeding the perf trajectory across PRs.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+#   MONOMI_SCALE           pinned data scale (default 0.002)
+#   MONOMI_PAILLIER_BITS   Paillier key size for hom_agg (default 512)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_crypto.json}"
+# cargo runs bench binaries with CWD set to the package directory, so the
+# JSON destination must be absolute or it lands in crates/monomi-bench/.
+case "$OUT" in
+  /*) ;;
+  *) OUT="$(pwd)/$OUT" ;;
+esac
+export MONOMI_SCALE="${MONOMI_SCALE:-0.002}"
+
+echo "== bench snapshot at MONOMI_SCALE=$MONOMI_SCALE -> $OUT =="
+
+MONOMI_BENCH_JSON="$OUT" cargo bench --bench hom_agg
+cargo bench --bench crypto_micro
+cargo bench --bench scan_micro
+
+echo
+echo "--- $OUT ---"
+cat "$OUT"
