@@ -22,7 +22,7 @@
 //! paper uses 1,024-bit n at 2,048-bit ciphertexts), `MONOMI_HOM_ROWS`
 //! (default scales with `MONOMI_SCALE`).
 
-use monomi_bench::print_header;
+use monomi_bench::{env_usize, print_header};
 use monomi_crypto::PaillierKey;
 use monomi_math::BigUint;
 use rand::rngs::StdRng;
@@ -197,13 +197,6 @@ mod seed {
             from_limbs_le(&self.mont_mul(&acc, &[1]))
         }
     }
-}
-
-fn env_usize(name: &str, default: usize) -> usize {
-    std::env::var(name)
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .unwrap_or(default)
 }
 
 /// Best-of-N wall-clock measurement of `f`, returning seconds.

@@ -40,6 +40,15 @@ impl Experiment {
     }
 }
 
+/// Reads a `usize` knob from the environment, falling back to `default` on
+/// absence or parse failure. Shared by the bench harnesses' knob handling.
+pub fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .unwrap_or(default)
+}
+
 /// Prints a standard experiment header.
 pub fn print_header(title: &str, paper_ref: &str) {
     println!("==============================================================");

@@ -14,7 +14,7 @@ use crate::plan::{PlanOptions, SplitPlan};
 use crate::planner::Planner;
 use crate::CoreError;
 use monomi_crypto::{MasterKey, PaillierKey};
-use monomi_engine::{Database, ResultSet, Value};
+use monomi_engine::{Database, ExecOptions, ResultSet, Value};
 use monomi_sql::{parse_query, Query};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,6 +34,11 @@ pub struct ClientConfig {
     pub seed: u64,
     /// Skip the startup decryption profiler (use defaults) for fast tests.
     pub skip_profiling: bool,
+    /// Execution options for the engine (server-side morsel workers and the
+    /// client's residual plaintext execution). `None` reads `MONOMI_THREADS`
+    /// / `MONOMI_MORSEL_ROWS` from the environment once, at setup time;
+    /// results are bit-identical at every thread count either way.
+    pub exec_options: Option<ExecOptions>,
 }
 
 impl Default for ClientConfig {
@@ -45,6 +50,7 @@ impl Default for ClientConfig {
             plan_options: PlanOptions::default(),
             seed: 42,
             skip_profiling: false,
+            exec_options: None,
         }
     }
 }
@@ -68,6 +74,10 @@ pub struct MonomiClient {
     network: NetworkModel,
     profile: DecryptProfile,
     plan_options: PlanOptions,
+    /// Resolved once at setup (config override or environment), so the
+    /// profiled effective-parallelism and every executed query describe the
+    /// same configuration.
+    exec_options: ExecOptions,
     design_outcome: Option<DesignOutcome>,
 }
 
@@ -130,10 +140,13 @@ impl MonomiClient {
     ) -> Result<Self, CoreError> {
         let encryptor = Encryptor::with_keys(master, paillier, design);
         let encrypted_db = encryptor.encrypt_database(plain, config.seed ^ 0x5eed)?;
+        // Resolve the execution options once: the profiler below and every
+        // later query must describe the same configuration.
+        let exec_options = config.exec_options.unwrap_or_else(ExecOptions::from_env);
         let profile = if config.skip_profiling {
             DecryptProfile::default()
         } else {
-            DecryptProfile::measure(&encryptor)
+            DecryptProfile::measure(&encryptor, exec_options.threads)
         };
         // Keep a statistics-only copy of the plaintext database on the client
         // for the planner's cardinality estimates (the paper's client keeps
@@ -147,6 +160,7 @@ impl MonomiClient {
             network: config.network,
             profile,
             plan_options: config.plan_options,
+            exec_options,
             design_outcome: None,
         })
     }
@@ -191,6 +205,15 @@ impl MonomiClient {
         }
     }
 
+    fn executor(&self) -> SplitExecutor<'_> {
+        SplitExecutor {
+            encrypted_db: &self.encrypted_db,
+            encryptor: &self.encryptor,
+            network: &self.network,
+            exec_options: self.exec_options,
+        }
+    }
+
     /// Plans a query without executing it (EXPLAIN).
     pub fn plan(&self, sql: &str, params: &[Value]) -> Result<SplitPlan, CoreError> {
         let query = parse_query(sql).map_err(|e| CoreError::new(e.to_string()))?;
@@ -218,21 +241,13 @@ impl MonomiClient {
     ) -> Result<(ResultSet, QueryTimings), CoreError> {
         let bound = bind_params(query, params);
         let (plan, _) = self.planner().best_plan(&bound, &self.encryptor);
-        let executor = SplitExecutor {
-            encrypted_db: &self.encrypted_db,
-            encryptor: &self.encryptor,
-            network: &self.network,
-        };
+        let executor = self.executor();
         executor.execute(&plan)
     }
 
     /// Executes a specific plan (used by the optimization-ablation harnesses).
     pub fn execute_plan(&self, plan: &SplitPlan) -> Result<(ResultSet, QueryTimings), CoreError> {
-        let executor = SplitExecutor {
-            encrypted_db: &self.encrypted_db,
-            encryptor: &self.encryptor,
-            network: &self.network,
-        };
+        let executor = self.executor();
         executor.execute(plan)
     }
 

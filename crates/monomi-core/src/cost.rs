@@ -27,6 +27,15 @@ pub struct DecryptProfile {
     /// alongside the per-value decrypt costs and used to price
     /// `paillier_sum` in candidate plans.
     pub hom_add_seconds: f64,
+    /// Observed speedup of the server's morsel-parallel execution at the
+    /// client's configured worker count (wall-clock of one thread doing W
+    /// work over wall-clock of N threads sharing W·N work, on an
+    /// embarrassingly parallel homomorphic fold — an upper bound). The
+    /// planner prices server compute by wall-clock, discounting this factor
+    /// through Amdahl's law for the serial phases real queries have. 1.0
+    /// when profiling is skipped or a single thread is configured; never
+    /// below 1.0 and never above the thread count.
+    pub effective_parallelism: f64,
 }
 
 impl Default for DecryptProfile {
@@ -38,13 +47,18 @@ impl Default for DecryptProfile {
             rnd_seconds: 4e-6,
             hom_seconds: 3e-4,
             hom_add_seconds: 2e-6,
+            effective_parallelism: 1.0,
         }
     }
 }
 
 impl DecryptProfile {
-    /// Measures decryption costs with the client's actual keys.
-    pub fn measure(encryptor: &Encryptor) -> DecryptProfile {
+    /// Measures decryption costs with the client's actual keys. `threads` is
+    /// the worker count the client will actually execute server queries with
+    /// (`ClientConfig::exec_options`, falling back to the environment) — the
+    /// effective-parallelism probe must measure that configuration, not an
+    /// unrelated one.
+    pub fn measure(encryptor: &Encryptor, threads: usize) -> DecryptProfile {
         let mut rng = StdRng::seed_from_u64(0xC0FFEE);
         let master = encryptor.master_key();
         let fpe = master.det_int("profile", "col", 64);
@@ -97,12 +111,55 @@ impl DecryptProfile {
         std::hint::black_box(paillier.sum_ciphertexts(chain.iter().copied()));
         let hom_add_seconds = start.elapsed().as_secs_f64() / chain.len() as f64;
 
+        // Effective parallelism of the server's morsel workers: time one
+        // thread folding the chain FOLDS times, then N threads each doing the
+        // same work (N× total). Perfect scaling keeps the wall-clock equal;
+        // the ratio is the factor the planner divides server compute terms
+        // by. The region is long enough (FOLDS repeats) that thread
+        // spawn/join overhead is amortized, and both sides take the best of
+        // REPS runs so one scheduler hiccup cannot skew the factor that
+        // scales every server cost term.
+        let effective_parallelism = if threads <= 1 {
+            1.0
+        } else {
+            const FOLDS: usize = 8;
+            const REPS: usize = 3;
+            let fold_chain = || {
+                for _ in 0..FOLDS {
+                    std::hint::black_box(paillier.sum_ciphertexts(chain.iter().copied()));
+                }
+            };
+            let best_of = |f: &mut dyn FnMut()| {
+                let mut best = f64::INFINITY;
+                for _ in 0..REPS {
+                    let start = Instant::now();
+                    f();
+                    best = best.min(start.elapsed().as_secs_f64());
+                }
+                best
+            };
+            let serial = best_of(&mut || fold_chain());
+            let parallel = best_of(&mut || {
+                std::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        scope.spawn(fold_chain);
+                    }
+                });
+            });
+            if parallel > 0.0 && serial > 0.0 {
+                (serial * threads as f64 / parallel).clamp(1.0, threads as f64)
+            } else {
+                1.0
+            }
+        };
+
         DecryptProfile {
             det_int_seconds,
             det_str_seconds,
             rnd_seconds,
             hom_seconds,
             hom_add_seconds,
+            effective_parallelism,
         }
     }
 }
@@ -134,6 +191,13 @@ const CLIENT_ROW_SECONDS: f64 = 2e-6;
 /// post-filter rows just like they widen the scan, so this term is scaled by
 /// the same expansion factor; selective queries pay proportionally less.
 const MATERIALIZE_BYTE_SECONDS: f64 = 1e-9;
+/// Assumed serial fraction of server-side query execution (hash-join builds,
+/// partial-aggregate merges, sorts, result assembly, morsel dispatch). The
+/// profiler's `effective_parallelism` is measured on an embarrassingly
+/// parallel homomorphic fold — an upper bound only the fully parallel portion
+/// of a query attains — so server terms are discounted through Amdahl's law
+/// with this fraction instead of being divided by the raw factor.
+const SERVER_SERIAL_FRACTION: f64 = 0.2;
 
 /// Cost model for split plans.
 pub struct CostModel<'a> {
@@ -191,12 +255,19 @@ impl<'a> CostModel<'a> {
         // width expansion of the encrypted tables it scans, plus a
         // selectivity-aware materialization term — the vectorized scan only
         // materializes post-filter bytes, so selective predicates shrink this
-        // component instead of paying for every scanned row.
+        // component instead of paying for every scanned row. Server compute
+        // is priced by wall-clock: morsel-parallel execution spreads it over
+        // the profiled effective-parallelism factor, Amdahl-discounted for
+        // the serial phases real queries have and the probe does not.
+        let measured = self.profile.effective_parallelism.max(1.0);
+        let parallelism =
+            1.0 / (SERVER_SERIAL_FRACTION + (1.0 - SERVER_SERIAL_FRACTION) / measured);
         let est_original = self.plain.estimate(original);
         let expansion = self.scan_expansion(original);
-        cost.server_seconds += est_original.server_cost * COST_UNIT_SECONDS * expansion;
         cost.server_seconds +=
-            est_original.post_filter_bytes * MATERIALIZE_BYTE_SECONDS * expansion;
+            est_original.server_cost * COST_UNIT_SECONDS * expansion / parallelism;
+        cost.server_seconds +=
+            est_original.post_filter_bytes * MATERIALIZE_BYTE_SECONDS * expansion / parallelism;
 
         // Result cardinality of the server query.
         let grouped = rp.server_grouped && original.is_aggregate_query();
@@ -263,10 +334,12 @@ impl<'a> CostModel<'a> {
 
         // Server-side HOM aggregation: every `paillier_sum` output costs one
         // ciphertext multiplication per input row of its group (§5.3), priced
-        // with the profiler-measured per-op homomorphic-add cost.
+        // with the profiler-measured per-op homomorphic-add cost and spread
+        // over the morsel workers like every other server compute term.
         if hom_agg_columns > 0.0 {
             cost.server_seconds +=
-                hom_agg_columns * self.profile.hom_add_seconds * rows_per_group * result_rows;
+                hom_agg_columns * self.profile.hom_add_seconds * rows_per_group * result_rows
+                    / parallelism;
         }
 
         // Residual client computation.

@@ -10,7 +10,9 @@ use crate::design::Encryptor;
 use crate::network::NetworkModel;
 use crate::plan::{DecryptSpec, OutputColumn, RemotePlan, SplitPlan};
 use crate::CoreError;
-use monomi_engine::{ColumnDef, ColumnType, Database, ResultSet, RowSchema, TableSchema, Value};
+use monomi_engine::{
+    ColumnDef, ColumnType, Database, ExecOptions, ResultSet, RowSchema, TableSchema, Value,
+};
 use monomi_sql::ast::*;
 use std::collections::HashMap;
 use std::time::Instant;
@@ -20,6 +22,16 @@ use std::time::Instant;
 pub struct QueryTimings {
     /// Wall-clock time spent executing server queries plus simulated disk I/O.
     pub server_seconds: f64,
+    /// Aggregate CPU time the server's worker threads burned executing the
+    /// queries (no disk I/O): wall-clock outside parallel regions plus the
+    /// summed residency of every morsel worker inside them
+    /// (`ExecStats::cpu_seconds`). Equals the server's execution wall time
+    /// at `MONOMI_THREADS=1`; with a dedicated core per worker the ratio
+    /// `server_cpu_seconds / server exec wall` is the observed effective
+    /// parallelism. Worker residency includes descheduled time, so on
+    /// oversubscribed hosts (threads > cores) this is an upper bound on
+    /// true CPU.
+    pub server_cpu_seconds: f64,
     /// Simulated time to ship intermediate results over the client/server link.
     pub network_seconds: f64,
     /// Client time spent decrypting intermediate results.
@@ -49,6 +61,7 @@ impl QueryTimings {
 
     fn add(&mut self, other: &QueryTimings) {
         self.server_seconds += other.server_seconds;
+        self.server_cpu_seconds += other.server_cpu_seconds;
         self.network_seconds += other.network_seconds;
         self.decrypt_seconds += other.decrypt_seconds;
         self.client_seconds += other.client_seconds;
@@ -63,6 +76,9 @@ pub struct SplitExecutor<'a> {
     pub encrypted_db: &'a Database,
     pub encryptor: &'a Encryptor,
     pub network: &'a NetworkModel,
+    /// Engine execution options for both the server queries and the client's
+    /// residual plaintext execution (results are thread-count-invariant).
+    pub exec_options: ExecOptions,
 }
 
 /// The decrypted intermediate result of a RemoteSQL + LocalDecrypt step: rows
@@ -116,7 +132,7 @@ impl<'a> SplitExecutor<'a> {
         }
         let started = Instant::now();
         let (rs, _) = local_db
-            .execute(query, &[])
+            .execute_with(query, &[], &self.exec_options)
             .map_err(|e| CoreError::new(e.to_string()))?;
         timings.client_seconds += started.elapsed().as_secs_f64();
         Ok((rs, timings))
@@ -137,10 +153,14 @@ impl<'a> SplitExecutor<'a> {
         let started = Instant::now();
         let (enc_rs, stats) = self
             .encrypted_db
-            .execute(&rp.server_query, &[])
+            .execute_with(&rp.server_query, &[], &self.exec_options)
             .map_err(|e| CoreError::new(e.to_string()))?;
         let exec_elapsed = started.elapsed().as_secs_f64();
         timings.server_seconds += exec_elapsed + self.network.disk_seconds(stats.bytes_scanned);
+        // Aggregate CPU: serial portions run on one thread (wall == CPU);
+        // inside morsel-parallel regions the workers' summed busy time
+        // replaces the region's wall-clock contribution.
+        timings.server_cpu_seconds += stats.cpu_seconds(exec_elapsed);
         timings.server_bytes_scanned += stats.bytes_scanned;
         timings.server_bytes_materialized += stats.bytes_materialized;
         let transfer = enc_rs.size_bytes() as u64;

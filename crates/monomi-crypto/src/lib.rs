@@ -32,6 +32,6 @@ pub use det::{DetBytes, FormatPreservingCipher};
 pub use keys::MasterKey;
 pub use ope::{i64_to_ordered_u64, ordered_u64_to_i64, OpeCipher};
 pub use packing::{PackedEncryptor, PackingLayout};
-pub use paillier::{PaillierEncryptSession, PaillierKey};
+pub use paillier::{PaillierEncryptSession, PaillierKey, PaillierSum};
 pub use rnd::RndCipher;
 pub use search::{SearchCiphertext, SearchScheme, SearchToken};

@@ -304,24 +304,90 @@ impl PaillierKey {
     /// Montgomery-resident: the accumulator starts at `R` (the Montgomery form
     /// of 1) and each ciphertext costs exactly one in-place CIOS multiply; the
     /// accumulated `R^{-k}` drift is cancelled by a single `R^k` multiplication
-    /// at the end (one conversion in, one out).
+    /// at the end (one conversion in, one out). Implemented on [`PaillierSum`],
+    /// the streaming accumulator parallel aggregation splits across workers.
     pub fn sum_ciphertexts<'a, I: IntoIterator<Item = &'a BigUint>>(&self, iter: I) -> BigUint {
-        let ctx = &self.ctx_n2;
-        let mut scratch = ctx.scratch();
-        let mut acc = ctx.one_mont();
-        let mut count: u64 = 0;
+        let mut sum = PaillierSum::new(&self.ctx_n2);
         for c in iter {
-            // Well-formed ciphertexts are already < n²; reduce only when an
-            // oversized operand would break the CIOS precondition, matching
-            // `add_ciphertexts` semantics.
-            if c < &self.n_squared {
-                ctx.mont_mul_assign(&mut acc, c, &mut scratch);
-            } else {
-                ctx.mont_mul_assign(&mut acc, &c.rem(&self.n_squared), &mut scratch);
-            }
-            count += 1;
+            sum.add(&self.ctx_n2, c);
         }
-        ctx.mont_mul(&acc, &ctx.r_to_the(count))
+        sum.finish(&self.ctx_n2)
+    }
+}
+
+/// A streaming homomorphic sum: a Montgomery-resident "drifting" accumulator.
+///
+/// The accumulator starts at `R` (the Montgomery form of 1); every
+/// [`add`](Self::add) is one in-place CIOS multiply by an ordinary-form
+/// ciphertext, so after `k` additions it holds `R · (∏ cᵢ) · R^{-k}` — the
+/// true product times an `R^{-k}` drift that [`finish`](Self::finish) cancels
+/// with a single `R^k` multiplication.
+///
+/// Two accumulators over disjoint row ranges can be combined with
+/// [`merge`](Self::merge) at the cost of **one** CIOS multiply: multiplying
+/// the two drifting values yields `R · (∏ all cᵢ) · R^{-(k₁+k₂)}`, the exact
+/// state a single accumulator would hold after folding both ranges. Because
+/// multiplication modulo n² is exact and commutative, a merge tree over any
+/// partitioning finishes to the byte-identical ciphertext of the serial fold —
+/// the property morsel-parallel `paillier_sum` relies on.
+///
+/// The type is independent of the private key: it needs only the public
+/// Montgomery context for n², so the untrusted server can run it.
+#[derive(Clone, Debug)]
+pub struct PaillierSum {
+    /// Montgomery-domain product carrying an `R^{-count}` drift.
+    acc: BigUint,
+    count: u64,
+    /// Reusable CIOS scratch (allocated once per accumulator).
+    scratch: MontScratch,
+}
+
+impl PaillierSum {
+    /// An empty sum (the multiplicative identity, `R`) for the given n²
+    /// context.
+    pub fn new(ctx: &MontgomeryCtx) -> Self {
+        PaillierSum {
+            acc: ctx.one_mont(),
+            count: 0,
+            scratch: ctx.scratch(),
+        }
+    }
+
+    /// Number of ciphertexts folded in so far (merges included).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds one ciphertext into the sum: a single allocation-free CIOS
+    /// multiply. Well-formed ciphertexts are already < n²; oversized operands
+    /// are reduced first so malformed input cannot break the CIOS
+    /// precondition (matching [`PaillierKey::add_ciphertexts`] semantics).
+    pub fn add(&mut self, ctx: &MontgomeryCtx, c: &BigUint) {
+        if c < ctx.modulus() {
+            ctx.mont_mul_assign(&mut self.acc, c, &mut self.scratch);
+        } else {
+            ctx.mont_mul_assign(&mut self.acc, &c.rem(ctx.modulus()), &mut self.scratch);
+        }
+        self.count += 1;
+    }
+
+    /// Combines another accumulator (over a disjoint row range) into this one
+    /// with one CIOS multiply; the drifts compose additively, so no fixup is
+    /// needed until [`finish`](Self::finish).
+    pub fn merge(&mut self, ctx: &MontgomeryCtx, other: &PaillierSum) {
+        if other.count == 0 {
+            // A fresh accumulator is the Montgomery identity; skip the CIOS.
+            return;
+        }
+        ctx.mont_mul_assign(&mut self.acc, &other.acc, &mut self.scratch);
+        self.count += other.count;
+    }
+
+    /// Cancels the accumulated `R^{-count}` drift and returns the ordinary
+    /// form product — the ciphertext of the sum. An empty accumulator yields
+    /// 1, the unobfuscated ciphertext of zero.
+    pub fn finish(&self, ctx: &MontgomeryCtx) -> BigUint {
+        ctx.mont_mul(&self.acc, &ctx.r_to_the(self.count))
     }
 }
 

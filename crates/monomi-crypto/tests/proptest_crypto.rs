@@ -3,7 +3,7 @@
 
 use monomi_crypto::{
     i64_to_ordered_u64, DetBytes, FormatPreservingCipher, MasterKey, OpeCipher, PackedEncryptor,
-    PackingLayout, PaillierKey, RndCipher,
+    PackingLayout, PaillierKey, PaillierSum, RndCipher,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -138,6 +138,45 @@ proptest! {
         // Ciphertexts are equal as group elements (identical products mod n²),
         // not just equal after decryption.
         prop_assert_eq!(summed, folded);
+    }
+
+    /// The morsel-parallel aggregation contract: splitting a row range into
+    /// arbitrary chunks, folding each into its own drifting accumulator, and
+    /// merging the partials in order yields the byte-identical group element
+    /// (and plaintext sum) of the single-threaded fold.
+    #[test]
+    fn paillier_sum_merge_of_split_ranges_matches_serial_fold(
+        values in proptest::collection::vec(0u64..1_000_000, 0..48),
+        chunk in 1usize..9,
+        seed in any::<u64>())
+    {
+        let key = shared_key();
+        let ctx = key.ctx_n_squared();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cts: Vec<_> = values.iter().map(|&v| key.encrypt_u64(&mut rng, v)).collect();
+
+        let mut serial = PaillierSum::new(ctx);
+        for c in &cts {
+            serial.add(ctx, c);
+        }
+
+        let mut merged = PaillierSum::new(ctx);
+        for range in cts.chunks(chunk) {
+            let mut partial = PaillierSum::new(ctx);
+            for c in range {
+                partial.add(ctx, c);
+            }
+            merged.merge(ctx, &partial);
+        }
+
+        prop_assert_eq!(serial.count(), merged.count());
+        // Byte-identical ciphertexts, not just decrypt-equal.
+        prop_assert_eq!(serial.finish(ctx), merged.finish(ctx));
+        prop_assert_eq!(merged.finish(ctx), key.sum_ciphertexts(&cts));
+        prop_assert_eq!(
+            key.decrypt_u64(&merged.finish(ctx)),
+            values.iter().sum::<u64>()
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! multiply ciphertexts.
 
 use crate::exec::{execute_query, ExecStats, ResultSet};
+use crate::ops::ExecOptions;
 use crate::schema::{Catalog, TableSchema};
 use crate::stats::{collect_stats, Estimator, QueryEstimate, TableStats};
 use crate::storage::Table;
@@ -154,23 +155,50 @@ impl Database {
         self.tables.values().map(Table::size_bytes).sum()
     }
 
-    /// Executes a SQL string with positional parameters.
+    /// Executes a SQL string with positional parameters, using the
+    /// environment-derived execution options (`MONOMI_THREADS`,
+    /// `MONOMI_MORSEL_ROWS`; see [`ExecOptions::from_env`]).
     pub fn execute_sql(
         &self,
         sql: &str,
         params: &[Value],
     ) -> Result<(ResultSet, ExecStats), EngineError> {
-        let query = parse_query(sql).map_err(|e| EngineError::new(e.to_string()))?;
-        self.execute(&query, params)
+        self.execute_sql_with(sql, params, &ExecOptions::env_cached())
     }
 
-    /// Executes a parsed query with positional parameters.
+    /// Executes a SQL string with positional parameters and explicit
+    /// execution options.
+    pub fn execute_sql_with(
+        &self,
+        sql: &str,
+        params: &[Value],
+        opts: &ExecOptions,
+    ) -> Result<(ResultSet, ExecStats), EngineError> {
+        let query = parse_query(sql).map_err(|e| EngineError::new(e.to_string()))?;
+        self.execute_with(&query, params, opts)
+    }
+
+    /// Executes a parsed query with positional parameters, using the
+    /// environment-derived execution options. Thread count defaults to
+    /// `MONOMI_THREADS` (or all available cores); results are bit-identical
+    /// at every thread count.
     pub fn execute(
         &self,
         query: &Query,
         params: &[Value],
     ) -> Result<(ResultSet, ExecStats), EngineError> {
-        execute_query(self, query, params)
+        self.execute_with(query, params, &ExecOptions::env_cached())
+    }
+
+    /// Executes a parsed query with explicit execution options (worker thread
+    /// count and morsel size).
+    pub fn execute_with(
+        &self,
+        query: &Query,
+        params: &[Value],
+        opts: &ExecOptions,
+    ) -> Result<(ResultSet, ExecStats), EngineError> {
+        execute_query(self, query, params, opts)
     }
 
     /// Returns EXPLAIN-style cost and cardinality estimates for a query, the

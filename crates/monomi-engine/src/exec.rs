@@ -1,31 +1,36 @@
-//! The query executor: vectorized columnar scans feeding hash join / hash
-//! aggregate evaluation of the analytical SQL subset.
+//! The query executor: a pipeline of physical operators (see [`crate::ops`])
+//! over columnar morsels, driven by morsel-granular worker threads.
 //!
-//! Base-table scans are *vectorized*: single-table WHERE conjuncts are
-//! compiled ([`crate::expr::compile_predicate`]) and evaluated directly over
-//! the stored column slices, narrowing a
-//! [`SelectionVector`](crate::storage::SelectionVector) of surviving row
-//! indices. Only after every scan-level predicate has run are the survivors
-//! materialized — and only the columns the query actually references (late
-//! materialization). The materialized relation then flows through the
-//! row-oriented tail: hash join on equality predicates discovered in the WHERE
-//! clause, hash aggregate, HAVING, projection, sort, and limit. Correlated
-//! and uncorrelated subqueries are evaluated through a recursive callback.
+//! One query flows Scan → Filter → \[HashJoin\] → PartialAggregate → Merge →
+//! Sort/Project. Base-table scans are *vectorized*: single-table WHERE
+//! conjuncts are compiled ([`crate::expr::compile_predicate`]) and evaluated
+//! directly over the stored column slices, narrowing a
+//! [`SelectionVector`](crate::storage::SelectionVector) per morsel. Only after
+//! every scan-level predicate has run are the survivors materialized — and
+//! only the columns the query actually references (late materialization).
+//! Aggregation is morsel-partitioned: workers build thread-local
+//! [`AggState`](crate::ops::AggState)s and the partials merge in partition
+//! order, so results are bit-identical at any thread count
+//! ([`ExecOptions::threads`]). Correlated and uncorrelated subqueries are
+//! evaluated through a recursive callback on the serial paths.
 //!
 //! Encrypted execution uses exactly the same code path — the rewritten queries
 //! produced by `monomi-core` reference encrypted columns and the engine's
 //! encrypted aggregation UDFs (`paillier_sum`, `group_concat`), which are
-//! handled in the aggregation phase.
+//! handled in the aggregation phase; `paillier_sum` partials combine with one
+//! CIOS multiply ([`monomi_crypto::PaillierSum::merge`]).
 
-use crate::database::{Database, PaillierServerCtx};
-use crate::expr::{apply_predicate, compile_predicate, eval, EvalContext, RowSchema};
-use crate::storage::{SelectionVector, Table};
+use crate::database::Database;
+use crate::expr::{compile_predicate, eval, ColumnarPredicate, EvalContext, RowSchema};
+use crate::ops::{
+    AggSpec, AggState, CrossJoin, ExecOptions, GroupEntry, HashJoin, MorselAggregate,
+    ParallelMetrics, Relation, RowFilter, ScanFilter, Sort,
+};
+use crate::storage::Table;
 use crate::value::Value;
 use crate::EngineError;
-use monomi_math::{BigUint, MontScratch};
 use monomi_sql::ast::*;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 /// A query result: named columns and materialized rows.
 #[derive(Clone, Debug, PartialEq)]
@@ -56,6 +61,10 @@ impl ResultSet {
 }
 
 /// Counters describing the work the "server" did for one query.
+///
+/// Parallel operators accumulate their counters per worker thread and the
+/// per-thread/per-morsel partials are combined with [`ExecStats::merge`], so
+/// the totals are identical at every thread count.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ExecStats {
     /// Rows read from base tables.
@@ -75,6 +84,22 @@ pub struct ExecStats {
     pub result_rows: u64,
     /// Bytes produced.
     pub result_bytes: u64,
+    /// Morsels processed by morsel-driven operators (scan, filter, join
+    /// probe, partial aggregation).
+    pub morsels: u64,
+    /// Largest worker pool any single operator of this query engaged (1 for
+    /// fully serial execution).
+    pub threads_used: u32,
+    /// Wall-clock residency summed across all workers of all morsel-driven
+    /// regions. With a dedicated core per worker this is the aggregate CPU
+    /// the query burned (vs. the wall-clock it took); on oversubscribed
+    /// hosts (threads > cores) descheduled time is included, making it an
+    /// upper bound on true CPU — std has no portable thread-CPU clock.
+    pub worker_busy_nanos: u64,
+    /// Wall-clock time spent inside morsel-driven regions. The query's
+    /// aggregate busy time is
+    /// `total_wall - parallel_wall_nanos + worker_busy_nanos`.
+    pub parallel_wall_nanos: u64,
 }
 
 impl ExecStats {
@@ -87,23 +112,56 @@ impl ExecStats {
             self.rows_materialized as f64 / self.rows_scanned as f64
         }
     }
+
+    /// Folds another stats snapshot (a per-thread or per-operator partial)
+    /// into this one: counters add, `threads_used` takes the maximum.
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.bytes_scanned += other.bytes_scanned;
+        self.rows_materialized += other.rows_materialized;
+        self.bytes_materialized += other.bytes_materialized;
+        self.result_rows += other.result_rows;
+        self.result_bytes += other.result_bytes;
+        self.morsels += other.morsels;
+        self.threads_used = self.threads_used.max(other.threads_used);
+        self.worker_busy_nanos += other.worker_busy_nanos;
+        self.parallel_wall_nanos += other.parallel_wall_nanos;
+    }
+
+    /// Aggregate busy seconds for a query whose total execution wall-clock
+    /// was `exec_wall_seconds`: wall-clock outside the morsel-parallel
+    /// regions plus the summed worker residency inside them, clamped at
+    /// zero. Equals aggregate CPU when every worker has a core to itself
+    /// (see [`worker_busy_nanos`](Self::worker_busy_nanos)); the single
+    /// definition of the wall-vs-CPU accounting every consumer
+    /// (`QueryTimings`, baselines) shares.
+    pub fn cpu_seconds(&self, exec_wall_seconds: f64) -> f64 {
+        (exec_wall_seconds - self.parallel_wall_nanos as f64 * 1e-9
+            + self.worker_busy_nanos as f64 * 1e-9)
+            .max(0.0)
+    }
+
+    /// Records the work accounting of one morsel-driven region.
+    pub(crate) fn note_parallel(&mut self, m: &ParallelMetrics) {
+        self.morsels += m.morsels;
+        self.threads_used = self.threads_used.max(m.threads_used);
+        self.worker_busy_nanos += m.worker_busy_nanos;
+        self.parallel_wall_nanos += m.wall_nanos;
+    }
 }
 
-/// An intermediate relation during execution.
-#[derive(Clone, Debug)]
-struct Relation {
-    schema: RowSchema,
-    rows: Vec<Vec<Value>>,
-}
-
-/// Executes a query against a database.
+/// Executes a query against a database with the given execution options.
 pub fn execute_query(
     db: &Database,
     query: &Query,
     params: &[Value],
+    opts: &ExecOptions,
 ) -> Result<(ResultSet, ExecStats), EngineError> {
-    let mut stats = ExecStats::default();
-    let result = execute_inner(db, query, params, None, &mut stats)?;
+    let mut stats = ExecStats {
+        threads_used: 1,
+        ..Default::default()
+    };
+    let result = execute_inner(db, query, params, None, &mut stats, opts)?;
     stats.result_rows = result.rows.len() as u64;
     stats.result_bytes = result.size_bytes() as u64;
     Ok((result, stats))
@@ -115,6 +173,7 @@ fn execute_inner(
     params: &[Value],
     outer: Option<(&RowSchema, &[Value])>,
     stats: &mut ExecStats,
+    opts: &ExecOptions,
 ) -> Result<ResultSet, EngineError> {
     // 1. Build the FROM relation (scans, derived tables, joins, filters).
     let where_conjuncts: Vec<Expr> = query
@@ -122,15 +181,15 @@ fn execute_inner(
         .as_ref()
         .map(|w| w.split_conjuncts())
         .unwrap_or_default();
-    let relation = build_from_relation(db, query, &where_conjuncts, params, outer, stats)?;
+    let relation = build_from_relation(db, query, &where_conjuncts, params, outer, stats, opts)?;
 
     // 2. Aggregate or plain projection. UDF aggregates (paillier_sum,
     // group_concat) make a query an aggregation even though the parser does
     // not know they aggregate.
     let is_aggregate = query.is_aggregate_query() || !collect_aggregates(query).is_empty();
-    let subquery_fn = make_subquery_fn(db, params);
+    let subquery_fn = make_subquery_fn(db, params, *opts);
     let mut output = if is_aggregate {
-        aggregate_and_project(db, query, &relation, params, outer, stats)?
+        aggregate_and_project(db, query, &relation, params, outer, stats, opts)?
     } else {
         project_rows(query, &relation, params, outer, &subquery_fn)?
     };
@@ -152,19 +211,10 @@ fn execute_inner(
 
     // 4. ORDER BY.
     if !query.order_by.is_empty() {
-        let mut indexed: Vec<(Vec<Value>, Vec<Value>)> =
-            output.sort_keys.into_iter().zip(output.rows).collect();
-        indexed.sort_by(|(ka, _), (kb, _)| {
-            for (i, ob) in query.order_by.iter().enumerate() {
-                let ord = ka[i].compare(&kb[i]);
-                let ord = if ob.desc { ord.reverse() } else { ord };
-                if ord != std::cmp::Ordering::Equal {
-                    return ord;
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-        output.rows = indexed.into_iter().map(|(_, r)| r).collect();
+        let sort = Sort {
+            order_by: &query.order_by,
+        };
+        output.rows = sort.execute(output.rows, output.sort_keys);
         output.sort_keys = Vec::new();
     }
 
@@ -192,12 +242,21 @@ type OuterRow<'s, 'v> = Option<(&'s RowSchema, &'v [Value])>;
 fn make_subquery_fn<'a>(
     db: &'a Database,
     params: &'a [Value],
+    opts: ExecOptions,
 ) -> impl Fn(&Query, OuterRow<'_, '_>) -> Result<Vec<Vec<Value>>, EngineError> + 'a {
     // Subqueries track their scan work in a local counter; the parent query's
-    // own scans dominate the statistics we report.
+    // own scans dominate the statistics we report. They run serially: a
+    // correlated subquery is re-evaluated once per outer row, and spawning a
+    // worker pool for each evaluation would cost far more than it saves.
+    // The morsel size is kept, so results stay partition-identical; only the
+    // parent's own regions (and derived tables in FROM) parallelize.
+    let opts = ExecOptions {
+        threads: 1,
+        morsel_rows: opts.morsel_rows,
+    };
     move |q: &Query, outer: Option<(&RowSchema, &[Value])>| {
         let mut local_stats = ExecStats::default();
-        let rs = execute_inner(db, q, params, outer, &mut local_stats)?;
+        let rs = execute_inner(db, q, params, outer, &mut local_stats, &opts)?;
         Ok(rs.rows)
     }
 }
@@ -209,6 +268,7 @@ fn build_from_relation(
     params: &[Value],
     outer: Option<(&RowSchema, &[Value])>,
     stats: &mut ExecStats,
+    opts: &ExecOptions,
 ) -> Result<Relation, EngineError> {
     if query.from.is_empty() {
         // SELECT without FROM: a single empty row.
@@ -218,9 +278,11 @@ fn build_from_relation(
         });
     }
 
+    let subquery_fn = make_subquery_fn(db, params, *opts);
+
     // Load each FROM entry. Derived tables execute eagerly (their schema is
     // only known from their result); base tables are *not* materialized yet —
-    // the vectorized scan below filters them in columnar form first.
+    // the morsel-parallel scan below filters them in columnar form first.
     enum Loaded<'t> {
         Scan { table: &'t Table, binding: String },
         Rows(Relation),
@@ -245,7 +307,7 @@ fn build_from_relation(
                 loaded.push(Loaded::Scan { table, binding });
             }
             TableRef::Subquery { query: sub, alias } => {
-                let rs = execute_inner(db, sub, params, outer, stats)?;
+                let rs = execute_inner(db, sub, params, outer, stats, opts)?;
                 let schema = RowSchema::new(
                     rs.columns
                         .iter()
@@ -261,8 +323,8 @@ fn build_from_relation(
         }
     }
 
-    // Vectorized base-table scans: evaluate each scan's single-table conjuncts
-    // over column slices (selection vectors, no row materialization), then
+    // Scan → Filter: evaluate each scan's single-table conjuncts over column
+    // slices (selection vectors per morsel, no row materialization), then
     // late-materialize only the surviving rows' referenced columns.
     let referenced = collect_referenced_columns(query);
     let mut used = vec![false; where_conjuncts.len()];
@@ -278,17 +340,13 @@ fn build_from_relation(
                     .filter(|(i, _)| *i != ri)
                     .map(|(_, s)| s)
                     .collect();
-                stats.rows_scanned += table.row_count() as u64;
-                stats.bytes_scanned += table.size_bytes() as u64;
-
-                let batch = table.batch();
-                let mut selection = SelectionVector::all(table.row_count());
                 let ctx = EvalContext {
                     params,
                     aggregates: None,
                     subquery: None,
                     outer,
                 };
+                let mut predicates: Vec<ColumnarPredicate> = Vec::new();
                 for (ci, conj) in where_conjuncts.iter().enumerate() {
                     if used[ci] || conj.contains_subquery() || conj.contains_aggregate() {
                         continue;
@@ -296,10 +354,9 @@ fn build_from_relation(
                     if refs_resolvable(conj, schema)
                         && !refs_resolvable_elsewhere(conj, &other_schemas)
                     {
-                        // Conjunct references only this scan: apply it now,
-                        // directly over the column slices.
-                        let compiled = compile_predicate(conj, schema, &ctx);
-                        selection = apply_predicate(&compiled, &batch, &selection, schema, &ctx)?;
+                        // Conjunct references only this scan: compile it for
+                        // direct evaluation over the column slices.
+                        predicates.push(compile_predicate(conj, schema, &ctx));
                         used[ci] = true;
                     }
                 }
@@ -321,12 +378,16 @@ fn build_from_relation(
                         .map(|&c| schema.columns[c].clone())
                         .collect::<Vec<_>>(),
                 );
-                let rows = batch.gather(&selection, &keep);
-                stats.rows_materialized += selection.len() as u64;
-                stats.bytes_materialized += rows
-                    .iter()
-                    .map(|r| r.iter().map(Value::size_bytes).sum::<usize>())
-                    .sum::<usize>() as u64;
+                let scan = ScanFilter {
+                    batch: table.batch(),
+                    schema,
+                    predicates: &predicates,
+                    keep: &keep,
+                    params,
+                    outer,
+                };
+                let (rows, scan_stats) = scan.execute(opts)?;
+                stats.merge(&scan_stats);
                 relations.push(Relation {
                     schema: pruned_schema,
                     rows,
@@ -353,14 +414,16 @@ fn build_from_relation(
                 && !refs_resolvable_elsewhere(conj, &other_schemas)
             {
                 // Conjunct references only this relation: apply it now.
-                rel.rows = filter_rows(
-                    db,
-                    &rel.schema,
-                    std::mem::take(&mut rel.rows),
-                    conj,
+                let filter = RowFilter {
+                    schema: &rel.schema,
+                    predicate: conj,
                     params,
                     outer,
-                )?;
+                };
+                let (rows, metrics) =
+                    filter.execute(std::mem::take(&mut rel.rows), opts, Some(&subquery_fn))?;
+                stats.note_parallel(&metrics);
+                rel.rows = rows;
                 used[ci] = true;
             }
         }
@@ -396,9 +459,16 @@ fn build_from_relation(
             }
         }
         acc = if join_keys.is_empty() {
-            cross_join(&acc, &right)
+            CrossJoin::execute(&acc, &right)
         } else {
-            hash_join(db, &acc, &right, &join_keys, params, outer)?
+            let join = HashJoin {
+                keys: &join_keys,
+                params,
+                outer,
+            };
+            let (joined, metrics) = join.execute(&acc, &right, opts)?;
+            stats.note_parallel(&metrics);
+            joined
         };
 
         // Apply any remaining conjuncts that are now fully resolvable (cheap
@@ -408,14 +478,16 @@ fn build_from_relation(
                 continue;
             }
             if refs_resolvable(conj, &acc.schema) {
-                acc.rows = filter_rows(
-                    db,
-                    &acc.schema,
-                    std::mem::take(&mut acc.rows),
-                    conj,
+                let filter = RowFilter {
+                    schema: &acc.schema,
+                    predicate: conj,
                     params,
                     outer,
-                )?;
+                };
+                let (rows, metrics) =
+                    filter.execute(std::mem::take(&mut acc.rows), opts, Some(&subquery_fn))?;
+                stats.note_parallel(&metrics);
+                acc.rows = rows;
                 used[ci] = true;
             }
         }
@@ -426,14 +498,16 @@ fn build_from_relation(
         if used[ci] {
             continue;
         }
-        acc.rows = filter_rows(
-            db,
-            &acc.schema,
-            std::mem::take(&mut acc.rows),
-            conj,
+        let filter = RowFilter {
+            schema: &acc.schema,
+            predicate: conj,
             params,
             outer,
-        )?;
+        };
+        let (rows, metrics) =
+            filter.execute(std::mem::take(&mut acc.rows), opts, Some(&subquery_fn))?;
+        stats.note_parallel(&metrics);
+        acc.rows = rows;
         used[ci] = true;
     }
 
@@ -593,102 +667,6 @@ fn find_equi_join_keys(
     keys
 }
 
-fn filter_rows(
-    db: &Database,
-    schema: &RowSchema,
-    rows: Vec<Vec<Value>>,
-    predicate: &Expr,
-    params: &[Value],
-    outer: Option<(&RowSchema, &[Value])>,
-) -> Result<Vec<Vec<Value>>, EngineError> {
-    let subquery_fn = |q: &Query, o: Option<(&RowSchema, &[Value])>| {
-        let mut local = ExecStats::default();
-        execute_inner(db, q, params, o, &mut local).map(|rs| rs.rows)
-    };
-    let mut out = Vec::with_capacity(rows.len());
-    for row in rows {
-        let ctx = EvalContext {
-            params,
-            aggregates: None,
-            subquery: Some(&subquery_fn),
-            outer,
-        };
-        let keep = eval(predicate, schema, &row, &ctx)?
-            .as_bool()
-            .unwrap_or(false);
-        if keep {
-            out.push(row);
-        }
-    }
-    Ok(out)
-}
-
-fn cross_join(left: &Relation, right: &Relation) -> Relation {
-    let schema = left.schema.concat(&right.schema);
-    let mut rows = Vec::with_capacity(left.rows.len() * right.rows.len().max(1));
-    for l in &left.rows {
-        for r in &right.rows {
-            let mut row = l.clone();
-            row.extend(r.iter().cloned());
-            rows.push(row);
-        }
-    }
-    Relation { schema, rows }
-}
-
-fn hash_join(
-    db: &Database,
-    left: &Relation,
-    right: &Relation,
-    keys: &[(Expr, Expr)],
-    params: &[Value],
-    outer: Option<(&RowSchema, &[Value])>,
-) -> Result<Relation, EngineError> {
-    let ctx_template = |_row: &[Value]| EvalContext {
-        params,
-        aggregates: None,
-        subquery: None,
-        outer,
-    };
-    // Build hash table on the right side. Rows with a NULL join key are
-    // dropped on both sides: SQL equi-join predicates are never *true* for
-    // NULL keys (`NULL = NULL` is NULL), so keeping them would invent matches
-    // through `Value`'s reflexive `Eq`.
-    let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
-    for (idx, row) in right.rows.iter().enumerate() {
-        let ctx = ctx_template(row);
-        let key: Vec<Value> = keys
-            .iter()
-            .map(|(_, r)| eval(r, &right.schema, row, &ctx))
-            .collect::<Result<_, _>>()?;
-        if key.iter().any(Value::is_null) {
-            continue;
-        }
-        table.entry(key).or_default().push(idx);
-    }
-    let schema = left.schema.concat(&right.schema);
-    let mut rows = Vec::new();
-    for lrow in &left.rows {
-        let ctx = ctx_template(lrow);
-        let key: Vec<Value> = keys
-            .iter()
-            .map(|(l, _)| eval(l, &left.schema, lrow, &ctx))
-            .collect::<Result<_, _>>()?;
-        if key.iter().any(Value::is_null) {
-            continue;
-        }
-        if let Some(matches) = table.get(&key) {
-            for &ridx in matches {
-                let mut row = lrow.clone();
-                row.extend(right.rows[ridx].iter().cloned());
-                rows.push(row);
-            }
-        }
-    }
-    let _ = db;
-    Ok(Relation { schema, rows })
-}
-
 /// Collects every aggregate-like expression (true aggregates and the encrypted
 /// aggregation UDFs) appearing in the query's post-grouping clauses.
 fn collect_aggregates(query: &Query) -> Vec<Expr> {
@@ -719,288 +697,43 @@ pub fn is_udf_aggregate(name: &str) -> bool {
     matches!(name, "paillier_sum" | "group_concat")
 }
 
-/// State for one aggregate over one group.
-enum AggState {
-    Sum {
-        total_i: i64,
-        total_f: f64,
-        any_float: bool,
-        count: u64,
-    },
-    Avg {
-        total: f64,
-        count: u64,
-    },
-    Count {
-        count: u64,
-        distinct: Option<std::collections::HashSet<Value>>,
-    },
-    MinMax {
-        best: Option<Value>,
-        is_min: bool,
-    },
-    PaillierSum {
-        /// Montgomery-resident accumulator: starts at `R` (Montgomery 1);
-        /// each row is one in-place CIOS multiply, which leaves the running
-        /// product carrying an `R^{-count}` drift that `finish` cancels with
-        /// a single `R^count` multiplication.
-        acc: BigUint,
-        /// Shared modulus + Montgomery context, built once at
-        /// `register_paillier_modulus` time.
-        paillier: Arc<PaillierServerCtx>,
-        /// Reusable CIOS scratch (allocated once per group).
-        scratch: MontScratch,
-        /// Reusable parse buffer for the incoming ciphertext bytes.
-        operand: BigUint,
-        count: u64,
-    },
-    GroupConcat {
-        values: Vec<Value>,
-    },
-}
-
-impl AggState {
-    fn new(expr: &Expr, db: &Database) -> Result<Self, EngineError> {
-        match expr {
-            Expr::Aggregate { func, distinct, .. } => Ok(match func {
-                AggFunc::Sum => AggState::Sum {
-                    total_i: 0,
-                    total_f: 0.0,
-                    any_float: false,
-                    count: 0,
-                },
-                AggFunc::Avg => AggState::Avg {
-                    total: 0.0,
-                    count: 0,
-                },
-                AggFunc::Count => AggState::Count {
-                    count: 0,
-                    distinct: if *distinct {
-                        Some(Default::default())
-                    } else {
-                        None
-                    },
-                },
-                AggFunc::Min => AggState::MinMax {
-                    best: None,
-                    is_min: true,
-                },
-                AggFunc::Max => AggState::MinMax {
-                    best: None,
-                    is_min: false,
-                },
-            }),
-            Expr::Function { name, .. } if name == "paillier_sum" => {
-                let paillier = db.paillier_ctx().cloned().ok_or_else(|| {
-                    EngineError::new("paillier_sum requires a registered public modulus")
-                })?;
-                Ok(AggState::PaillierSum {
-                    acc: paillier.ctx().one_mont(),
-                    scratch: paillier.ctx().scratch(),
-                    operand: BigUint::zero(),
-                    paillier,
-                    count: 0,
-                })
-            }
-            Expr::Function { name, .. } if name == "group_concat" => {
-                Ok(AggState::GroupConcat { values: Vec::new() })
-            }
-            other => Err(EngineError::new(format!("not an aggregate: {other}"))),
-        }
-    }
-
-    fn arg(expr: &Expr) -> Option<&Expr> {
-        match expr {
-            Expr::Aggregate { arg, .. } => arg.as_deref(),
-            Expr::Function { args, .. } => args.first(),
-            _ => None,
-        }
-    }
-
-    fn update(&mut self, value: Option<Value>) {
-        match self {
-            AggState::Sum {
-                total_i,
-                total_f,
-                any_float,
-                count,
-            } => {
-                if let Some(v) = value {
-                    if v.is_null() {
-                        return;
-                    }
-                    match v {
-                        Value::Float(f) => {
-                            *any_float = true;
-                            *total_f += f;
-                        }
-                        other => {
-                            if let Some(i) = other.as_int() {
-                                *total_i += i;
-                                *total_f += i as f64;
-                            }
-                        }
-                    }
-                    *count += 1;
-                }
-            }
-            AggState::Avg { total, count } => {
-                if let Some(v) = value {
-                    if let Some(f) = v.as_float() {
-                        *total += f;
-                        *count += 1;
-                    }
-                }
-            }
-            AggState::Count { count, distinct } => match value {
-                None => *count += 1, // COUNT(*)
-                Some(v) => {
-                    if v.is_null() {
-                        return;
-                    }
-                    match distinct {
-                        Some(set) => {
-                            if set.insert(v) {
-                                *count += 1;
-                            }
-                        }
-                        None => *count += 1,
-                    }
-                }
-            },
-            AggState::MinMax { best, is_min } => {
-                if let Some(v) = value {
-                    if v.is_null() {
-                        return;
-                    }
-                    let better = match best {
-                        None => true,
-                        Some(b) => {
-                            if *is_min {
-                                v < *b
-                            } else {
-                                v > *b
-                            }
-                        }
-                    };
-                    if better {
-                        *best = Some(v);
-                    }
-                }
-            }
-            AggState::PaillierSum {
-                acc,
-                paillier,
-                scratch,
-                operand,
-                count,
-            } => {
-                if let Some(Value::Bytes(ct)) = value {
-                    operand.assign_from_bytes_be(&ct);
-                    // Well-formed ciphertexts are already < n²; reduce only
-                    // defensively so malformed input cannot break the CIOS
-                    // precondition.
-                    if &*operand >= paillier.n_squared() {
-                        *operand = operand.rem(paillier.n_squared());
-                    }
-                    // The paper's §5.3 cost: one modular multiplication per
-                    // row, here a single allocation-free CIOS pass.
-                    paillier.ctx().mont_mul_assign(acc, operand, scratch);
-                    *count += 1;
-                }
-            }
-            AggState::GroupConcat { values } => {
-                if let Some(v) = value {
-                    values.push(v);
-                }
-            }
-        }
-    }
-
-    fn finish(self) -> Value {
-        match self {
-            AggState::Sum {
-                total_i,
-                total_f,
-                any_float,
-                count,
-            } => {
-                if count == 0 {
-                    Value::Null
-                } else if any_float {
-                    Value::Float(total_f)
-                } else {
-                    Value::Int(total_i)
-                }
-            }
-            AggState::Avg { total, count } => {
-                if count == 0 {
-                    Value::Null
-                } else {
-                    Value::Float(total / count as f64)
-                }
-            }
-            AggState::Count { count, .. } => Value::Int(count as i64),
-            AggState::MinMax { best, .. } => best.unwrap_or(Value::Null),
-            AggState::PaillierSum {
-                acc,
-                paillier,
-                count,
-                ..
-            } => {
-                if count == 0 {
-                    Value::Null
-                } else {
-                    // Cancel the R^{-count} drift accumulated by the per-row
-                    // CIOS multiplies: one R^count fixup for the whole group.
-                    let ctx = paillier.ctx();
-                    let product = ctx.mont_mul(&acc, &ctx.r_to_the(count));
-                    Value::Bytes(product.to_bytes_be_padded(paillier.ciphertext_bytes()))
-                }
-            }
-            AggState::GroupConcat { values } => Value::List(values),
-        }
-    }
-}
-
 fn aggregate_and_project(
     db: &Database,
     query: &Query,
     relation: &Relation,
     params: &[Value],
     outer: Option<(&RowSchema, &[Value])>,
-    _stats: &mut ExecStats,
+    stats: &mut ExecStats,
+    opts: &ExecOptions,
 ) -> Result<ProjectedRows, EngineError> {
-    let subquery_fn = |q: &Query, o: Option<(&RowSchema, &[Value])>| {
-        let mut local = ExecStats::default();
-        execute_inner(db, q, params, o, &mut local).map(|rs| rs.rows)
-    };
+    let subquery_fn = make_subquery_fn(db, params, *opts);
     let agg_exprs = collect_aggregates(query);
+    let specs: Vec<AggSpec> = agg_exprs.iter().map(AggSpec::of).collect();
 
-    // Group rows.
-    let mut groups: Vec<(Vec<Value>, Vec<usize>)> = Vec::new();
-    let mut group_index: HashMap<Vec<Value>, usize> = HashMap::new();
-    for (ridx, row) in relation.rows.iter().enumerate() {
-        let ctx = EvalContext {
-            params,
-            aggregates: None,
-            subquery: Some(&subquery_fn),
-            outer,
-        };
-        let key: Vec<Value> = query
-            .group_by
-            .iter()
-            .map(|g| eval(g, &relation.schema, row, &ctx))
-            .collect::<Result<_, _>>()?;
-        let gidx = *group_index.entry(key.clone()).or_insert_with(|| {
-            groups.push((key, Vec::new()));
-            groups.len() - 1
-        });
-        groups[gidx].1.push(ridx);
-    }
+    // PartialAggregate → Merge: morsel-partitioned grouping with thread-local
+    // aggregation states, merged in partition order (bit-identical to the
+    // serial first-encounter accumulation at any thread count).
+    let aggregate = MorselAggregate {
+        relation,
+        group_by: &query.group_by,
+        specs: &specs,
+        db,
+        params,
+        outer,
+    };
+    let (mut groups, metrics) = aggregate.execute(opts, Some(&subquery_fn))?;
+    stats.note_parallel(&metrics);
+
     // A global aggregate over an empty input still produces one group.
     if groups.is_empty() && query.group_by.is_empty() {
-        groups.push((Vec::new(), Vec::new()));
+        groups.push(GroupEntry {
+            key: Vec::new(),
+            rep_row: None,
+            states: specs
+                .iter()
+                .map(|s| AggState::new(&s.expr, db))
+                .collect::<Result<Vec<_>, _>>()?,
+        });
     }
 
     let mut columns = Vec::new();
@@ -1010,45 +743,18 @@ fn aggregate_and_project(
 
     let mut rows_out = Vec::new();
     let mut sort_keys_out = Vec::new();
-    for (_key, row_indices) in &groups {
-        // Compute aggregate values for this group.
+    for group in groups {
+        // Finished aggregate values for this group, keyed by expression node.
         let mut agg_values: HashMap<Expr, Value> = HashMap::new();
-        for agg_expr in &agg_exprs {
-            let mut state = AggState::new(agg_expr, db)?;
-            let arg = AggState::arg(agg_expr).cloned();
-            let is_count_star = matches!(
-                agg_expr,
-                Expr::Aggregate {
-                    func: AggFunc::Count,
-                    arg: None,
-                    ..
-                }
-            );
-            for &ridx in row_indices {
-                let row = &relation.rows[ridx];
-                let ctx = EvalContext {
-                    params,
-                    aggregates: None,
-                    subquery: Some(&subquery_fn),
-                    outer,
-                };
-                if is_count_star {
-                    state.update(None);
-                } else if let Some(arg_expr) = &arg {
-                    let v = eval(arg_expr, &relation.schema, row, &ctx)?;
-                    state.update(Some(v));
-                } else {
-                    state.update(None);
-                }
-            }
-            agg_values.insert(agg_expr.clone(), state.finish());
+        for (spec, state) in specs.iter().zip(group.states) {
+            agg_values.insert(spec.expr.clone(), state.finish());
         }
 
         // Representative row for evaluating group-key expressions in
         // projections / HAVING / ORDER BY.
-        let representative: Vec<Value> = row_indices
-            .first()
-            .map(|&i| relation.rows[i].clone())
+        let representative: Vec<Value> = group
+            .rep_row
+            .map(|i| relation.rows[i].clone())
             .unwrap_or_else(|| vec![Value::Null; relation.schema.len()]);
 
         let ctx = EvalContext {
@@ -1196,4 +902,78 @@ fn resolve_order_key(
         return Ok(out_row[pos].clone());
     }
     eval(&ob.expr, schema, row, ctx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_stats_merge_sums_counters_and_keeps_selectivity_consistent() {
+        // Two per-thread partials of one scan: 60+40 rows scanned, 15+10
+        // survivors.
+        let a = ExecStats {
+            rows_scanned: 60,
+            bytes_scanned: 600,
+            rows_materialized: 15,
+            bytes_materialized: 120,
+            result_rows: 0,
+            result_bytes: 0,
+            morsels: 3,
+            threads_used: 4,
+            worker_busy_nanos: 1_000,
+            parallel_wall_nanos: 400,
+        };
+        let b = ExecStats {
+            rows_scanned: 40,
+            bytes_scanned: 400,
+            rows_materialized: 10,
+            bytes_materialized: 80,
+            result_rows: 25,
+            result_bytes: 200,
+            morsels: 2,
+            threads_used: 2,
+            worker_busy_nanos: 500,
+            parallel_wall_nanos: 300,
+        };
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged.rows_scanned, 100);
+        assert_eq!(merged.bytes_scanned, 1_000);
+        assert_eq!(merged.rows_materialized, 25);
+        assert_eq!(merged.bytes_materialized, 200);
+        assert_eq!(merged.result_rows, 25);
+        assert_eq!(merged.result_bytes, 200);
+        assert_eq!(merged.morsels, 5);
+        assert_eq!(merged.threads_used, 4);
+        assert_eq!(merged.worker_busy_nanos, 1_500);
+        assert_eq!(merged.parallel_wall_nanos, 700);
+        // Selectivity over the merged totals: 25/100.
+        assert!((merged.scan_selectivity() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exec_stats_merge_into_empty_is_identity() {
+        let partial = ExecStats {
+            rows_scanned: 7,
+            bytes_scanned: 70,
+            rows_materialized: 3,
+            bytes_materialized: 24,
+            result_rows: 3,
+            result_bytes: 24,
+            morsels: 1,
+            threads_used: 1,
+            worker_busy_nanos: 10,
+            parallel_wall_nanos: 10,
+        };
+        let mut merged = ExecStats::default();
+        merged.merge(&partial);
+        assert_eq!(merged.rows_scanned, partial.rows_scanned);
+        assert_eq!(merged.bytes_scanned, partial.bytes_scanned);
+        assert_eq!(merged.rows_materialized, partial.rows_materialized);
+        assert_eq!(merged.bytes_materialized, partial.bytes_materialized);
+        assert!((merged.scan_selectivity() - partial.scan_selectivity()).abs() < 1e-12);
+        // An empty stats block is all-1.0 selectivity by convention.
+        assert!((ExecStats::default().scan_selectivity() - 1.0).abs() < f64::EPSILON);
+    }
 }

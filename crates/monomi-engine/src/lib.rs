@@ -34,6 +34,7 @@
 pub mod database;
 pub mod exec;
 pub mod expr;
+pub mod ops;
 pub mod schema;
 pub mod stats;
 pub mod storage;
@@ -45,6 +46,7 @@ pub use expr::{
     apply_predicate, compile_predicate, decode_hex, encode_hex, ColumnarPredicate, EvalContext,
     RowSchema,
 };
+pub use ops::{ExecOptions, Morsel, DEFAULT_MORSEL_ROWS};
 pub use schema::{Catalog, ColumnDef, ColumnType, TableSchema};
 pub use stats::{QueryEstimate, TableStats};
 pub use storage::{ColumnBatch, SelectionVector, Table};

@@ -40,6 +40,15 @@ impl SelectionVector {
         SelectionVector::default()
     }
 
+    /// A selection covering the half-open row range `start..end` — the seed
+    /// selection a morsel-granular scan starts from.
+    pub fn range(start: usize, end: usize) -> Self {
+        assert!(end <= u32::MAX as usize, "table exceeds u32::MAX rows");
+        SelectionVector {
+            indices: (start as u32..end as u32).collect(),
+        }
+    }
+
     /// Builds a selection from raw indices (must be ascending).
     pub fn from_indices(indices: Vec<u32>) -> Self {
         debug_assert!(indices.windows(2).all(|w| w[0] < w[1]));

@@ -1,14 +1,18 @@
-//! Property-based tests for the engine's two load-bearing contracts:
+//! Property-based tests for the engine's load-bearing contracts:
 //!
 //! 1. `Value`'s `Hash`/`Eq` contract (`a == b ⇒ hash(a) == hash(b)`, plus
 //!    antisymmetry of the total order) — everything the executor's hash
 //!    joins, GROUP BY, and DISTINCT silently rely on;
 //! 2. the vectorized selection-vector scan returns exactly the rows the old
-//!    row-materializing scan returned, on random tables and predicates.
+//!    row-materializing scan returned, on random tables and predicates;
+//! 3. the morsel-parallel executor is deterministic: at any worker thread
+//!    count (1, 2, 4, 8) a query returns byte-identical results — float
+//!    sums, group order, and encrypted `paillier_sum` ciphertexts included —
+//!    because partials merge in partition order at fixed morsel boundaries.
 
 use monomi_engine::{
     apply_predicate, compile_predicate, expr::eval, ColumnDef, ColumnType, Database, EvalContext,
-    RowSchema, SelectionVector, TableSchema, Value,
+    ExecOptions, RowSchema, SelectionVector, TableSchema, Value,
 };
 use monomi_sql::parse_query;
 use proptest::prelude::*;
@@ -190,5 +194,119 @@ proptest! {
         .expect("columnar filter");
         let direct: Vec<Vec<Value>> = sel.iter().map(|i| table.row(i)).collect();
         prop_assert_eq!(&direct, &expected, "predicate: {}", pred);
+    }
+}
+
+/// Query shapes stressing every morsel-parallelized stage: scan+filter,
+/// residual filters, hash joins, partial aggregation (float sums, DISTINCT
+/// counts, MIN/MAX, AVG), and plain projection with ORDER BY.
+fn query_sql(shape: u8, pred: &str) -> String {
+    match shape % 6 {
+        0 => format!(
+            "SELECT s, COUNT(*), SUM(b), SUM(b * 0.1), AVG(b), MIN(a), MAX(d) \
+             FROM t WHERE {pred} GROUP BY s ORDER BY s"
+        ),
+        1 => format!("SELECT a, b, s, d FROM t WHERE {pred} ORDER BY b, a, s, d"),
+        2 => {
+            format!("SELECT COUNT(DISTINCT s), SUM(a + b), MIN(s), SUM(b / 3) FROM t WHERE {pred}")
+        }
+        3 => format!(
+            "SELECT s, d, COUNT(*) FROM t WHERE {pred} GROUP BY s, d \
+             HAVING COUNT(*) >= 2 ORDER BY s, d"
+        ),
+        4 => format!("SELECT DISTINCT s, a FROM t WHERE {pred} ORDER BY s, a LIMIT 20"),
+        _ => format!(
+            "SELECT t.s, COUNT(*), SUM(u.b) FROM t, t AS u \
+             WHERE t.a = u.a AND {pred} GROUP BY t.s ORDER BY t.s"
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The determinism contract: with fixed morsel boundaries, execution at
+    /// threads ∈ {2, 4, 8} is byte-identical to serial execution — results
+    /// (including float sums and group order) and scan counters alike.
+    #[test]
+    fn parallel_execution_is_byte_identical_to_serial(
+        rows in proptest::collection::vec(
+            (-40i64..40, -40i64..40, any::<u8>(), -200i16..200), 0..200),
+        template in any::<u8>(), shape in any::<u8>(),
+        c1 in -50i64..50, c2 in -50i64..50,
+    ) {
+        let db = build_table(&rows);
+        let sql = query_sql(shape, &predicate_sql(template, c1, c2));
+        let query = parse_query(&sql).unwrap();
+        // Small morsels so even tiny generated tables span several partitions.
+        let serial_opts = ExecOptions { threads: 1, morsel_rows: 16 };
+        let (serial, serial_stats) = db
+            .execute_with(&query, &[], &serial_opts)
+            .expect("serial execution");
+        for threads in [2usize, 4, 8] {
+            let opts = ExecOptions { threads, morsel_rows: 16 };
+            let (parallel, stats) = db
+                .execute_with(&query, &[], &opts)
+                .expect("parallel execution");
+            prop_assert_eq!(&serial, &parallel, "threads={} sql={}", threads, sql);
+            // Byte-identical, not merely equal-by-comparator: the debug
+            // rendering distinguishes -0.0 from 0.0 and Int from Float.
+            prop_assert_eq!(
+                format!("{:?}", serial.rows), format!("{:?}", parallel.rows),
+                "debug mismatch at threads={} sql={}", threads, sql
+            );
+            prop_assert_eq!(serial_stats.rows_scanned, stats.rows_scanned);
+            prop_assert_eq!(serial_stats.bytes_scanned, stats.bytes_scanned);
+            prop_assert_eq!(serial_stats.rows_materialized, stats.rows_materialized);
+            prop_assert_eq!(serial_stats.bytes_materialized, stats.bytes_materialized);
+            prop_assert_eq!(serial_stats.result_rows, stats.result_rows);
+            prop_assert_eq!(serial_stats.result_bytes, stats.result_bytes);
+        }
+    }
+
+    /// Encrypted aggregation determinism: `paillier_sum` over a registered
+    /// modulus yields byte-identical ciphertexts at every thread count (the
+    /// Montgomery drift merge is exact modular arithmetic).
+    #[test]
+    fn parallel_paillier_sum_is_byte_identical_to_serial(
+        cts in proptest::collection::vec((0u8..5, any::<u64>()), 0..150),
+    ) {
+        let mut db = Database::new();
+        db.create_table(TableSchema::new(
+            "e",
+            vec![
+                ColumnDef::new("g", ColumnType::Int),
+                ColumnDef::new("c", ColumnType::Bytes),
+            ],
+        ));
+        // A fixed odd modulus stands in for n² — the server never needs the
+        // key, only the public modulus to multiply ciphertexts.
+        let n = monomi_math::BigUint::from_u64(u64::MAX - 58);
+        db.register_paillier_modulus(n.mul(&n));
+        for &(g, c) in &cts {
+            db.insert(
+                "e",
+                vec![
+                    Value::Int(g as i64),
+                    Value::Bytes(monomi_math::BigUint::from_u64(c).to_bytes_be()),
+                ],
+            )
+            .expect("insert ciphertext row");
+        }
+        let query = parse_query(
+            "SELECT g, paillier_sum(c), COUNT(*) FROM e GROUP BY g ORDER BY g",
+        )
+        .unwrap();
+        let serial_opts = ExecOptions { threads: 1, morsel_rows: 8 };
+        let (serial, _) = db
+            .execute_with(&query, &[], &serial_opts)
+            .expect("serial paillier_sum");
+        for threads in [2usize, 4, 8] {
+            let opts = ExecOptions { threads, morsel_rows: 8 };
+            let (parallel, _) = db
+                .execute_with(&query, &[], &opts)
+                .expect("parallel paillier_sum");
+            prop_assert_eq!(&serial, &parallel, "threads={}", threads);
+        }
     }
 }

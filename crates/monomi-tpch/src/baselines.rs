@@ -73,6 +73,7 @@ pub fn run_plaintext(
     let exec = started.elapsed().as_secs_f64();
     let timings = QueryTimings {
         server_seconds: exec + network.disk_seconds(stats.bytes_scanned),
+        server_cpu_seconds: stats.cpu_seconds(exec),
         network_seconds: network.transfer_seconds(rs.size_bytes() as u64),
         decrypt_seconds: 0.0,
         client_seconds: 0.0,

@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# Bench snapshot: runs the crypto and scan micro benches at a pinned
-# MONOMI_SCALE and writes the machine-readable crypto numbers to
-# BENCH_crypto.json (via the hom_agg bench's MONOMI_BENCH_JSON hook),
-# seeding the perf trajectory across PRs.
+# Bench snapshot: runs the crypto, scan, and parallel-execution benches at a
+# pinned MONOMI_SCALE and writes the machine-readable numbers to
+# BENCH_crypto.json (via the hom_agg / parallel_exec benches'
+# MONOMI_BENCH_JSON hook), seeding the perf trajectory across PRs.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #   MONOMI_SCALE           pinned data scale (default 0.002)
-#   MONOMI_PAILLIER_BITS   Paillier key size for hom_agg (default 512)
+#   MONOMI_PAILLIER_BITS   Paillier key size for hom_agg/parallel_exec (default 512)
+#   MONOMI_BENCH_THREADS   worker threads for parallel_exec (default 4)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,9 +22,22 @@ export MONOMI_SCALE="${MONOMI_SCALE:-0.002}"
 
 echo "== bench snapshot at MONOMI_SCALE=$MONOMI_SCALE -> $OUT =="
 
-MONOMI_BENCH_JSON="$OUT" cargo bench --bench hom_agg
+TMPDIR_SNAP="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_SNAP"' EXIT
+
+MONOMI_BENCH_JSON="$TMPDIR_SNAP/hom_agg.json" cargo bench --bench hom_agg
+MONOMI_BENCH_JSON="$TMPDIR_SNAP/parallel_exec.json" cargo bench --bench parallel_exec
 cargo bench --bench crypto_micro
 cargo bench --bench scan_micro
+
+# Combine the per-bench JSON objects into one snapshot document.
+{
+  printf '{\n"hom_agg": '
+  cat "$TMPDIR_SNAP/hom_agg.json"
+  printf ',\n"parallel_exec": '
+  cat "$TMPDIR_SNAP/parallel_exec.json"
+  printf '}\n'
+} > "$OUT"
 
 echo
 echo "--- $OUT ---"

@@ -79,6 +79,66 @@ fn monomi_matches_plaintext_on_tpch_workload() {
     }
 }
 
+/// The whole split-execution path with four morsel workers (the CI-pinned
+/// `MONOMI_THREADS=4` configuration, set here explicitly via
+/// `ClientConfig::exec_options` so no process-global env is mutated): the
+/// encrypted server runs its queries on four workers and must return exactly
+/// what the plaintext baseline returns — the determinism contract guarantees
+/// the thread count is unobservable in results. Also pins the wall-vs-CPU
+/// accounting: aggregate server CPU can never be negative, and results match
+/// an explicitly serial engine run bit for bit.
+#[test]
+fn monomi_matches_plaintext_with_four_worker_threads() {
+    let four_threads = monomi_engine::ExecOptions::with_threads(4);
+    let plain = small_plain();
+    let workload = queries::workload();
+    let parsed: Vec<_> = workload
+        .iter()
+        .map(|q| parse_query(q.sql).expect("workload query parses"))
+        .collect();
+    let config = ClientConfig {
+        exec_options: Some(four_threads),
+        ..fast_config()
+    };
+    let (client, _) = MonomiClient::setup(&plain, &parsed, DesignStrategy::Designer, &config)
+        .expect("setup succeeds");
+
+    for number in [1u32, 3, 6, 10, 18] {
+        let q = queries::query(number).expect("query exists");
+        let query = parse_query(q.sql).expect("parses");
+        let (expected, _) = plain
+            .execute_with(&query, &q.params, &four_threads)
+            .unwrap_or_else(|e| panic!("plaintext Q{number} failed: {e}"));
+        // The plaintext reference must itself be thread-count-invariant.
+        let (serial, _) = plain
+            .execute_with(&query, &q.params, &monomi_engine::ExecOptions::serial())
+            .expect("serial plaintext run");
+        assert_eq!(
+            expected, serial,
+            "Q{number}: 4-thread and serial plaintext runs differ"
+        );
+
+        let (got, timings) = client
+            .execute(q.sql, &q.params)
+            .unwrap_or_else(|e| panic!("MONOMI Q{number} failed: {e}"));
+        assert!(
+            rows_match(&expected.rows, &got.rows),
+            "Q{number} with 4 morsel workers: plaintext {} rows vs MONOMI {} rows",
+            expected.rows.len(),
+            got.rows.len(),
+        );
+        // Falsifiable accounting check: the query scanned real rows, so the
+        // wall-minus-parallel-wall-plus-worker-CPU derivation must come out
+        // strictly positive (a double-counted parallel region would clamp the
+        // raw value to zero and fail here).
+        assert!(
+            timings.server_cpu_seconds > 0.0,
+            "Q{number}: aggregate server CPU accounting collapsed to zero"
+        );
+        assert!(timings.total_seconds() >= 0.0);
+    }
+}
+
 #[test]
 fn encrypted_server_never_sees_plaintext_strings() {
     let plain = small_plain();
