@@ -115,6 +115,19 @@ fn main() {
         ..Default::default()
     });
     let table = db.table("lineitem").expect("lineitem exists");
+    // This bench measures the *in-memory* scan substrate (`Table::batch`);
+    // under MONOMI_STORAGE=disk the generated table lives in the segment
+    // store, so copy it back into a memory table first (the disk path has
+    // its own bench: storage_micro).
+    let mem_copy;
+    let table = if db.is_disk_backed() {
+        let mut t = Table::new(table.schema().clone());
+        t.bulk_load(table.rows()).expect("memory copy");
+        mem_copy = t;
+        &mem_copy
+    } else {
+        table
+    };
     let schema = RowSchema::new(
         table
             .schema()

@@ -1,0 +1,212 @@
+//! Storage microbenchmark for the persistent segment store: cold vs. cached
+//! scans, and zone-map-pruned vs. unpruned Q6-shaped range scans.
+//!
+//! Two disk-backed copies of TPC-H `lineitem` are bulk-loaded into temporary
+//! segment stores: one *clustered* on `l_shipdate` (sorted before loading, so
+//! consecutive segments carry disjoint date ranges — the shape zone maps can
+//! prune) and one in generator order (every segment spans the whole date
+//! range, so nothing can be skipped). Both must return identical results —
+//! pruning is result-invisible by construction.
+//!
+//! Measurements:
+//! * **cold scan** — full-table aggregate with an empty segment cache (every
+//!   segment decoded from disk, checksums verified);
+//! * **cached scan** — the same query again, served from the byte-budgeted
+//!   cache (`MONOMI_CACHE_BYTES`);
+//! * **Q6 pruned vs. unpruned** — the paper's Q6 predicate on the clustered
+//!   vs. unclustered copy, reporting `segments_pruned`, real `bytes_scanned`,
+//!   and the wall-clock ratio.
+//!
+//! Knobs: `MONOMI_SCALE` (default 0.02), `MONOMI_BENCH_ITERS` (default 5),
+//! `MONOMI_CACHE_BYTES`. With `MONOMI_BENCH_JSON=<path>` the numbers are
+//! written as a JSON snapshot (see `scripts/bench_snapshot.sh`).
+
+use monomi_bench::{env_usize, print_header};
+use monomi_engine::{Database, ExecStats, ResultSet, Value};
+use monomi_store::{Store, StoreOptions};
+use monomi_tpch::datagen;
+use std::time::Instant;
+
+fn median_seconds(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Bulk-loads `rows` into a fresh disk-backed database at a temp directory.
+fn disk_db(tag: &str, schema: monomi_engine::TableSchema, rows: Vec<Vec<Value>>) -> Database {
+    let dir =
+        std::env::temp_dir().join(format!("monomi-storage-micro-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open_with(&dir, StoreOptions::default()).expect("store opens");
+    let mut db = Database::with_store(store);
+    db.create_table(schema);
+    db.bulk_load("lineitem", rows).expect("bulk load");
+    db
+}
+
+fn cleanup(db: &Database, tag: &str) {
+    let _ = db;
+    let dir =
+        std::env::temp_dir().join(format!("monomi-storage-micro-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn run(db: &Database, sql: &str) -> (ResultSet, ExecStats) {
+    db.execute_sql(sql, &[]).expect("query runs")
+}
+
+fn main() {
+    print_header(
+        "Storage microbenchmark: segment store cold/cached/pruned scans",
+        "the disk-resident server of §8 (caches flushed, queries hit disk)",
+    );
+    let scale = std::env::var("MONOMI_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.02);
+    let iters = env_usize("MONOMI_BENCH_ITERS", 5).max(1);
+
+    let plain = datagen::generate(&datagen::GeneratorConfig {
+        scale_factor: scale,
+        ..Default::default()
+    });
+    let lineitem = plain.table("lineitem").expect("lineitem exists");
+    let schema = lineitem.schema().clone();
+    let shipdate = schema.column_index("l_shipdate").expect("l_shipdate");
+    let mut rows: Vec<Vec<Value>> = lineitem.rows();
+    let unclustered = disk_db("unclustered", schema.clone(), rows.clone());
+    rows.sort_by(|a, b| a[shipdate].compare(&b[shipdate]));
+    let clustered = disk_db("clustered", schema, rows);
+    drop(plain);
+
+    let store = clustered.store().expect("disk backed");
+    println!(
+        "lineitem: {} rows, {} segments, {:.1} MB stored ({:.1} MB logical), MONOMI_SCALE={scale}\n",
+        clustered.table("lineitem").unwrap().row_count(),
+        store.table_meta("lineitem").map(|m| m.segments.len()).unwrap_or(0),
+        clustered.total_stored_bytes() as f64 / 1e6,
+        clustered.total_size_bytes() as f64 / 1e6,
+    );
+
+    // --- Cold vs. cached full-table scan -------------------------------
+    let full_sql = "SELECT SUM(l_extendedprice), COUNT(*) FROM lineitem";
+    let mut cold_samples = Vec::with_capacity(iters);
+    let mut warm_samples = Vec::with_capacity(iters);
+    let mut reference: Option<String> = None;
+    for _ in 0..iters {
+        store.cache().clear();
+        let start = Instant::now();
+        let (rs_cold, _) = run(&clustered, full_sql);
+        cold_samples.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let (rs_warm, _) = run(&clustered, full_sql);
+        warm_samples.push(start.elapsed().as_secs_f64());
+        let cold_fmt = format!("{:?}", rs_cold.rows);
+        assert_eq!(
+            cold_fmt,
+            format!("{:?}", rs_warm.rows),
+            "cache changed results"
+        );
+        if let Some(prev) = &reference {
+            assert_eq!(prev, &cold_fmt, "cold scans disagree");
+        }
+        reference = Some(cold_fmt);
+    }
+    let rows_total = clustered.table("lineitem").unwrap().row_count() as f64;
+    let (cold_s, warm_s) = (median_seconds(cold_samples), median_seconds(warm_samples));
+    let cache_speedup = cold_s / warm_s.max(1e-12);
+    println!("full-table aggregate ({} iters, median):", iters);
+    println!(
+        "  cold (cache cleared):   {:>10.3}ms  {:>12.0} rows/s",
+        cold_s * 1e3,
+        rows_total / cold_s.max(1e-12)
+    );
+    println!(
+        "  cached:                 {:>10.3}ms  {:>12.0} rows/s",
+        warm_s * 1e3,
+        rows_total / warm_s.max(1e-12)
+    );
+    println!("  cache speedup:          {cache_speedup:>9.2}x");
+    let (hits, misses) = store.cache().stats();
+    println!("  cache hits/misses so far: {hits}/{misses}");
+
+    // --- Pruned vs. unpruned Q6-shaped scan ----------------------------
+    let q6_sql = "SELECT SUM(l_extendedprice * l_discount) FROM lineitem \
+                  WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+                  AND l_discount BETWEEN 5 AND 7 AND l_quantity < 24";
+    let (expected, unpruned_stats) = run(&unclustered, q6_sql);
+    let (got, pruned_stats) = run(&clustered, q6_sql);
+    assert_eq!(
+        format!("{:?}", expected.rows),
+        format!("{:?}", got.rows),
+        "pruning changed Q6's answer"
+    );
+    assert!(
+        pruned_stats.segments_pruned > 0,
+        "clustered Q6 scan must prune segments (got {})",
+        pruned_stats.segments_pruned
+    );
+    assert!(
+        pruned_stats.bytes_scanned < unpruned_stats.bytes_scanned,
+        "pruned scan must read fewer real bytes"
+    );
+    let mut pruned_samples = Vec::with_capacity(iters);
+    let mut unpruned_samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        std::hint::black_box(run(&clustered, q6_sql));
+        pruned_samples.push(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        std::hint::black_box(run(&unclustered, q6_sql));
+        unpruned_samples.push(start.elapsed().as_secs_f64());
+    }
+    let (pruned_s, unpruned_s) = (
+        median_seconds(pruned_samples),
+        median_seconds(unpruned_samples),
+    );
+    let prune_speedup = unpruned_s / pruned_s.max(1e-12);
+    println!("\nQ6-shaped selective scan (clustered vs. unclustered load):");
+    println!(
+        "  unpruned:  {:>10.3}ms  {:>3}/{:<3} segments read, {:>9} bytes",
+        unpruned_s * 1e3,
+        unpruned_stats.segments_read,
+        unpruned_stats.segments_read + unpruned_stats.segments_pruned,
+        unpruned_stats.bytes_scanned,
+    );
+    println!(
+        "  pruned:    {:>10.3}ms  {:>3}/{:<3} segments read, {:>9} bytes ({} pruned)",
+        pruned_s * 1e3,
+        pruned_stats.segments_read,
+        pruned_stats.segments_read + pruned_stats.segments_pruned,
+        pruned_stats.bytes_scanned,
+        pruned_stats.segments_pruned,
+    );
+    println!("  prune speedup: {prune_speedup:>6.2}x");
+
+    if let Ok(path) = std::env::var("MONOMI_BENCH_JSON") {
+        let json = format!(
+            "{{\n  \"bench\": \"storage_micro\",\n  \"rows\": {rows_total:.0},\n  \
+             \"stored_bytes\": {stored},\n  \
+             \"cold_scan_ms\": {cold:.3},\n  \"cached_scan_ms\": {warm:.3},\n  \
+             \"cache_speedup\": {cache_speedup:.2},\n  \
+             \"q6_unpruned_ms\": {unpruned:.3},\n  \"q6_pruned_ms\": {pruned:.3},\n  \
+             \"q6_prune_speedup\": {prune_speedup:.2},\n  \
+             \"q6_segments_pruned\": {segs_pruned},\n  \
+             \"q6_bytes_scanned_pruned\": {bytes_pruned},\n  \
+             \"q6_bytes_scanned_unpruned\": {bytes_unpruned}\n}}\n",
+            stored = clustered.total_stored_bytes(),
+            cold = cold_s * 1e3,
+            warm = warm_s * 1e3,
+            unpruned = unpruned_s * 1e3,
+            pruned = pruned_s * 1e3,
+            segs_pruned = pruned_stats.segments_pruned,
+            bytes_pruned = pruned_stats.bytes_scanned,
+            bytes_unpruned = unpruned_stats.bytes_scanned,
+        );
+        std::fs::write(&path, json).expect("write bench snapshot JSON");
+        println!("\nwrote snapshot to {path}");
+    }
+
+    cleanup(&clustered, "clustered");
+    cleanup(&unclustered, "unclustered");
+}

@@ -280,16 +280,19 @@ impl MonomiClient {
 
 /// Deep-copies a database (schema + rows). The engine intentionally has no
 /// `Clone` on `Database` because real deployments would not copy servers; the
-/// trusted client here only needs it for statistics.
+/// trusted client here only needs it for statistics, so the copy is always
+/// in-memory — under `MONOMI_STORAGE=disk` only the *server* database (the
+/// encrypted one built by the encryptor) lives in the segment store; the
+/// client's statistics sample should not pay for a second store.
 fn clone_database(db: &Database) -> Database {
-    let mut out = Database::new();
+    let mut out = Database::in_memory();
     for schema in db.catalog().tables() {
         out.create_table(schema.clone());
     }
     for name in db.table_names() {
         let table = db.table(&name).expect("listed table exists");
-        let rows: Vec<Vec<Value>> = (0..table.row_count()).map(|i| table.row(i)).collect();
-        out.bulk_load(&name, rows).expect("row shapes match schema");
+        out.bulk_load(&name, table.rows())
+            .expect("row shapes match schema");
     }
     if let Some(m) = db.paillier_modulus() {
         out.register_paillier_modulus(m.clone());

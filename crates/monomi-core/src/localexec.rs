@@ -40,8 +40,14 @@ pub struct QueryTimings {
     pub client_seconds: f64,
     /// Bytes shipped from server to client.
     pub transfer_bytes: u64,
-    /// Bytes the server read from storage.
+    /// Bytes the server read from storage. On the disk backend
+    /// (`MONOMI_STORAGE=disk`) these are *stored* (encoded) bytes of the
+    /// segments scans actually decoded — real I/O, not modeled width.
     pub server_bytes_scanned: u64,
+    /// Disk segments the server's scans read (0 on the memory backend).
+    pub server_segments_read: u64,
+    /// Disk segments zone-map pruning skipped before any predicate ran.
+    pub server_segments_pruned: u64,
     /// Bytes the server materialized after scan-level filtering (selection-
     /// vector survivors, referenced columns only) — the selectivity-aware
     /// scan output the cost model's materialization term corresponds to.
@@ -67,6 +73,8 @@ impl QueryTimings {
         self.client_seconds += other.client_seconds;
         self.transfer_bytes += other.transfer_bytes;
         self.server_bytes_scanned += other.server_bytes_scanned;
+        self.server_segments_read += other.server_segments_read;
+        self.server_segments_pruned += other.server_segments_pruned;
         self.server_bytes_materialized += other.server_bytes_materialized;
     }
 }
@@ -156,12 +164,17 @@ impl<'a> SplitExecutor<'a> {
             .execute_with(&rp.server_query, &[], &self.exec_options)
             .map_err(|e| CoreError::new(e.to_string()))?;
         let exec_elapsed = started.elapsed().as_secs_f64();
-        timings.server_seconds += exec_elapsed + self.network.disk_seconds(stats.bytes_scanned);
+        timings.server_seconds += exec_elapsed
+            + self
+                .network
+                .storage_seconds(stats.bytes_scanned, stats.segments_read);
         // Aggregate CPU: serial portions run on one thread (wall == CPU);
         // inside morsel-parallel regions the workers' summed busy time
         // replaces the region's wall-clock contribution.
         timings.server_cpu_seconds += stats.cpu_seconds(exec_elapsed);
         timings.server_bytes_scanned += stats.bytes_scanned;
+        timings.server_segments_read += stats.segments_read;
+        timings.server_segments_pruned += stats.segments_pruned;
         timings.server_bytes_materialized += stats.bytes_materialized;
         let transfer = enc_rs.size_bytes() as u64;
         timings.transfer_bytes += transfer;

@@ -10,7 +10,7 @@
 
 use crate::exec::{execute_query, ExecStats, ResultSet};
 use crate::ops::ExecOptions;
-use crate::schema::{Catalog, TableSchema};
+use crate::schema::{Catalog, ColumnDef, TableSchema};
 use crate::stats::{collect_stats, Estimator, QueryEstimate, TableStats};
 use crate::storage::Table;
 use crate::value::Value;
@@ -18,9 +18,42 @@ use crate::EngineError;
 use monomi_math::{BigUint, MontgomeryCtx};
 use monomi_sql::ast::Query;
 use monomi_sql::parse_query;
+use monomi_store::Store;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::Arc;
+
+/// Environment knob selecting the backend [`Database::new`] uses:
+/// `memory` (default) or `disk` (a fresh temporary segment store, removed
+/// when the database is dropped). Sampled once per process.
+pub const STORAGE_ENV: &str = "MONOMI_STORAGE";
+
+fn env_default_is_disk() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| {
+        std::env::var(STORAGE_ENV)
+            .map(|v| v.eq_ignore_ascii_case("disk"))
+            .unwrap_or(false)
+    })
+}
+
+/// A temporary directory nobody else owns, for `MONOMI_STORAGE=disk`
+/// databases created without an explicit path.
+fn fresh_temp_dir() -> PathBuf {
+    static SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    loop {
+        let seq = SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("monomi-db-{}-{seq}", std::process::id()));
+        match std::fs::create_dir_all(dir.parent().expect("temp dir has a parent"))
+            .and_then(|()| std::fs::create_dir(&dir))
+        {
+            Ok(()) => return dir,
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(e) => panic!("cannot create temporary store directory: {e}"),
+        }
+    }
+}
 
 /// Server-side Paillier evaluation state: the public ciphertext modulus n²
 /// together with the Montgomery context the `paillier_sum` UDF multiplies
@@ -51,12 +84,20 @@ impl PaillierServerCtx {
     }
 }
 
-/// An in-memory analytical database.
+/// An analytical database over one of two storage backends: purely in-memory
+/// tables (the original engine) or a persistent columnar segment store
+/// ([`monomi_store::Store`]) with zone-map pruning, a crash-safe catalog, and
+/// a byte-budgeted segment cache. Query results are byte-identical across
+/// backends at every thread count.
 pub struct Database {
     catalog: Catalog,
     tables: HashMap<String, Table>,
     paillier: Option<Arc<PaillierServerCtx>>,
     stats_cache: RwLock<Option<HashMap<String, TableStats>>>,
+    /// The segment store of a disk-backed database.
+    store: Option<Arc<Store>>,
+    /// A temporary store directory this database owns (removed on drop).
+    temp_dir: Option<PathBuf>,
 }
 
 impl Default for Database {
@@ -65,22 +106,131 @@ impl Default for Database {
     }
 }
 
+impl Drop for Database {
+    fn drop(&mut self) {
+        if let Some(dir) = self.temp_dir.take() {
+            // Drop table handles (and their Arc<Store>) before deleting.
+            self.tables.clear();
+            self.store = None;
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
+}
+
 impl Database {
-    /// Creates an empty database.
+    /// Creates an empty database on the backend `MONOMI_STORAGE` selects:
+    /// in-memory by default, or a fresh temporary segment store under
+    /// `MONOMI_STORAGE=disk` (removed when the database is dropped). For an
+    /// explicit choice use [`in_memory`](Self::in_memory) or
+    /// [`open`](Self::open).
     pub fn new() -> Self {
+        if env_default_is_disk() {
+            let dir = fresh_temp_dir();
+            let store = Store::open(&dir).expect("temporary segment store opens");
+            let mut db = Self::in_memory();
+            db.store = Some(store);
+            db.temp_dir = Some(dir);
+            db
+        } else {
+            Self::in_memory()
+        }
+    }
+
+    /// Creates an empty database with purely in-memory tables, regardless of
+    /// the environment.
+    pub fn in_memory() -> Self {
         Database {
             catalog: Catalog::new(),
             tables: HashMap::new(),
             paillier: None,
             stats_cache: RwLock::new(None),
+            store: None,
+            temp_dir: None,
         }
     }
 
-    /// Creates a table from a schema (replacing any existing table of that name).
+    /// Opens (creating if necessary) a disk-backed database at `path`. An
+    /// existing store directory is loaded through its crash-safe manifest:
+    /// every committed table — schema, segments, zone maps — is visible
+    /// exactly as of the last successful commit.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, EngineError> {
+        let store = Store::open(path.into()).map_err(|e| EngineError::new(e.to_string()))?;
+        Ok(Self::with_store(store))
+    }
+
+    /// Builds a disk-backed database over an already opened store (used by
+    /// tests and benchmarks that tune [`monomi_store::StoreOptions`] — e.g. a
+    /// tiny segment size to force multi-segment tables, or a small cache).
+    pub fn with_store(store: Arc<Store>) -> Self {
+        let mut db = Self::in_memory();
+        for (name, columns) in store.catalog() {
+            let schema = TableSchema::new(
+                name.clone(),
+                columns
+                    .into_iter()
+                    .map(|(cname, ty)| ColumnDef::new(cname, ty))
+                    .collect(),
+            );
+            db.catalog.register(schema.clone());
+            db.tables
+                .insert(name, Table::new_disk(schema, Arc::clone(&store)));
+        }
+        db.store = Some(store);
+        db
+    }
+
+    /// True when tables live in the persistent segment store.
+    pub fn is_disk_backed(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The underlying segment store of a disk-backed database (exposed for
+    /// benchmarks and tests: cache statistics, stored-byte accounting).
+    pub fn store(&self) -> Option<&Arc<Store>> {
+        self.store.as_ref()
+    }
+
+    /// Flushes every table's unflushed tail into committed segments (no-op
+    /// for memory databases). After this returns, [`Database::open`] on the
+    /// same path sees every row.
+    pub fn persist(&mut self) -> Result<(), EngineError> {
+        for table in self.tables.values_mut() {
+            table.flush().map_err(EngineError::new)?;
+        }
+        Ok(())
+    }
+
+    /// Creates a table from a schema (replacing any existing table of that
+    /// name). On the disk backend the schema is committed to the store's
+    /// catalog before the table becomes usable.
+    ///
+    /// # Panics
+    ///
+    /// On the disk backend, panics if the catalog commit fails (e.g. the
+    /// store directory became unwritable or the disk filled up) — the
+    /// infallible signature is part of the original engine API; storage
+    /// errors after setup surface as `Result`s (`insert`, `bulk_load`,
+    /// `persist`, query execution).
     pub fn create_table(&mut self, schema: TableSchema) {
         let key = schema.name.to_lowercase();
         self.catalog.register(schema.clone());
-        self.tables.insert(key, Table::new(schema));
+        let table = match &self.store {
+            Some(store) => {
+                store
+                    .create_table(
+                        &key,
+                        schema
+                            .columns
+                            .iter()
+                            .map(|c| (c.name.clone(), c.ty))
+                            .collect(),
+                    )
+                    .expect("catalog commit succeeds");
+                Table::new_disk(schema, Arc::clone(store))
+            }
+            None => Table::new(schema),
+        };
+        self.tables.insert(key, table);
         self.invalidate_stats();
     }
 
@@ -150,9 +300,17 @@ impl Database {
         &self.catalog
     }
 
-    /// Total stored size of all tables in bytes ("disk" footprint).
+    /// Total logical size of all tables in bytes — identical across backends
+    /// (the space-overhead experiments depend on that). The disk backend's
+    /// physical footprint is [`total_stored_bytes`](Self::total_stored_bytes).
     pub fn total_size_bytes(&self) -> usize {
         self.tables.values().map(Table::size_bytes).sum()
+    }
+
+    /// Total stored (encoded) bytes of committed segments — the real on-disk
+    /// footprint of a disk-backed database (0 for memory databases).
+    pub fn total_stored_bytes(&self) -> usize {
+        self.tables.values().map(Table::stored_bytes).sum()
     }
 
     /// Executes a SQL string with positional parameters, using the

@@ -84,6 +84,13 @@ pub struct ExecStats {
     pub result_rows: u64,
     /// Bytes produced.
     pub result_bytes: u64,
+    /// Disk segments decoded (or served from the segment cache) by scans.
+    /// Always 0 on the memory backing.
+    pub segments_read: u64,
+    /// Disk segments skipped by zone-map pruning before any predicate ran.
+    /// Pruned segments contribute nothing to `rows_scanned`/`bytes_scanned` —
+    /// they were never read.
+    pub segments_pruned: u64,
     /// Morsels processed by morsel-driven operators (scan, filter, join
     /// probe, partial aggregation).
     pub morsels: u64,
@@ -122,6 +129,8 @@ impl ExecStats {
         self.bytes_materialized += other.bytes_materialized;
         self.result_rows += other.result_rows;
         self.result_bytes += other.result_bytes;
+        self.segments_read += other.segments_read;
+        self.segments_pruned += other.segments_pruned;
         self.morsels += other.morsels;
         self.threads_used = self.threads_used.max(other.threads_used);
         self.worker_busy_nanos += other.worker_busy_nanos;
@@ -379,7 +388,7 @@ fn build_from_relation(
                         .collect::<Vec<_>>(),
                 );
                 let scan = ScanFilter {
-                    batch: table.batch(),
+                    table,
                     schema,
                     predicates: &predicates,
                     keep: &keep,
@@ -919,6 +928,8 @@ mod tests {
             bytes_materialized: 120,
             result_rows: 0,
             result_bytes: 0,
+            segments_read: 2,
+            segments_pruned: 1,
             morsels: 3,
             threads_used: 4,
             worker_busy_nanos: 1_000,
@@ -931,6 +942,8 @@ mod tests {
             bytes_materialized: 80,
             result_rows: 25,
             result_bytes: 200,
+            segments_read: 1,
+            segments_pruned: 3,
             morsels: 2,
             threads_used: 2,
             worker_busy_nanos: 500,
@@ -944,6 +957,8 @@ mod tests {
         assert_eq!(merged.bytes_materialized, 200);
         assert_eq!(merged.result_rows, 25);
         assert_eq!(merged.result_bytes, 200);
+        assert_eq!(merged.segments_read, 3);
+        assert_eq!(merged.segments_pruned, 4);
         assert_eq!(merged.morsels, 5);
         assert_eq!(merged.threads_used, 4);
         assert_eq!(merged.worker_busy_nanos, 1_500);
@@ -961,6 +976,8 @@ mod tests {
             bytes_materialized: 24,
             result_rows: 3,
             result_bytes: 24,
+            segments_read: 0,
+            segments_pruned: 0,
             morsels: 1,
             threads_used: 1,
             worker_busy_nanos: 10,

@@ -835,6 +835,90 @@ pub fn apply_predicate(
     }
 }
 
+/// Zone-map pruning: decides whether a segment whose per-column statistics
+/// are `zones` (over `rows` rows) could contain *any* row satisfying `pred`.
+/// Returning `false` lets the scan skip the segment without decoding it;
+/// returning `true` is always safe.
+///
+/// The decision mirrors [`apply_predicate`]'s semantics exactly: comparisons
+/// use [`Value::compare`]'s total order — the same order the zone maps'
+/// min/max were computed under at load time — NULL rows never satisfy a
+/// comparison, and anything the fast paths cannot reason about
+/// (`General`, negated IN) conservatively answers `true`.
+pub fn zone_may_match(
+    pred: &ColumnarPredicate,
+    zones: &[monomi_store::ColumnZone],
+    rows: u64,
+) -> bool {
+    if rows == 0 {
+        return false;
+    }
+    let non_null = |col: usize| rows.saturating_sub(zones[col].null_count);
+    let bounds = |col: usize| zones[col].min.as_ref().zip(zones[col].max.as_ref());
+    match pred {
+        ColumnarPredicate::And(parts) => parts.iter().all(|p| zone_may_match(p, zones, rows)),
+        ColumnarPredicate::Or(parts) => parts.iter().any(|p| zone_may_match(p, zones, rows)),
+        ColumnarPredicate::Const(b) => *b,
+        ColumnarPredicate::CmpConst { col, op, value } => {
+            // All-NULL column: no row can satisfy any comparison.
+            let Some((min, max)) = bounds(*col) else {
+                return false;
+            };
+            match op {
+                BinaryOp::Eq => min <= value && value <= max,
+                // Only an all-equal segment rules NotEq out entirely.
+                BinaryOp::NotEq => !(min == max && min == value),
+                BinaryOp::Lt => min < value,
+                BinaryOp::LtEq => min <= value,
+                BinaryOp::Gt => max > value,
+                BinaryOp::GtEq => max >= value,
+                _ => true,
+            }
+        }
+        ColumnarPredicate::BetweenConst {
+            col,
+            low,
+            high,
+            negated,
+        } => {
+            let Some((min, max)) = bounds(*col) else {
+                return false;
+            };
+            if *negated {
+                // Matches values outside [low, high]: impossible only when
+                // the whole segment sits inside the range.
+                !(low <= min && max <= high)
+            } else {
+                !(max < low || min > high)
+            }
+        }
+        ColumnarPredicate::InListConst {
+            col,
+            values,
+            negated,
+        } => {
+            let Some((min, max)) = bounds(*col) else {
+                return false;
+            };
+            if *negated {
+                true
+            } else {
+                // NULL list items never equal a non-null value.
+                values.iter().any(|v| !v.is_null() && min <= v && v <= max)
+            }
+        }
+        ColumnarPredicate::LikeConst { col, .. } => non_null(*col) > 0,
+        ColumnarPredicate::IsNullTest { col, negated } => {
+            if *negated {
+                non_null(*col) > 0
+            } else {
+                zones[*col].null_count > 0
+            }
+        }
+        ColumnarPredicate::General { .. } => true,
+    }
+}
+
 /// Merges two ascending selection vectors into their sorted union.
 fn union_selections(
     a: &crate::storage::SelectionVector,

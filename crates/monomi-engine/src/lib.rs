@@ -40,11 +40,11 @@ pub mod stats;
 pub mod storage;
 pub mod value;
 
-pub use database::{Database, PaillierServerCtx};
+pub use database::{Database, PaillierServerCtx, STORAGE_ENV};
 pub use exec::{ExecStats, ResultSet};
 pub use expr::{
-    apply_predicate, compile_predicate, decode_hex, encode_hex, ColumnarPredicate, EvalContext,
-    RowSchema,
+    apply_predicate, compile_predicate, decode_hex, encode_hex, zone_may_match, ColumnarPredicate,
+    EvalContext, RowSchema,
 };
 pub use ops::{ExecOptions, Morsel, DEFAULT_MORSEL_ROWS};
 pub use schema::{Catalog, ColumnDef, ColumnType, TableSchema};

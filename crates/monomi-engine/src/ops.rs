@@ -288,19 +288,34 @@ pub(crate) struct Relation {
     pub rows: Vec<Vec<Value>>,
 }
 
-/// Per-morsel output of a [`ScanFilter`].
+/// Per-partition output of a [`ScanFilter`].
 pub(crate) struct ScanMorselOut {
     pub rows: Vec<Vec<Value>>,
     pub rows_scanned: u64,
     pub bytes_scanned: u64,
     pub bytes_materialized: u64,
+    /// 1 when this partition was a segment the scan decoded.
+    pub segments_read: u64,
+    /// 1 when this partition was a segment the zone map skipped.
+    pub segments_pruned: u64,
 }
 
 /// Scan + Filter: evaluates compiled single-table predicates over the column
-/// slices of one base-table morsel and late-materializes the survivors'
+/// slices of one base-table partition and late-materializes the survivors'
 /// referenced columns. The only operator that reads base-table storage.
+///
+/// Partitioning comes from [`Table::scan_plan`]: fixed morsel-row ranges for
+/// the memory backing, *segment-aligned* partitions for the disk backing
+/// (plus morsel ranges over the unflushed tail). Before a segment partition
+/// is decoded, its zone map is consulted
+/// ([`zone_may_match`](crate::expr::zone_may_match)) — a segment no row of
+/// which can satisfy the conjuncts is skipped entirely, contributing neither
+/// rows nor bytes to the scan counters (it was never read). Pruning is
+/// result-invisible: skipping is exactly equivalent to evaluating the
+/// predicates and finding zero survivors, so disk results stay byte-identical
+/// to memory results.
 pub(crate) struct ScanFilter<'a> {
-    pub batch: ColumnBatch<'a>,
+    pub table: &'a crate::storage::Table,
     pub schema: &'a RowSchema,
     /// Compiled scan-level conjuncts, applied as successive narrowing passes.
     pub predicates: &'a [ColumnarPredicate],
@@ -311,7 +326,13 @@ pub(crate) struct ScanFilter<'a> {
 }
 
 impl ScanFilter<'_> {
-    fn run_morsel(&self, m: Morsel) -> Result<ScanMorselOut, EngineError> {
+    /// Filters one batch (a morsel range or a whole decoded segment) and
+    /// late-materializes the survivors.
+    fn filter_batch(
+        &self,
+        batch: &ColumnBatch<'_>,
+        mut selection: SelectionVector,
+    ) -> Result<(Vec<Vec<Value>>, u64), EngineError> {
         // Scan predicates never contain subqueries (the executor checks before
         // compiling), so no subquery callback is needed — which is what makes
         // this closure shareable across worker threads.
@@ -321,41 +342,102 @@ impl ScanFilter<'_> {
             subquery: None,
             outer: self.outer,
         };
-        let mut selection = SelectionVector::range(m.start, m.end);
         for pred in self.predicates {
             if selection.is_empty() {
                 break;
             }
-            selection = apply_predicate(pred, &self.batch, &selection, self.schema, &ctx)?;
+            selection = apply_predicate(pred, batch, &selection, self.schema, &ctx)?;
         }
-        let bytes_scanned: usize = (0..self.batch.column_count())
-            .map(|c| {
-                self.batch.column(c)[m.start..m.end]
-                    .iter()
-                    .map(Value::size_bytes)
-                    .sum::<usize>()
-            })
-            .sum();
-        let rows = self.batch.gather(&selection, self.keep);
+        let rows = batch.gather(&selection, self.keep);
         let bytes_materialized: usize = rows
             .iter()
             .map(|r| r.iter().map(Value::size_bytes).sum::<usize>())
             .sum();
-        Ok(ScanMorselOut {
-            rows,
-            rows_scanned: m.len() as u64,
-            bytes_scanned: bytes_scanned as u64,
-            bytes_materialized: bytes_materialized as u64,
-        })
+        Ok((rows, bytes_materialized as u64))
     }
 
-    /// Runs the scan over all morsels (parallel when `opts.threads > 1`),
+    fn run_partition(
+        &self,
+        plan: &crate::storage::ScanPlan,
+        partition: crate::storage::ScanPartition,
+    ) -> Result<ScanMorselOut, EngineError> {
+        use crate::storage::ScanPartition;
+        match partition {
+            ScanPartition::Range { start, end } => {
+                // In-memory rows (whole table or disk tail): logical bytes,
+                // exactly the original morsel scan.
+                let batch = self.table.range_batch();
+                let bytes_scanned: usize = (0..batch.column_count())
+                    .map(|c| {
+                        batch.column(c)[start..end]
+                            .iter()
+                            .map(Value::size_bytes)
+                            .sum::<usize>()
+                    })
+                    .sum();
+                let (rows, bytes_materialized) =
+                    self.filter_batch(&batch, SelectionVector::range(start, end))?;
+                Ok(ScanMorselOut {
+                    rows,
+                    rows_scanned: (end - start) as u64,
+                    bytes_scanned: bytes_scanned as u64,
+                    bytes_materialized,
+                    segments_read: 0,
+                    segments_pruned: 0,
+                })
+            }
+            ScanPartition::Segment(idx) => {
+                let meta = &plan.segments[idx];
+                // Zone-map check before touching the file: if no row of the
+                // segment can satisfy the conjuncts, skip it unread.
+                if !self
+                    .predicates
+                    .iter()
+                    .all(|p| crate::expr::zone_may_match(p, &meta.zones, meta.rows))
+                {
+                    return Ok(ScanMorselOut {
+                        rows: Vec::new(),
+                        rows_scanned: 0,
+                        bytes_scanned: 0,
+                        bytes_materialized: 0,
+                        segments_read: 0,
+                        segments_pruned: 1,
+                    });
+                }
+                let data = self.table.read_segment(meta).map_err(EngineError::new)?;
+                let batch = ColumnBatch::new(&data.columns, data.rows);
+                let (rows, bytes_materialized) =
+                    self.filter_batch(&batch, SelectionVector::all(data.rows))?;
+                Ok(ScanMorselOut {
+                    rows,
+                    rows_scanned: meta.rows,
+                    // Stored (encoded) bytes: the real disk read this segment
+                    // costs, cached or not.
+                    bytes_scanned: meta.stored_bytes,
+                    bytes_materialized,
+                    segments_read: 1,
+                    segments_pruned: 0,
+                })
+            }
+        }
+    }
+
+    /// Runs the scan over all partitions (parallel when `opts.threads > 1`),
     /// concatenating survivors in partition order.
     pub fn execute(
         &self,
         opts: &ExecOptions,
     ) -> Result<(Vec<Vec<Value>>, crate::exec::ExecStats), EngineError> {
-        let (parts, metrics) = run_morsels(self.batch.row_count(), opts, |m| self.run_morsel(m))?;
+        let plan = self.table.scan_plan(opts.morsel_rows);
+        // One claim per partition: partitions already embody the morsel
+        // granularity (ranges) or the segment alignment (disk).
+        let claim_opts = ExecOptions {
+            threads: opts.threads,
+            morsel_rows: 1,
+        };
+        let (parts, metrics) = run_morsels(plan.partitions.len(), &claim_opts, |m| {
+            self.run_partition(&plan, plan.partitions[m.index])
+        })?;
         let mut stats = crate::exec::ExecStats::default();
         stats.note_parallel(&metrics);
         let total: usize = parts.iter().map(|p| p.rows.len()).sum();
@@ -365,6 +447,8 @@ impl ScanFilter<'_> {
             stats.bytes_scanned += part.bytes_scanned;
             stats.rows_materialized += part.rows.len() as u64;
             stats.bytes_materialized += part.bytes_materialized;
+            stats.segments_read += part.segments_read;
+            stats.segments_pruned += part.segments_pruned;
             rows.extend(part.rows);
         }
         Ok((rows, stats))

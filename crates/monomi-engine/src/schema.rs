@@ -4,29 +4,9 @@ use crate::value::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
-/// Logical column types.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum ColumnType {
-    Int,
-    Float,
-    Str,
-    Date,
-    Bytes,
-}
-
-impl ColumnType {
-    /// Approximate fixed width for the cost model, in bytes (strings and byte
-    /// columns use per-value sizes from the data instead).
-    pub fn nominal_width(&self) -> usize {
-        match self {
-            ColumnType::Int => 8,
-            ColumnType::Float => 8,
-            ColumnType::Date => 4,
-            ColumnType::Str => 16,
-            ColumnType::Bytes => 16,
-        }
-    }
-}
+/// Logical column types (defined in `monomi-store`, where the persistent
+/// catalog serializes them; re-exported here unchanged).
+pub use monomi_store::ColumnType;
 
 /// A column definition.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]

@@ -1,26 +1,40 @@
-//! Columnar table storage with byte-size accounting.
+//! Columnar table storage with byte-size accounting — over two backends.
 //!
-//! Tables are stored column-major (`Vec<Value>` per column). The engine is an
-//! in-memory stand-in for the paper's Postgres server, so "disk size" is the
-//! sum of the stored values' serialized sizes; that number drives both the
-//! space-overhead experiments (Table 2) and the sequential-scan component of
-//! the cost model.
+//! A [`Table`] is either **memory-backed** (column-major `Vec<Value>`s, the
+//! original engine) or **disk-backed**: committed rows live in write-once
+//! columnar segments managed by [`monomi_store::Store`] (encodings, zone
+//! maps, crash-safe catalog, byte-budgeted cache), plus an in-memory *tail*
+//! of rows not yet flushed to a segment. `Database` picks the backend
+//! (`MONOMI_STORAGE=memory|disk`, `Database::open`); everything above the
+//! scan treats both identically, and results are byte-identical across
+//! backends because segment encodings round-trip values exactly.
 //!
-//! Scans are vectorized: a [`ColumnBatch`] exposes the stored columns as
-//! borrowed slices, predicates narrow a [`SelectionVector`] of surviving row
-//! indices, and only the survivors' referenced columns are materialized into
-//! row form ("late materialization"). Nothing is cloned until a row is known
-//! to pass every scan-level predicate.
+//! Scans are vectorized on both backends: a [`ColumnBatch`] exposes columns
+//! as borrowed slices, predicates narrow a [`SelectionVector`] of surviving
+//! row indices, and only the survivors' referenced columns are materialized
+//! ("late materialization"). Disk scans are *segment-granular*: the scan
+//! plan ([`Table::scan_plan`]) aligns partitions to segment boundaries so
+//! each worker decodes (or cache-hits) whole segments, and the executor
+//! consults each segment's zone map to skip it before any predicate runs.
+//!
+//! Byte accounting is two-level: [`Table::size_bytes`] stays *logical*
+//! (`Value::size_bytes`, identical across backends — the space experiments
+//! depend on it), while the scan's `bytes_scanned` reports *stored* bytes
+//! for segments actually read — the honest disk I/O the cost model's
+//! `disk_seconds` now prices.
 
 use crate::schema::TableSchema;
 use crate::value::Value;
+use monomi_store::{SegmentData, SegmentMeta, Store};
+use parking_lot::RwLock;
+use std::sync::Arc;
 
 /// Indices of the rows surviving a scan's predicates, in ascending order.
 ///
 /// A selection vector is the unit of work the vectorized scan pipeline passes
 /// between predicate applications: each conjunct narrows the previous
 /// selection instead of copying rows. Indices are `u32` — tables are capped at
-/// `u32::MAX` rows, far beyond anything the in-memory engine holds.
+/// `u32::MAX` rows, far beyond anything a single segment or table holds.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SelectionVector {
     indices: Vec<u32>,
@@ -92,9 +106,9 @@ impl SelectionVector {
     }
 }
 
-/// A borrowed, column-major view of a relation: the unit vectorized predicate
-/// evaluation operates on. Columns are slices into the table's storage, so
-/// building a batch never copies data.
+/// A borrowed, column-major view of a row run: the unit vectorized predicate
+/// evaluation operates on. Columns are slices into the table's storage (or a
+/// decoded segment), so building a batch never copies data.
 #[derive(Clone, Copy, Debug)]
 pub struct ColumnBatch<'a> {
     columns: &'a [Vec<Value>],
@@ -102,6 +116,14 @@ pub struct ColumnBatch<'a> {
 }
 
 impl<'a> ColumnBatch<'a> {
+    /// A batch over column-major storage (all columns of equal length
+    /// `row_count`). Used by the scan for both in-memory columns and decoded
+    /// disk segments.
+    pub fn new(columns: &'a [Vec<Value>], row_count: usize) -> Self {
+        debug_assert!(columns.iter().all(|c| c.len() == row_count));
+        ColumnBatch { columns, row_count }
+    }
+
     /// Number of rows in the batch.
     pub fn row_count(&self) -> usize {
         self.row_count
@@ -134,22 +156,144 @@ impl<'a> ColumnBatch<'a> {
     }
 }
 
-/// A columnar table.
+/// Memoized per-column statistics (the collector used to rebuild a `HashSet`
+/// / rescan the column on every call). Invalidated by `insert`/`bulk_load`.
 #[derive(Clone, Debug)]
+struct ColumnMemo {
+    distinct: usize,
+    min_max: Option<(Value, Value)>,
+}
+
+/// Where a table's rows live.
+enum Backing {
+    /// The original in-memory engine: one `Vec<Value>` per column.
+    Memory {
+        columns: Vec<Vec<Value>>,
+        row_count: usize,
+    },
+    /// Committed segments in a [`Store`] plus an in-memory tail of rows not
+    /// yet flushed (flushed automatically once it reaches the segment size,
+    /// or explicitly via [`Table::flush`]).
+    Disk {
+        store: Arc<Store>,
+        /// Lower-cased manifest key.
+        key: String,
+        /// Column-major unflushed rows.
+        tail: Vec<Vec<Value>>,
+        tail_rows: usize,
+    },
+}
+
+/// One unit of scan work, aligned to the backing's natural boundaries.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ScanPartition {
+    /// A row range of the in-memory columns (the whole table for the memory
+    /// backing, the unflushed tail for the disk backing).
+    Range { start: usize, end: usize },
+    /// One committed segment (index into [`ScanPlan::segments`]).
+    Segment(usize),
+}
+
+/// The partitioning of one table scan: segment-aligned partitions plus a
+/// consistent snapshot of the segment catalog entries (zone maps included).
+pub(crate) struct ScanPlan {
+    pub partitions: Vec<ScanPartition>,
+    pub segments: Vec<SegmentMeta>,
+}
+
+impl ScanPlan {
+    /// Total rows covered by the plan (diagnostics and tests).
+    #[cfg(test)]
+    pub fn total_rows(&self) -> usize {
+        self.partitions
+            .iter()
+            .map(|p| match p {
+                ScanPartition::Range { start, end } => end - start,
+                ScanPartition::Segment(i) => self.segments[*i].rows as usize,
+            })
+            .sum()
+    }
+}
+
+/// A columnar table over one of the two backings.
 pub struct Table {
     schema: TableSchema,
-    columns: Vec<Vec<Value>>,
-    row_count: usize,
+    backing: Backing,
+    /// Lazily computed per-column statistics; `None` = not yet computed.
+    stats_memo: RwLock<Vec<Option<ColumnMemo>>>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        Table {
+            schema: self.schema.clone(),
+            backing: match &self.backing {
+                Backing::Memory { columns, row_count } => Backing::Memory {
+                    columns: columns.clone(),
+                    row_count: *row_count,
+                },
+                Backing::Disk {
+                    store,
+                    key,
+                    tail,
+                    tail_rows,
+                } => Backing::Disk {
+                    store: Arc::clone(store),
+                    key: key.clone(),
+                    tail: tail.clone(),
+                    tail_rows: *tail_rows,
+                },
+            },
+            stats_memo: RwLock::new(self.stats_memo.read().clone()),
+        }
+    }
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("name", &self.schema.name)
+            .field("rows", &self.row_count())
+            .field("backing", &self.backing_name())
+            .finish()
+    }
 }
 
 impl Table {
-    /// Creates an empty table with the given schema.
+    /// Creates an empty in-memory table with the given schema.
     pub fn new(schema: TableSchema) -> Self {
         let columns = vec![Vec::new(); schema.columns.len()];
         Table {
+            stats_memo: RwLock::new(vec![None; schema.columns.len()]),
+            backing: Backing::Memory {
+                columns,
+                row_count: 0,
+            },
             schema,
-            columns,
-            row_count: 0,
+        }
+    }
+
+    /// Creates an empty disk-backed table registered in `store` (the caller —
+    /// `Database` — has already committed the schema to the store's catalog).
+    pub(crate) fn new_disk(schema: TableSchema, store: Arc<Store>) -> Self {
+        let key = schema.name.to_lowercase();
+        Table {
+            stats_memo: RwLock::new(vec![None; schema.columns.len()]),
+            backing: Backing::Disk {
+                store,
+                key,
+                tail: vec![Vec::new(); schema.columns.len()],
+                tail_rows: 0,
+            },
+            schema,
+        }
+    }
+
+    /// `"memory"` or `"disk"` — which backing holds this table.
+    pub fn backing_name(&self) -> &'static str {
+        match &self.backing {
+            Backing::Memory { .. } => "memory",
+            Backing::Disk { .. } => "disk",
         }
     }
 
@@ -160,97 +304,437 @@ impl Table {
 
     /// Number of rows.
     pub fn row_count(&self) -> usize {
-        self.row_count
+        match &self.backing {
+            Backing::Memory { row_count, .. } => *row_count,
+            Backing::Disk {
+                store,
+                key,
+                tail_rows,
+                ..
+            } => store.table_rows(key) as usize + tail_rows,
+        }
     }
 
-    /// Appends a row after validating it against the schema.
+    /// Appends a row after validating it against the schema. On the disk
+    /// backing the row joins the in-memory tail, which is flushed into a
+    /// committed segment once it reaches the store's segment size.
     pub fn insert(&mut self, row: Vec<Value>) -> Result<(), String> {
         self.schema.check_row(&row)?;
-        for (col, v) in self.columns.iter_mut().zip(row) {
-            col.push(v);
+        self.invalidate_stats();
+        match &mut self.backing {
+            Backing::Memory { columns, row_count } => {
+                for (col, v) in columns.iter_mut().zip(row) {
+                    col.push(v);
+                }
+                *row_count += 1;
+            }
+            Backing::Disk {
+                tail, tail_rows, ..
+            } => {
+                for (col, v) in tail.iter_mut().zip(row) {
+                    col.push(v);
+                }
+                *tail_rows += 1;
+                if *tail_rows >= self.segment_rows() {
+                    self.flush()?;
+                }
+            }
         }
-        self.row_count += 1;
         Ok(())
     }
 
-    /// Bulk-loads rows; stops at the first invalid row.
+    /// Bulk-loads rows; stops at the first invalid row (the valid prefix is
+    /// kept, matching single-row `insert` semantics). On the disk backing the
+    /// whole load — tail included — is flushed into segments and published
+    /// with one atomic catalog commit, so zone maps exist as soon as the load
+    /// returns.
     pub fn bulk_load(&mut self, rows: Vec<Vec<Value>>) -> Result<(), String> {
-        for (col, _) in self.columns.iter_mut().zip(self.schema.columns.iter()) {
-            col.reserve(rows.len());
+        self.invalidate_stats();
+        let mut first_error = None;
+        match &mut self.backing {
+            Backing::Memory { columns, row_count } => {
+                for (col, _) in columns.iter_mut().zip(self.schema.columns.iter()) {
+                    col.reserve(rows.len());
+                }
+                for row in rows {
+                    if let Err(e) = self.schema.check_row(&row) {
+                        first_error = Some(e);
+                        break;
+                    }
+                    for (col, v) in columns.iter_mut().zip(row) {
+                        col.push(v);
+                    }
+                    *row_count += 1;
+                }
+            }
+            Backing::Disk {
+                tail, tail_rows, ..
+            } => {
+                for row in rows {
+                    if let Err(e) = self.schema.check_row(&row) {
+                        first_error = Some(e);
+                        break;
+                    }
+                    for (col, v) in tail.iter_mut().zip(row) {
+                        col.push(v);
+                    }
+                    *tail_rows += 1;
+                }
+                self.flush()?;
+            }
         }
-        for row in rows {
-            self.insert(row)?;
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
+    }
+
+    /// Rows per segment of the disk backing (unused for memory tables).
+    fn segment_rows(&self) -> usize {
+        match &self.backing {
+            Backing::Memory { .. } => usize::MAX,
+            Backing::Disk { store, .. } => store.segment_rows(),
+        }
+    }
+
+    /// Flushes the disk backing's tail into committed segments (one atomic
+    /// catalog commit); a no-op for memory tables and empty tails.
+    pub fn flush(&mut self) -> Result<(), String> {
+        let Backing::Disk {
+            store,
+            key,
+            tail,
+            tail_rows,
+        } = &mut self.backing
+        else {
+            return Ok(());
+        };
+        if *tail_rows == 0 {
+            return Ok(());
+        }
+        let segment_rows = store.segment_rows();
+        let mut load = store.begin_load(key);
+        let mut start = 0usize;
+        while start < *tail_rows {
+            let end = (start + segment_rows).min(*tail_rows);
+            let chunk: Vec<Vec<Value>> = tail.iter().map(|c| c[start..end].to_vec()).collect();
+            load.add_segment(&chunk).map_err(|e| e.to_string())?;
+            start = end;
+        }
+        load.commit().map_err(|e| e.to_string())?;
+        for col in tail.iter_mut() {
+            col.clear();
+        }
+        *tail_rows = 0;
         Ok(())
     }
 
-    /// The value at `(row, column)`.
-    pub fn value(&self, row: usize, column: usize) -> &Value {
-        &self.columns[column][row]
-    }
-
-    /// A whole column.
-    pub fn column(&self, column: usize) -> &[Value] {
-        &self.columns[column]
+    /// The value at `(row, column)`. Disk-backed reads go through the segment
+    /// cache (use scans, not point reads, for anything hot).
+    pub fn value(&self, row: usize, column: usize) -> Value {
+        match &self.backing {
+            Backing::Memory { columns, .. } => columns[column][row].clone(),
+            Backing::Disk { .. } => self.row(row)[column].clone(),
+        }
     }
 
     /// Materializes one row.
     pub fn row(&self, row: usize) -> Vec<Value> {
-        self.columns.iter().map(|c| c[row].clone()).collect()
-    }
-
-    /// A borrowed columnar view over the whole table for vectorized scans.
-    pub fn batch(&self) -> ColumnBatch<'_> {
-        ColumnBatch {
-            columns: &self.columns,
-            row_count: self.row_count,
+        match &self.backing {
+            Backing::Memory { columns, .. } => columns.iter().map(|c| c[row].clone()).collect(),
+            Backing::Disk {
+                store, key, tail, ..
+            } => {
+                // Locate the owning segment under a borrow (cloning one
+                // `SegmentMeta`, not the whole catalog entry — this runs per
+                // row in `clone_database`-style table copies), then decode
+                // outside the closure.
+                let mut offset = row;
+                let seg = store.with_table_meta(key, |meta| {
+                    for seg in meta.map(|m| m.segments.as_slice()).unwrap_or_default() {
+                        let rows = seg.rows as usize;
+                        if offset < rows {
+                            return Some(seg.clone());
+                        }
+                        offset -= rows;
+                    }
+                    None
+                });
+                match seg {
+                    Some(seg) => {
+                        let data = store
+                            .read_segment(&seg)
+                            .unwrap_or_else(|e| panic!("segment read failed: {e}"));
+                        data.columns.iter().map(|c| c[offset].clone()).collect()
+                    }
+                    None => tail.iter().map(|c| c[offset].clone()).collect(),
+                }
+            }
         }
     }
 
-    /// Total stored bytes across all columns.
-    pub fn size_bytes(&self) -> usize {
-        self.columns
-            .iter()
-            .map(|c| c.iter().map(Value::size_bytes).sum::<usize>())
-            .sum()
+    /// Materializes every row of the table. Memory backing copies the
+    /// columns directly; the disk backing makes **one pass** over the
+    /// committed segments (each decoded once, through the cache) and then
+    /// the tail — prefer this over per-index [`row`](Self::row) for
+    /// whole-table extraction, which would re-walk the segment catalog on
+    /// every call (O(rows × segments)).
+    pub fn rows(&self) -> Vec<Vec<Value>> {
+        let mut out = Vec::with_capacity(self.row_count());
+        match &self.backing {
+            Backing::Memory { columns, row_count } => {
+                for r in 0..*row_count {
+                    out.push(columns.iter().map(|c| c[r].clone()).collect());
+                }
+            }
+            Backing::Disk {
+                store,
+                key,
+                tail,
+                tail_rows,
+            } => {
+                let segments = store.with_table_meta(key, |meta| {
+                    meta.map(|m| m.segments.clone()).unwrap_or_default()
+                });
+                for seg in &segments {
+                    let data = store
+                        .read_segment(seg)
+                        .unwrap_or_else(|e| panic!("segment read failed: {e}"));
+                    for r in 0..data.rows {
+                        out.push(data.columns.iter().map(|c| c[r].clone()).collect());
+                    }
+                }
+                for r in 0..*tail_rows {
+                    out.push(tail.iter().map(|c| c[r].clone()).collect());
+                }
+            }
+        }
+        out
     }
 
-    /// Stored bytes of a single column.
+    /// A borrowed columnar view over the whole table for vectorized scans.
+    /// Memory backing only — disk-backed scans are segment-granular (see
+    /// [`scan_plan`](Self::scan_plan)).
+    pub fn batch(&self) -> ColumnBatch<'_> {
+        match &self.backing {
+            Backing::Memory { columns, row_count } => ColumnBatch::new(columns, *row_count),
+            Backing::Disk { .. } => {
+                panic!("batch() requires the memory backing; disk scans use scan_plan()")
+            }
+        }
+    }
+
+    /// The in-memory columns a [`ScanPartition::Range`] indexes into: the
+    /// whole table for the memory backing, the unflushed tail for disk.
+    pub(crate) fn range_batch(&self) -> ColumnBatch<'_> {
+        match &self.backing {
+            Backing::Memory { columns, row_count } => ColumnBatch::new(columns, *row_count),
+            Backing::Disk {
+                tail, tail_rows, ..
+            } => ColumnBatch::new(tail, *tail_rows),
+        }
+    }
+
+    /// Partitions a scan of this table. Memory backing: fixed `morsel_rows`
+    /// ranges (the original morsel partitioning). Disk backing: one
+    /// partition per committed segment — morsels align to segment boundaries
+    /// so zone maps can skip whole partitions — followed by `morsel_rows`
+    /// ranges over the unflushed tail.
+    pub(crate) fn scan_plan(&self, morsel_rows: usize) -> ScanPlan {
+        let morsel_rows = morsel_rows.max(1);
+        let ranges = |total: usize| -> Vec<ScanPartition> {
+            (0..total.div_ceil(morsel_rows))
+                .map(|i| ScanPartition::Range {
+                    start: i * morsel_rows,
+                    end: ((i + 1) * morsel_rows).min(total),
+                })
+                .collect()
+        };
+        match &self.backing {
+            Backing::Memory { row_count, .. } => ScanPlan {
+                partitions: ranges(*row_count),
+                segments: Vec::new(),
+            },
+            Backing::Disk {
+                store,
+                key,
+                tail_rows,
+                ..
+            } => {
+                let segments = store
+                    .table_meta(key)
+                    .map(|m| m.segments)
+                    .unwrap_or_default();
+                let mut partitions: Vec<ScanPartition> =
+                    (0..segments.len()).map(ScanPartition::Segment).collect();
+                partitions.extend(ranges(*tail_rows));
+                ScanPlan {
+                    partitions,
+                    segments,
+                }
+            }
+        }
+    }
+
+    /// Reads one committed segment through the store's cache.
+    pub(crate) fn read_segment(&self, meta: &SegmentMeta) -> Result<Arc<SegmentData>, String> {
+        match &self.backing {
+            Backing::Disk { store, .. } => store.read_segment(meta).map_err(|e| e.to_string()),
+            Backing::Memory { .. } => Err("memory tables have no segments".into()),
+        }
+    }
+
+    /// Total logical bytes across all columns (`Value::size_bytes`) —
+    /// identical across backends; the space-overhead experiments (Table 2)
+    /// depend on this being backend-independent. The physical footprint of
+    /// the disk backing is [`stored_bytes`](Self::stored_bytes).
+    pub fn size_bytes(&self) -> usize {
+        match &self.backing {
+            Backing::Memory { columns, .. } => columns
+                .iter()
+                .map(|c| c.iter().map(Value::size_bytes).sum::<usize>())
+                .sum(),
+            Backing::Disk {
+                store, key, tail, ..
+            } => {
+                let committed: u64 = store.with_table_meta(key, |meta| {
+                    meta.map(|m| m.segments.iter().map(|s| s.logical_bytes()).sum())
+                        .unwrap_or(0)
+                });
+                committed as usize
+                    + tail
+                        .iter()
+                        .map(|c| c.iter().map(Value::size_bytes).sum::<usize>())
+                        .sum::<usize>()
+            }
+        }
+    }
+
+    /// Stored (encoded) bytes of the disk backing's committed segments — the
+    /// physical footprint a scan actually reads. 0 for memory tables and
+    /// unflushed tails.
+    pub fn stored_bytes(&self) -> usize {
+        match &self.backing {
+            Backing::Memory { .. } => 0,
+            Backing::Disk { store, key, .. } => store.with_table_meta(key, |meta| {
+                meta.map(|m| m.segments.iter().map(|s| s.stored_bytes).sum::<u64>() as usize)
+                    .unwrap_or(0)
+            }),
+        }
+    }
+
+    /// Logical bytes of a single column.
     pub fn column_size_bytes(&self, column: usize) -> usize {
-        self.columns[column].iter().map(Value::size_bytes).sum()
+        match &self.backing {
+            Backing::Memory { columns, .. } => columns[column].iter().map(Value::size_bytes).sum(),
+            Backing::Disk {
+                store, key, tail, ..
+            } => {
+                let committed: u64 = store.with_table_meta(key, |meta| {
+                    meta.map(|m| {
+                        m.segments
+                            .iter()
+                            .map(|s| s.zones[column].logical_bytes)
+                            .sum()
+                    })
+                    .unwrap_or(0)
+                });
+                committed as usize + tail[column].iter().map(Value::size_bytes).sum::<usize>()
+            }
+        }
     }
 
     /// Average row width in bytes (0 for an empty table).
     pub fn avg_row_bytes(&self) -> usize {
-        self.size_bytes().checked_div(self.row_count).unwrap_or(0)
+        self.size_bytes().checked_div(self.row_count()).unwrap_or(0)
     }
 
     /// Number of distinct values in a column (exact; used by the statistics
-    /// collector on the sample the designer is given).
+    /// collector on the sample the designer is given). Memoized — the
+    /// collector calls this for every column, and rebuilding the `HashSet`
+    /// each time was pure waste; `insert`/`bulk_load` invalidate the memo.
     pub fn distinct_count(&self, column: usize) -> usize {
-        let mut set = std::collections::HashSet::new();
-        for v in &self.columns[column] {
-            set.insert(v.clone());
-        }
-        set.len()
+        self.column_memo(column).distinct
     }
 
-    /// Minimum and maximum of a column, ignoring NULLs.
+    /// Minimum and maximum of a column, ignoring NULLs. Memoized alongside
+    /// [`distinct_count`](Self::distinct_count); on the disk backing the
+    /// bounds fold the segments' zone maps instead of rescanning values.
     pub fn min_max(&self, column: usize) -> Option<(Value, Value)> {
-        let mut min: Option<&Value> = None;
-        let mut max: Option<&Value> = None;
-        for v in &self.columns[column] {
+        self.column_memo(column).min_max
+    }
+
+    /// The memoized statistics of one column, computing them on first use.
+    fn column_memo(&self, column: usize) -> ColumnMemo {
+        if let Some(memo) = &self.stats_memo.read()[column] {
+            return memo.clone();
+        }
+        let memo = self.compute_column_memo(column);
+        self.stats_memo.write()[column] = Some(memo.clone());
+        memo
+    }
+
+    fn compute_column_memo(&self, column: usize) -> ColumnMemo {
+        let mut set: std::collections::HashSet<Value> = std::collections::HashSet::new();
+        let mut min: Option<Value> = None;
+        let mut max: Option<Value> = None;
+        let fold_bound = |v: &Value, min: &mut Option<Value>, max: &mut Option<Value>| {
             if v.is_null() {
-                continue;
+                return;
             }
-            if min.is_none_or(|m| v < m) {
-                min = Some(v);
+            if min.as_ref().is_none_or(|m| v < m) {
+                *min = Some(v.clone());
             }
-            if max.is_none_or(|m| v > m) {
-                max = Some(v);
+            if max.as_ref().is_none_or(|m| v > m) {
+                *max = Some(v.clone());
+            }
+        };
+        match &self.backing {
+            Backing::Memory { columns, .. } => {
+                for v in &columns[column] {
+                    set.insert(v.clone());
+                    fold_bound(v, &mut min, &mut max);
+                }
+            }
+            Backing::Disk {
+                store, key, tail, ..
+            } => {
+                if let Some(meta) = store.table_meta(key) {
+                    for seg in &meta.segments {
+                        // Bounds come straight from the zone map (computed
+                        // under the same total order at load time)...
+                        let zone = &seg.zones[column];
+                        if let Some(v) = &zone.min {
+                            fold_bound(v, &mut min, &mut max);
+                        }
+                        if let Some(v) = &zone.max {
+                            fold_bound(v, &mut min, &mut max);
+                        }
+                        // ...while the exact distinct count needs the values.
+                        let data = store
+                            .read_segment(seg)
+                            .unwrap_or_else(|e| panic!("segment read failed: {e}"));
+                        for v in &data.columns[column] {
+                            set.insert(v.clone());
+                        }
+                    }
+                }
+                for v in &tail[column] {
+                    set.insert(v.clone());
+                    fold_bound(v, &mut min, &mut max);
+                }
             }
         }
-        Some((min?.clone(), max?.clone()))
+        ColumnMemo {
+            distinct: set.len(),
+            min_max: min.zip(max),
+        }
+    }
+
+    fn invalidate_stats(&mut self) {
+        for slot in self.stats_memo.get_mut().iter_mut() {
+            *slot = None;
+        }
     }
 }
 
@@ -281,7 +765,7 @@ mod tests {
     fn insert_and_read_back() {
         let t = small_table();
         assert_eq!(t.row_count(), 3);
-        assert_eq!(t.value(1, 1), &Value::Str("beta".into()));
+        assert_eq!(t.value(1, 1), Value::Str("beta".into()));
         assert_eq!(t.row(2), vec![Value::Int(3), Value::Str("alpha".into())]);
     }
 
@@ -340,5 +824,37 @@ mod tests {
         assert_eq!(min, Value::Int(1));
         assert_eq!(max, Value::Int(3));
         assert!(t.avg_row_bytes() > 0);
+        assert_eq!(t.backing_name(), "memory");
+        assert_eq!(t.stored_bytes(), 0);
+    }
+
+    #[test]
+    fn stats_memo_invalidates_on_mutation() {
+        let mut t = small_table();
+        assert_eq!(t.distinct_count(0), 3);
+        assert_eq!(t.min_max(0).unwrap().1, Value::Int(3));
+        // A mutation must drop the memo: the new row shows up in both stats.
+        t.insert(vec![Value::Int(9), Value::Str("alpha".into())])
+            .unwrap();
+        assert_eq!(t.distinct_count(0), 4);
+        assert_eq!(t.min_max(0).unwrap().1, Value::Int(9));
+        // Repeated reads hit the memo (same values back).
+        assert_eq!(t.distinct_count(0), 4);
+        assert_eq!(t.distinct_count(1), 2);
+    }
+
+    #[test]
+    fn memory_scan_plan_partitions_by_morsel_size() {
+        let t = small_table();
+        let plan = t.scan_plan(2);
+        assert_eq!(plan.total_rows(), 3);
+        assert_eq!(plan.partitions.len(), 2);
+        assert!(plan.segments.is_empty());
+        match plan.partitions[1] {
+            ScanPartition::Range { start, end } => {
+                assert_eq!((start, end), (2, 3));
+            }
+            _ => panic!("memory plans contain only ranges"),
+        }
     }
 }

@@ -1,597 +1,9 @@
 //! Runtime values flowing through the execution engine.
 //!
-//! The engine stores and processes both plaintext values (integers, strings,
-//! dates) and ciphertext values (fixed-width byte strings produced by the
-//! encryption schemes in `monomi-crypto`). Ciphertexts are ordinary [`Value`]s
-//! to the engine — the server never interprets them beyond equality and byte
-//! ordering, which is exactly what DET and OPE ciphertexts support.
+//! The value model now lives in `monomi-store` (the persistent segment store
+//! must encode values exactly — variant and bit pattern included — which puts
+//! it at the bottom of the crate DAG); this module re-exports it unchanged so
+//! engine-internal paths (`crate::value::Value`) and the public API
+//! (`monomi_engine::Value`) are unaffected.
 
-use serde::{Deserialize, Serialize};
-use std::cmp::Ordering;
-use std::fmt;
-
-/// A single cell value.
-#[derive(Clone, Debug, Serialize, Deserialize)]
-pub enum Value {
-    /// SQL NULL.
-    Null,
-    /// 64-bit signed integer (also used for DET ciphertexts of integers).
-    Int(i64),
-    /// Double-precision float (used for computed averages and ratios).
-    Float(f64),
-    /// UTF-8 string.
-    Str(String),
-    /// Date as days since 1970-01-01 (can be negative).
-    Date(i32),
-    /// Raw bytes: RND/DET string ciphertexts, OPE ciphertexts (16-byte
-    /// big-endian), Paillier ciphertexts, SEARCH token sets.
-    Bytes(Vec<u8>),
-    /// An ordered list of values, produced by the `group_concat` aggregate the
-    /// split-execution client uses to fetch whole groups.
-    List(Vec<Value>),
-}
-
-impl Value {
-    /// True iff NULL.
-    pub fn is_null(&self) -> bool {
-        matches!(self, Value::Null)
-    }
-
-    /// Integer view (casts floats, parses nothing else).
-    pub fn as_int(&self) -> Option<i64> {
-        match self {
-            Value::Int(v) => Some(*v),
-            Value::Date(d) => Some(*d as i64),
-            Value::Float(f) => Some(*f as i64),
-            _ => None,
-        }
-    }
-
-    /// Float view of numeric values.
-    pub fn as_float(&self) -> Option<f64> {
-        match self {
-            Value::Int(v) => Some(*v as f64),
-            Value::Float(f) => Some(*f),
-            Value::Date(d) => Some(*d as f64),
-            _ => None,
-        }
-    }
-
-    /// String view.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Value::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// Byte view.
-    pub fn as_bytes(&self) -> Option<&[u8]> {
-        match self {
-            Value::Bytes(b) => Some(b),
-            _ => None,
-        }
-    }
-
-    /// Approximate storage footprint in bytes, used for space accounting
-    /// (Table 2 of the paper) and the I/O cost model.
-    pub fn size_bytes(&self) -> usize {
-        match self {
-            Value::Null => 1,
-            Value::Int(_) => 8,
-            Value::Float(_) => 8,
-            Value::Str(s) => s.len() + 1,
-            Value::Date(_) => 4,
-            Value::Bytes(b) => b.len(),
-            Value::List(vs) => vs.iter().map(Value::size_bytes).sum::<usize>() + 8,
-        }
-    }
-
-    /// SQL three-valued-logic truthiness: NULL propagates as `None`.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Value::Null => None,
-            Value::Int(v) => Some(*v != 0),
-            Value::Float(f) => Some(*f != 0.0),
-            _ => None,
-        }
-    }
-
-    /// Total ordering used by ORDER BY, MIN/MAX, and comparison predicates.
-    /// NULLs sort first; numeric types compare numerically across Int/Float/
-    /// Date; bytes compare lexicographically (which matches numeric order for
-    /// fixed-width big-endian OPE ciphertexts).
-    ///
-    /// # The `Hash`/`Eq` contract
-    ///
-    /// [`equals`](Self::equals) (and thus `PartialEq`/`Eq`) is defined as
-    /// `compare(..) == Equal`, and the executor's hash joins, GROUP BY, and
-    /// DISTINCT all key `HashMap`s/`HashSet`s on `Value`, so `compare` must
-    /// induce a genuine equivalence relation whose classes the `Hash` impl
-    /// respects. The contract is:
-    ///
-    /// * `Int`, `Float`, and `Date` form one *numeric* family. Cross-type
-    ///   numeric comparisons are **exact** (no lossy `i64 → f64` rounding):
-    ///   `Int(a) == Float(b)` iff `b` is integral and numerically equals `a`.
-    ///   `-0.0` equals `0.0` (and both equal `Int(0)`); NaNs order above
-    ///   `+inf` via IEEE-754 `total_cmp`.
-    /// * The `Hash` impl canonicalizes numerics: any numeric value that is an
-    ///   exact integer hashes as its `i64` value regardless of variant, and
-    ///   every other float hashes by its (zero-normalized) bit pattern, so
-    ///   `a == b ⇒ hash(a) == hash(b)` holds across the numeric family.
-    /// * Values of different non-numeric families are never equal and order
-    ///   by a fixed type rank (Null < numerics < Str < Bytes < List),
-    ///   computed without allocating.
-    pub fn compare(&self, other: &Value) -> Ordering {
-        use Value::*;
-        match (self, other) {
-            (Null, Null) => Ordering::Equal,
-            (Null, _) => Ordering::Less,
-            (_, Null) => Ordering::Greater,
-            (Int(a), Int(b)) => a.cmp(b),
-            (Date(a), Date(b)) => a.cmp(b),
-            (Str(a), Str(b)) => a.cmp(b),
-            (Bytes(a), Bytes(b)) => a.cmp(b),
-            (List(a), List(b)) => {
-                for (x, y) in a.iter().zip(b.iter()) {
-                    match x.compare(y) {
-                        Ordering::Equal => continue,
-                        ord => return ord,
-                    }
-                }
-                a.len().cmp(&b.len())
-            }
-            (a, b) => match (a.numeric(), b.numeric()) {
-                (Some(x), Some(y)) => x.compare(y),
-                // Mixed non-numeric types: allocation-free type-rank order.
-                _ => a.type_rank().cmp(&b.type_rank()),
-            },
-        }
-    }
-
-    /// Equality following the same coercion rules as [`compare`](Self::compare).
-    pub fn equals(&self, other: &Value) -> bool {
-        self.compare(other) == Ordering::Equal
-    }
-
-    /// Numeric view preserving exactness: `Int` and `Date` stay integers.
-    fn numeric(&self) -> Option<Numeric> {
-        match self {
-            Value::Int(v) => Some(Numeric::I64(*v)),
-            Value::Date(d) => Some(Numeric::I64(*d as i64)),
-            Value::Float(f) => Some(Numeric::F64(*f)),
-            _ => None,
-        }
-    }
-
-    /// Fixed ordering rank of the value's type family, used when comparing
-    /// values no coercion can relate. Numerics share a rank: they compare
-    /// through [`Numeric`] instead.
-    fn type_rank(&self) -> u8 {
-        match self {
-            Value::Null => 0,
-            Value::Int(_) | Value::Float(_) | Value::Date(_) => 1,
-            Value::Str(_) => 2,
-            Value::Bytes(_) => 3,
-            Value::List(_) => 4,
-        }
-    }
-}
-
-/// An exact numeric: either a true integer or a float. Cross-representation
-/// comparisons avoid the lossy `i64 → f64` cast for |values| ≥ 2⁵³.
-#[derive(Clone, Copy, Debug)]
-enum Numeric {
-    I64(i64),
-    F64(f64),
-}
-
-impl Numeric {
-    fn compare(self, other: Numeric) -> Ordering {
-        match (self, other) {
-            (Numeric::I64(a), Numeric::I64(b)) => a.cmp(&b),
-            (Numeric::F64(a), Numeric::F64(b)) => cmp_f64(a, b),
-            (Numeric::I64(a), Numeric::F64(b)) => cmp_i64_f64(a, b),
-            (Numeric::F64(a), Numeric::I64(b)) => cmp_i64_f64(b, a).reverse(),
-        }
-    }
-}
-
-/// Float total order: IEEE-754 `total_cmp`, except `-0.0 == 0.0` so float
-/// equality agrees with the canonical numeric hash (and SQL semantics).
-fn cmp_f64(a: f64, b: f64) -> Ordering {
-    if a == 0.0 && b == 0.0 {
-        Ordering::Equal
-    } else {
-        a.total_cmp(&b)
-    }
-}
-
-/// Exact comparison of an `i64` against an `f64` (total order on the float
-/// side: NaNs sort above `+inf`, negative NaNs below `-inf`).
-fn cmp_i64_f64(a: i64, b: f64) -> Ordering {
-    if b.is_nan() {
-        return if b.is_sign_negative() {
-            Ordering::Greater
-        } else {
-            Ordering::Less
-        };
-    }
-    let af = a as f64;
-    match af.partial_cmp(&b).expect("operands are not NaN") {
-        // i64 → f64 rounding is monotonic and b is exact, so a strict
-        // inequality after rounding is already correct.
-        Ordering::Less => Ordering::Less,
-        Ordering::Greater => Ordering::Greater,
-        Ordering::Equal => {
-            // Rounded tie. `af == b` forces b to be an integer (non-integral
-            // doubles only exist below 2⁵³, where the cast is exact), and
-            // |b| ≤ 2⁶³, so comparing in i128 is exact.
-            if b.fract() != 0.0 || !(-(2f64.powi(63))..=2f64.powi(63)).contains(&b) {
-                return af.total_cmp(&b);
-            }
-            (a as i128).cmp(&(b as i128))
-        }
-    }
-}
-
-impl PartialEq for Value {
-    fn eq(&self, other: &Self) -> bool {
-        self.equals(other)
-    }
-}
-
-impl Eq for Value {}
-
-impl PartialOrd for Value {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Value {
-    fn cmp(&self, other: &Self) -> Ordering {
-        self.compare(other)
-    }
-}
-
-/// Hash tag for the canonical integer form of a numeric (shared by `Int`,
-/// `Date`, and integral `Float`s so the numeric family hashes consistently).
-const HASH_TAG_INTEGER: u8 = 1;
-/// Hash tag for non-integral (or out-of-i64-range) floats.
-const HASH_TAG_FLOAT: u8 = 2;
-
-/// Hashes a numeric value canonically: see the `Hash`/`Eq` contract on
-/// [`Value::compare`]. Equal numerics — across `Int`/`Float`/`Date` — must
-/// produce identical hashes.
-fn hash_numeric<H: std::hash::Hasher>(n: Numeric, state: &mut H) {
-    use std::hash::Hash;
-    match n {
-        Numeric::I64(v) => {
-            HASH_TAG_INTEGER.hash(state);
-            v.hash(state);
-        }
-        Numeric::F64(f) => {
-            // Normalize -0.0 so it hashes like Int(0), which it equals.
-            let f = if f == 0.0 { 0.0 } else { f };
-            // Integral floats representable as i64 hash in their integer form;
-            // the range check is exact because both bounds are powers of two.
-            if f.is_finite() && f.fract() == 0.0 && (-(2f64.powi(63))..2f64.powi(63)).contains(&f) {
-                HASH_TAG_INTEGER.hash(state);
-                (f as i64).hash(state);
-            } else {
-                HASH_TAG_FLOAT.hash(state);
-                f.to_bits().hash(state);
-            }
-        }
-    }
-}
-
-impl std::hash::Hash for Value {
-    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        match self {
-            Value::Null => 0u8.hash(state),
-            Value::Int(_) | Value::Float(_) | Value::Date(_) => {
-                hash_numeric(self.numeric().expect("numeric variant"), state);
-            }
-            Value::Str(s) => {
-                3u8.hash(state);
-                s.hash(state);
-            }
-            Value::Bytes(b) => {
-                5u8.hash(state);
-                b.hash(state);
-            }
-            Value::List(vs) => {
-                6u8.hash(state);
-                vs.len().hash(state);
-                for v in vs {
-                    v.hash(state);
-                }
-            }
-        }
-    }
-}
-
-impl fmt::Display for Value {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Value::Null => write!(f, "NULL"),
-            Value::Int(v) => write!(f, "{v}"),
-            Value::Float(v) => write!(f, "{v:.4}"),
-            Value::Str(s) => write!(f, "{s}"),
-            Value::Date(d) => write!(f, "{}", date::format_date(*d)),
-            Value::Bytes(b) => {
-                write!(f, "0x")?;
-                for byte in b.iter().take(8) {
-                    write!(f, "{byte:02x}")?;
-                }
-                if b.len() > 8 {
-                    write!(f, "…({}B)", b.len())?;
-                }
-                Ok(())
-            }
-            Value::List(vs) => {
-                write!(f, "[")?;
-                for (i, v) in vs.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ", ")?;
-                    }
-                    write!(f, "{v}")?;
-                }
-                write!(f, "]")
-            }
-        }
-    }
-}
-
-/// Date helpers: conversion between `YYYY-MM-DD` strings and days since the
-/// Unix epoch, plus calendar arithmetic for INTERVAL handling.
-pub mod date {
-    /// Days in each month of a non-leap year.
-    const DAYS_IN_MONTH: [i32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
-
-    fn is_leap(year: i32) -> bool {
-        (year % 4 == 0 && year % 100 != 0) || year % 400 == 0
-    }
-
-    fn days_in_month(year: i32, month: i32) -> i32 {
-        if month == 2 && is_leap(year) {
-            29
-        } else {
-            DAYS_IN_MONTH[(month - 1) as usize]
-        }
-    }
-
-    /// Converts `(year, month, day)` to days since 1970-01-01.
-    pub fn ymd_to_days(year: i32, month: i32, day: i32) -> i32 {
-        let mut days: i64 = 0;
-        if year >= 1970 {
-            for y in 1970..year {
-                days += if is_leap(y) { 366 } else { 365 };
-            }
-        } else {
-            for y in year..1970 {
-                days -= if is_leap(y) { 366 } else { 365 };
-            }
-        }
-        for m in 1..month {
-            days += days_in_month(year, m) as i64;
-        }
-        days += (day - 1) as i64;
-        days as i32
-    }
-
-    /// Converts days since 1970-01-01 back to `(year, month, day)`.
-    pub fn days_to_ymd(days: i32) -> (i32, i32, i32) {
-        let mut remaining = days as i64;
-        let mut year = 1970;
-        loop {
-            let year_days = if is_leap(year) { 366 } else { 365 } as i64;
-            if remaining >= year_days {
-                remaining -= year_days;
-                year += 1;
-            } else if remaining < 0 {
-                year -= 1;
-                remaining += if is_leap(year) { 366 } else { 365 } as i64;
-            } else {
-                break;
-            }
-        }
-        let mut month = 1;
-        while remaining >= days_in_month(year, month) as i64 {
-            remaining -= days_in_month(year, month) as i64;
-            month += 1;
-        }
-        (year, month, remaining as i32 + 1)
-    }
-
-    /// Parses `YYYY-MM-DD` into days since the epoch.
-    pub fn parse_date(s: &str) -> Option<i32> {
-        let mut parts = s.split('-');
-        let year: i32 = parts.next()?.parse().ok()?;
-        let month: i32 = parts.next()?.parse().ok()?;
-        let day: i32 = parts.next()?.parse().ok()?;
-        if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
-            return None;
-        }
-        Some(ymd_to_days(year, month, day))
-    }
-
-    /// Formats days since the epoch as `YYYY-MM-DD`.
-    pub fn format_date(days: i32) -> String {
-        let (y, m, d) = days_to_ymd(days);
-        format!("{y:04}-{m:02}-{d:02}")
-    }
-
-    /// Adds calendar months to a date, clamping the day to the target month.
-    pub fn add_months(days: i32, months: i32) -> i32 {
-        let (y, m, d) = days_to_ymd(days);
-        let total = (y * 12 + (m - 1)) + months;
-        let ny = total.div_euclid(12);
-        let nm = total.rem_euclid(12) + 1;
-        let nd = d.min(days_in_month(ny, nm));
-        ymd_to_days(ny, nm, nd)
-    }
-
-    /// The year component of a date.
-    pub fn year_of(days: i32) -> i32 {
-        days_to_ymd(days).0
-    }
-
-    /// The month component of a date.
-    pub fn month_of(days: i32) -> i32 {
-        days_to_ymd(days).1
-    }
-
-    /// The day-of-month component of a date.
-    pub fn day_of(days: i32) -> i32 {
-        days_to_ymd(days).2
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::date::*;
-    use super::*;
-
-    #[test]
-    fn date_roundtrip_known_values() {
-        assert_eq!(parse_date("1970-01-01"), Some(0));
-        assert_eq!(parse_date("1970-01-02"), Some(1));
-        assert_eq!(parse_date("1971-01-01"), Some(365));
-        assert_eq!(parse_date("1996-02-29"), Some(ymd_to_days(1996, 2, 29)));
-        for s in [
-            "1992-01-01",
-            "1995-09-17",
-            "1998-12-31",
-            "2000-02-29",
-            "1969-12-31",
-            "1965-03-07",
-        ] {
-            let d = parse_date(s).unwrap();
-            assert_eq!(format_date(d), s, "roundtrip {s}");
-        }
-    }
-
-    #[test]
-    fn date_arithmetic() {
-        let d = parse_date("1994-01-01").unwrap();
-        assert_eq!(format_date(add_months(d, 3)), "1994-04-01");
-        assert_eq!(format_date(add_months(d, 12)), "1995-01-01");
-        assert_eq!(
-            format_date(add_months(parse_date("1995-01-31").unwrap(), 1)),
-            "1995-02-28"
-        );
-        assert_eq!(year_of(d), 1994);
-        assert_eq!(month_of(parse_date("1995-09-17").unwrap()), 9);
-        assert_eq!(day_of(parse_date("1995-09-17").unwrap()), 17);
-    }
-
-    #[test]
-    fn value_ordering_and_nulls() {
-        assert!(Value::Null < Value::Int(i64::MIN));
-        assert!(Value::Int(3) < Value::Int(5));
-        assert!(Value::Float(2.5) < Value::Int(3));
-        assert!(Value::Str("AIR".into()) < Value::Str("RAIL".into()));
-        assert!(Value::Date(100) < Value::Date(200));
-        assert!(Value::Bytes(vec![0, 1]) < Value::Bytes(vec![0, 2]));
-    }
-
-    #[test]
-    fn value_equality_coerces_numerics() {
-        assert_eq!(Value::Int(3), Value::Float(3.0));
-        assert_ne!(Value::Int(3), Value::Float(3.5));
-        assert!(!Value::Null.equals(&Value::Int(0)));
-    }
-
-    fn hash_of(v: &Value) -> u64 {
-        use std::hash::{Hash, Hasher};
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        v.hash(&mut h);
-        h.finish()
-    }
-
-    #[test]
-    fn equal_values_hash_identically() {
-        // The pairs equality coerces across must share hash buckets.
-        let equal_pairs = [
-            (Value::Int(5), Value::Float(5.0)),
-            (Value::Int(0), Value::Float(-0.0)),
-            (Value::Float(0.0), Value::Float(-0.0)),
-            (Value::Date(42), Value::Int(42)),
-            (Value::Date(42), Value::Float(42.0)),
-            (Value::Int(i64::MIN), Value::Float(-(2f64.powi(63)))),
-            (
-                Value::List(vec![Value::Int(1), Value::Float(2.0)]),
-                Value::List(vec![Value::Float(1.0), Value::Int(2)]),
-            ),
-        ];
-        for (a, b) in &equal_pairs {
-            assert_eq!(a, b, "{a:?} should equal {b:?}");
-            assert_eq!(hash_of(a), hash_of(b), "{a:?} and {b:?} must hash alike");
-        }
-    }
-
-    #[test]
-    fn lossy_float_casts_do_not_fake_equality() {
-        // 2^53 + 1 is not representable in f64; the old lossy i64→f64
-        // comparison called these equal while hashing them differently.
-        let a = Value::Int((1i64 << 53) + 1);
-        let b = Value::Float((1i64 << 53) as f64);
-        assert_ne!(a, b);
-        assert!(a > b);
-        // i64::MAX rounds up to 2^63 as a float; they must not be equal.
-        assert_ne!(Value::Int(i64::MAX), Value::Float(2f64.powi(63)));
-        assert!(Value::Int(i64::MAX) < Value::Float(2f64.powi(63)));
-    }
-
-    #[test]
-    fn mixed_type_ordering_is_total_and_allocation_free() {
-        use std::cmp::Ordering;
-        // Type-rank order: Null < numerics < Str < Bytes < List.
-        let ranked = [
-            Value::Null,
-            Value::Int(i64::MAX),
-            Value::Str(String::new()),
-            Value::Bytes(vec![]),
-            Value::List(vec![]),
-        ];
-        for (i, a) in ranked.iter().enumerate() {
-            for (j, b) in ranked.iter().enumerate() {
-                assert_eq!(a.compare(b), i.cmp(&j), "{a:?} vs {b:?}");
-            }
-        }
-        // Antisymmetry on a numeric/non-numeric pair.
-        assert_eq!(
-            Value::Float(f64::INFINITY).compare(&Value::Str("z".into())),
-            Ordering::Less
-        );
-    }
-
-    #[test]
-    fn group_keys_mixing_int_and_float_collapse() {
-        // Regression for the executor's GROUP BY/DISTINCT reliance on the
-        // Hash/Eq contract: a HashSet must treat Int(5) and Float(5.0) as one.
-        let mut set = std::collections::HashSet::new();
-        set.insert(Value::Int(5));
-        assert!(!set.insert(Value::Float(5.0)));
-        assert!(set.contains(&Value::Float(5.0)));
-        assert_eq!(set.len(), 1);
-    }
-
-    #[test]
-    fn size_accounting() {
-        assert_eq!(Value::Int(7).size_bytes(), 8);
-        assert_eq!(Value::Str("abc".into()).size_bytes(), 4);
-        assert_eq!(Value::Bytes(vec![0u8; 256]).size_bytes(), 256);
-    }
-
-    #[test]
-    fn bytes_ordering_matches_big_endian_numeric() {
-        // OPE ciphertexts are stored big-endian: byte order must equal numeric order.
-        let a = 12345u128.to_be_bytes().to_vec();
-        let b = 12346u128.to_be_bytes().to_vec();
-        assert!(Value::Bytes(a) < Value::Bytes(b));
-    }
-}
+pub use monomi_store::value::{date, Value};

@@ -77,8 +77,12 @@ proptest! {
 
 /// A random table of four columns (nullable int, int, categorical string,
 /// date) loaded into a [`Database`].
+/// Builds the reference table explicitly in memory: this suite compares the
+/// vectorized scan against the row-at-a-time scan over `Table::batch()`'s
+/// borrowed memory columns, so it must not follow `MONOMI_STORAGE=disk`
+/// (the disk backend's scan equivalence is covered by `disk_backend.rs`).
 fn build_table(rows: &[(i64, i64, u8, i16)]) -> Database {
-    let mut db = Database::new();
+    let mut db = Database::in_memory();
     db.create_table(TableSchema::new(
         "t",
         vec![

@@ -1,0 +1,464 @@
+//! The store facade: a directory of write-once segments plus the crash-safe
+//! manifest and the shared segment cache.
+//!
+//! One [`Store`] owns one directory. Tables are created by registering their
+//! schema in the manifest; rows arrive through [`BulkLoad`] transactions that
+//! write fsynced segment files first and publish them with a single manifest
+//! commit — dropping the loader before [`BulkLoad::commit`] (a simulated
+//! kill) leaves the catalog exactly as it was, and the orphaned files are
+//! swept the next time the directory is opened.
+
+use crate::cache::SegmentCache;
+use crate::manifest::{Manifest, SegmentMeta, TableMeta, MANIFEST_FILE};
+use crate::segment::{encode_segment, read_segment_file, write_segment_file};
+use crate::value::Value;
+use crate::{ColumnType, StoreError};
+use parking_lot::RwLock;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Environment knob for the number of rows per segment.
+pub const SEGMENT_ROWS_ENV: &str = "MONOMI_SEGMENT_ROWS";
+/// Default rows per segment — matches the executor's default morsel size, so
+/// one segment is one scan partition.
+pub const DEFAULT_SEGMENT_ROWS: usize = 4096;
+
+/// Tuning knobs of one store instance.
+#[derive(Clone, Copy, Debug)]
+pub struct StoreOptions {
+    /// Rows per newly written segment.
+    pub segment_rows: usize,
+    /// Byte budget of the decoded-segment cache.
+    pub cache_bytes: usize,
+}
+
+impl Default for StoreOptions {
+    /// Environment-derived options: `MONOMI_SEGMENT_ROWS` (default 4096) and
+    /// `MONOMI_CACHE_BYTES` (default 256 MiB).
+    fn default() -> Self {
+        StoreOptions {
+            segment_rows: std::env::var(SEGMENT_ROWS_ENV)
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(DEFAULT_SEGMENT_ROWS),
+            cache_bytes: std::env::var(crate::cache::CACHE_BYTES_ENV)
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+                .unwrap_or(crate::cache::DEFAULT_CACHE_BYTES),
+        }
+    }
+}
+
+/// A decoded segment resident in memory: column-major values plus the
+/// footprint the cache charges for it.
+#[derive(Debug)]
+pub struct SegmentData {
+    /// One `Vec<Value>` per column, all of equal length.
+    pub columns: Vec<Vec<Value>>,
+    /// Rows in the segment.
+    pub rows: usize,
+    /// Approximate heap footprint, charged against the cache budget.
+    pub heap_bytes: usize,
+}
+
+impl SegmentData {
+    /// Wraps decoded columns, computing the cache-accounting footprint.
+    pub fn new(columns: Vec<Vec<Value>>) -> SegmentData {
+        let rows = columns.first().map(Vec::len).unwrap_or(0);
+        let heap_bytes = columns
+            .iter()
+            .map(|c| {
+                c.len() * std::mem::size_of::<Value>()
+                    + c.iter().map(Value::size_bytes).sum::<usize>()
+            })
+            .sum();
+        SegmentData {
+            rows,
+            heap_bytes,
+            columns,
+        }
+    }
+}
+
+/// A directory-backed segment store.
+pub struct Store {
+    dir: PathBuf,
+    manifest: RwLock<Manifest>,
+    cache: SegmentCache,
+    segment_rows: usize,
+    /// Per-process uniquifier folded into segment file names.
+    seq: AtomicU64,
+}
+
+impl Store {
+    /// Opens (creating if necessary) a store directory with the
+    /// environment-derived [`StoreOptions`].
+    pub fn open(dir: impl Into<PathBuf>) -> Result<Arc<Store>, StoreError> {
+        Self::open_with(dir, StoreOptions::default())
+    }
+
+    /// Opens (creating if necessary) a store directory: loads and verifies
+    /// the manifest, then sweeps segment files no committed catalog entry
+    /// references — the leftovers of loads that were killed before commit.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        options: StoreOptions,
+    ) -> Result<Arc<Store>, StoreError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let manifest = Manifest::load(&dir)?;
+        let store = Store {
+            cache: SegmentCache::with_budget(options.cache_bytes),
+            segment_rows: options.segment_rows.max(1),
+            manifest: RwLock::new(manifest),
+            seq: AtomicU64::new(0),
+            dir,
+        };
+        store.sweep_orphans()?;
+        Ok(Arc::new(store))
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Rows per segment for newly written segments.
+    pub fn segment_rows(&self) -> usize {
+        self.segment_rows
+    }
+
+    /// The shared decoded-segment cache.
+    pub fn cache(&self) -> &SegmentCache {
+        &self.cache
+    }
+
+    /// Snapshot of one table's catalog entry. Deep-clones the segment list
+    /// (zone maps included) — use [`with_table_meta`](Self::with_table_meta)
+    /// for point lookups and aggregations that only need a borrow.
+    pub fn table_meta(&self, table: &str) -> Option<TableMeta> {
+        self.manifest.read().tables.get(table).cloned()
+    }
+
+    /// Runs `f` over a borrowed view of one table's catalog entry, without
+    /// cloning anything. The manifest read lock is held for the duration of
+    /// `f`, so keep the closure short (no segment decoding inside).
+    pub fn with_table_meta<R>(&self, table: &str, f: impl FnOnce(Option<&TableMeta>) -> R) -> R {
+        f(self.manifest.read().tables.get(table))
+    }
+
+    /// Committed rows of a table (0 if unknown).
+    pub fn table_rows(&self, table: &str) -> u64 {
+        self.manifest
+            .read()
+            .tables
+            .get(table)
+            .map(TableMeta::rows)
+            .unwrap_or(0)
+    }
+
+    /// Every table in the catalog, with its schema.
+    pub fn catalog(&self) -> Vec<(String, Vec<(String, ColumnType)>)> {
+        self.manifest
+            .read()
+            .tables
+            .iter()
+            .map(|(name, t)| (name.clone(), t.columns.clone()))
+            .collect()
+    }
+
+    /// Registers (or replaces) a table schema. Replacement drops the previous
+    /// segment list; the files are deleted after the commit succeeds.
+    ///
+    /// The durable commit runs against a scratch copy of the catalog: if it
+    /// fails, the in-memory state still matches the on-disk `MANIFEST` —
+    /// never a half-applied mutation.
+    pub fn create_table(
+        &self,
+        table: &str,
+        columns: Vec<(String, ColumnType)>,
+    ) -> Result<(), StoreError> {
+        let mut manifest = self.manifest.write();
+        let mut next = manifest.clone();
+        let old = next.tables.insert(
+            table.to_string(),
+            TableMeta {
+                columns,
+                segments: Vec::new(),
+            },
+        );
+        next.version += 1;
+        next.commit(&self.dir)?;
+        *manifest = next;
+        drop(manifest);
+        if let Some(old) = old {
+            for seg in old.segments {
+                let _ = std::fs::remove_file(self.dir.join(seg.file));
+            }
+        }
+        Ok(())
+    }
+
+    /// Starts a bulk load into `table`. Segments written through the returned
+    /// handle become visible only at [`BulkLoad::commit`].
+    pub fn begin_load(self: &Arc<Self>, table: &str) -> BulkLoad {
+        BulkLoad {
+            store: Arc::clone(self),
+            table: table.to_string(),
+            pending: Vec::new(),
+            committed: false,
+        }
+    }
+
+    /// Reads one committed segment through the cache, verifying its checksum
+    /// on the (cold) decode path.
+    pub fn read_segment(&self, seg: &SegmentMeta) -> Result<Arc<SegmentData>, StoreError> {
+        let path = self.dir.join(&seg.file);
+        self.cache.get_or_load(&seg.file, || {
+            read_segment_file(&path, Some(seg.checksum)).map(SegmentData::new)
+        })
+    }
+
+    /// A fresh file name no previous or concurrent segment uses.
+    fn fresh_segment_name(&self, table: &str) -> String {
+        let version = self.manifest.read().version;
+        loop {
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            let name = format!("{table}-{version}-{}-{seq}.seg", std::process::id());
+            if !self.dir.join(&name).exists() {
+                return name;
+            }
+        }
+    }
+
+    /// Removes `*.seg` files the manifest does not reference.
+    fn sweep_orphans(&self) -> Result<(), StoreError> {
+        let referenced: std::collections::HashSet<String> = self
+            .manifest
+            .read()
+            .tables
+            .values()
+            .flat_map(|t| t.segments.iter().map(|s| s.file.clone()))
+            .collect();
+        for entry in std::fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.ends_with(".seg") && !referenced.contains(&name) {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+        Ok(())
+    }
+
+    /// Total stored (encoded) bytes across every committed segment.
+    pub fn stored_bytes(&self) -> u64 {
+        self.manifest
+            .read()
+            .tables
+            .values()
+            .flat_map(|t| t.segments.iter())
+            .map(|s| s.stored_bytes)
+            .sum()
+    }
+
+    /// Path of the manifest file (exposed for crash-safety tests).
+    pub fn manifest_path(&self) -> PathBuf {
+        self.dir.join(MANIFEST_FILE)
+    }
+}
+
+/// An uncommitted bulk load: segment files are written (and fsynced)
+/// immediately, but the catalog only learns about them at [`commit`]
+/// (`BulkLoad::commit`). Dropping the handle without committing abandons the
+/// files — exactly what a mid-load kill leaves behind — and the catalog stays
+/// at the pre-load state.
+pub struct BulkLoad {
+    store: Arc<Store>,
+    table: String,
+    pending: Vec<SegmentMeta>,
+    committed: bool,
+}
+
+impl BulkLoad {
+    /// Encodes and writes one segment (column-major rows), fsyncing the file.
+    /// The segment stays invisible until [`commit`](Self::commit).
+    pub fn add_segment(&mut self, columns: &[Vec<Value>]) -> Result<(), StoreError> {
+        let rows = columns.first().map(Vec::len).unwrap_or(0);
+        if rows == 0 {
+            return Ok(());
+        }
+        let encoded = encode_segment(columns);
+        let file = self.store.fresh_segment_name(&self.table);
+        write_segment_file(&self.store.dir.join(&file), &encoded)?;
+        self.pending.push(SegmentMeta {
+            file,
+            rows: rows as u64,
+            stored_bytes: encoded.bytes.len() as u64,
+            checksum: encoded.checksum,
+            zones: encoded.zones.columns,
+        });
+        Ok(())
+    }
+
+    /// Rows staged so far.
+    pub fn staged_rows(&self) -> u64 {
+        self.pending.iter().map(|s| s.rows).sum()
+    }
+
+    /// Publishes every staged segment with one atomic manifest commit.
+    pub fn commit(mut self) -> Result<(), StoreError> {
+        // Persist the segment files' *directory entries* before the manifest
+        // rename: the files' contents are already fsynced, but without this
+        // a power loss could journal the renamed MANIFEST while the new
+        // files' dirents are lost — a catalog referencing missing segments,
+        // which is neither the old nor the new state. (Directory fsync is
+        // not supported everywhere; a failure degrades durability, not
+        // atomicity, so it is tolerated — same policy as Manifest::commit.)
+        if !self.pending.is_empty() {
+            if let Ok(d) = std::fs::File::open(&self.store.dir) {
+                let _ = d.sync_all();
+            }
+        }
+        // The durable commit runs against a scratch copy of the catalog; the
+        // shared manifest is only replaced after the on-disk commit succeeds.
+        // On failure the in-memory state therefore still matches MANIFEST,
+        // `pending` is untouched, and Drop removes the staged files — a
+        // retried flush cannot double-publish rows.
+        let mut manifest = self.store.manifest.write();
+        let mut next = manifest.clone();
+        let table = next
+            .tables
+            .get_mut(&self.table)
+            .ok_or_else(|| StoreError::new(format!("unknown table {}", self.table)))?;
+        table.segments.extend(self.pending.iter().cloned());
+        next.version += 1;
+        next.commit(&self.store.dir)?;
+        *manifest = next;
+        self.pending.clear();
+        self.committed = true;
+        Ok(())
+    }
+}
+
+impl Drop for BulkLoad {
+    fn drop(&mut self) {
+        // An explicit abort cleans up eagerly; a real kill cannot run this,
+        // which is what the open-time orphan sweep is for.
+        if !self.committed {
+            for seg in &self.pending {
+                let _ = std::fs::remove_file(self.store.dir.join(&seg.file));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> (PathBuf, Arc<Store>) {
+        let dir = std::env::temp_dir().join(format!("monomi-store-{}-{}", std::process::id(), tag));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).unwrap();
+        (dir, store)
+    }
+
+    fn int_column(range: std::ops::Range<i64>) -> Vec<Vec<Value>> {
+        vec![range.map(Value::Int).collect()]
+    }
+
+    #[test]
+    fn load_commit_read_roundtrip() {
+        let (dir, store) = temp_store("roundtrip");
+        store
+            .create_table("t", vec![("x".into(), ColumnType::Int)])
+            .unwrap();
+        let mut load = store.begin_load("t");
+        load.add_segment(&int_column(0..10)).unwrap();
+        load.add_segment(&int_column(10..25)).unwrap();
+        assert_eq!(load.staged_rows(), 25);
+        load.commit().unwrap();
+
+        assert_eq!(store.table_rows("t"), 25);
+        let meta = store.table_meta("t").unwrap();
+        assert_eq!(meta.segments.len(), 2);
+        assert_eq!(meta.segments[1].zones[0].min, Some(Value::Int(10)));
+        assert_eq!(meta.segments[1].zones[0].max, Some(Value::Int(24)));
+        let data = store.read_segment(&meta.segments[0]).unwrap();
+        assert_eq!(data.columns, int_column(0..10));
+
+        // Reopen: everything survives.
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        assert_eq!(store.table_rows("t"), 25);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn dropped_load_leaves_catalog_untouched_and_orphans_are_swept() {
+        let (dir, store) = temp_store("crash");
+        store
+            .create_table("t", vec![("x".into(), ColumnType::Int)])
+            .unwrap();
+        let mut pre = store.begin_load("t");
+        pre.add_segment(&int_column(0..5)).unwrap();
+        pre.commit().unwrap();
+
+        // Simulated kill mid-load: segment files exist, commit never runs.
+        // `forget` skips the Drop cleanup, exactly like a killed process.
+        let mut load = store.begin_load("t");
+        load.add_segment(&int_column(100..200)).unwrap();
+        let orphan = store.dir.join(&load.pending[0].file);
+        assert!(orphan.exists());
+        std::mem::forget(load);
+
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        // Catalog shows exactly the pre-load state; the orphan is gone.
+        assert_eq!(store.table_rows("t"), 5);
+        assert!(!orphan.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_table_replacement_drops_old_segments() {
+        let (dir, store) = temp_store("replace");
+        store
+            .create_table("t", vec![("x".into(), ColumnType::Int)])
+            .unwrap();
+        let mut load = store.begin_load("t");
+        load.add_segment(&int_column(0..8)).unwrap();
+        load.commit().unwrap();
+        let old_file = store
+            .dir
+            .join(&store.table_meta("t").unwrap().segments[0].file);
+        assert!(old_file.exists());
+        store
+            .create_table("t", vec![("y".into(), ColumnType::Str)])
+            .unwrap();
+        assert_eq!(store.table_rows("t"), 0);
+        assert!(!old_file.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_segment_file_is_reported() {
+        let (dir, store) = temp_store("corrupt");
+        store
+            .create_table("t", vec![("x".into(), ColumnType::Int)])
+            .unwrap();
+        let mut load = store.begin_load("t");
+        load.add_segment(&int_column(0..64)).unwrap();
+        load.commit().unwrap();
+        let meta = store.table_meta("t").unwrap();
+        let path = store.dir.join(&meta.segments[0].file);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[20] ^= 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+        let err = store.read_segment(&meta.segments[0]).unwrap_err();
+        assert!(err.message.contains("checksum"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

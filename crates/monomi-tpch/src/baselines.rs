@@ -72,13 +72,15 @@ pub fn run_plaintext(
         .map_err(|e| CoreError::new(e.to_string()))?;
     let exec = started.elapsed().as_secs_f64();
     let timings = QueryTimings {
-        server_seconds: exec + network.disk_seconds(stats.bytes_scanned),
+        server_seconds: exec + network.storage_seconds(stats.bytes_scanned, stats.segments_read),
         server_cpu_seconds: stats.cpu_seconds(exec),
         network_seconds: network.transfer_seconds(rs.size_bytes() as u64),
         decrypt_seconds: 0.0,
         client_seconds: 0.0,
         transfer_bytes: rs.size_bytes() as u64,
         server_bytes_scanned: stats.bytes_scanned,
+        server_segments_read: stats.segments_read,
+        server_segments_pruned: stats.segments_pruned,
         server_bytes_materialized: stats.bytes_materialized,
     };
     Ok(QueryRun {

@@ -121,69 +121,70 @@ pub fn generate(config: &GeneratorConfig) -> Database {
         db.create_table(schema);
     }
 
+    // Rows are accumulated per table and bulk-loaded in one call each: on
+    // the disk backend (`MONOMI_STORAGE=disk`) a bulk load writes the whole
+    // table as committed columnar segments — zone maps included — with a
+    // single atomic catalog commit, instead of trickling rows through the
+    // unflushed tail.
+
     // region
+    let mut region_rows = Vec::new();
     for (i, name) in REGIONS.iter().enumerate() {
-        db.insert(
-            "region",
-            vec![
-                Value::Int(i as i64),
-                Value::Str((*name).into()),
-                Value::Str(comment(&mut rng)),
-            ],
-        )
-        .expect("region row");
+        region_rows.push(vec![
+            Value::Int(i as i64),
+            Value::Str((*name).into()),
+            Value::Str(comment(&mut rng)),
+        ]);
     }
+    db.bulk_load("region", region_rows).expect("region rows");
 
     // nation
+    let mut nation_rows = Vec::new();
     for (i, (name, region)) in NATIONS.iter().enumerate() {
-        db.insert(
-            "nation",
-            vec![
-                Value::Int(i as i64),
-                Value::Str((*name).into()),
-                Value::Int(*region),
-                Value::Str(comment(&mut rng)),
-            ],
-        )
-        .expect("nation row");
+        nation_rows.push(vec![
+            Value::Int(i as i64),
+            Value::Str((*name).into()),
+            Value::Int(*region),
+            Value::Str(comment(&mut rng)),
+        ]);
     }
+    db.bulk_load("nation", nation_rows).expect("nation rows");
 
     // supplier
+    let mut supplier_rows = Vec::new();
     for s in 0..counts.supplier {
-        db.insert(
-            "supplier",
-            vec![
-                Value::Int(s as i64 + 1),
-                Value::Str(format!("Supplier#{:09}", s + 1)),
-                Value::Str(format!("{} supply road", s * 7 + 13)),
-                Value::Int(rng.gen_range(0..NATIONS.len() as i64)),
-                Value::Str(phone(&mut rng)),
-                Value::Int(rng.gen_range(-99_999..999_999)),
-                Value::Str(comment(&mut rng)),
-            ],
-        )
-        .expect("supplier row");
+        supplier_rows.push(vec![
+            Value::Int(s as i64 + 1),
+            Value::Str(format!("Supplier#{:09}", s + 1)),
+            Value::Str(format!("{} supply road", s * 7 + 13)),
+            Value::Int(rng.gen_range(0..NATIONS.len() as i64)),
+            Value::Str(phone(&mut rng)),
+            Value::Int(rng.gen_range(-99_999..999_999)),
+            Value::Str(comment(&mut rng)),
+        ]);
     }
+    db.bulk_load("supplier", supplier_rows)
+        .expect("supplier rows");
 
     // customer
+    let mut customer_rows = Vec::new();
     for c in 0..counts.customer {
-        db.insert(
-            "customer",
-            vec![
-                Value::Int(c as i64 + 1),
-                Value::Str(format!("Customer#{:09}", c + 1)),
-                Value::Str(format!("{} market street", c * 3 + 7)),
-                Value::Int(rng.gen_range(0..NATIONS.len() as i64)),
-                Value::Str(phone(&mut rng)),
-                Value::Int(rng.gen_range(-99_999..999_999)),
-                Value::Str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].into()),
-                Value::Str(comment(&mut rng)),
-            ],
-        )
-        .expect("customer row");
+        customer_rows.push(vec![
+            Value::Int(c as i64 + 1),
+            Value::Str(format!("Customer#{:09}", c + 1)),
+            Value::Str(format!("{} market street", c * 3 + 7)),
+            Value::Int(rng.gen_range(0..NATIONS.len() as i64)),
+            Value::Str(phone(&mut rng)),
+            Value::Int(rng.gen_range(-99_999..999_999)),
+            Value::Str(SEGMENTS[rng.gen_range(0..SEGMENTS.len())].into()),
+            Value::Str(comment(&mut rng)),
+        ]);
     }
+    db.bulk_load("customer", customer_rows)
+        .expect("customer rows");
 
     // part
+    let mut part_rows = Vec::new();
     for p in 0..counts.part {
         let ty = format!(
             "{} {} {}",
@@ -191,49 +192,46 @@ pub fn generate(config: &GeneratorConfig) -> Database {
             TYPE_SYLL2[rng.gen_range(0..TYPE_SYLL2.len())],
             TYPE_SYLL3[rng.gen_range(0..TYPE_SYLL3.len())]
         );
-        db.insert(
-            "part",
-            vec![
-                Value::Int(p as i64 + 1),
-                Value::Str(format!(
-                    "{} {} part",
-                    COMMENT_WORDS[p % COMMENT_WORDS.len()],
-                    TYPE_SYLL3[p % TYPE_SYLL3.len()].to_lowercase()
-                )),
-                Value::Str(format!("Manufacturer#{}", p % 5 + 1)),
-                Value::Str(format!("Brand#{}{}", p % 5 + 1, p % 5 + 1)),
-                Value::Str(ty),
-                Value::Int(rng.gen_range(1..=50)),
-                Value::Str(CONTAINERS[rng.gen_range(0..CONTAINERS.len())].into()),
-                Value::Int(90_000 + (p as i64 % 200) * 100 + rng.gen_range(0..100)),
-                Value::Str(comment(&mut rng)),
-            ],
-        )
-        .expect("part row");
+        part_rows.push(vec![
+            Value::Int(p as i64 + 1),
+            Value::Str(format!(
+                "{} {} part",
+                COMMENT_WORDS[p % COMMENT_WORDS.len()],
+                TYPE_SYLL3[p % TYPE_SYLL3.len()].to_lowercase()
+            )),
+            Value::Str(format!("Manufacturer#{}", p % 5 + 1)),
+            Value::Str(format!("Brand#{}{}", p % 5 + 1, p % 5 + 1)),
+            Value::Str(ty),
+            Value::Int(rng.gen_range(1..=50)),
+            Value::Str(CONTAINERS[rng.gen_range(0..CONTAINERS.len())].into()),
+            Value::Int(90_000 + (p as i64 % 200) * 100 + rng.gen_range(0..100)),
+            Value::Str(comment(&mut rng)),
+        ]);
     }
+    db.bulk_load("part", part_rows).expect("part rows");
 
     // partsupp: 4 suppliers per part.
+    let mut partsupp_rows = Vec::new();
     for p in 0..counts.part {
         for i in 0..4usize {
             let supp = (p * 4 + i * 7) % counts.supplier;
-            db.insert(
-                "partsupp",
-                vec![
-                    Value::Int(p as i64 + 1),
-                    Value::Int(supp as i64 + 1),
-                    Value::Int(rng.gen_range(1..10_000)),
-                    Value::Int(rng.gen_range(100..100_000)),
-                    Value::Str(comment(&mut rng)),
-                ],
-            )
-            .expect("partsupp row");
+            partsupp_rows.push(vec![
+                Value::Int(p as i64 + 1),
+                Value::Int(supp as i64 + 1),
+                Value::Int(rng.gen_range(1..10_000)),
+                Value::Int(rng.gen_range(100..100_000)),
+                Value::Str(comment(&mut rng)),
+            ]);
         }
     }
+    db.bulk_load("partsupp", partsupp_rows)
+        .expect("partsupp rows");
 
     // orders + lineitem.
     let start_date = date::parse_date("1992-01-01").expect("valid date");
     let end_date = date::parse_date("1998-08-02").expect("valid date");
     let mut lineitem_rows = Vec::new();
+    let mut orders_rows = Vec::new();
     for o in 0..counts.orders {
         let orderkey = (o as i64) * 4 + 1; // sparse keys like dbgen
         let custkey = rng.gen_range(1..=counts.customer as i64);
@@ -284,22 +282,19 @@ pub fn generate(config: &GeneratorConfig) -> Database {
                 Value::Str(comment(&mut rng)),
             ]);
         }
-        db.insert(
-            "orders",
-            vec![
-                Value::Int(orderkey),
-                Value::Int(custkey),
-                Value::Str(if rng.gen_bool(0.48) { "F" } else { "O" }.into()),
-                Value::Int(total),
-                Value::Date(orderdate),
-                Value::Str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())].into()),
-                Value::Str(format!("Clerk#{:06}", rng.gen_range(1..1000))),
-                Value::Int(0),
-                Value::Str(comment(&mut rng)),
-            ],
-        )
-        .expect("orders row");
+        orders_rows.push(vec![
+            Value::Int(orderkey),
+            Value::Int(custkey),
+            Value::Str(if rng.gen_bool(0.48) { "F" } else { "O" }.into()),
+            Value::Int(total),
+            Value::Date(orderdate),
+            Value::Str(PRIORITIES[rng.gen_range(0..PRIORITIES.len())].into()),
+            Value::Str(format!("Clerk#{:06}", rng.gen_range(1..1000))),
+            Value::Int(0),
+            Value::Str(comment(&mut rng)),
+        ]);
     }
+    db.bulk_load("orders", orders_rows).expect("orders rows");
     db.bulk_load("lineitem", lineitem_rows)
         .expect("lineitem rows");
     db
@@ -364,7 +359,7 @@ mod tests {
         }
         let lineitem = small.table("lineitem").unwrap();
         for i in 0..lineitem.row_count() {
-            assert!(keys.contains(lineitem.value(i, 0)));
+            assert!(keys.contains(&lineitem.value(i, 0)));
         }
     }
 

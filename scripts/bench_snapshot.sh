@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
-# Bench snapshot: runs the crypto, scan, and parallel-execution benches at a
-# pinned MONOMI_SCALE and writes the machine-readable numbers to
-# BENCH_crypto.json (via the hom_agg / parallel_exec benches'
+# Bench snapshot: runs the crypto, scan, storage, and parallel-execution
+# benches at a pinned MONOMI_SCALE and writes the machine-readable numbers to
+# BENCH_crypto.json (via the hom_agg / parallel_exec / storage_micro benches'
 # MONOMI_BENCH_JSON hook), seeding the perf trajectory across PRs.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #   MONOMI_SCALE           pinned data scale (default 0.002)
 #   MONOMI_PAILLIER_BITS   Paillier key size for hom_agg/parallel_exec (default 512)
 #   MONOMI_BENCH_THREADS   worker threads for parallel_exec (default 4)
+#   MONOMI_CACHE_BYTES     segment-cache budget for storage_micro
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +28,7 @@ trap 'rm -rf "$TMPDIR_SNAP"' EXIT
 
 MONOMI_BENCH_JSON="$TMPDIR_SNAP/hom_agg.json" cargo bench --bench hom_agg
 MONOMI_BENCH_JSON="$TMPDIR_SNAP/parallel_exec.json" cargo bench --bench parallel_exec
+MONOMI_BENCH_JSON="$TMPDIR_SNAP/storage_micro.json" cargo bench --bench storage_micro
 cargo bench --bench crypto_micro
 cargo bench --bench scan_micro
 
@@ -36,6 +38,8 @@ cargo bench --bench scan_micro
   cat "$TMPDIR_SNAP/hom_agg.json"
   printf ',\n"parallel_exec": '
   cat "$TMPDIR_SNAP/parallel_exec.json"
+  printf ',\n"storage_micro": '
+  cat "$TMPDIR_SNAP/storage_micro.json"
   printf '}\n'
 } > "$OUT"
 

@@ -11,7 +11,10 @@
 //! - [`math`] — big-integer / modular arithmetic substrate
 //! - [`crypto`] — DET, OPE, RND, Paillier (plain and packed), SEARCH schemes
 //! - [`sql`] — lexer, parser, and AST for the supported analytical subset
-//! - [`engine`] — in-memory columnar engine playing the untrusted server
+//! - [`store`] — persistent columnar segment store: encodings, zone maps,
+//!   crash-safe catalog, segment cache (and the shared `Value` model)
+//! - [`engine`] — columnar engine playing the untrusted server, over an
+//!   in-memory or disk backend (`MONOMI_STORAGE=memory|disk`)
 //! - [`core`] — the MONOMI client: designer, planner, split executor
 //! - [`tpch`] — TPC-H schema, deterministic datagen, workload, baselines
 //!
@@ -26,6 +29,7 @@ pub use monomi_crypto as crypto;
 pub use monomi_engine as engine;
 pub use monomi_math as math;
 pub use monomi_sql as sql;
+pub use monomi_store as store;
 pub use monomi_tpch as tpch;
 
 /// The most common client-side entry points, re-exported flat.
