@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # monomi-bench
 //!
 //! Benchmark harnesses that regenerate every table and figure of the MONOMI

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # monomi-core
 //!
 //! A from-scratch Rust reproduction of **MONOMI** (Tu, Kaashoek, Madden,

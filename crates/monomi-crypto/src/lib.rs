@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # monomi-crypto
 //!
 //! The encryption schemes used by MONOMI (Tu et al., VLDB 2013) to execute

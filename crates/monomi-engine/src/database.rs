@@ -20,7 +20,7 @@ use monomi_sql::ast::Query;
 use monomi_sql::parse_query;
 use monomi_store::Store;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::path::PathBuf;
 use std::sync::Arc;
 
@@ -91,7 +91,11 @@ impl PaillierServerCtx {
 /// backends at every thread count.
 pub struct Database {
     catalog: Catalog,
-    tables: HashMap<String, Table>,
+    /// Tables by lowercased name. A BTreeMap, not a HashMap: `persist` walks
+    /// this map, so its order determines segment file names and manifest
+    /// version numbers — iteration must be deterministic for two identically
+    /// built databases to produce byte-identical on-disk artifacts.
+    tables: BTreeMap<String, Table>,
     paillier: Option<Arc<PaillierServerCtx>>,
     stats_cache: RwLock<Option<HashMap<String, TableStats>>>,
     /// The segment store of a disk-backed database.
@@ -141,7 +145,7 @@ impl Database {
     pub fn in_memory() -> Self {
         Database {
             catalog: Catalog::new(),
-            tables: HashMap::new(),
+            tables: BTreeMap::new(),
             paillier: None,
             stats_cache: RwLock::new(None),
             store: None,
@@ -193,6 +197,10 @@ impl Database {
     /// Flushes every table's unflushed tail into committed segments (no-op
     /// for memory databases). After this returns, [`Database::open`] on the
     /// same path sees every row.
+    ///
+    /// Tables flush in name order (the map is a `BTreeMap`), so two databases
+    /// built by the same sequence of operations produce byte-identical
+    /// manifests and segment file names.
     pub fn persist(&mut self) -> Result<(), EngineError> {
         for table in self.tables.values_mut() {
             table.flush().map_err(EngineError::new)?;
@@ -288,11 +296,9 @@ impl Database {
         self.tables.get(&name.to_lowercase())
     }
 
-    /// All table names.
+    /// All table names, in sorted order (the map is ordered by name).
     pub fn table_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.tables.keys().cloned().collect();
-        names.sort();
-        names
+        self.tables.keys().cloned().collect()
     }
 
     /// The catalog of schemas.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # monomi-engine
 //!
 //! An in-memory columnar analytical database engine: the stand-in for the

@@ -66,15 +66,18 @@ impl ExecOptions {
     /// available cores) and `MONOMI_MORSEL_ROWS` (default
     /// [`DEFAULT_MORSEL_ROWS`]).
     pub fn from_env() -> Self {
+        // monomi-lint: allow(determinism-clock-env): options are resolved once at setup, before execution; they size the thread pool, never the result bytes
         let threads = std::env::var("MONOMI_THREADS")
             .ok()
             .and_then(|s| s.parse::<usize>().ok())
             .filter(|&n| n >= 1)
             .unwrap_or_else(|| {
+                // monomi-lint: allow(determinism-clock-env): parallelism probe only picks a thread count; results are byte-identical at every thread count
                 std::thread::available_parallelism()
                     .map(|n| n.get())
                     .unwrap_or(1)
             });
+        // monomi-lint: allow(determinism-clock-env): morsel size shapes work partitioning, and partition boundaries are identical for all thread counts
         let morsel_rows = std::env::var("MONOMI_MORSEL_ROWS")
             .ok()
             .and_then(|s| s.parse::<usize>().ok())
@@ -175,6 +178,7 @@ pub(crate) fn run_morsels_serial<T>(
     mut f: impl FnMut(Morsel) -> Result<T, EngineError>,
 ) -> Result<(Vec<T>, ParallelMetrics), EngineError> {
     let morsels = morsels_of(total_rows, morsel_rows);
+    // monomi-lint: allow(determinism-clock-env): wall-clock feeds ParallelMetrics only, never operator output
     let start = Instant::now();
     let mut out = Vec::with_capacity(morsels.len());
     for m in &morsels {
@@ -208,6 +212,7 @@ pub(crate) fn run_morsels<T: Send>(
         return run_morsels_serial(total_rows, opts.morsel_rows, f);
     }
 
+    // monomi-lint: allow(determinism-clock-env): wall-clock feeds ParallelMetrics only, never operator output
     let start = Instant::now();
     let next = AtomicUsize::new(0);
     // Lowest morsel index known to have failed; claims beyond it are wasted
@@ -221,6 +226,7 @@ pub(crate) fn run_morsels<T: Send>(
                 let next = &next;
                 let error_floor = &error_floor;
                 scope.spawn(move || {
+                    // monomi-lint: allow(determinism-clock-env): per-worker busy time feeds ParallelMetrics only, never operator output
                     let busy = Instant::now();
                     let mut local: Vec<(usize, Result<T, EngineError>)> = Vec::new();
                     loop {

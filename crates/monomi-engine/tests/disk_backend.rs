@@ -337,3 +337,41 @@ fn env_selected_disk_databases_clean_up_their_temp_dir() {
     let db = Database::new();
     assert!(!db.is_disk_backed() || std::env::var("MONOMI_STORAGE").is_ok());
 }
+
+/// Persisted artifacts are deterministic: two databases built by the same
+/// sequence of operations — tables created in non-alphabetical order so a
+/// hash-ordered table map would flush them in random order — produce
+/// byte-identical MANIFESTs (which embed every segment file name, checksum,
+/// and zone map). Regression test for `Database::tables` being an ordered
+/// map; see `Database::persist`.
+#[test]
+fn persist_produces_byte_identical_manifests() {
+    fn build(dir: &PathBuf) -> Vec<u8> {
+        let store = open_small_store(dir, 4);
+        let mut db = Database::with_store(store);
+        for name in ["zulu", "mike", "alpha", "quebec", "victor", "echo"] {
+            db.create_table(TableSchema::new(
+                name,
+                vec![
+                    ColumnDef::new("k", ColumnType::Int),
+                    ColumnDef::new("v", ColumnType::Str),
+                ],
+            ));
+            let rows: Vec<Vec<Value>> = (0..10)
+                .map(|i| vec![Value::Int(i), Value::Str(format!("{name}-{i}"))])
+                .collect();
+            db.bulk_load(name, rows).unwrap();
+        }
+        db.persist().unwrap();
+        std::fs::read(dir.join("MANIFEST")).expect("manifest exists after persist")
+    }
+
+    let (d1, d2) = (fresh_dir("det1"), fresh_dir("det2"));
+    let (m1, m2) = (build(&d1), build(&d2));
+    assert_eq!(
+        m1, m2,
+        "identical build sequences must persist byte-identical manifests"
+    );
+    std::fs::remove_dir_all(&d1).ok();
+    std::fs::remove_dir_all(&d2).ok();
+}

@@ -1,0 +1,398 @@
+//! A small hand-rolled Rust lexer — just enough syntax awareness for the
+//! lint rules to never be fooled by comments, string literals, raw strings,
+//! char literals, or lifetimes.
+//!
+//! The token stream keeps comments (the allow-marker scanner reads them) and
+//! records a 1-based line for every token. It does not attempt full Rust
+//! grammar: rules operate on identifier/punctuation patterns, which is exactly
+//! the level a convention checker needs.
+
+/// What one token is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`foo`, `let`, `unsafe`, `r#match`).
+    Ident,
+    /// Lifetime (`'a`) — kept distinct so `'a` never looks like a char.
+    Lifetime,
+    /// Integer or float literal (lexed loosely; exact value unused).
+    Number,
+    /// String, raw string, byte string, or char literal. Contents are
+    /// deliberately opaque to every rule.
+    Literal,
+    /// `// ...` comment (doc comments included), without the newline.
+    LineComment,
+    /// `/* ... */` comment, nesting handled.
+    BlockComment,
+    /// Any other single character (`{`, `.`, `:`, `#`, …).
+    Punct(char),
+}
+
+/// One lexed token: kind, source text, and the 1-based line it starts on.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: usize,
+}
+
+impl Tok {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True for this punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// True for tokens that are source code rather than commentary.
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into tokens. Unterminated literals/comments are tolerated
+/// (the rest of the file becomes one token) — a linter must not die on the
+/// code it inspects.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    let count_lines = |s: &str| s.bytes().filter(|&b| b == b'\n').count();
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        let start_line = line;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                i += 2;
+                let mut depth = 1usize;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let text = &src[start..i];
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text: text.to_string(),
+                    line: start_line,
+                });
+                line += count_lines(text);
+            }
+            '"' => {
+                i = lex_string(bytes, i + 1);
+                let text = &src[start..i];
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: text.to_string(),
+                    line: start_line,
+                });
+                line += count_lines(text);
+            }
+            'r' | 'b' if starts_raw_or_byte_string(bytes, i) => {
+                i = lex_raw_or_byte_string(bytes, i);
+                let text = &src[start..i];
+                toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: text.to_string(),
+                    line: start_line,
+                });
+                line += count_lines(text);
+            }
+            '\'' => {
+                // Lifetime or char literal. `'ident` with no closing quote is
+                // a lifetime; anything else is a char literal.
+                let (end, is_lifetime) = lex_quote(bytes, i);
+                i = end;
+                toks.push(Tok {
+                    kind: if is_lifetime {
+                        TokKind::Lifetime
+                    } else {
+                        TokKind::Literal
+                    },
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                i += 1;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        i += 1;
+                    } else if b == '.'
+                        && bytes
+                            .get(i + 1)
+                            .is_some_and(|n| (*n as char).is_ascii_digit())
+                    {
+                        // One decimal point, only when a digit follows —
+                        // `1..10` stays three tokens.
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Number,
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                i += 1;
+                while i < bytes.len() {
+                    let b = bytes[i] as char;
+                    if b.is_ascii_alphanumeric() || b == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line: start_line,
+                });
+            }
+            other => {
+                i += 1;
+                toks.push(Tok {
+                    kind: TokKind::Punct(other),
+                    text: other.to_string(),
+                    line: start_line,
+                });
+            }
+        }
+    }
+    toks
+}
+
+/// Advances past a normal (escaped) string body; `i` points after the opening
+/// quote. Returns the index after the closing quote.
+fn lex_string(bytes: &[u8], mut i: usize) -> usize {
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Does the text at `i` start a raw string (`r"`, `r#"`), byte string (`b"`),
+/// or raw byte string (`br#"`)? `r#ident` (raw identifier) must stay false.
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if bytes[j] == b'b' {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'r') {
+        j += 1;
+        while bytes.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        return bytes.get(j) == Some(&b'"');
+    }
+    // Plain byte string `b"..."`.
+    bytes[i] == b'b' && bytes.get(j) == Some(&b'"')
+}
+
+/// Advances past a raw/byte string starting at `i` (validated by
+/// [`starts_raw_or_byte_string`]). Returns the index past the closing quote
+/// and its `#` run.
+fn lex_raw_or_byte_string(bytes: &[u8], mut i: usize) -> usize {
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    let raw = bytes.get(i) == Some(&b'r');
+    if raw {
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    debug_assert_eq!(bytes.get(i), Some(&b'"'));
+    i += 1;
+    if !raw {
+        return lex_string(bytes, i);
+    }
+    // Raw string: no escapes; ends at `"` followed by `hashes` many `#`.
+    while i < bytes.len() {
+        if bytes[i] == b'"'
+            && bytes[i + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&b| b == b'#')
+                .count()
+                == hashes
+        {
+            return i + 1 + hashes;
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Disambiguates `'` at `i`: returns (end index, is_lifetime).
+fn lex_quote(bytes: &[u8], i: usize) -> (usize, bool) {
+    let next = bytes.get(i + 1).copied();
+    match next {
+        // Escaped char literal: `'\n'`, `'\u{1F600}'`, `'\''`.
+        Some(b'\\') => {
+            // Step over the escaped character first, so the escaped quote in
+            // `'\''` is not mistaken for the closing quote.
+            let mut j = (i + 3).min(bytes.len());
+            while j < bytes.len() && bytes[j] != b'\'' {
+                j += 1;
+            }
+            ((j + 1).min(bytes.len()), false)
+        }
+        Some(c) if (c as char).is_ascii_alphabetic() || c == b'_' => {
+            // `'a'` is a char; `'a` (no closing quote after the ident run)
+            // is a lifetime.
+            let mut j = i + 1;
+            while j < bytes.len() {
+                let b = bytes[j] as char;
+                if b.is_ascii_alphanumeric() || b == '_' {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            if bytes.get(j) == Some(&b'\'') {
+                (j + 1, false)
+            } else {
+                (j, true)
+            }
+        }
+        // `'['`, `' '`, any other single-char literal.
+        Some(_) => {
+            let mut j = i + 2;
+            if bytes.get(j) == Some(&b'\'') {
+                j += 1;
+            }
+            (j, false)
+        }
+        None => (i + 1, false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r###"
+            let x = "decrypt inside a string";
+            // decrypt inside a line comment
+            /* decrypt inside a /* nested */ block comment */
+            let y = r#"decrypt inside a raw string with "quotes""#;
+            let z = b"decrypt bytes";
+        "###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"decrypt".to_string()), "{ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Literal && t.text.starts_with('\''))
+            .collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'x'");
+    }
+
+    #[test]
+    fn escaped_quotes_and_chars() {
+        let toks = lex(r#"let q = '\''; let s = "a \" b"; done"#);
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb\n\"str\ning\"\nc";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.is_ident(name)).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("c"), 7);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents_not_raw_strings() {
+        let toks = lex("let r#match = 1;");
+        // `r` then `#` then `match` is acceptable (three tokens) — the key
+        // property is that lexing does not swallow the rest of the file as a
+        // raw string.
+        assert!(toks.iter().any(|t| t.is_ident("match")));
+        assert!(toks.iter().any(|t| t.text == ";"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_dots() {
+        let toks = lex("for i in 0..10 {}");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Number && t.text == "0"));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Number && t.text == "10"));
+        assert_eq!(toks.iter().filter(|t| t.is_punct('.')).count(), 2);
+        let toks = lex("let f = 1.5e3_f64;");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Number && t.text == "1.5e3_f64"));
+    }
+}

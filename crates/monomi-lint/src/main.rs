@@ -1,0 +1,87 @@
+#![forbid(unsafe_code)]
+//! CLI entry point: lints the workspace and exits nonzero on violations.
+//!
+//! ```text
+//! cargo run -p monomi-lint                 # human report
+//! cargo run -p monomi-lint -- --json       # JSON report to stdout
+//! cargo run -p monomi-lint -- --out f.json # human report + JSON to a file
+//! cargo run -p monomi-lint -- --root DIR   # lint another workspace root
+//! cargo run -p monomi-lint -- --rules      # print the rule catalog
+//! ```
+
+use monomi_lint::rules::RULES;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut out_path: Option<PathBuf> = None;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = Some(PathBuf::from(p)),
+                None => return usage("--out requires a file path"),
+            },
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage("--root requires a directory"),
+            },
+            "--rules" => {
+                for r in RULES {
+                    println!(
+                        "{:<24} [{}] {} ({})",
+                        r.id,
+                        r.invariant,
+                        r.summary,
+                        r.severity.as_str()
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Default root: the workspace this binary was built from, so the tool
+    // works from any CWD (cargo run sets the CWD to the invoking directory).
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|_| PathBuf::from("."))
+    });
+
+    let report = match monomi_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("monomi-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report.json());
+    } else {
+        print!("{}", report.human());
+    }
+    if let Some(p) = out_path {
+        if let Err(e) = std::fs::write(&p, report.json()) {
+            eprintln!("monomi-lint: writing {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("monomi-lint: {err}");
+    eprintln!("usage: monomi-lint [--json] [--out FILE.json] [--root DIR] [--rules]");
+    ExitCode::from(2)
+}

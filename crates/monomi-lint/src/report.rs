@@ -1,0 +1,120 @@
+//! Human and JSON report rendering.
+
+use crate::rules::{Severity, Violation, RULES};
+
+/// The result of one lint run.
+pub struct Report {
+    pub violations: Vec<Violation>,
+    /// Files scanned.
+    pub files: usize,
+    /// Crates scanned.
+    pub crates: usize,
+    /// Justified allow markers in force across the tree.
+    pub allows: usize,
+}
+
+impl Report {
+    /// True when nothing deny-severity survived.
+    pub fn clean(&self) -> bool {
+        !self.violations.iter().any(|v| v.severity == Severity::Deny)
+    }
+
+    /// Human-readable report (what CI prints on failure).
+    pub fn human(&self) -> String {
+        let mut s = String::new();
+        for v in &self.violations {
+            s.push_str(&format!(
+                "{}: {}:{}: [{}] {}\n",
+                v.severity.as_str(),
+                v.file,
+                v.line,
+                v.rule,
+                v.message
+            ));
+        }
+        let denies = self
+            .violations
+            .iter()
+            .filter(|v| v.severity == Severity::Deny)
+            .count();
+        s.push_str(&format!(
+            "monomi-lint: {} crate(s), {} file(s), {} active rule(s), {} justified allow(s): \
+             {} violation(s)",
+            self.crates,
+            self.files,
+            RULES.len(),
+            self.allows,
+            denies
+        ));
+        if denies == 0 {
+            s.push_str(" — clean\n");
+        } else {
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Machine-readable report. Hand-rolled JSON (the workspace is offline;
+    /// the format is flat enough that an emitter beats a dependency).
+    pub fn json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!(
+            "  \"status\": {},\n",
+            json_str(if self.clean() { "clean" } else { "violations" })
+        ));
+        s.push_str(&format!("  \"crates\": {},\n", self.crates));
+        s.push_str(&format!("  \"files\": {},\n", self.files));
+        s.push_str(&format!("  \"allows\": {},\n", self.allows));
+        s.push_str("  \"rules\": [");
+        for (i, r) in RULES.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&json_str(r.id));
+        }
+        s.push_str("],\n");
+        s.push_str("  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"rule\": {}, \"severity\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}{}\n",
+                json_str(v.rule),
+                json_str(v.severity.as_str()),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.message),
+                if i + 1 < self.violations.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+/// JSON string escaping (quotes, backslashes, control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

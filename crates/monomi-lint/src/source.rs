@@ -1,0 +1,251 @@
+//! Per-file analysis context shared by every rule: the token stream, the
+//! lines excluded as test code (`#[cfg(test)]` items), and the parsed
+//! `monomi-lint: allow(...)` suppression markers.
+
+use crate::lexer::{lex, Tok, TokKind};
+
+/// One parsed suppression marker.
+///
+/// Grammar (inside any comment):
+/// `monomi-lint: allow(<rule-id>): <justification>`
+///
+/// A marker suppresses findings of `rule` on the line it targets: the same
+/// line for a trailing comment, the next code line for a standalone comment.
+/// The justification is mandatory — an empty one is itself a violation
+/// (rule `allow-justification`).
+#[derive(Clone, Debug)]
+pub struct AllowMarker {
+    /// Rule id named in the marker (whatever was written, even if unknown).
+    pub rule: String,
+    /// Justification text after the second colon, trimmed.
+    pub justification: String,
+    /// Line the comment itself is on.
+    pub marker_line: usize,
+    /// Line whose findings this marker suppresses.
+    pub target_line: usize,
+}
+
+/// One source file, lexed and pre-analyzed.
+pub struct SourceFile {
+    /// Crate the file belongs to (e.g. `monomi-store`).
+    pub crate_name: String,
+    /// Path relative to the workspace root (e.g. `crates/monomi-store/src/lib.rs`).
+    pub rel_path: String,
+    /// Token stream, comments included.
+    pub toks: Vec<Tok>,
+    /// `true` at index `i` ⇔ `toks[i]` is inside a `#[cfg(test)]` item.
+    pub in_test: Vec<bool>,
+    /// Every parsed allow marker, resolved to its target line.
+    pub allows: Vec<AllowMarker>,
+}
+
+impl SourceFile {
+    /// Lexes and pre-analyzes one file.
+    pub fn new(crate_name: &str, rel_path: &str, text: &str) -> SourceFile {
+        let toks = lex(text);
+        let in_test = test_spans(&toks);
+        let allows = parse_allows(&toks);
+        SourceFile {
+            crate_name: crate_name.to_string(),
+            rel_path: rel_path.to_string(),
+            toks,
+            in_test,
+            allows,
+        }
+    }
+
+    /// File name without directories (`lib.rs`).
+    pub fn basename(&self) -> &str {
+        self.rel_path.rsplit('/').next().unwrap_or(&self.rel_path)
+    }
+
+    /// True if a marker for `rule` targets `line`.
+    pub fn allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && a.target_line == line && !a.justification.is_empty())
+    }
+
+    /// Indices of code tokens outside test spans (the set rules scan).
+    pub fn code_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.toks.len()).filter(|&i| self.toks[i].is_code() && !self.in_test[i])
+    }
+
+    /// True if any token (test code included) is the ident `unsafe`.
+    pub fn mentions_unsafe(&self) -> bool {
+        self.toks.iter().any(|t| t.is_ident("unsafe"))
+    }
+}
+
+/// Marks every token inside a `#[cfg(test)]` item (almost always
+/// `mod tests { ... }`). Detection: the attribute sequence
+/// `# [ cfg ( test ) ]`, then tokens up to the item's opening `{`, then the
+/// brace-matched body.
+fn test_spans(toks: &[Tok]) -> Vec<bool> {
+    let mut in_test = vec![false; toks.len()];
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| toks[i].is_code()).collect();
+    let mut k = 0usize;
+    while k + 6 < code.len() {
+        let at = |off: usize| &toks[code[k + off]];
+        let is_cfg_test = at(0).is_punct('#')
+            && at(1).is_punct('[')
+            && at(2).is_ident("cfg")
+            && at(3).is_punct('(')
+            && at(4).is_ident("test")
+            && at(5).is_punct(')')
+            && at(6).is_punct(']');
+        if !is_cfg_test {
+            k += 1;
+            continue;
+        }
+        // Find the item's opening brace (skipping e.g. `mod tests`, further
+        // attributes, fn signatures), then brace-match to its end.
+        let mut j = k + 7;
+        while j < code.len() && !toks[code[j]].is_punct('{') {
+            // A `;` before any `{` means a braceless item (e.g.
+            // `#[cfg(test)] mod tests;`) — nothing inline to exclude.
+            if toks[code[j]].is_punct(';') {
+                break;
+            }
+            j += 1;
+        }
+        if j >= code.len() || !toks[code[j]].is_punct('{') {
+            k = j;
+            continue;
+        }
+        let mut depth = 0usize;
+        let body_start = code[k];
+        let mut end = code[j];
+        for &ci in &code[j..] {
+            if toks[ci].is_punct('{') {
+                depth += 1;
+            } else if toks[ci].is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    end = ci;
+                    break;
+                }
+            }
+        }
+        for flag in in_test.iter_mut().take(end + 1).skip(body_start) {
+            *flag = true;
+        }
+        // Resume after the excluded item.
+        while k < code.len() && code[k] <= end {
+            k += 1;
+        }
+    }
+    in_test
+}
+
+/// Parses `monomi-lint: allow(rule): justification` markers out of comments
+/// and resolves each to its target line.
+///
+/// A marker only counts when the comment *content* — after stripping the
+/// comment sigils (`//`, `//!`, `/* ... */` decoration) and leading
+/// whitespace — begins with `monomi-lint:`. Prose that merely quotes the
+/// marker grammar mid-sentence (as this crate's own docs do) is not a
+/// marker.
+fn parse_allows(toks: &[Tok]) -> Vec<AllowMarker> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        // Each comment line is a candidate marker site; block comments can
+        // span lines, so track the offset of each line within the token.
+        let lines: Vec<(usize, &str)> = match t.kind {
+            TokKind::LineComment => vec![(0, t.text.as_str())],
+            TokKind::BlockComment => t.text.lines().enumerate().collect(),
+            _ => continue,
+        };
+        for (off, raw) in lines {
+            let content = raw
+                .trim_start()
+                .trim_start_matches('/')
+                .trim_start_matches(['!', '*'])
+                .trim_start();
+            let Some(rest) = content.strip_prefix("monomi-lint:") else {
+                continue;
+            };
+            let rest = rest.trim_start();
+            let (rule, justification) =
+                match rest.strip_prefix("allow(").and_then(|r| r.split_once(')')) {
+                    Some((rule, tail)) => {
+                        let justification = tail
+                            .trim_start()
+                            .strip_prefix(':')
+                            .map(|j| j.trim().trim_end_matches("*/").trim().to_string())
+                            .unwrap_or_default();
+                        (rule.trim().to_string(), justification)
+                    }
+                    // Malformed marker: record it with an empty rule so the
+                    // allow-justification rule can flag it.
+                    None => (String::new(), String::new()),
+                };
+            let marker_line = t.line + off;
+            // Target line: the line of the nearest code token at or before
+            // this comment on the same line (trailing marker), otherwise the
+            // line of the next code token (standalone marker above the code).
+            let trailing = toks[..i]
+                .iter()
+                .rev()
+                .take_while(|p| p.line == t.line)
+                .any(|p| p.is_code());
+            let target_line = if trailing {
+                marker_line
+            } else {
+                toks[i + 1..]
+                    .iter()
+                    .find(|n| n.is_code())
+                    .map(|n| n.line)
+                    .unwrap_or(marker_line)
+            };
+            out.push(AllowMarker {
+                rule,
+                justification,
+                marker_line,
+                target_line,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_modules_are_excluded() {
+        let src =
+            "pub fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { dead(); }\n}\nfn after() {}";
+        let f = SourceFile::new("c", "src/lib.rs", src);
+        let live: Vec<&str> = f.code_indices().map(|i| f.toks[i].text.as_str()).collect();
+        assert!(live.contains(&"live"));
+        assert!(live.contains(&"after"));
+        assert!(!live.contains(&"dead"));
+    }
+
+    #[test]
+    fn trailing_and_standalone_markers_resolve_targets() {
+        let src = "\
+let a = risky(); // monomi-lint: allow(panic-freedom): checked above
+// monomi-lint: allow(determinism-clock-env): metrics only
+let b = now();
+// monomi-lint: allow(panic-freedom)
+let c = bad();";
+        let f = SourceFile::new("c", "src/lib.rs", src);
+        assert!(f.allowed("panic-freedom", 1));
+        assert!(f.allowed("determinism-clock-env", 3));
+        // Marker without justification suppresses nothing.
+        assert!(!f.allowed("panic-freedom", 5));
+        assert_eq!(f.allows.len(), 3);
+        assert!(f.allows[2].justification.is_empty());
+    }
+
+    #[test]
+    fn commented_out_code_produces_no_code_tokens() {
+        let f = SourceFile::new("c", "src/lib.rs", "// let x = key.decrypt(c);\nlet y = 1;");
+        let live: Vec<&str> = f.code_indices().map(|i| f.toks[i].text.as_str()).collect();
+        assert!(!live.contains(&"decrypt"));
+        assert!(live.contains(&"y"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Workspace walker: discovers the crates and source files the rules run
+//! over.
+//!
+//! Scope is the shipped library code — `crates/*/src/**/*.rs` plus the root
+//! umbrella package's `src/` — in deterministic (sorted) order. `shims/` is
+//! excluded by policy: the shims stand in for registry crates and are not
+//! MONOMI code (the README documents this). `tests/`, `benches/`, and
+//! `examples/` are excluded because the client side of the trust boundary
+//! legitimately holds keys there (an example *is* a client).
+
+use crate::source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// All sources of one crate.
+pub struct CrateSources {
+    pub name: String,
+    /// Lexed files, `lib.rs`/`main.rs` roots first, then sorted by path.
+    pub files: Vec<SourceFile>,
+}
+
+impl CrateSources {
+    /// The crate root file (`src/lib.rs`, falling back to `src/main.rs`).
+    pub fn root_file(&self) -> Option<&SourceFile> {
+        self.files
+            .iter()
+            .find(|f| f.basename() == "lib.rs")
+            .or_else(|| self.files.iter().find(|f| f.basename() == "main.rs"))
+    }
+}
+
+/// Discovers and lexes every in-scope source file under `root`.
+pub fn discover(root: &Path) -> Result<Vec<CrateSources>, String> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(format!(
+            "{} does not look like a workspace root (no Cargo.toml)",
+            root.display()
+        ));
+    }
+    let mut crates = Vec::new();
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = match std::fs::read_dir(&crates_dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.is_dir())
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let Some(name) = dir.file_name().and_then(|n| n.to_str()).map(String::from) else {
+            continue;
+        };
+        let files = read_sources(root, &name, &dir.join("src"))?;
+        if !files.is_empty() {
+            crates.push(CrateSources { name, files });
+        }
+    }
+
+    // The root umbrella package (`src/lib.rs`).
+    let files = read_sources(root, "monomi", &root.join("src"))?;
+    if !files.is_empty() {
+        crates.push(CrateSources {
+            name: "monomi".to_string(),
+            files,
+        });
+    }
+    Ok(crates)
+}
+
+/// Recursively collects `.rs` files under `src_dir`, sorted for stable
+/// report order.
+fn read_sources(root: &Path, crate_name: &str, src_dir: &Path) -> Result<Vec<SourceFile>, String> {
+    let mut paths = Vec::new();
+    collect_rs(src_dir, &mut paths);
+    paths.sort();
+    let mut out = Vec::with_capacity(paths.len());
+    for p in paths {
+        let text =
+            std::fs::read_to_string(&p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+        let rel = p
+            .strip_prefix(root)
+            .unwrap_or(&p)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push(SourceFile::new(crate_name, &rel, &text));
+    }
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in rd.filter_map(|e| e.ok()) {
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! The workspace must lint clean: this is the same gate CI runs, kept as a
+//! test so `cargo test` alone catches a new invariant violation (or an
+//! unjustified allow marker) before a PR ever reaches the workflow.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves");
+    let report = monomi_lint::lint_workspace(&root).expect("workspace walk succeeds");
+    assert!(
+        report.clean(),
+        "workspace has lint violations:\n{}",
+        report.human()
+    );
+    // The walker must actually be looking at the workspace, not an empty dir.
+    assert!(
+        report.crates >= 9,
+        "expected >= 9 crates, saw {}",
+        report.crates
+    );
+    assert!(
+        report.files >= 40,
+        "expected >= 40 files, saw {}",
+        report.files
+    );
+    // Every rule family ships, and suppressions stay deliberate and few.
+    assert_eq!(monomi_lint::rules::RULES.len(), 7);
+    assert!(
+        report.allows <= 16,
+        "allow markers crept up ({}) — each one needs review",
+        report.allows
+    );
+}

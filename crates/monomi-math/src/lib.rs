@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # monomi-math
 //!
 //! Arbitrary-precision unsigned integer arithmetic for the MONOMI encrypted

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # monomi-sql
 //!
 //! SQL front end for the MONOMI reproduction: a lexer, recursive-descent

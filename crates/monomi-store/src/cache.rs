@@ -130,13 +130,15 @@ impl SegmentCache {
         // entry may itself be evicted if it alone exceeds the budget — the
         // caller still holds its Arc, so oversized scans degrade to
         // cache-bypass instead of pinning the budget).
-        while inner.resident_bytes > self.budget_bytes && !inner.entries.is_empty() {
-            let victim = inner
+        while inner.resident_bytes > self.budget_bytes {
+            let Some(victim) = inner
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
-                .expect("non-empty cache has a minimum");
+            else {
+                break;
+            };
             if let Some(entry) = inner.entries.remove(&victim) {
                 inner.resident_bytes -= entry.data.heap_bytes;
             }

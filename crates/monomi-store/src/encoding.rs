@@ -95,29 +95,41 @@ impl<'a> Reader<'a> {
             .checked_add(n)
             .filter(|&e| e <= self.buf.len())
             .ok_or_else(|| StoreError::new("truncated payload"))?;
-        let out = &self.buf[self.pos..end];
+        let out = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| StoreError::new("truncated payload"))?;
         self.pos = end;
         Ok(out)
     }
 
+    /// A fixed-size array off the front of the buffer. `take(N)` returns
+    /// exactly `N` bytes, but the type system can't see that — convert
+    /// fallibly rather than unwrap.
+    fn array<const N: usize>(&mut self) -> Result<[u8; N], StoreError> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| StoreError::new("truncated payload"))
+    }
+
     pub fn u8(&mut self) -> Result<u8, StoreError> {
-        Ok(self.take(1)?[0])
+        Ok(self.array::<1>()?[0])
     }
 
     pub fn u32(&mut self) -> Result<u32, StoreError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.array()?))
     }
 
     pub fn u64(&mut self) -> Result<u64, StoreError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.array()?))
     }
 
     pub fn i32(&mut self) -> Result<i32, StoreError> {
-        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(i32::from_le_bytes(self.array()?))
     }
 
     pub fn i64(&mut self) -> Result<i64, StoreError> {
-        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(i64::from_le_bytes(self.array()?))
     }
 
     /// A `u32`-length-prefixed byte run.
@@ -198,14 +210,17 @@ fn presence_bitmap(values: &[Value]) -> Vec<u8> {
     let mut bits = vec![0u8; values.len().div_ceil(8)];
     for (i, v) in values.iter().enumerate() {
         if !v.is_null() {
+            // monomi-lint: allow(panic-freedom): encode path over in-memory values — i < values.len() makes i/8 < bits.len() by construction
             bits[i / 8] |= 1 << (i % 8);
         }
     }
     bits
 }
 
+/// Reads bit `i` of a presence bitmap; out-of-range bits (a short bitmap in
+/// a corrupt payload) read as unset, i.e. null.
 fn bit_set(bits: &[u8], i: usize) -> bool {
-    bits[i / 8] & (1 << (i % 8)) != 0
+    bits.get(i / 8).is_some_and(|b| b & (1 << (i % 8)) != 0)
 }
 
 /// What one column's values look like, for encoding selection.
@@ -442,7 +457,12 @@ pub fn decode_column(buf: &[u8]) -> Result<(Vec<Value>, usize), StoreError> {
                 });
             }
         }
-        Encoding::Generic => unreachable!("handled above"),
+        Encoding::Generic => {
+            // Handled by the early return above; if control somehow gets here
+            // the decoder state is inconsistent — fail the query, not the
+            // process.
+            return Err(StoreError::new("generic encoding reached typed decoder"));
+        }
     }
     Ok((values, r.pos))
 }

@@ -124,7 +124,10 @@ impl Manifest {
             return Err(StoreError::new("manifest truncated"));
         }
         let (body, trailer) = bytes.split_at(bytes.len() - 8);
-        let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+        let trailer: [u8; 8] = trailer
+            .try_into()
+            .map_err(|_| StoreError::new("manifest trailer truncated"))?;
+        let stored = u64::from_le_bytes(trailer);
         if stored != crc64(body) {
             return Err(StoreError::new("manifest checksum mismatch"));
         }

@@ -192,7 +192,10 @@ pub fn decode_segment(
         return Err(StoreError::new("segment file truncated"));
     }
     let (body, trailer) = bytes.split_at(bytes.len() - 8);
-    let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+    let trailer: [u8; 8] = trailer
+        .try_into()
+        .map_err(|_| StoreError::new("segment trailer truncated"))?;
+    let stored = u64::from_le_bytes(trailer);
     let actual = crc64(body);
     if stored != actual {
         return Err(StoreError::new(format!(
@@ -221,7 +224,10 @@ pub fn decode_segment(
     let mut columns = Vec::with_capacity(column_count);
     let mut offset = MAGIC.len() + 4 + 4 + 4;
     for _ in 0..column_count {
-        let (values, consumed) = decode_column(&body[offset..])?;
+        let column_bytes = body
+            .get(offset..)
+            .ok_or_else(|| StoreError::new("segment column data truncated"))?;
+        let (values, consumed) = decode_column(column_bytes)?;
         if values.len() != rows {
             return Err(StoreError::new("column row count mismatch"));
         }

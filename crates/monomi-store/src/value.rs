@@ -218,6 +218,7 @@ fn cmp_i64_f64(a: i64, b: f64) -> Ordering {
         };
     }
     let af = a as f64;
+    // monomi-lint: allow(panic-freedom): b's NaN case early-returned above and an i64 cast is never NaN, so partial_cmp is Some
     match af.partial_cmp(&b).expect("operands are not NaN") {
         // i64 → f64 rounding is monotonic and b is exact, so a strict
         // inequality after rounding is already correct.
@@ -292,6 +293,7 @@ impl std::hash::Hash for Value {
         match self {
             Value::Null => 0u8.hash(state),
             Value::Int(_) | Value::Float(_) | Value::Date(_) => {
+                // monomi-lint: allow(panic-freedom): the match arm admits only numeric variants, for which numeric() is always Some
                 hash_numeric(self.numeric().expect("numeric variant"), state);
             }
             Value::Str(s) => {
@@ -359,7 +361,14 @@ pub mod date {
         if month == 2 && is_leap(year) {
             29
         } else {
-            DAYS_IN_MONTH[(month - 1) as usize]
+            // Total for any input: out-of-range months (callers validate,
+            // but `ymd_to_days` is public) act as 31-day months instead of
+            // panicking.
+            usize::try_from(month - 1)
+                .ok()
+                .and_then(|i| DAYS_IN_MONTH.get(i))
+                .copied()
+                .unwrap_or(31)
         }
     }
 

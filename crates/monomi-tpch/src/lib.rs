@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # monomi-tpch
 //!
 //! The evaluation workload for the MONOMI reproduction: a deterministic

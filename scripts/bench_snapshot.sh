@@ -26,6 +26,10 @@ echo "== bench snapshot at MONOMI_SCALE=$MONOMI_SCALE -> $OUT =="
 TMPDIR_SNAP="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_SNAP"' EXIT
 
+# Invariant-checker result rides along in the snapshot: a perf number from a
+# tree that violates the workspace invariants is not a comparable number.
+cargo run -q --release -p monomi-lint -- --json > "$TMPDIR_SNAP/monomi_lint.json"
+
 MONOMI_BENCH_JSON="$TMPDIR_SNAP/hom_agg.json" cargo bench --bench hom_agg
 MONOMI_BENCH_JSON="$TMPDIR_SNAP/parallel_exec.json" cargo bench --bench parallel_exec
 MONOMI_BENCH_JSON="$TMPDIR_SNAP/storage_micro.json" cargo bench --bench storage_micro
@@ -40,6 +44,8 @@ cargo bench --bench scan_micro
   cat "$TMPDIR_SNAP/parallel_exec.json"
   printf ',\n"storage_micro": '
   cat "$TMPDIR_SNAP/storage_micro.json"
+  printf ',\n"monomi_lint": '
+  cat "$TMPDIR_SNAP/monomi_lint.json"
   printf '}\n'
 } > "$OUT"
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # monomi
 //!
 //! Umbrella crate for the MONOMI reproduction (Tu, Kaashoek, Madden,
