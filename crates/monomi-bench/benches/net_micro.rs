@@ -1,0 +1,172 @@
+//! Network microbenchmark: the measured cost of the trust boundary.
+//!
+//! Runs the two server-side query shapes the paper's cost breakdown is
+//! dominated by — Q1-shaped Paillier aggregation and the Q6-shaped selective
+//! scan — through both [`ServerTransport`] implementations against the same
+//! data: in-process (function call, zero wire) and TCP loopback (a real
+//! `monomi-server` accept loop, CRC-framed protocol, measured bytes). The
+//! delta is the true round-trip overhead of the client/server split, as
+//! opposed to the `NetworkModel`'s simulated link.
+//!
+//! Results must be byte-identical across transports (asserted). With
+//! `MONOMI_BENCH_JSON=<path>` the numbers are written as a JSON snapshot for
+//! `scripts/bench_snapshot.sh`. Knobs: `MONOMI_SCALE`, `MONOMI_BENCH_ITERS`,
+//! `MONOMI_PAILLIER_BITS`.
+
+use monomi_bench::{env_usize, print_header};
+use monomi_core::transport::load_database;
+use monomi_core::{InProcessTransport, RemoteExecution, ServerTransport, TcpTransport};
+use monomi_crypto::PaillierKey;
+use monomi_engine::{ColumnDef, ColumnType, Database, ExecOptions, TableSchema, Value};
+use monomi_math::BigUint;
+use monomi_server::{Server, ServerOptions};
+use monomi_sql::parse_query;
+use monomi_tpch::datagen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Best-of-N round trip through a transport, returning (wall seconds, wire
+/// bytes of one round trip, last execution).
+fn best_of(
+    n: usize,
+    transport: &dyn ServerTransport,
+    query: &monomi_sql::ast::Query,
+    opts: &ExecOptions,
+) -> (f64, u64, RemoteExecution) {
+    let mut best = f64::INFINITY;
+    let mut last = transport.execute(query, opts).expect("execute");
+    let mut wire = last.wire.bytes_sent + last.wire.bytes_received;
+    for _ in 0..n {
+        let start = Instant::now();
+        last = transport.execute(query, opts).expect("execute");
+        best = best.min(start.elapsed().as_secs_f64());
+        wire = last.wire.bytes_sent + last.wire.bytes_received;
+    }
+    (best, wire, last)
+}
+
+fn main() {
+    print_header(
+        "Client/server wire overhead: in-process vs TCP loopback round trips",
+        "the §6 client/server deployment, measured instead of modeled",
+    );
+    let iters = env_usize("MONOMI_BENCH_ITERS", 5);
+    let bits = env_usize("MONOMI_PAILLIER_BITS", 512);
+    let scale = std::env::var("MONOMI_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.002);
+    let opts = ExecOptions::serial();
+
+    // One database carrying both shapes: plaintext TPC-H lineitem for the
+    // Q6-shaped scan, plus a ciphertext column for Q1-shaped HOM aggregation.
+    let mut db = datagen::generate(&datagen::GeneratorConfig {
+        scale_factor: scale,
+        seed: 42,
+    });
+    let hom_rows = ((scale * 1_000_000.0) as usize).clamp(512, 20_000);
+    let mut rng = StdRng::seed_from_u64(0x5eed);
+    let key = PaillierKey::generate(&mut rng, bits);
+    let plains: Vec<BigUint> = (0..hom_rows as u64)
+        .map(|i| BigUint::from_u64(i % 997))
+        .collect();
+    let cts = key.batch_encrypt(&mut rng, &plains);
+    db.create_table(TableSchema::new(
+        "lineitem_enc",
+        vec![
+            ColumnDef::new("l_returnflag", ColumnType::Str),
+            ColumnDef::new("l_hom", ColumnType::Bytes),
+        ],
+    ));
+    let flags = ["A", "N", "R"];
+    let width = key.ciphertext_bytes();
+    db.bulk_load(
+        "lineitem_enc",
+        cts.iter()
+            .enumerate()
+            .map(|(i, c)| {
+                vec![
+                    Value::Str(flags[i % flags.len()].into()),
+                    Value::Bytes(c.to_bytes_be_padded(width)),
+                ]
+            })
+            .collect(),
+    )
+    .expect("load encrypted rows");
+    db.register_paillier_modulus(key.n_squared().clone());
+    let scan_rows = db.table("lineitem").expect("lineitem").row_count();
+
+    // TCP side: a real server on loopback, loaded over the wire.
+    let handle = Server::bind_with_db(
+        "127.0.0.1:0",
+        ServerOptions::default(),
+        Database::in_memory(),
+    )
+    .expect("bind loopback server")
+    .spawn()
+    .expect("spawn server");
+    let mut tcp = TcpTransport::connect(&handle.addr().to_string()).expect("connect");
+    let load_started = Instant::now();
+    load_database(&mut tcp, &db).expect("ship database to the server");
+    let load_secs = load_started.elapsed().as_secs_f64();
+    let loaded = tcp.wire_totals();
+    println!(
+        "bulk load over TCP: {} bytes sent in {load_secs:.3}s ({:.1} MB/s)\n",
+        loaded.bytes_sent,
+        loaded.bytes_sent as f64 / 1e6 / load_secs.max(1e-9),
+    );
+    let inproc = InProcessTransport::new(db);
+
+    let q1 = parse_query(
+        "SELECT l_returnflag, paillier_sum(l_hom), COUNT(*) FROM lineitem_enc \
+         GROUP BY l_returnflag ORDER BY l_returnflag",
+    )
+    .unwrap();
+    let q6 = parse_query(
+        "SELECT SUM(l_extendedprice * l_discount) FROM lineitem \
+         WHERE l_shipdate >= DATE '1994-01-01' \
+         AND l_shipdate < DATE '1994-01-01' + INTERVAL '1' YEAR \
+         AND l_discount BETWEEN 5 AND 7 AND l_quantity < 24",
+    )
+    .unwrap();
+
+    let mut json = vec![format!(
+        "  \"bench\": \"net_micro\",\n  \"paillier_bits\": {bits},\n  \
+         \"hom_rows\": {hom_rows},\n  \"scan_rows\": {scan_rows},\n  \
+         \"load_bytes\": {},\n  \"load_mb_per_sec\": {:.1}",
+        loaded.bytes_sent,
+        loaded.bytes_sent as f64 / 1e6 / load_secs.max(1e-9),
+    )];
+    for (name, query, rows) in [("q1_hom", &q1, hom_rows), ("q6_scan", &q6, scan_rows)] {
+        let (local_secs, _, local) = best_of(iters, &inproc, query, &opts);
+        let (tcp_secs, wire_bytes, remote) = best_of(iters, &tcp, query, &opts);
+        assert_eq!(
+            format!("{:?}", local.result),
+            format!("{:?}", remote.result),
+            "{name}: TCP result must be byte-identical to in-process"
+        );
+        let overhead_us = (tcp_secs - local_secs).max(0.0) * 1e6;
+        println!("{name} ({rows} rows, serial):");
+        println!("  in-process round trip:    {:>10.1} us", local_secs * 1e6);
+        println!("  TCP loopback round trip:  {:>10.1} us", tcp_secs * 1e6);
+        println!("  wire overhead:            {overhead_us:>10.1} us");
+        println!(
+            "  wire bytes per round trip: {wire_bytes:>9} ({} received)\n",
+            remote.wire.bytes_received
+        );
+        json.push(format!(
+            "  \"{name}_inproc_us\": {:.1},\n  \"{name}_tcp_us\": {:.1},\n  \
+             \"{name}_wire_overhead_us\": {overhead_us:.1},\n  \
+             \"{name}_wire_bytes\": {wire_bytes}",
+            local_secs * 1e6,
+            tcp_secs * 1e6,
+        ));
+    }
+
+    if let Ok(path) = std::env::var("MONOMI_BENCH_JSON") {
+        let body = json.join(",\n");
+        std::fs::write(&path, format!("{{\n{body}\n}}\n")).expect("write bench snapshot JSON");
+        println!("wrote snapshot to {path}");
+    }
+}

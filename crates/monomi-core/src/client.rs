@@ -12,6 +12,9 @@ use crate::localexec::{QueryTimings, SplitExecutor};
 use crate::network::NetworkModel;
 use crate::plan::{PlanOptions, SplitPlan};
 use crate::planner::Planner;
+use crate::transport::{
+    load_database, InProcessTransport, ServerTransport, TcpTransport, WireMetrics,
+};
 use crate::CoreError;
 use monomi_crypto::{MasterKey, PaillierKey};
 use monomi_engine::{Database, ExecOptions, ResultSet, Value};
@@ -39,6 +42,12 @@ pub struct ClientConfig {
     /// / `MONOMI_MORSEL_ROWS` from the environment once, at setup time;
     /// results are bit-identical at every thread count either way.
     pub exec_options: Option<ExecOptions>,
+    /// Address of a running `monomi-server` (e.g. `127.0.0.1:7433`). `None`
+    /// keeps the server in-process (the historical zero-copy path). With an
+    /// address, setup ships the encrypted database over the wire and every
+    /// server query runs through the TCP transport; results are
+    /// byte-identical between the two.
+    pub server_addr: Option<String>,
 }
 
 impl Default for ClientConfig {
@@ -51,6 +60,7 @@ impl Default for ClientConfig {
             seed: 42,
             skip_profiling: false,
             exec_options: None,
+            server_addr: None,
         }
     }
 }
@@ -70,7 +80,9 @@ pub enum DesignStrategy {
 pub struct MonomiClient {
     plain_stats_db: Database,
     encryptor: Encryptor,
-    encrypted_db: Database,
+    /// Every server interaction goes through here: in-process for `None`
+    /// [`ClientConfig::server_addr`], framed TCP otherwise.
+    server: Box<dyn ServerTransport>,
     network: NetworkModel,
     profile: DecryptProfile,
     plan_options: PlanOptions,
@@ -140,6 +152,18 @@ impl MonomiClient {
     ) -> Result<Self, CoreError> {
         let encryptor = Encryptor::with_keys(master, paillier, design);
         let encrypted_db = encryptor.encrypt_database(plain, config.seed ^ 0x5eed)?;
+        // Stand up the server: keep the encrypted database in-process, or
+        // ship it (schemas, Paillier modulus, ciphertext rows) to a remote
+        // monomi-server and drop the local copy — the trusted client then
+        // holds only keys and statistics, matching the paper's deployment.
+        let server: Box<dyn ServerTransport> = match &config.server_addr {
+            None => Box::new(InProcessTransport::new(encrypted_db)),
+            Some(addr) => {
+                let mut transport = TcpTransport::connect(addr)?;
+                load_database(&mut transport, &encrypted_db)?;
+                Box::new(transport)
+            }
+        };
         // Resolve the execution options once: the profiler below and every
         // later query must describe the same configuration.
         let exec_options = config.exec_options.unwrap_or_else(ExecOptions::from_env);
@@ -156,7 +180,7 @@ impl MonomiClient {
         Ok(MonomiClient {
             plain_stats_db,
             encryptor,
-            encrypted_db,
+            server,
             network: config.network,
             profile,
             plan_options: config.plan_options,
@@ -175,15 +199,27 @@ impl MonomiClient {
         self.design_outcome.as_ref()
     }
 
-    /// The encrypted server database (exposed for space accounting and tests;
-    /// a real deployment would only hold a connection to it).
-    pub fn encrypted_database(&self) -> &Database {
-        &self.encrypted_db
+    /// The encrypted server database, when it lives in this process (tests
+    /// and space accounting reach through this; with a remote server the
+    /// client holds no copy and this returns `None`).
+    pub fn encrypted_database(&self) -> Option<&Database> {
+        self.server.in_process_database()
     }
 
-    /// Actual bytes stored on the untrusted server.
+    /// The transport every server interaction goes through.
+    pub fn server_transport(&self) -> &dyn ServerTransport {
+        self.server.as_ref()
+    }
+
+    /// Cumulative measured wire traffic (all zeros for in-process servers).
+    pub fn wire_totals(&self) -> WireMetrics {
+        self.server.wire_totals()
+    }
+
+    /// Actual bytes stored on the untrusted server (asked of the server
+    /// itself when remote).
     pub fn server_size_bytes(&self) -> usize {
-        self.encrypted_db.total_size_bytes()
+        self.server.server_size_bytes().unwrap_or(0) as usize
     }
 
     /// Analytic server size under the design (reflects multi-row packing).
@@ -207,7 +243,7 @@ impl MonomiClient {
 
     fn executor(&self) -> SplitExecutor<'_> {
         SplitExecutor {
-            encrypted_db: &self.encrypted_db,
+            server: self.server.as_ref(),
             encryptor: &self.encryptor,
             network: &self.network,
             exec_options: self.exec_options,

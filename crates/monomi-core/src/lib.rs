@@ -50,6 +50,7 @@ pub mod plan;
 pub mod planner;
 pub mod rewrite;
 pub mod schemes;
+pub mod transport;
 
 pub use client::{ClientConfig, DesignStrategy, MonomiClient};
 pub use design::{ColumnDesign, Encryptor, PhysicalDesign, TableDesign};
@@ -59,6 +60,9 @@ pub use network::NetworkModel;
 pub use plan::{PlanOptions, SplitPlan};
 pub use planner::{EncPair, EncUnit, Planner};
 pub use schemes::{EncRequest, EncScheme};
+pub use transport::{
+    InProcessTransport, RemoteExecution, ServerTransport, TcpTransport, WireMetrics,
+};
 
 /// Error type for MONOMI client-side operations.
 #[derive(Clone, Debug, PartialEq, Eq)]

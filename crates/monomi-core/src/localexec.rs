@@ -9,6 +9,7 @@
 use crate::design::Encryptor;
 use crate::network::NetworkModel;
 use crate::plan::{DecryptSpec, OutputColumn, RemotePlan, SplitPlan};
+use crate::transport::ServerTransport;
 use crate::CoreError;
 use monomi_engine::{
     ColumnDef, ColumnType, Database, ExecOptions, ResultSet, RowSchema, TableSchema, Value,
@@ -34,6 +35,17 @@ pub struct QueryTimings {
     pub server_cpu_seconds: f64,
     /// Simulated time to ship intermediate results over the client/server link.
     pub network_seconds: f64,
+    /// *Measured* time on the wire: for TCP transports, the round-trip
+    /// wall-clock of each server call minus the server-reported execution
+    /// seconds (0 for in-process execution). Reported alongside the modeled
+    /// `network_seconds` so the cost model can be validated against a real
+    /// link instead of only the [`NetworkModel`].
+    pub wire_seconds: f64,
+    /// Measured frame bytes the client sent to the server (0 in-process).
+    pub wire_bytes_sent: u64,
+    /// Measured frame bytes the client received from the server
+    /// (0 in-process). Compare with the modeled `transfer_bytes`.
+    pub wire_bytes_received: u64,
     /// Client time spent decrypting intermediate results.
     pub decrypt_seconds: f64,
     /// Client time spent on residual query processing.
@@ -69,6 +81,9 @@ impl QueryTimings {
         self.server_seconds += other.server_seconds;
         self.server_cpu_seconds += other.server_cpu_seconds;
         self.network_seconds += other.network_seconds;
+        self.wire_seconds += other.wire_seconds;
+        self.wire_bytes_sent += other.wire_bytes_sent;
+        self.wire_bytes_received += other.wire_bytes_received;
         self.decrypt_seconds += other.decrypt_seconds;
         self.client_seconds += other.client_seconds;
         self.transfer_bytes += other.transfer_bytes;
@@ -79,9 +94,11 @@ impl QueryTimings {
     }
 }
 
-/// Executes split plans against an encrypted database.
+/// Executes split plans against an encrypted database reached through a
+/// [`ServerTransport`] — in-process or over a real TCP connection; results
+/// are byte-identical either way.
 pub struct SplitExecutor<'a> {
-    pub encrypted_db: &'a Database,
+    pub server: &'a dyn ServerTransport,
     pub encryptor: &'a Encryptor,
     pub network: &'a NetworkModel,
     /// Engine execution options for both the server queries and the client's
@@ -117,16 +134,22 @@ impl<'a> SplitExecutor<'a> {
             let (rs, t) = self.execute(child)?;
             timings.add(&t);
             let started = Instant::now();
+            // Column types come from the child plan's declared schema first;
+            // sniffing the rows is only a fallback for expressions the
+            // inference cannot type. Without the declared types, an all-NULL
+            // intermediate column silently became Int, which then made
+            // comparisons against its real type vacuously false.
+            let declared = output_column_types(child);
             let schema = TableSchema::new(
                 binding.clone(),
                 rs.columns
                     .iter()
                     .enumerate()
                     .map(|(i, name)| {
-                        let ty = rs
-                            .rows
-                            .iter()
-                            .find_map(|r| value_column_type(&r[i]))
+                        let ty = declared
+                            .get(i)
+                            .and_then(|(_, t)| *t)
+                            .or_else(|| rs.rows.iter().find_map(|r| value_column_type(&r[i])))
                             .unwrap_or(ColumnType::Int);
                         ColumnDef::new(name.clone(), ty)
                     })
@@ -157,17 +180,18 @@ impl<'a> SplitExecutor<'a> {
             sub_results.insert(sub.clone(), rs.rows);
         }
 
-        // 2. RemoteSQL on the untrusted server.
-        let started = Instant::now();
-        let (enc_rs, stats) = self
-            .encrypted_db
-            .execute_with(&rp.server_query, &[], &self.exec_options)
-            .map_err(|e| CoreError::new(e.to_string()))?;
-        let exec_elapsed = started.elapsed().as_secs_f64();
+        // 2. RemoteSQL on the untrusted server, through the transport.
+        let remote = self.server.execute(&rp.server_query, &self.exec_options)?;
+        let enc_rs = remote.result;
+        let stats = remote.stats;
+        let exec_elapsed = remote.exec_seconds;
         timings.server_seconds += exec_elapsed
             + self
                 .network
                 .storage_seconds(stats.bytes_scanned, stats.segments_read);
+        timings.wire_seconds += remote.wire.seconds;
+        timings.wire_bytes_sent += remote.wire.bytes_sent;
+        timings.wire_bytes_received += remote.wire.bytes_received;
         // Aggregate CPU: serial portions run on one thread (wall == CPU);
         // inside morsel-parallel regions the workers' summed busy time
         // replaces the region's wall-clock contribution.
@@ -710,6 +734,220 @@ fn fold_group(values: Vec<Value>, agg: Option<AggFunc>, distinct: bool) -> Value
                 }
             }
         }
+    }
+}
+
+/// One plan's output schema: column name, and its declared type where one can
+/// be derived statically.
+type OutputColumnTypes = Vec<(String, Option<ColumnType>)>;
+
+/// The declared output schema of a split plan: one `(name, type)` pair per
+/// result column, with `None` where the type cannot be derived statically.
+///
+/// This is what `execute_client` materializes child results with, so that an
+/// all-NULL intermediate column keeps its declared type instead of being
+/// sniffed (and silently defaulting to `Int`). Types flow from the plan:
+/// [`DecryptSpec`] carries the plaintext type of every decrypted output, and
+/// projection/grouping expressions are typed structurally on top of that
+/// environment.
+fn output_column_types(plan: &SplitPlan) -> OutputColumnTypes {
+    match plan {
+        SplitPlan::Remote(rp) => {
+            // Environment the residual operators see: outputs keyed by their
+            // plaintext source expression, typed by their decrypt spec.
+            let env: Vec<(Expr, Option<ColumnType>)> = rp
+                .outputs
+                .iter()
+                .map(|o| (normalize_key(&o.source), decrypt_spec_type(o)))
+                .collect();
+            let resolve_env = |e: &Expr| -> Option<ColumnType> {
+                let n = normalize_key(e);
+                env.iter().find(|(k, _)| *k == n).and_then(|(_, t)| *t)
+            };
+
+            // Mirror `finish_locally`: local grouping replaces the
+            // environment keys with group keys + collected aggregates.
+            let final_keys: Vec<(Expr, Option<ColumnType>)> =
+                if let Some(group_keys) = &rp.local_group_by {
+                    let mut agg_exprs: Vec<Expr> = Vec::new();
+                    let mut collect = |e: &Expr| {
+                        e.walk(&mut |n| {
+                            if matches!(n, Expr::Aggregate { .. }) && !agg_exprs.contains(n) {
+                                agg_exprs.push(n.clone());
+                            }
+                        })
+                    };
+                    for p in &rp.projections {
+                        collect(&p.expr);
+                    }
+                    if let Some(h) = &rp.local_having {
+                        collect(h);
+                    }
+                    for o in &rp.order_by {
+                        collect(&o.expr);
+                    }
+                    group_keys
+                        .iter()
+                        .chain(agg_exprs.iter())
+                        .map(|k| (normalize_key(k), infer_expr_type(k, &resolve_env)))
+                        .collect()
+                } else {
+                    env.clone()
+                };
+            let resolve_final = |e: &Expr| -> Option<ColumnType> {
+                let n = normalize_key(e);
+                final_keys
+                    .iter()
+                    .find(|(k, _)| *k == n)
+                    .and_then(|(_, t)| *t)
+            };
+
+            if rp.projections.is_empty() {
+                // Table-fetch plan: the environment columns come out directly.
+                final_keys
+                    .iter()
+                    .map(|(k, t)| {
+                        let name = match k {
+                            Expr::Column(c) => c.column.clone(),
+                            other => other.to_string(),
+                        };
+                        (name, *t)
+                    })
+                    .collect()
+            } else {
+                rp.projections
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (p.output_name(i), infer_expr_type(&p.expr, &resolve_final)))
+                    .collect()
+            }
+        }
+        SplitPlan::Client { query, children } => {
+            // The residual query runs over local tables materialized from the
+            // children; resolve column references against their schemas.
+            let bindings: Vec<(String, OutputColumnTypes)> = children
+                .iter()
+                .map(|(b, c)| (b.clone(), output_column_types(c)))
+                .collect();
+            let resolve = |e: &Expr| -> Option<ColumnType> {
+                let Expr::Column(c) = e else { return None };
+                let mut found: Option<ColumnType> = None;
+                for (binding, cols) in &bindings {
+                    if c.table
+                        .as_deref()
+                        .is_some_and(|t| !t.eq_ignore_ascii_case(binding))
+                    {
+                        continue;
+                    }
+                    if let Some((_, t)) = cols
+                        .iter()
+                        .find(|(name, _)| name.eq_ignore_ascii_case(&c.column))
+                    {
+                        if found.is_some() {
+                            // Ambiguous across bindings: give up.
+                            return None;
+                        }
+                        found = *t;
+                    }
+                }
+                found
+            };
+            query
+                .projections
+                .iter()
+                .enumerate()
+                .map(|(i, p)| (p.output_name(i), infer_expr_type(&p.expr, &resolve)))
+                .collect()
+        }
+    }
+}
+
+/// The plaintext type a decrypted output column carries, per its spec.
+fn decrypt_spec_type(out: &OutputColumn) -> Option<ColumnType> {
+    match &out.decrypt {
+        // Plain covers server-computable plaintext (e.g. COUNT(*)); its type
+        // follows from the source expression's structure, resolved by the
+        // caller's structural inference.
+        DecryptSpec::Plain => None,
+        DecryptSpec::Column { ty, .. } => Some(*ty),
+        DecryptSpec::HomSum { ty, .. } | DecryptSpec::HomGroupSum { ty, .. } => Some(*ty),
+        DecryptSpec::GroupValues { ty, agg, .. } => match agg {
+            // `fold_group` keeps the list; it materializes as a Bytes column.
+            None => Some(ColumnType::Bytes),
+            Some(AggFunc::Count) => Some(ColumnType::Int),
+            Some(AggFunc::Avg) => Some(ColumnType::Float),
+            Some(AggFunc::Sum) => match ty {
+                ColumnType::Float => Some(ColumnType::Float),
+                ColumnType::Int => Some(ColumnType::Int),
+                _ => None,
+            },
+            Some(AggFunc::Min) | Some(AggFunc::Max) => Some(*ty),
+        },
+    }
+}
+
+/// Structural type inference for residual expressions, mirroring the engine's
+/// evaluation semantics (`Int/Int` division yields `Float`, AVG is always
+/// `Float`, …). `resolve` types whole subtrees the environment already
+/// carries; `None` means "unknown", in which case the caller falls back to
+/// sniffing row values.
+fn infer_expr_type(
+    expr: &Expr,
+    resolve: &dyn Fn(&Expr) -> Option<ColumnType>,
+) -> Option<ColumnType> {
+    if let Some(t) = resolve(expr) {
+        return Some(t);
+    }
+    match expr {
+        Expr::Literal(Literal::Number(n)) => {
+            if n.contains(['.', 'e', 'E']) {
+                Some(ColumnType::Float)
+            } else {
+                Some(ColumnType::Int)
+            }
+        }
+        Expr::Literal(Literal::String(_)) => Some(ColumnType::Str),
+        Expr::Literal(Literal::Date(_)) => Some(ColumnType::Date),
+        Expr::UnaryOp { expr, .. } => infer_expr_type(expr, resolve),
+        Expr::BinaryOp { left, op, right } => match op {
+            // The engine evaluates division in floating point even for
+            // integer operands (TPC-H ratios).
+            BinaryOp::Div => Some(ColumnType::Float),
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Mod => {
+                match (
+                    infer_expr_type(left, resolve),
+                    infer_expr_type(right, resolve),
+                ) {
+                    (Some(ColumnType::Float), Some(_)) | (Some(_), Some(ColumnType::Float)) => {
+                        Some(ColumnType::Float)
+                    }
+                    (Some(ColumnType::Int), Some(ColumnType::Int)) => Some(ColumnType::Int),
+                    _ => None,
+                }
+            }
+            _ => None,
+        },
+        Expr::Aggregate { func, arg, .. } => match func {
+            AggFunc::Count => Some(ColumnType::Int),
+            AggFunc::Avg => Some(ColumnType::Float),
+            AggFunc::Sum => match arg.as_deref().and_then(|a| infer_expr_type(a, resolve)) {
+                Some(ColumnType::Float) => Some(ColumnType::Float),
+                Some(ColumnType::Int) => Some(ColumnType::Int),
+                _ => None,
+            },
+            AggFunc::Min | AggFunc::Max => arg.as_deref().and_then(|a| infer_expr_type(a, resolve)),
+        },
+        Expr::Case {
+            when_then,
+            else_expr,
+            ..
+        } => when_then
+            .iter()
+            .map(|(_, t)| t)
+            .chain(else_expr.iter().map(|e| e.as_ref()))
+            .find_map(|e| infer_expr_type(e, resolve)),
+        Expr::Extract { .. } => Some(ColumnType::Int),
+        _ => None,
     }
 }
 

@@ -1,0 +1,392 @@
+//! The client's view of the untrusted server: every server interaction —
+//! loading ciphertext tables, registering the public Paillier modulus,
+//! executing the server half of a split plan — goes through
+//! [`ServerTransport`] instead of touching a [`Database`] directly.
+//!
+//! Two implementations:
+//!
+//! * [`InProcessTransport`] — owns the encrypted `Database` and calls the
+//!   engine directly. Zero-copy, zero wire bytes; this is the historical
+//!   behavior and what single-process experiments use.
+//! * [`TcpTransport`] — speaks `monomi-proto`'s framed protocol to a
+//!   `monomi-server` over a blocking TCP socket, and *measures* the wire:
+//!   every call counts the frame bytes it sent and received, and wire time is
+//!   the round-trip wall-clock minus the server-reported execution seconds.
+//!
+//! The two are interchangeable by construction: the wire format round-trips
+//! `Value`s exactly (variant and bit pattern), so a split plan executed over
+//! TCP must return byte-identical results to the in-process path — the
+//! transport-parity tests hold both implementations to that.
+
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::CoreError;
+use monomi_engine::{Database, ExecOptions, ExecStats, ResultSet, TableSchema, Value};
+use monomi_math::BigUint;
+use monomi_proto::{read_response, write_request, ProtoError, Request, Response, WIRE_VERSION};
+use monomi_sql::Query;
+
+/// Rows per `BulkLoad` frame when shipping a database to a remote server.
+/// Bounds peak frame size without drowning the load in round-trips.
+const LOAD_CHUNK_ROWS: usize = 4096;
+
+/// Measured wire traffic: what actually crossed the client/server boundary,
+/// as opposed to the [`NetworkModel`](crate::network::NetworkModel)'s modeled
+/// transfer times. All zeros for in-process execution.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WireMetrics {
+    /// Wall-clock spent on the wire: round-trip time minus the
+    /// server-reported execution time, clamped at zero.
+    pub seconds: f64,
+    /// Frame bytes written to the socket (requests).
+    pub bytes_sent: u64,
+    /// Frame bytes read from the socket (responses).
+    pub bytes_received: u64,
+}
+
+impl WireMetrics {
+    fn add(&mut self, other: &WireMetrics) {
+        self.seconds += other.seconds;
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+    }
+}
+
+/// What one remote query execution produced: the (still encrypted) result
+/// set, the server's deterministic work counters, the server-measured
+/// execution wall seconds, and the measured wire traffic of this call.
+#[derive(Clone, Debug)]
+pub struct RemoteExecution {
+    pub result: ResultSet,
+    pub stats: ExecStats,
+    /// Execution wall-clock as measured where the query ran (on the server
+    /// for TCP, around the engine call for in-process).
+    pub exec_seconds: f64,
+    /// Wire traffic of this call (zeros in-process).
+    pub wire: WireMetrics,
+}
+
+/// Everything the trusted client is allowed to ask of the untrusted server.
+///
+/// Nothing in this interface carries plaintext or key material: schemas and
+/// rows are the encryptor's output, queries are the planner's rewritten
+/// server halves, and results come back as ciphertext for the client to
+/// decrypt. Setup-time methods take `&mut self`; query-time methods take
+/// `&self` so a transport can be shared behind the executor.
+pub trait ServerTransport: Send {
+    /// Short transport name for reports ("in-process" / "tcp").
+    fn kind(&self) -> &'static str;
+
+    /// Registers an encrypted table schema on the server.
+    fn create_table(&mut self, schema: &TableSchema) -> Result<(), CoreError>;
+
+    /// Registers the public Paillier modulus `n²` the server needs for
+    /// ciphertext addition.
+    fn register_paillier_modulus(&mut self, n_squared: &BigUint) -> Result<(), CoreError>;
+
+    /// Appends ciphertext rows to a table created by this client.
+    fn bulk_load(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<(), CoreError>;
+
+    /// Executes the server half of a split query.
+    fn execute(&self, query: &Query, opts: &ExecOptions) -> Result<RemoteExecution, CoreError>;
+
+    /// Total bytes the server stores.
+    fn server_size_bytes(&self) -> Result<u64, CoreError>;
+
+    /// Cumulative wire traffic over the life of this transport.
+    fn wire_totals(&self) -> WireMetrics;
+
+    /// The server database, when it lives in this process (tests and space
+    /// accounting reach through this; a remote server returns `None`).
+    fn in_process_database(&self) -> Option<&Database> {
+        None
+    }
+}
+
+impl std::fmt::Debug for dyn ServerTransport + '_ {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ServerTransport({})", self.kind())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process transport
+// ---------------------------------------------------------------------------
+
+/// The historical execution path: the encrypted database lives in the client
+/// process and the engine is called directly. No serialization, no wire.
+pub struct InProcessTransport {
+    db: Database,
+}
+
+impl std::fmt::Debug for InProcessTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("InProcessTransport")
+    }
+}
+
+impl InProcessTransport {
+    /// Wraps an already encrypted database.
+    pub fn new(db: Database) -> Self {
+        InProcessTransport { db }
+    }
+}
+
+impl ServerTransport for InProcessTransport {
+    fn kind(&self) -> &'static str {
+        "in-process"
+    }
+
+    fn create_table(&mut self, schema: &TableSchema) -> Result<(), CoreError> {
+        self.db.create_table(schema.clone());
+        Ok(())
+    }
+
+    fn register_paillier_modulus(&mut self, n_squared: &BigUint) -> Result<(), CoreError> {
+        self.db.register_paillier_modulus(n_squared.clone());
+        Ok(())
+    }
+
+    fn bulk_load(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<(), CoreError> {
+        self.db
+            .bulk_load(table, rows)
+            .map_err(|e| CoreError::new(e.to_string()))
+    }
+
+    fn execute(&self, query: &Query, opts: &ExecOptions) -> Result<RemoteExecution, CoreError> {
+        let started = Instant::now();
+        let (result, stats) = self
+            .db
+            .execute_with(query, &[], opts)
+            .map_err(|e| CoreError::new(e.to_string()))?;
+        Ok(RemoteExecution {
+            result,
+            stats,
+            exec_seconds: started.elapsed().as_secs_f64(),
+            wire: WireMetrics::default(),
+        })
+    }
+
+    fn server_size_bytes(&self) -> Result<u64, CoreError> {
+        Ok(self.db.total_size_bytes() as u64)
+    }
+
+    fn wire_totals(&self) -> WireMetrics {
+        WireMetrics::default()
+    }
+
+    fn in_process_database(&self) -> Option<&Database> {
+        Some(&self.db)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TCP transport
+// ---------------------------------------------------------------------------
+
+struct TcpInner {
+    stream: TcpStream,
+    totals: WireMetrics,
+}
+
+/// A connection to a `monomi-server`, speaking `monomi-proto` frames over
+/// blocking TCP. One request/response in flight at a time (the split executor
+/// is sequential per query); the mutex makes `&self` execution safe.
+pub struct TcpTransport {
+    addr: String,
+    inner: Mutex<TcpInner>,
+}
+
+impl std::fmt::Debug for TcpTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpTransport")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+fn proto_err(e: ProtoError) -> CoreError {
+    CoreError::new(e.to_string())
+}
+
+impl TcpTransport {
+    /// Connects and performs the version handshake.
+    pub fn connect(addr: &str) -> Result<TcpTransport, CoreError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| CoreError::new(format!("cannot connect to monomi-server {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let mut inner = TcpInner {
+            stream,
+            totals: WireMetrics::default(),
+        };
+        let (resp, _) = round_trip(
+            &mut inner,
+            &Request::Hello {
+                version: WIRE_VERSION,
+            },
+        )?;
+        match resp {
+            Response::Hello { version } if version == WIRE_VERSION => Ok(TcpTransport {
+                addr: addr.to_string(),
+                inner: Mutex::new(inner),
+            }),
+            Response::Hello { version } => Err(CoreError::new(format!(
+                "server speaks wire version {version}, client speaks {WIRE_VERSION}"
+            ))),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    /// The address this transport is connected to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn call(&self, req: &Request) -> Result<(Response, WireMetrics), CoreError> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        round_trip(&mut inner, req)
+    }
+}
+
+/// Sends one request and reads one response, charging the frame bytes and
+/// the round-trip wall-clock to the connection's running totals.
+fn round_trip(inner: &mut TcpInner, req: &Request) -> Result<(Response, WireMetrics), CoreError> {
+    let started = Instant::now();
+    let sent = write_request(&mut inner.stream, req).map_err(proto_err)?;
+    let (resp, received) = read_response(&mut inner.stream).map_err(proto_err)?;
+    let wire = WireMetrics {
+        seconds: started.elapsed().as_secs_f64(),
+        bytes_sent: sent as u64,
+        bytes_received: received as u64,
+    };
+    inner.totals.add(&wire);
+    Ok((resp, wire))
+}
+
+fn unexpected(resp: &Response) -> CoreError {
+    match resp {
+        Response::Error { code, message } => {
+            CoreError::new(format!("server error ({code:?}): {message}"))
+        }
+        other => CoreError::new(format!("unexpected server response: {other:?}")),
+    }
+}
+
+/// Maps a response that should be a bare `Ok` to `Result<(), CoreError>`.
+fn expect_ok(resp: Response) -> Result<(), CoreError> {
+    match resp {
+        Response::Ok => Ok(()),
+        other => Err(unexpected(&other)),
+    }
+}
+
+impl ServerTransport for TcpTransport {
+    fn kind(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn create_table(&mut self, schema: &TableSchema) -> Result<(), CoreError> {
+        let (resp, _) = self.call(&Request::CreateTable {
+            name: schema.name.clone(),
+            columns: schema
+                .columns
+                .iter()
+                .map(|c| (c.name.clone(), c.ty))
+                .collect(),
+        })?;
+        expect_ok(resp)
+    }
+
+    fn register_paillier_modulus(&mut self, n_squared: &BigUint) -> Result<(), CoreError> {
+        let (resp, _) = self.call(&Request::RegisterModulus {
+            n_squared_be: n_squared.to_bytes_be(),
+        })?;
+        expect_ok(resp)
+    }
+
+    fn bulk_load(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<(), CoreError> {
+        // Chunked so a large ciphertext load never materializes as one giant
+        // frame (MAX_PAYLOAD) on either side.
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let mut rows = rows;
+        while !rows.is_empty() {
+            let rest = rows.split_off(rows.len().min(LOAD_CHUNK_ROWS));
+            let (resp, _) = self.call(&Request::BulkLoad {
+                table: table.to_string(),
+                rows,
+            })?;
+            expect_ok(resp)?;
+            rows = rest;
+        }
+        Ok(())
+    }
+
+    fn execute(&self, query: &Query, opts: &ExecOptions) -> Result<RemoteExecution, CoreError> {
+        // The SQL dialect round-trips through Display/parse (the sql crate's
+        // tests hold that invariant), so the server re-parses exactly this
+        // query.
+        let (resp, wire) = self.call(&Request::Execute {
+            sql: query.to_string(),
+            threads: opts.threads.min(u32::MAX as usize) as u32,
+            morsel_rows: opts.morsel_rows.min(u32::MAX as usize) as u32,
+        })?;
+        match resp {
+            Response::Result {
+                result,
+                stats,
+                exec_seconds,
+            } => Ok(RemoteExecution {
+                result,
+                stats,
+                exec_seconds,
+                wire: WireMetrics {
+                    // Time on the wire is what the round trip cost beyond
+                    // the server's own execution.
+                    seconds: (wire.seconds - exec_seconds).max(0.0),
+                    ..wire
+                },
+            }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn server_size_bytes(&self) -> Result<u64, CoreError> {
+        let (resp, _) = self.call(&Request::ServerSize)?;
+        match resp {
+            Response::Size { bytes } => Ok(bytes),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn wire_totals(&self) -> WireMetrics {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).totals
+    }
+}
+
+/// Ships an encrypted database to a server through a transport: every table
+/// schema, the Paillier modulus, then the rows. Used at client setup when a
+/// remote server address is configured; the in-process transport never needs
+/// it (it is handed the database whole).
+pub fn load_database(transport: &mut dyn ServerTransport, db: &Database) -> Result<(), CoreError> {
+    for schema in db.catalog().tables() {
+        transport.create_table(schema)?;
+    }
+    if let Some(n_squared) = db.paillier_modulus() {
+        transport.register_paillier_modulus(n_squared)?;
+    }
+    for name in db.table_names() {
+        let table = db
+            .table(&name)
+            .ok_or_else(|| CoreError::new(format!("listed table {name} missing")))?;
+        transport.bulk_load(&name, table.rows())?;
+    }
+    Ok(())
+}
+
+/// Typed server error codes, re-exported so callers matching on transport
+/// failures need not depend on `monomi-proto` directly.
+pub use monomi_proto::ErrorCode as ServerErrorCode;

@@ -65,7 +65,7 @@ impl ResultSet {
 /// Parallel operators accumulate their counters per worker thread and the
 /// per-thread/per-morsel partials are combined with [`ExecStats::merge`], so
 /// the totals are identical at every thread count.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Rows read from base tables.
     pub rows_scanned: u64,
@@ -148,6 +148,27 @@ impl ExecStats {
         (exec_wall_seconds - self.parallel_wall_nanos as f64 * 1e-9
             + self.worker_busy_nanos as f64 * 1e-9)
             .max(0.0)
+    }
+
+    /// The deterministic work counters, excluding the two wall-clock fields
+    /// (`worker_busy_nanos`, `parallel_wall_nanos`) that legitimately differ
+    /// between otherwise identical runs. Two executions of the same query
+    /// over the same data must agree on this tuple regardless of transport,
+    /// thread count, or host load — the transport-parity tests compare it.
+    #[allow(clippy::type_complexity)]
+    pub fn work_counters(&self) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, u32) {
+        (
+            self.rows_scanned,
+            self.bytes_scanned,
+            self.rows_materialized,
+            self.bytes_materialized,
+            self.result_rows,
+            self.result_bytes,
+            self.segments_read,
+            self.segments_pruned,
+            self.morsels,
+            self.threads_used,
+        )
     }
 
     /// Records the work accounting of one morsel-driven region.

@@ -55,7 +55,7 @@ pub const RULES: &[RuleInfo] = &[
         invariant: "I1",
         severity: Severity::Deny,
         summary: "key material and decryption must never be named in server-side crates \
-                  (monomi-engine, monomi-store, monomi-sql)",
+                  (monomi-engine, monomi-store, monomi-sql, monomi-proto, monomi-server)",
     },
     RuleInfo {
         id: MONTGOMERY_DOMAIN,
@@ -111,7 +111,13 @@ pub const ALLOW_JUSTIFICATION: &str = "allow-justification";
 
 /// Crates that run inside the untrusted server's trust domain: they compute
 /// on ciphertexts and must never name key material or decryption.
-const SERVER_CRATES: &[&str] = &["monomi-engine", "monomi-store", "monomi-sql"];
+const SERVER_CRATES: &[&str] = &[
+    "monomi-engine",
+    "monomi-store",
+    "monomi-sql",
+    "monomi-proto",
+    "monomi-server",
+];
 
 /// Identifiers that *are* key material or decryption capability. Naming one
 /// of these in a server crate is a trust-boundary violation.

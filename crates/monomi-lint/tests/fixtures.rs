@@ -47,6 +47,41 @@ fn trust_boundary_flags_key_material_types() {
 }
 
 #[test]
+fn trust_boundary_covers_the_wire_and_server_crates() {
+    // monomi-proto and monomi-server sit on the untrusted side of the wire:
+    // decryption and key-material types are violations there too.
+    let decrypting = "pub fn handle(c: &[u8]) { decrypt_frame(c); }";
+    assert!(fires(
+        "monomi-proto",
+        "crates/monomi-proto/src/lib.rs",
+        decrypting,
+        "trust-boundary"
+    ));
+    assert!(fires(
+        "monomi-server",
+        "crates/monomi-server/src/lib.rs",
+        decrypting,
+        "trust-boundary"
+    ));
+    for ident in ["MasterKey", "OpeCipher"] {
+        let src = format!("fn f(k: &{ident}) {{}}");
+        assert!(
+            fires(
+                "monomi-server",
+                "crates/monomi-server/src/session.rs",
+                &src,
+                "trust-boundary"
+            ),
+            "{ident} must be flagged in monomi-server"
+        );
+    }
+    // Ciphertext handling with no key material stays silent.
+    let clean = "pub fn frame(payload: &[u8]) -> Vec<u8> { encode(payload) }";
+    assert!(lint_source("monomi-proto", "crates/monomi-proto/src/lib.rs", clean).is_empty());
+    assert!(lint_source("monomi-server", "crates/monomi-server/src/lib.rs", clean).is_empty());
+}
+
+#[test]
 fn trust_boundary_is_silent_in_client_crates() {
     let src = "pub fn open(k: &MasterKey, c: &[u8]) -> Vec<u8> { decrypt_block(k, c) }";
     assert!(lint_source("monomi-crypto", "crates/monomi-crypto/src/x.rs", src).is_empty());

@@ -1,0 +1,886 @@
+#![forbid(unsafe_code)]
+//! # monomi-proto
+//!
+//! The versioned binary wire protocol between the trusted MONOMI client and
+//! the untrusted server. The paper's deployment model is a thin client that
+//! holds every key and a remote server that only ever sees ciphertexts; this
+//! crate defines exactly what crosses that trust boundary:
+//!
+//! * **requests** ([`Request`]) — register an encrypted table schema,
+//!   register the Paillier modulus (`n²`, public — it is required for
+//!   ciphertext addition but reveals nothing the ciphertexts don't), bulk-load
+//!   ciphertext rows, execute the server half of a split query (SQL text over
+//!   encrypted column names), and size probes;
+//! * **responses** ([`Response`]) — ciphertext result sets, the engine's
+//!   [`ExecStats`] work counters plus the server-measured execution wall
+//!   seconds, and typed errors ([`ErrorCode`]).
+//!
+//! Notably absent: key material of any kind, plaintext values, and decryption
+//! — those never leave the client (`monomi-lint`'s trust-boundary rule holds
+//! this crate to that).
+//!
+//! ## Framing
+//!
+//! Every message travels in one frame, reusing `monomi-store`'s encoding
+//! discipline (bounds-checked [`Reader`], tagged values, CRC-64 trailer):
+//!
+//! ```text
+//! [magic "MNMI" 4B] [version u32 LE] [payload_len u32 LE] [payload] [crc64 u64 LE]
+//! ```
+//!
+//! The checksum covers everything before it. Decoding is total: any
+//! truncation, bad magic, version mismatch, checksum failure, oversized
+//! length, or malformed payload surfaces as a typed [`ProtoError`] — never a
+//! panic — because the server must survive arbitrary bytes from the network
+//! (the byte-flip tests drive every position of a frame through the decoder).
+//!
+//! Version negotiation is a `Hello` exchange: the client sends its
+//! [`WIRE_VERSION`], the server answers with its own or rejects with
+//! [`ErrorCode::VersionMismatch`]. The frame header carries the version too,
+//! so even a pre-Hello mismatch fails cleanly.
+
+use std::io::{Read, Write};
+
+use monomi_engine::{ExecStats, ResultSet};
+use monomi_store::{
+    crc64, put_blob, read_value, write_value, ColumnType, Reader, StoreError, Value,
+};
+
+/// Protocol version spoken by this build. Bump on any frame or payload layout
+/// change; the `Hello` exchange and the frame header both carry it.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Frame magic: the first four bytes of every MONOMI frame.
+pub const MAGIC: [u8; 4] = *b"MNMI";
+
+/// Hard ceiling on a frame payload (1 GiB). A corrupted or hostile length
+/// field must produce a typed error, not a gigantic allocation.
+pub const MAX_PAYLOAD: usize = 1 << 30;
+
+/// Frame overhead in bytes: magic + version + payload length + CRC-64.
+pub const FRAME_OVERHEAD: usize = 4 + 4 + 4 + 8;
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// What went wrong while encoding, decoding, or transporting a frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtoErrorKind {
+    /// Socket-level failure (closed connection, refused, timeout).
+    Io,
+    /// The first four bytes were not [`MAGIC`].
+    BadMagic,
+    /// The frame header carried a version this build does not speak.
+    VersionMismatch,
+    /// The payload length exceeded [`MAX_PAYLOAD`].
+    Oversize,
+    /// The buffer ended before the frame did.
+    Truncated,
+    /// The CRC-64 trailer did not match the frame bytes.
+    Checksum,
+    /// The payload decoded structurally but made no semantic sense
+    /// (unknown tag, bad UTF-8, trailing garbage).
+    Malformed,
+}
+
+/// Typed protocol error; [`kind`](ProtoError::kind) is stable for matching,
+/// [`message`](ProtoError::message) is for humans.
+#[derive(Debug)]
+pub struct ProtoError {
+    pub kind: ProtoErrorKind,
+    pub message: String,
+}
+
+impl ProtoError {
+    pub fn new(kind: ProtoErrorKind, message: impl Into<String>) -> Self {
+        ProtoError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    fn malformed(message: impl Into<String>) -> Self {
+        ProtoError::new(ProtoErrorKind::Malformed, message)
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire protocol error ({:?}): {}", self.kind, self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+impl From<StoreError> for ProtoError {
+    fn from(e: StoreError) -> Self {
+        // The store's Reader reports truncation and tag errors as StoreError;
+        // inside a checksum-verified frame those mean a malformed payload.
+        ProtoError::malformed(e.message)
+    }
+}
+
+impl From<std::io::Error> for ProtoError {
+    fn from(e: std::io::Error) -> Self {
+        ProtoError::new(ProtoErrorKind::Io, format!("io: {e}"))
+    }
+}
+
+/// Stable error codes the server can send in a [`Response::Error`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// Admission control rejected the connection (`MONOMI_MAX_CONNS`).
+    Busy,
+    /// Client and server speak different [`WIRE_VERSION`]s.
+    VersionMismatch,
+    /// Request malformed or out of order (e.g. no `Hello` first).
+    BadRequest,
+    /// The shipped SQL text failed to parse.
+    Sql,
+    /// The query parsed but execution failed.
+    Exec,
+    /// A session tried to touch a table another session loaded.
+    Ownership,
+    /// Anything else; the message has details.
+    Internal,
+}
+
+impl ErrorCode {
+    fn tag(self) -> u8 {
+        match self {
+            ErrorCode::Busy => 1,
+            ErrorCode::VersionMismatch => 2,
+            ErrorCode::BadRequest => 3,
+            ErrorCode::Sql => 4,
+            ErrorCode::Exec => 5,
+            ErrorCode::Ownership => 6,
+            ErrorCode::Internal => 7,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<ErrorCode> {
+        Some(match tag {
+            1 => ErrorCode::Busy,
+            2 => ErrorCode::VersionMismatch,
+            3 => ErrorCode::BadRequest,
+            4 => ErrorCode::Sql,
+            5 => ErrorCode::Exec,
+            6 => ErrorCode::Ownership,
+            7 => ErrorCode::Internal,
+            _ => return None,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Messages
+// ---------------------------------------------------------------------------
+
+/// Client → server messages. Everything in here is ciphertext or public
+/// metadata; the encrypted column names (`l_quantity_det`, …) are produced by
+/// the client's physical design and reveal only the encryption scheme in use,
+/// which the server learns anyway from the ciphertext shapes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Version negotiation; must be the first request on a connection.
+    Hello { version: u32 },
+    /// Register an encrypted table: name plus `(column name, type)` pairs.
+    CreateTable {
+        name: String,
+        columns: Vec<(String, ColumnType)>,
+    },
+    /// Register the public Paillier modulus `n²` (big-endian bytes) so the
+    /// server can add HOM ciphertexts.
+    RegisterModulus { n_squared_be: Vec<u8> },
+    /// Append ciphertext rows to a table this session created.
+    BulkLoad {
+        table: String,
+        rows: Vec<Vec<Value>>,
+    },
+    /// Execute the server half of a split query. SQL text round-trips through
+    /// the shared `monomi-sql` dialect; `threads`/`morsel_rows` forward the
+    /// client's [`ExecOptions`](monomi_engine::ExecOptions) so parity runs
+    /// can pin the server's parallelism.
+    Execute {
+        sql: String,
+        threads: u32,
+        morsel_rows: u32,
+    },
+    /// Ask for the server's total stored size in bytes.
+    ServerSize,
+}
+
+/// Server → client messages.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Server's half of version negotiation.
+    Hello { version: u32 },
+    /// Generic success for requests with no payload to return.
+    Ok,
+    /// A ciphertext result set plus the server-side execution accounting:
+    /// the engine's deterministic work counters and the measured wall
+    /// seconds the query took on the server (so the client can split its
+    /// round-trip time into server time and wire time).
+    Result {
+        result: ResultSet,
+        stats: ExecStats,
+        exec_seconds: f64,
+    },
+    /// Answer to [`Request::ServerSize`].
+    Size { bytes: u64 },
+    /// Typed failure; the connection stays usable unless the transport broke.
+    Error { code: ErrorCode, message: String },
+}
+
+impl Response {
+    /// Convenience constructor for error responses.
+    pub fn error(code: ErrorCode, message: impl Into<String>) -> Response {
+        Response::Error {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+// Request tags (payload byte 0). Stable wire format — do not renumber.
+const RQ_HELLO: u8 = 1;
+const RQ_CREATE_TABLE: u8 = 2;
+const RQ_REGISTER_MODULUS: u8 = 3;
+const RQ_BULK_LOAD: u8 = 4;
+const RQ_EXECUTE: u8 = 5;
+const RQ_SERVER_SIZE: u8 = 6;
+
+// Response tags. Stable wire format — do not renumber.
+const RS_HELLO: u8 = 1;
+const RS_OK: u8 = 2;
+const RS_RESULT: u8 = 3;
+const RS_SIZE: u8 = 4;
+const RS_ERROR: u8 = 5;
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_blob(out, s.as_bytes());
+}
+
+fn write_rows(out: &mut Vec<u8>, rows: &[Vec<Value>]) {
+    put_u32(out, rows.len() as u32);
+    for row in rows {
+        put_u32(out, row.len() as u32);
+        for v in row {
+            write_value(out, v);
+        }
+    }
+}
+
+fn read_rows(r: &mut Reader<'_>) -> Result<Vec<Vec<Value>>, ProtoError> {
+    let n_rows = r.u32()? as usize;
+    // Cap the pre-allocation: the row count is attacker-controlled until the
+    // values actually decode.
+    let mut rows = Vec::with_capacity(n_rows.min(1 << 16));
+    for _ in 0..n_rows {
+        let n_cols = r.u32()? as usize;
+        let mut row = Vec::with_capacity(n_cols.min(1 << 12));
+        for _ in 0..n_cols {
+            row.push(read_value(r)?);
+        }
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+fn write_stats(out: &mut Vec<u8>, s: &ExecStats) {
+    put_u64(out, s.rows_scanned);
+    put_u64(out, s.bytes_scanned);
+    put_u64(out, s.rows_materialized);
+    put_u64(out, s.bytes_materialized);
+    put_u64(out, s.result_rows);
+    put_u64(out, s.result_bytes);
+    put_u64(out, s.segments_read);
+    put_u64(out, s.segments_pruned);
+    put_u64(out, s.morsels);
+    put_u32(out, s.threads_used);
+    put_u64(out, s.worker_busy_nanos);
+    put_u64(out, s.parallel_wall_nanos);
+}
+
+fn read_stats(r: &mut Reader<'_>) -> Result<ExecStats, ProtoError> {
+    Ok(ExecStats {
+        rows_scanned: r.u64()?,
+        bytes_scanned: r.u64()?,
+        rows_materialized: r.u64()?,
+        bytes_materialized: r.u64()?,
+        result_rows: r.u64()?,
+        result_bytes: r.u64()?,
+        segments_read: r.u64()?,
+        segments_pruned: r.u64()?,
+        morsels: r.u64()?,
+        threads_used: r.u32()?,
+        worker_busy_nanos: r.u64()?,
+        parallel_wall_nanos: r.u64()?,
+    })
+}
+
+impl Request {
+    /// Serializes this request into a payload (no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Hello { version } => {
+                out.push(RQ_HELLO);
+                put_u32(&mut out, *version);
+            }
+            Request::CreateTable { name, columns } => {
+                out.push(RQ_CREATE_TABLE);
+                put_str(&mut out, name);
+                put_u32(&mut out, columns.len() as u32);
+                for (col, ty) in columns {
+                    put_str(&mut out, col);
+                    out.push(ty.tag());
+                }
+            }
+            Request::RegisterModulus { n_squared_be } => {
+                out.push(RQ_REGISTER_MODULUS);
+                put_blob(&mut out, n_squared_be);
+            }
+            Request::BulkLoad { table, rows } => {
+                out.push(RQ_BULK_LOAD);
+                put_str(&mut out, table);
+                write_rows(&mut out, rows);
+            }
+            Request::Execute {
+                sql,
+                threads,
+                morsel_rows,
+            } => {
+                out.push(RQ_EXECUTE);
+                put_str(&mut out, sql);
+                put_u32(&mut out, *threads);
+                put_u32(&mut out, *morsel_rows);
+            }
+            Request::ServerSize => out.push(RQ_SERVER_SIZE),
+        }
+        out
+    }
+
+    /// Inverse of [`encode`](Self::encode). Total: every malformed payload is
+    /// an `Err`, never a panic. Trailing bytes are rejected — a frame holds
+    /// exactly one message.
+    pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
+        let mut r = Reader::new(payload);
+        let req = match r.u8()? {
+            RQ_HELLO => Request::Hello { version: r.u32()? },
+            RQ_CREATE_TABLE => {
+                let name = r.string()?;
+                let n = r.u32()? as usize;
+                let mut columns = Vec::with_capacity(n.min(1 << 12));
+                for _ in 0..n {
+                    let col = r.string()?;
+                    let tag = r.u8()?;
+                    let ty = ColumnType::from_tag(tag).ok_or_else(|| {
+                        ProtoError::malformed(format!("unknown column type tag {tag}"))
+                    })?;
+                    columns.push((col, ty));
+                }
+                Request::CreateTable { name, columns }
+            }
+            RQ_REGISTER_MODULUS => Request::RegisterModulus {
+                n_squared_be: r.blob()?.to_vec(),
+            },
+            RQ_BULK_LOAD => Request::BulkLoad {
+                table: r.string()?,
+                rows: read_rows(&mut r)?,
+            },
+            RQ_EXECUTE => Request::Execute {
+                sql: r.string()?,
+                threads: r.u32()?,
+                morsel_rows: r.u32()?,
+            },
+            RQ_SERVER_SIZE => Request::ServerSize,
+            other => {
+                return Err(ProtoError::malformed(format!(
+                    "unknown request tag {other}"
+                )))
+            }
+        };
+        if !r.is_empty() {
+            return Err(ProtoError::malformed("trailing bytes after request"));
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes this response into a payload (no frame header).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Hello { version } => {
+                out.push(RS_HELLO);
+                put_u32(&mut out, *version);
+            }
+            Response::Ok => out.push(RS_OK),
+            Response::Result {
+                result,
+                stats,
+                exec_seconds,
+            } => {
+                out.push(RS_RESULT);
+                put_u32(&mut out, result.columns.len() as u32);
+                for c in &result.columns {
+                    put_str(&mut out, c);
+                }
+                write_rows(&mut out, &result.rows);
+                write_stats(&mut out, stats);
+                put_u64(&mut out, exec_seconds.to_bits());
+            }
+            Response::Size { bytes } => {
+                out.push(RS_SIZE);
+                put_u64(&mut out, *bytes);
+            }
+            Response::Error { code, message } => {
+                out.push(RS_ERROR);
+                out.push(code.tag());
+                put_str(&mut out, message);
+            }
+        }
+        out
+    }
+
+    /// Inverse of [`encode`](Self::encode); total like [`Request::decode`].
+    pub fn decode(payload: &[u8]) -> Result<Response, ProtoError> {
+        let mut r = Reader::new(payload);
+        let resp = match r.u8()? {
+            RS_HELLO => Response::Hello { version: r.u32()? },
+            RS_OK => Response::Ok,
+            RS_RESULT => {
+                let n_cols = r.u32()? as usize;
+                let mut columns = Vec::with_capacity(n_cols.min(1 << 12));
+                for _ in 0..n_cols {
+                    columns.push(r.string()?);
+                }
+                let rows = read_rows(&mut r)?;
+                let stats = read_stats(&mut r)?;
+                let exec_seconds = f64::from_bits(r.u64()?);
+                Response::Result {
+                    result: ResultSet { columns, rows },
+                    stats,
+                    exec_seconds,
+                }
+            }
+            RS_SIZE => Response::Size { bytes: r.u64()? },
+            RS_ERROR => {
+                let tag = r.u8()?;
+                let code = ErrorCode::from_tag(tag)
+                    .ok_or_else(|| ProtoError::malformed(format!("unknown error code {tag}")))?;
+                Response::Error {
+                    code,
+                    message: r.string()?,
+                }
+            }
+            other => {
+                return Err(ProtoError::malformed(format!(
+                    "unknown response tag {other}"
+                )))
+            }
+        };
+        if !r.is_empty() {
+            return Err(ProtoError::malformed("trailing bytes after response"));
+        }
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Wraps a payload in a frame: magic, version, length, payload, CRC-64 over
+/// everything preceding the checksum.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(payload);
+    let crc = crc64(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Parses one frame from the front of `buf`, returning the payload and the
+/// total number of bytes the frame occupied. Total: every corruption mode —
+/// bad magic, foreign version, oversized or truncated length, checksum
+/// mismatch — is a typed error.
+pub fn decode_frame(buf: &[u8]) -> Result<(&[u8], usize), ProtoError> {
+    let mut r = Reader::new(buf);
+    let magic = r
+        .take(4)
+        .map_err(|_| ProtoError::new(ProtoErrorKind::Truncated, "frame shorter than its header"))?;
+    if magic != MAGIC {
+        return Err(ProtoError::new(ProtoErrorKind::BadMagic, "bad frame magic"));
+    }
+    let version = r
+        .u32()
+        .map_err(|_| ProtoError::new(ProtoErrorKind::Truncated, "frame shorter than its header"))?;
+    if version != WIRE_VERSION {
+        return Err(ProtoError::new(
+            ProtoErrorKind::VersionMismatch,
+            format!("frame version {version}, this build speaks {WIRE_VERSION}"),
+        ));
+    }
+    let len = r
+        .u32()
+        .map_err(|_| ProtoError::new(ProtoErrorKind::Truncated, "frame shorter than its header"))?
+        as usize;
+    if len > MAX_PAYLOAD {
+        return Err(ProtoError::new(
+            ProtoErrorKind::Oversize,
+            format!("payload length {len} exceeds cap {MAX_PAYLOAD}"),
+        ));
+    }
+    let total = FRAME_OVERHEAD + len;
+    if buf.len() < total {
+        return Err(ProtoError::new(
+            ProtoErrorKind::Truncated,
+            format!("frame claims {total} bytes, buffer has {}", buf.len()),
+        ));
+    }
+    let body = &buf[..total - 8];
+    let expected = u64::from_le_bytes(
+        buf[total - 8..total]
+            .try_into()
+            .map_err(|_| ProtoError::new(ProtoErrorKind::Truncated, "short checksum"))?,
+    );
+    if crc64(body) != expected {
+        return Err(ProtoError::new(
+            ProtoErrorKind::Checksum,
+            "frame checksum mismatch",
+        ));
+    }
+    Ok((&buf[12..total - 8], total))
+}
+
+/// Writes `payload` as one frame to `w`, returning the bytes written
+/// (payload plus [`FRAME_OVERHEAD`]) so transports can count wire traffic.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<usize, ProtoError> {
+    let framed = frame(payload);
+    w.write_all(&framed)?;
+    Ok(framed.len())
+}
+
+/// Reads one frame from `r`, returning the payload and the bytes consumed.
+/// Validates the header (magic, version, length cap) *before* allocating or
+/// reading the body, so hostile peers cannot force large allocations; the
+/// CRC-64 check runs once the full frame is in memory.
+pub fn read_frame(r: &mut impl Read) -> Result<(Vec<u8>, usize), ProtoError> {
+    let mut header = [0u8; 12];
+    r.read_exact(&mut header)?;
+    if header[..4] != MAGIC {
+        return Err(ProtoError::new(ProtoErrorKind::BadMagic, "bad frame magic"));
+    }
+    let version = u32::from_le_bytes(
+        header[4..8]
+            .try_into()
+            .map_err(|_| ProtoError::new(ProtoErrorKind::Truncated, "short header"))?,
+    );
+    if version != WIRE_VERSION {
+        return Err(ProtoError::new(
+            ProtoErrorKind::VersionMismatch,
+            format!("frame version {version}, this build speaks {WIRE_VERSION}"),
+        ));
+    }
+    let len = u32::from_le_bytes(
+        header[8..12]
+            .try_into()
+            .map_err(|_| ProtoError::new(ProtoErrorKind::Truncated, "short header"))?,
+    ) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(ProtoError::new(
+            ProtoErrorKind::Oversize,
+            format!("payload length {len} exceeds cap {MAX_PAYLOAD}"),
+        ));
+    }
+    let mut rest = vec![0u8; len + 8];
+    r.read_exact(&mut rest)?;
+    let mut body = Vec::with_capacity(12 + len);
+    body.extend_from_slice(&header);
+    body.extend_from_slice(&rest[..len]);
+    let expected = u64::from_le_bytes(
+        rest[len..]
+            .try_into()
+            .map_err(|_| ProtoError::new(ProtoErrorKind::Truncated, "short checksum"))?,
+    );
+    if crc64(&body) != expected {
+        return Err(ProtoError::new(
+            ProtoErrorKind::Checksum,
+            "frame checksum mismatch",
+        ));
+    }
+    body.drain(..12);
+    Ok((body, FRAME_OVERHEAD + len))
+}
+
+/// Frames and writes a request, returning bytes written.
+pub fn write_request(w: &mut impl Write, req: &Request) -> Result<usize, ProtoError> {
+    write_frame(w, &req.encode())
+}
+
+/// Frames and writes a response, returning bytes written.
+pub fn write_response(w: &mut impl Write, resp: &Response) -> Result<usize, ProtoError> {
+    write_frame(w, &resp.encode())
+}
+
+/// Reads and decodes one request, returning it with the bytes consumed.
+pub fn read_request(r: &mut impl Read) -> Result<(Request, usize), ProtoError> {
+    let (payload, n) = read_frame(r)?;
+    Ok((Request::decode(&payload)?, n))
+}
+
+/// Reads and decodes one response, returning it with the bytes consumed.
+pub fn read_response(r: &mut impl Read) -> Result<(Response, usize), ProtoError> {
+    let (payload, n) = read_frame(r)?;
+    Ok((Response::decode(&payload)?, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Hello {
+                version: WIRE_VERSION,
+            },
+            Request::CreateTable {
+                name: "lineitem_enc".into(),
+                columns: vec![
+                    ("l_quantity_det".into(), ColumnType::Bytes),
+                    ("l_shipdate_ope".into(), ColumnType::Int),
+                    ("l_comment_rnd".into(), ColumnType::Bytes),
+                ],
+            },
+            Request::RegisterModulus {
+                n_squared_be: vec![0x01, 0x00, 0xFF, 0xAB],
+            },
+            Request::BulkLoad {
+                table: "lineitem_enc".into(),
+                rows: vec![
+                    vec![Value::Int(1), Value::Bytes(vec![9, 9]), Value::Null],
+                    vec![
+                        Value::Float(-0.0),
+                        Value::Str("det".into()),
+                        Value::List(vec![Value::Int(2), Value::Null]),
+                    ],
+                ],
+            },
+            Request::Execute {
+                sql: "SELECT count(*) FROM lineitem_enc".into(),
+                threads: 4,
+                morsel_rows: 4096,
+            },
+            Request::ServerSize,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::Hello {
+                version: WIRE_VERSION,
+            },
+            Response::Ok,
+            Response::Result {
+                result: ResultSet {
+                    columns: vec!["c0".into(), "c1".into()],
+                    rows: vec![
+                        vec![Value::Bytes(vec![1, 2, 3]), Value::Int(42)],
+                        vec![Value::Null, Value::Float(f64::NAN)],
+                    ],
+                },
+                stats: ExecStats {
+                    rows_scanned: 10,
+                    bytes_scanned: 999,
+                    rows_materialized: 7,
+                    bytes_materialized: 700,
+                    result_rows: 2,
+                    result_bytes: 60,
+                    segments_read: 3,
+                    segments_pruned: 1,
+                    morsels: 5,
+                    threads_used: 4,
+                    worker_busy_nanos: 123_456,
+                    parallel_wall_nanos: 45_678,
+                },
+                exec_seconds: 0.125,
+            },
+            Response::Size { bytes: u64::MAX },
+            Response::error(ErrorCode::Sql, "no such table"),
+        ]
+    }
+
+    /// Value equality that distinguishes variants and float bit patterns
+    /// (Value's PartialEq coerces Int/Float and treats NaN as unequal).
+    fn values_exact(a: &Value, b: &Value) -> bool {
+        match (a, b) {
+            (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+            (Value::List(x), Value::List(y)) => {
+                x.len() == y.len() && x.iter().zip(y).all(|(a, b)| values_exact(a, b))
+            }
+            (x, y) => {
+                std::mem::discriminant(x) == std::mem::discriminant(y)
+                    && format!("{x:?}") == format!("{y:?}")
+            }
+        }
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in sample_requests() {
+            let payload = req.encode();
+            let decoded = Request::decode(&payload).expect("decode");
+            match (&req, &decoded) {
+                (Request::BulkLoad { rows: a, .. }, Request::BulkLoad { rows: b, .. }) => {
+                    assert_eq!(a.len(), b.len());
+                    for (ra, rb) in a.iter().zip(b) {
+                        assert!(ra.iter().zip(rb).all(|(x, y)| values_exact(x, y)));
+                    }
+                }
+                _ => assert_eq!(req, decoded),
+            }
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in sample_responses() {
+            let payload = resp.encode();
+            let decoded = Response::decode(&payload).expect("decode");
+            match (&resp, &decoded) {
+                (
+                    Response::Result {
+                        result: a,
+                        stats: sa,
+                        exec_seconds: ea,
+                    },
+                    Response::Result {
+                        result: b,
+                        stats: sb,
+                        exec_seconds: eb,
+                    },
+                ) => {
+                    assert_eq!(a.columns, b.columns);
+                    assert_eq!(a.rows.len(), b.rows.len());
+                    for (ra, rb) in a.rows.iter().zip(&b.rows) {
+                        assert!(ra.iter().zip(rb).all(|(x, y)| values_exact(x, y)));
+                    }
+                    assert_eq!(sa, sb);
+                    assert_eq!(ea.to_bits(), eb.to_bits());
+                }
+                _ => assert_eq!(resp, decoded),
+            }
+        }
+    }
+
+    #[test]
+    fn frames_roundtrip_through_io() {
+        for req in sample_requests() {
+            let mut buf = Vec::new();
+            let written = write_request(&mut buf, &req).expect("write");
+            assert_eq!(written, buf.len());
+            let (decoded, consumed) = read_request(&mut buf.as_slice()).expect("read");
+            assert_eq!(consumed, buf.len());
+            // Compared via re-encode: BulkLoad carries NaN-free values here.
+            assert_eq!(req.encode(), decoded.encode());
+        }
+    }
+
+    #[test]
+    fn every_byte_flip_is_a_typed_error_never_a_panic() {
+        let req = Request::Execute {
+            sql: "SELECT l_qty_hom FROM lineitem_enc WHERE l_sd_ope < 42".into(),
+            threads: 2,
+            morsel_rows: 1024,
+        };
+        let framed = frame(&req.encode());
+        for i in 0..framed.len() {
+            for bit in 0..8 {
+                let mut corrupt = framed.clone();
+                corrupt[i] ^= 1 << bit;
+                // Either the frame fails (magic/version/length/CRC) or —
+                // never — decodes to something; the CRC makes any flip a
+                // frame-level error.
+                let outcome = decode_frame(&corrupt).and_then(|(p, _)| Request::decode(p));
+                assert!(outcome.is_err(), "flip at byte {i} bit {bit} not caught");
+            }
+        }
+    }
+
+    #[test]
+    fn payload_corruption_is_total_even_without_the_checksum() {
+        // Defense in depth: the payload decoders must be panic-free on
+        // arbitrary bytes even if someone bypasses frame validation.
+        for req in sample_requests() {
+            let payload = req.encode();
+            for i in 0..payload.len() {
+                let mut corrupt = payload.clone();
+                corrupt[i] = corrupt[i].wrapping_add(0x5B);
+                let _ = Request::decode(&corrupt); // must not panic
+                let _ = Response::decode(&corrupt); // must not panic
+                let _ = Request::decode(&payload[..i]); // truncations too
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_typed_errors() {
+        let framed = frame(&Request::ServerSize.encode());
+        for cut in 0..framed.len() {
+            let err = decode_frame(&framed[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err.kind,
+                    ProtoErrorKind::Truncated | ProtoErrorKind::Checksum
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+
+        let mut oversize = frame(&[]);
+        oversize[8..12].copy_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            decode_frame(&oversize).unwrap_err().kind,
+            ProtoErrorKind::Oversize
+        );
+
+        let mut bad_magic = frame(&[]);
+        bad_magic[0] = b'X';
+        assert_eq!(
+            decode_frame(&bad_magic).unwrap_err().kind,
+            ProtoErrorKind::BadMagic
+        );
+
+        let mut foreign = frame(&[]);
+        foreign[4..8].copy_from_slice(&(WIRE_VERSION + 1).to_le_bytes());
+        assert_eq!(
+            decode_frame(&foreign).unwrap_err().kind,
+            ProtoErrorKind::VersionMismatch
+        );
+    }
+
+    #[test]
+    fn read_frame_rejects_oversize_before_allocating() {
+        let mut hdr = Vec::new();
+        hdr.extend_from_slice(&MAGIC);
+        hdr.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        hdr.extend_from_slice(&(u32::MAX).to_le_bytes());
+        let err = read_frame(&mut hdr.as_slice()).unwrap_err();
+        assert_eq!(err.kind, ProtoErrorKind::Oversize);
+    }
+}

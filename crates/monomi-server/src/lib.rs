@@ -1,0 +1,390 @@
+#![forbid(unsafe_code)]
+//! # monomi-server
+//!
+//! The untrusted half of MONOMI's deployment model: a standalone server that
+//! stores ciphertext tables and executes the server half of split queries.
+//! It holds no keys and can decrypt nothing — every table, every value, and
+//! every query it sees has already been transformed by the trusted client
+//! (`monomi-lint`'s trust-boundary rule enforces that no key-material type or
+//! `decrypt*` identifier appears in this crate).
+//!
+//! The shape follows the paper's Postgres-backed server, scaled to this
+//! reproduction:
+//!
+//! * a **blocking TCP accept loop** with one thread per connection — std
+//!   only, no async runtime. Intra-query parallelism belongs to the engine's
+//!   morsel scheduler, so a connection thread is almost always parked in
+//!   `read` and a thread per session is the honest cost model;
+//! * a **connection limit** (`MONOMI_MAX_CONNS`) as primitive admission
+//!   control: connection number `max_conns + 1` is greeted with a typed
+//!   [`ErrorCode::Busy`] and closed, rather than queued into oblivion;
+//! * a **per-session schema registry**: tables are owned by the session that
+//!   created them; other sessions can query them (shared analytics is the
+//!   point) but cannot load into or redefine them. Ownership claims are
+//!   released when the session disconnects;
+//! * one shared [`Database`] behind the existing store — `MONOMI_STORAGE`
+//!   picks the in-memory or on-disk backend exactly as in-process execution
+//!   does.
+//!
+//! Every message crossing the wire uses `monomi-proto`'s CRC-64 framed
+//! protocol; a connection must open with a `Hello` carrying a matching
+//! [`WIRE_VERSION`] before anything else is accepted.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use monomi_engine::{ColumnDef, Database, ExecOptions, TableSchema};
+use monomi_math::BigUint;
+use monomi_proto::{
+    read_request, write_response, ErrorCode, ProtoError, ProtoErrorKind, Request, Response,
+    WIRE_VERSION,
+};
+use monomi_sql::parse_query;
+use parking_lot::{Mutex, RwLock};
+
+/// Default listen address when `MONOMI_LISTEN` is unset.
+pub const DEFAULT_LISTEN: &str = "127.0.0.1:7433";
+
+/// Default connection limit when `MONOMI_MAX_CONNS` is unset.
+pub const DEFAULT_MAX_CONNS: usize = 64;
+
+/// Server tunables.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerOptions {
+    /// Connections admitted concurrently; the next one is refused with
+    /// [`ErrorCode::Busy`].
+    pub max_conns: usize,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            max_conns: DEFAULT_MAX_CONNS,
+        }
+    }
+}
+
+impl ServerOptions {
+    /// Reads options from the environment: `MONOMI_MAX_CONNS` (default
+    /// [`DEFAULT_MAX_CONNS`]).
+    pub fn from_env() -> Self {
+        let max_conns = std::env::var("MONOMI_MAX_CONNS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(DEFAULT_MAX_CONNS);
+        ServerOptions { max_conns }
+    }
+}
+
+/// State shared by the accept loop and every connection thread.
+struct Shared {
+    db: RwLock<Database>,
+    /// Table name → owning session id. Entries disappear when the owning
+    /// session disconnects; the tables themselves stay.
+    owners: Mutex<BTreeMap<String, u64>>,
+    active: AtomicUsize,
+    next_session: AtomicU64,
+    shutdown: AtomicBool,
+    opts: ServerOptions,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds a listener and wraps a fresh [`Database`] (backend selected by
+    /// `MONOMI_STORAGE`, exactly like in-process execution).
+    pub fn bind(addr: impl ToSocketAddrs, opts: ServerOptions) -> io::Result<Server> {
+        Server::bind_with_db(addr, opts, Database::new())
+    }
+
+    /// Binds a listener over a caller-supplied database (tests pre-load one).
+    pub fn bind_with_db(
+        addr: impl ToSocketAddrs,
+        opts: ServerOptions,
+        db: Database,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                db: RwLock::new(db),
+                owners: Mutex::new(BTreeMap::new()),
+                active: AtomicUsize::new(0),
+                next_session: AtomicU64::new(1),
+                shutdown: AtomicBool::new(false),
+                opts,
+            }),
+        })
+    }
+
+    /// The bound address (useful after binding port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on the calling thread until shut down via a
+    /// [`ServerHandle`] (or forever, for the binary).
+    pub fn run(self) {
+        for conn in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            // Admission control: reserve a slot before spawning; refuse with
+            // a typed Busy once the limit is reached.
+            let shared = Arc::clone(&self.shared);
+            if shared.active.fetch_add(1, Ordering::SeqCst) >= shared.opts.max_conns {
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+                let mut stream = stream;
+                let _ = write_response(
+                    &mut stream,
+                    &Response::error(ErrorCode::Busy, "connection limit reached"),
+                );
+                continue;
+            }
+            std::thread::spawn(move || {
+                let session = shared.next_session.fetch_add(1, Ordering::SeqCst);
+                let _ = serve_connection(&shared, stream, session);
+                shared
+                    .owners
+                    .lock()
+                    .retain(|_, &mut owner| owner != session);
+                shared.active.fetch_sub(1, Ordering::SeqCst);
+            });
+        }
+    }
+
+    /// Runs the accept loop on a background thread, returning a handle that
+    /// shuts the server down on drop. This is what the parity tests use.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shared = Arc::clone(&self.shared);
+        let thread = std::thread::spawn(move || self.run());
+        Ok(ServerHandle {
+            addr,
+            shared,
+            thread: Some(thread),
+        })
+    }
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// Address the server is listening on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins its thread. Connection threads exit
+    /// when their clients hang up.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept call with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One session: Hello handshake, then a request/response loop until the
+/// client disconnects or the transport breaks.
+fn serve_connection(
+    shared: &Shared,
+    mut stream: TcpStream,
+    session: u64,
+) -> Result<(), ProtoError> {
+    let _ = stream.set_nodelay(true);
+
+    // The first message must be a version handshake.
+    match read_request(&mut stream) {
+        Ok((Request::Hello { version }, _)) if version == WIRE_VERSION => {
+            write_response(
+                &mut stream,
+                &Response::Hello {
+                    version: WIRE_VERSION,
+                },
+            )?;
+        }
+        Ok((Request::Hello { version }, _)) => {
+            write_response(
+                &mut stream,
+                &Response::error(
+                    ErrorCode::VersionMismatch,
+                    format!("client speaks v{version}, server speaks v{WIRE_VERSION}"),
+                ),
+            )?;
+            return Ok(());
+        }
+        Ok(_) => {
+            write_response(
+                &mut stream,
+                &Response::error(ErrorCode::BadRequest, "expected Hello first"),
+            )?;
+            return Ok(());
+        }
+        Err(e) if e.kind == ProtoErrorKind::VersionMismatch => {
+            // Frame-level version mismatch: our reply frame may be
+            // undecodable to the peer, but a typed refusal beats silence.
+            write_response(
+                &mut stream,
+                &Response::error(ErrorCode::VersionMismatch, e.message),
+            )?;
+            return Ok(());
+        }
+        Err(e) => return Err(e),
+    }
+
+    loop {
+        let request = match read_request(&mut stream) {
+            Ok((req, _)) => req,
+            // Clean disconnect (or a broken transport either way): done.
+            Err(e) if e.kind == ProtoErrorKind::Io => return Ok(()),
+            // Corrupt frame: tell the peer and drop the connection — framing
+            // state past a corrupt frame is unrecoverable.
+            Err(e) => {
+                let _ = write_response(
+                    &mut stream,
+                    &Response::error(ErrorCode::BadRequest, e.to_string()),
+                );
+                return Err(e);
+            }
+        };
+        let response = handle_request(shared, session, request);
+        write_response(&mut stream, &response)?;
+    }
+}
+
+/// Executes one request against the shared state. Pure with respect to the
+/// transport: all socket handling lives in [`serve_connection`].
+fn handle_request(shared: &Shared, session: u64, request: Request) -> Response {
+    match request {
+        Request::Hello { version } if version == WIRE_VERSION => Response::Hello {
+            version: WIRE_VERSION,
+        },
+        Request::Hello { version } => Response::error(
+            ErrorCode::VersionMismatch,
+            format!("client speaks v{version}, server speaks v{WIRE_VERSION}"),
+        ),
+        Request::CreateTable { name, columns } => {
+            let mut owners = shared.owners.lock();
+            let mut db = shared.db.write();
+            if db.table(&name).is_some() {
+                return match owners.get(&name) {
+                    Some(&owner) if owner == session => {
+                        Response::error(ErrorCode::BadRequest, format!("table {name} exists"))
+                    }
+                    _ => Response::error(
+                        ErrorCode::Ownership,
+                        format!("table {name} belongs to another session"),
+                    ),
+                };
+            }
+            let defs = columns
+                .into_iter()
+                .map(|(col, ty)| ColumnDef::new(col, ty))
+                .collect();
+            db.create_table(TableSchema::new(name.clone(), defs));
+            owners.insert(name, session);
+            Response::Ok
+        }
+        Request::RegisterModulus { n_squared_be } => {
+            if n_squared_be.is_empty() {
+                return Response::error(ErrorCode::BadRequest, "empty modulus");
+            }
+            shared
+                .db
+                .write()
+                .register_paillier_modulus(BigUint::from_bytes_be(&n_squared_be));
+            Response::Ok
+        }
+        Request::BulkLoad { table, rows } => {
+            let owners = shared.owners.lock();
+            match owners.get(&table) {
+                Some(&owner) if owner == session => {}
+                Some(_) => {
+                    return Response::error(
+                        ErrorCode::Ownership,
+                        format!("table {table} belongs to another session"),
+                    )
+                }
+                None => {
+                    return Response::error(
+                        ErrorCode::BadRequest,
+                        format!("table {table} was not created by any live session"),
+                    )
+                }
+            }
+            match shared.db.write().bulk_load(&table, rows) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::error(ErrorCode::Exec, e.to_string()),
+            }
+        }
+        Request::Execute {
+            sql,
+            threads,
+            morsel_rows,
+        } => {
+            let query = match parse_query(&sql) {
+                Ok(q) => q,
+                Err(e) => return Response::error(ErrorCode::Sql, e.to_string()),
+            };
+            let opts = ExecOptions {
+                threads: (threads as usize).max(1),
+                morsel_rows: (morsel_rows as usize).max(1),
+            };
+            let started = Instant::now();
+            match shared.db.read().execute_with(&query, &[], &opts) {
+                Ok((result, stats)) => Response::Result {
+                    result,
+                    stats,
+                    exec_seconds: started.elapsed().as_secs_f64(),
+                },
+                Err(e) => Response::error(ErrorCode::Exec, e.to_string()),
+            }
+        }
+        Request::ServerSize => Response::Size {
+            bytes: shared.db.read().total_size_bytes() as u64,
+        },
+    }
+}

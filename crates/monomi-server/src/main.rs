@@ -1,0 +1,29 @@
+#![forbid(unsafe_code)]
+//! Standalone MONOMI server binary.
+//!
+//! Knobs (environment):
+//! * `MONOMI_LISTEN` — listen address, default `127.0.0.1:7433`;
+//! * `MONOMI_MAX_CONNS` — concurrent-connection limit, default 64;
+//! * `MONOMI_STORAGE` — `memory` (default) or `disk`, as everywhere else.
+
+use monomi_server::{Server, ServerOptions, DEFAULT_LISTEN};
+
+fn main() {
+    let addr = std::env::var("MONOMI_LISTEN").unwrap_or_else(|_| DEFAULT_LISTEN.to_string());
+    let opts = ServerOptions::from_env();
+    let server = match Server::bind(&addr, opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("monomi-server: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(bound) => println!(
+            "monomi-server listening on {bound} (max {} connections)",
+            opts.max_conns
+        ),
+        Err(_) => println!("monomi-server listening on {addr}"),
+    }
+    server.run();
+}

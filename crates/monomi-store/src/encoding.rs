@@ -75,7 +75,7 @@ const VT_LIST: u8 = 6;
 /// A byte reader with bounds-checked primitives; every decode error surfaces
 /// as a [`StoreError`] instead of a panic so corrupted files fail gracefully
 /// (the checksum normally catches corruption first).
-pub(crate) struct Reader<'a> {
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
@@ -145,13 +145,13 @@ impl<'a> Reader<'a> {
     }
 }
 
-pub(crate) fn put_blob(out: &mut Vec<u8>, bytes: &[u8]) {
+pub fn put_blob(out: &mut Vec<u8>, bytes: &[u8]) {
     out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
     out.extend_from_slice(bytes);
 }
 
 /// Serializes one value in the tagged generic format (recursive for lists).
-pub(crate) fn write_value(out: &mut Vec<u8>, v: &Value) {
+pub fn write_value(out: &mut Vec<u8>, v: &Value) {
     match v {
         Value::Null => out.push(VT_NULL),
         Value::Int(i) => {
@@ -185,7 +185,7 @@ pub(crate) fn write_value(out: &mut Vec<u8>, v: &Value) {
 }
 
 /// Inverse of [`write_value`].
-pub(crate) fn read_value(r: &mut Reader<'_>) -> Result<Value, StoreError> {
+pub fn read_value(r: &mut Reader<'_>) -> Result<Value, StoreError> {
     Ok(match r.u8()? {
         VT_NULL => Value::Null,
         VT_INT => Value::Int(r.i64()?),

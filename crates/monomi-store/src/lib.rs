@@ -47,6 +47,7 @@ pub mod store;
 pub mod value;
 
 pub use cache::SegmentCache;
+pub use encoding::{put_blob, read_value, write_value, Reader};
 pub use manifest::{Manifest, SegmentMeta, TableMeta};
 pub use segment::{ColumnZone, ZoneMap};
 pub use store::{BulkLoad, SegmentData, Store, StoreOptions};
@@ -78,8 +79,9 @@ impl ColumnType {
         }
     }
 
-    /// Stable one-byte tag used by the on-disk manifest.
-    pub(crate) fn tag(self) -> u8 {
+    /// Stable one-byte tag used by the on-disk manifest and the wire
+    /// protocol.
+    pub fn tag(self) -> u8 {
         match self {
             ColumnType::Int => 0,
             ColumnType::Float => 1,
@@ -90,7 +92,7 @@ impl ColumnType {
     }
 
     /// Inverse of [`tag`](Self::tag).
-    pub(crate) fn from_tag(tag: u8) -> Option<ColumnType> {
+    pub fn from_tag(tag: u8) -> Option<ColumnType> {
         Some(match tag {
             0 => ColumnType::Int,
             1 => ColumnType::Float,

@@ -75,6 +75,9 @@ pub fn run_plaintext(
         server_seconds: exec + network.storage_seconds(stats.bytes_scanned, stats.segments_read),
         server_cpu_seconds: stats.cpu_seconds(exec),
         network_seconds: network.transfer_seconds(rs.size_bytes() as u64),
+        wire_seconds: 0.0,
+        wire_bytes_sent: 0,
+        wire_bytes_received: 0,
         decrypt_seconds: 0.0,
         client_seconds: 0.0,
         transfer_bytes: rs.size_bytes() as u64,

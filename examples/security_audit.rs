@@ -53,7 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nColumns revealing order (OPE, the weakest scheme): {ope_columns:?}");
 
     println!("\nWhat the server actually stores (first lineitem row, truncated):");
-    let enc = client.encrypted_database();
+    let enc = client
+        .encrypted_database()
+        .expect("in-process server holds its database locally");
     let lineitem = enc.table("lineitem").expect("lineitem encrypted table");
     for (i, col) in lineitem.schema().columns.iter().enumerate().take(8) {
         println!("  {:<28} {}", col.name, lineitem.value(0, i));

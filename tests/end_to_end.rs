@@ -150,7 +150,9 @@ fn encrypted_server_never_sees_plaintext_strings() {
     let (client, _) =
         MonomiClient::setup(&plain, &parsed, DesignStrategy::Designer, &fast_config())
             .expect("setup succeeds");
-    let enc = client.encrypted_database();
+    let enc = client
+        .encrypted_database()
+        .expect("in-process server holds its database locally");
     // No encrypted table may contain any of the well-known TPC-H categorical
     // strings in the clear.
     let sensitive = ["AIR", "BUILDING", "GERMANY", "PROMO", "1-URGENT"];
