@@ -13,7 +13,7 @@ use crate::network::NetworkModel;
 use crate::plan::{PlanOptions, SplitPlan};
 use crate::planner::Planner;
 use crate::transport::{
-    load_database, InProcessTransport, ServerTransport, TcpTransport, WireMetrics,
+    load_database, InProcessTransport, ServerTransport, TcpTransport, TransportOptions, WireMetrics,
 };
 use crate::CoreError;
 use monomi_crypto::{MasterKey, PaillierKey};
@@ -48,6 +48,11 @@ pub struct ClientConfig {
     /// server query runs through the TCP transport; results are
     /// byte-identical between the two.
     pub server_addr: Option<String>,
+    /// Resilience knobs for the TCP transport (deadlines, retry budget,
+    /// backoff). `None` reads `MONOMI_CONNECT_TIMEOUT_MS` /
+    /// `MONOMI_DEADLINE_MS` / `MONOMI_RETRIES` / `MONOMI_BACKOFF_MS` from
+    /// the environment at setup time. Ignored for in-process servers.
+    pub transport: Option<TransportOptions>,
 }
 
 impl Default for ClientConfig {
@@ -61,6 +66,7 @@ impl Default for ClientConfig {
             skip_profiling: false,
             exec_options: None,
             server_addr: None,
+            transport: None,
         }
     }
 }
@@ -159,7 +165,8 @@ impl MonomiClient {
         let server: Box<dyn ServerTransport> = match &config.server_addr {
             None => Box::new(InProcessTransport::new(encrypted_db)),
             Some(addr) => {
-                let mut transport = TcpTransport::connect(addr)?;
+                let opts = config.transport.unwrap_or_else(TransportOptions::from_env);
+                let mut transport = TcpTransport::connect_with(addr, opts)?;
                 load_database(&mut transport, &encrypted_db)?;
                 Box::new(transport)
             }
@@ -209,6 +216,20 @@ impl MonomiClient {
     /// The transport every server interaction goes through.
     pub fn server_transport(&self) -> &dyn ServerTransport {
         self.server.as_ref()
+    }
+
+    /// Replaces the server transport with `wrap(current)`. This is the
+    /// fault-injection seam: `monomi-faults` wraps the live transport in a
+    /// `FaultyTransport` without the client knowing, so the chaos suite can
+    /// drive every failure mode through the real execution pipeline.
+    pub fn wrap_transport(
+        &mut self,
+        wrap: impl FnOnce(Box<dyn ServerTransport>) -> Box<dyn ServerTransport>,
+    ) {
+        let placeholder: Box<dyn ServerTransport> =
+            Box::new(InProcessTransport::new(Database::in_memory()));
+        let current = std::mem::replace(&mut self.server, placeholder);
+        self.server = wrap(current);
     }
 
     /// Cumulative measured wire traffic (all zeros for in-process servers).

@@ -61,14 +61,39 @@ pub use plan::{PlanOptions, SplitPlan};
 pub use planner::{EncPair, EncUnit, Planner};
 pub use schemes::{EncRequest, EncScheme};
 pub use transport::{
-    InProcessTransport, RemoteExecution, ServerTransport, TcpTransport, WireMetrics,
+    InProcessTransport, RemoteExecution, ServerErrorCode, ServerTransport, TcpTransport,
+    TransportOptions, WireMetrics,
 };
+
+/// The class of a transport failure, attached to [`CoreError`] so callers and
+/// tests can assert on *what kind* of failure occurred instead of matching
+/// message strings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportErrorKind {
+    /// The server actively refused the TCP connection.
+    Refused,
+    /// A connect attempt or a request exceeded its deadline.
+    Timeout,
+    /// The connection dropped (reset, EOF, broken pipe) and reconnection
+    /// within the retry budget did not succeed.
+    Disconnected,
+    /// Bytes arrived but were not a valid frame (bad magic, checksum
+    /// mismatch, malformed payload) or the response was cut mid-frame.
+    /// Never retried: the transport cannot know what the peer applied.
+    Corrupt,
+    /// Client and server speak different wire versions.
+    HandshakeVersionMismatch,
+    /// The server answered with a typed error response.
+    Server(monomi_proto::ErrorCode),
+}
 
 /// Error type for MONOMI client-side operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CoreError {
     /// Human-readable description.
     pub message: String,
+    /// The transport failure class, when this error crossed the wire layer.
+    pub transport: Option<TransportErrorKind>,
 }
 
 impl CoreError {
@@ -76,7 +101,21 @@ impl CoreError {
     pub fn new(message: impl Into<String>) -> Self {
         CoreError {
             message: message.into(),
+            transport: None,
         }
+    }
+
+    /// Creates a typed transport error.
+    pub fn transport(kind: TransportErrorKind, message: impl Into<String>) -> Self {
+        CoreError {
+            message: message.into(),
+            transport: Some(kind),
+        }
+    }
+
+    /// The transport failure class, if any.
+    pub fn transport_kind(&self) -> Option<TransportErrorKind> {
+        self.transport
     }
 }
 

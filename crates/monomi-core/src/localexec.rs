@@ -46,6 +46,13 @@ pub struct QueryTimings {
     /// Measured frame bytes the client received from the server
     /// (0 in-process). Compare with the modeled `transfer_bytes`.
     pub wire_bytes_received: u64,
+    /// Request attempts beyond the first the transport needed (retryable
+    /// wire failures absorbed by the retry/backoff machinery; 0 in-process
+    /// and on a healthy link).
+    pub retries: u64,
+    /// Connections the transport re-established mid-query (each replayed
+    /// the session journal; 0 in-process and on a healthy link).
+    pub reconnects: u64,
     /// Client time spent decrypting intermediate results.
     pub decrypt_seconds: f64,
     /// Client time spent on residual query processing.
@@ -84,6 +91,8 @@ impl QueryTimings {
         self.wire_seconds += other.wire_seconds;
         self.wire_bytes_sent += other.wire_bytes_sent;
         self.wire_bytes_received += other.wire_bytes_received;
+        self.retries += other.retries;
+        self.reconnects += other.reconnects;
         self.decrypt_seconds += other.decrypt_seconds;
         self.client_seconds += other.client_seconds;
         self.transfer_bytes += other.transfer_bytes;
@@ -192,6 +201,8 @@ impl<'a> SplitExecutor<'a> {
         timings.wire_seconds += remote.wire.seconds;
         timings.wire_bytes_sent += remote.wire.bytes_sent;
         timings.wire_bytes_received += remote.wire.bytes_received;
+        timings.retries += remote.wire.retries;
+        timings.reconnects += remote.wire.reconnects;
         // Aggregate CPU: serial portions run on one thread (wall == CPU);
         // inside morsel-parallel regions the workers' summed busy time
         // replaces the region's wall-clock contribution.

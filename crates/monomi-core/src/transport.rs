@@ -17,20 +17,121 @@
 //! `Value`s exactly (variant and bit pattern), so a split plan executed over
 //! TCP must return byte-identical results to the in-process path — the
 //! transport-parity tests hold both implementations to that.
+//!
+//! ## Fault tolerance
+//!
+//! [`TcpTransport`] assumes the wire fails — the paper's deployment is a
+//! long-running cloud service, where resets, stalls, and restarts are normal
+//! operation. Every request runs under a deadline ([`TransportOptions`]);
+//! failures are *classified*: a refused connect, a reset, or a timeout before
+//! any response byte is **retryable**, while a typed server error, a corrupt
+//! frame, or a response cut off midway is **not** (the transport cannot know
+//! what the peer applied, and corrupt framing state is unrecoverable). On a
+//! retryable failure the transport reconnects with seeded-jitter exponential
+//! backoff and re-establishes the session idempotently: it re-runs the
+//! `Hello` handshake (carrying a stable client id) and replays the session
+//! journal — every `CreateTable`/`RegisterModulus`/`BulkLoad` this client has
+//! issued, each tagged with its original request id, so a request the server
+//! already applied is acknowledged rather than re-executed (a `BulkLoad` is
+//! never double-loaded). The chaos suite (`tests/chaos.rs`) drives every
+//! failure mode through this machinery and holds it to: byte-identical
+//! results or a typed error — never a hang, panic, or silently partial
+//! result.
 
-use std::net::TcpStream;
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hasher};
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use crate::CoreError;
+use crate::{CoreError, TransportErrorKind};
 use monomi_engine::{Database, ExecOptions, ExecStats, ResultSet, TableSchema, Value};
 use monomi_math::BigUint;
-use monomi_proto::{read_response, write_request, ProtoError, Request, Response, WIRE_VERSION};
+use monomi_proto::{
+    frame, read_response, ErrorCode, ProtoErrorKind, Request, Response, WIRE_VERSION,
+};
 use monomi_sql::Query;
+use monomi_store::env_knob;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
 
 /// Rows per `BulkLoad` frame when shipping a database to a remote server.
 /// Bounds peak frame size without drowning the load in round-trips.
 const LOAD_CHUNK_ROWS: usize = 4096;
+
+/// Default connect timeout (`MONOMI_CONNECT_TIMEOUT_MS`).
+pub const DEFAULT_CONNECT_TIMEOUT_MS: u64 = 5_000;
+/// Default per-request deadline (`MONOMI_DEADLINE_MS`): the budget for one
+/// logical request including every retry and reconnect it needed.
+pub const DEFAULT_DEADLINE_MS: u64 = 30_000;
+/// Default retry budget per request (`MONOMI_RETRIES`).
+pub const DEFAULT_RETRIES: u32 = 3;
+/// Default backoff base (`MONOMI_BACKOFF_MS`): retry `n` sleeps roughly
+/// `base * 2^(n-1)`, jittered to 50–100% of nominal.
+pub const DEFAULT_BACKOFF_MS: u64 = 50;
+/// Ceiling on one backoff sleep regardless of the exponent.
+const BACKOFF_CAP: Duration = Duration::from_secs(2);
+
+/// Client-side resilience knobs for [`TcpTransport`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TransportOptions {
+    /// How long one TCP connect attempt may take.
+    pub connect_timeout: Duration,
+    /// Deadline for one logical request, retries and reconnects included.
+    /// The client never hangs: when this elapses, the call returns a typed
+    /// [`TransportErrorKind::Timeout`].
+    pub request_deadline: Duration,
+    /// Retryable failures tolerated per request before giving up.
+    pub max_retries: u32,
+    /// Base of the exponential backoff between retries.
+    pub backoff_base: Duration,
+    /// Seed of the deterministic jitter stream (tests pin it; the default is
+    /// fine for production — jitter only decorrelates retry storms).
+    pub backoff_seed: u64,
+}
+
+impl Default for TransportOptions {
+    fn default() -> Self {
+        TransportOptions {
+            connect_timeout: Duration::from_millis(DEFAULT_CONNECT_TIMEOUT_MS),
+            request_deadline: Duration::from_millis(DEFAULT_DEADLINE_MS),
+            max_retries: DEFAULT_RETRIES,
+            backoff_base: Duration::from_millis(DEFAULT_BACKOFF_MS),
+            backoff_seed: 0x6d6f_6e6f_6d69, // "monomi"
+        }
+    }
+}
+
+impl TransportOptions {
+    /// Reads options from the environment: `MONOMI_CONNECT_TIMEOUT_MS`,
+    /// `MONOMI_DEADLINE_MS`, `MONOMI_RETRIES`, `MONOMI_BACKOFF_MS` (defaults
+    /// as the constants above). Malformed values are rejected with a logged
+    /// warning, never silently swallowed.
+    pub fn from_env() -> Self {
+        let defaults = TransportOptions::default();
+        TransportOptions {
+            connect_timeout: Duration::from_millis(env_knob(
+                "MONOMI_CONNECT_TIMEOUT_MS",
+                DEFAULT_CONNECT_TIMEOUT_MS,
+                |&ms| ms >= 1,
+            )),
+            request_deadline: Duration::from_millis(env_knob(
+                "MONOMI_DEADLINE_MS",
+                DEFAULT_DEADLINE_MS,
+                |&ms| ms >= 1,
+            )),
+            max_retries: env_knob("MONOMI_RETRIES", DEFAULT_RETRIES, |_| true),
+            backoff_base: Duration::from_millis(env_knob(
+                "MONOMI_BACKOFF_MS",
+                DEFAULT_BACKOFF_MS,
+                |&ms| ms >= 1,
+            )),
+            ..defaults
+        }
+    }
+}
 
 /// Measured wire traffic: what actually crossed the client/server boundary,
 /// as opposed to the [`NetworkModel`](crate::network::NetworkModel)'s modeled
@@ -44,6 +145,12 @@ pub struct WireMetrics {
     pub bytes_sent: u64,
     /// Frame bytes read from the socket (responses).
     pub bytes_received: u64,
+    /// Request attempts beyond the first (a retry re-sends the request after
+    /// a retryable failure; the request ids keep replays idempotent).
+    pub retries: u64,
+    /// Connections re-established after the initial connect (each replays
+    /// the session journal through the Hello handshake).
+    pub reconnects: u64,
 }
 
 impl WireMetrics {
@@ -51,6 +158,8 @@ impl WireMetrics {
         self.seconds += other.seconds;
         self.bytes_sent += other.bytes_sent;
         self.bytes_received += other.bytes_received;
+        self.retries += other.retries;
+        self.reconnects += other.reconnects;
     }
 }
 
@@ -186,16 +295,100 @@ impl ServerTransport for InProcessTransport {
 // TCP transport
 // ---------------------------------------------------------------------------
 
+/// A client id stable for the life of one transport and unique across
+/// processes with overwhelming probability: the server keys table ownership
+/// and its idempotency journal by it, so a reconnect regains both.
+fn fresh_client_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let mut h = RandomState::new().build_hasher();
+    h.write_u64(std::process::id() as u64);
+    h.write_u64(COUNTER.fetch_add(1, Ordering::Relaxed));
+    h.finish()
+}
+
 struct TcpInner {
-    stream: TcpStream,
+    /// `None` between a failed attempt and the reconnect that replaces it.
+    stream: Option<TcpStream>,
     totals: WireMetrics,
+    /// Session-establishing requests in issue order, each carrying its
+    /// original request id; replayed verbatim after every reconnect.
+    journal: Vec<Request>,
+    next_request_id: u64,
+    /// Deterministic jitter stream for backoff sleeps.
+    rng: StdRng,
+}
+
+/// One failed attempt, classified.
+struct AttemptFail {
+    kind: TransportErrorKind,
+    retryable: bool,
+    message: String,
+    /// Frame bytes this attempt still moved before failing.
+    bytes_sent: u64,
+    bytes_received: u64,
+}
+
+impl AttemptFail {
+    fn new(kind: TransportErrorKind, retryable: bool, message: impl Into<String>) -> Self {
+        AttemptFail {
+            kind,
+            retryable,
+            message: message.into(),
+            bytes_sent: 0,
+            bytes_received: 0,
+        }
+    }
+
+    fn into_core(self) -> CoreError {
+        CoreError::transport(self.kind, self.message)
+    }
+}
+
+/// Classifies a socket-level error kind.
+fn io_error_kind(e: &std::io::Error) -> TransportErrorKind {
+    match e.kind() {
+        std::io::ErrorKind::ConnectionRefused => TransportErrorKind::Refused,
+        std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+            TransportErrorKind::Timeout
+        }
+        _ => TransportErrorKind::Disconnected,
+    }
+}
+
+/// A reader that counts the response bytes seen so far and remembers the
+/// kind of the last io error — both feed the retryable/non-retryable
+/// classification (a timeout *before any response byte* is retryable; one
+/// mid-response is not, because the transport cannot resynchronize framing).
+struct CountingReader<'a> {
+    inner: &'a TcpStream,
+    seen: usize,
+    last_io: Option<std::io::ErrorKind>,
+}
+
+impl Read for CountingReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self.inner.read(buf) {
+            Ok(n) => {
+                self.seen += n;
+                Ok(n)
+            }
+            Err(e) => {
+                self.last_io = Some(e.kind());
+                Err(e)
+            }
+        }
+    }
 }
 
 /// A connection to a `monomi-server`, speaking `monomi-proto` frames over
-/// blocking TCP. One request/response in flight at a time (the split executor
-/// is sequential per query); the mutex makes `&self` execution safe.
+/// blocking TCP with deadlines, classified failures, bounded retries, and
+/// idempotent session re-establishment (see the module docs). One
+/// request/response in flight at a time (the split executor is sequential
+/// per query); the mutex makes `&self` execution safe.
 pub struct TcpTransport {
     addr: String,
+    client_id: u64,
+    opts: TransportOptions,
     inner: Mutex<TcpInner>,
 }
 
@@ -203,40 +396,53 @@ impl std::fmt::Debug for TcpTransport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TcpTransport")
             .field("addr", &self.addr)
+            .field("client_id", &self.client_id)
             .finish()
     }
 }
 
-fn proto_err(e: ProtoError) -> CoreError {
-    CoreError::new(e.to_string())
-}
-
 impl TcpTransport {
-    /// Connects and performs the version handshake.
+    /// Connects with environment-derived [`TransportOptions`] and performs
+    /// the version handshake.
     pub fn connect(addr: &str) -> Result<TcpTransport, CoreError> {
-        let stream = TcpStream::connect(addr)
-            .map_err(|e| CoreError::new(format!("cannot connect to monomi-server {addr}: {e}")))?;
-        let _ = stream.set_nodelay(true);
-        let mut inner = TcpInner {
-            stream,
-            totals: WireMetrics::default(),
-        };
-        let (resp, _) = round_trip(
-            &mut inner,
-            &Request::Hello {
-                version: WIRE_VERSION,
-            },
-        )?;
-        match resp {
-            Response::Hello { version } if version == WIRE_VERSION => Ok(TcpTransport {
-                addr: addr.to_string(),
-                inner: Mutex::new(inner),
+        Self::connect_with(addr, TransportOptions::from_env())
+    }
+
+    /// Connects with explicit options. The initial connect is a single
+    /// attempt — a refused or mismatched server surfaces immediately as a
+    /// typed error ([`TransportErrorKind::Refused`] / [`Timeout`] /
+    /// [`HandshakeVersionMismatch`] / [`Server`]); the retry machinery only
+    /// arms once a session existed.
+    ///
+    /// [`Timeout`]: TransportErrorKind::Timeout
+    /// [`HandshakeVersionMismatch`]: TransportErrorKind::HandshakeVersionMismatch
+    /// [`Server`]: TransportErrorKind::Server
+    pub fn connect_with(addr: &str, opts: TransportOptions) -> Result<TcpTransport, CoreError> {
+        let transport = TcpTransport {
+            addr: addr.to_string(),
+            client_id: fresh_client_id(),
+            opts,
+            inner: Mutex::new(TcpInner {
+                stream: None,
+                totals: WireMetrics::default(),
+                journal: Vec::new(),
+                next_request_id: 1,
+                rng: StdRng::seed_from_u64(opts.backoff_seed),
             }),
-            Response::Hello { version } => Err(CoreError::new(format!(
-                "server speaks wire version {version}, client speaks {WIRE_VERSION}"
-            ))),
-            other => Err(unexpected(&other)),
+        };
+        {
+            let mut inner = transport.inner.lock().unwrap_or_else(|e| e.into_inner());
+            let deadline = Instant::now() + opts.request_deadline;
+            let mut wire = WireMetrics::default();
+            transport
+                .establish(&mut inner, deadline, &mut wire)
+                .map_err(|f| {
+                    inner.totals.add(&wire);
+                    f.into_core()
+                })?;
+            inner.totals.add(&wire);
         }
+        Ok(transport)
     }
 
     /// The address this transport is connected to.
@@ -244,32 +450,327 @@ impl TcpTransport {
         &self.addr
     }
 
+    /// The stable client id this transport presents in `Hello`.
+    pub fn client_id(&self) -> u64 {
+        self.client_id
+    }
+
     fn call(&self, req: &Request) -> Result<(Response, WireMetrics), CoreError> {
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
-        round_trip(&mut inner, req)
+        self.call_locked(&mut inner, req)
+    }
+
+    /// One logical request: attempt, classify, retry within the deadline and
+    /// retry budget, reconnecting (with journal replay) as needed.
+    fn call_locked(
+        &self,
+        inner: &mut TcpInner,
+        req: &Request,
+    ) -> Result<(Response, WireMetrics), CoreError> {
+        let started = Instant::now();
+        let deadline = started + self.opts.request_deadline;
+        let mut wire = WireMetrics::default();
+        let mut attempts: u32 = 0;
+        loop {
+            // Split the remaining deadline across the attempts still in the
+            // budget: a stalled response then costs one slice, not the whole
+            // deadline, leaving room to reconnect and retry.
+            let slices = (self.opts.max_retries + 1).saturating_sub(attempts).max(1);
+            let fail = match self.attempt_once(inner, req, deadline, slices, &mut wire) {
+                Ok(resp) => {
+                    wire.seconds = started.elapsed().as_secs_f64();
+                    inner.totals.add(&wire);
+                    return Ok((resp, wire));
+                }
+                Err(f) => f,
+            };
+            wire.bytes_sent += fail.bytes_sent;
+            wire.bytes_received += fail.bytes_received;
+            // The connection is in an unknown state past any failure.
+            inner.stream = None;
+            let out_of_budget = attempts >= self.opts.max_retries || Instant::now() >= deadline;
+            if !fail.retryable || out_of_budget {
+                wire.seconds = started.elapsed().as_secs_f64();
+                inner.totals.add(&wire);
+                return Err(fail.into_core());
+            }
+            attempts += 1;
+            wire.retries += 1;
+            backoff_sleep(&mut inner.rng, self.opts.backoff_base, attempts, deadline);
+        }
+    }
+
+    /// One attempt of `req`: ensure a connection (reconnect + replay if
+    /// needed), send, receive, classify.
+    fn attempt_once(
+        &self,
+        inner: &mut TcpInner,
+        req: &Request,
+        deadline: Instant,
+        slices: u32,
+        wire: &mut WireMetrics,
+    ) -> Result<Response, AttemptFail> {
+        if inner.stream.is_none() {
+            self.establish(inner, deadline, wire)?;
+            wire.reconnects += 1;
+        }
+        let Some(stream) = inner.stream.as_ref() else {
+            return Err(AttemptFail::new(
+                TransportErrorKind::Disconnected,
+                true,
+                "no connection after establish",
+            ));
+        };
+        let (resp, sent, received) = round_trip_raw(stream, req, deadline, slices)?;
+        wire.bytes_sent += sent;
+        wire.bytes_received += received;
+        Ok(resp)
+    }
+
+    /// Dials, handshakes, and replays the session journal. On success the
+    /// connection is installed in `inner.stream`; wire traffic of the
+    /// handshake and replay is charged to `wire`.
+    fn establish(
+        &self,
+        inner: &mut TcpInner,
+        deadline: Instant,
+        wire: &mut WireMetrics,
+    ) -> Result<(), AttemptFail> {
+        let stream = self.dial(deadline)?;
+        let _ = stream.set_nodelay(true);
+
+        let hello = Request::Hello {
+            version: WIRE_VERSION,
+            client_id: self.client_id,
+        };
+        let (resp, sent, received) = round_trip_raw(&stream, &hello, deadline, 1)?;
+        wire.bytes_sent += sent;
+        wire.bytes_received += received;
+        match resp {
+            Response::Hello { version } if version == WIRE_VERSION => {}
+            Response::Hello { version } => {
+                return Err(AttemptFail::new(
+                    TransportErrorKind::HandshakeVersionMismatch,
+                    false,
+                    format!("server speaks wire version {version}, client speaks {WIRE_VERSION}"),
+                ))
+            }
+            Response::Error { code, message } => {
+                let kind = match code {
+                    ErrorCode::VersionMismatch => TransportErrorKind::HandshakeVersionMismatch,
+                    other => TransportErrorKind::Server(other),
+                };
+                return Err(AttemptFail::new(
+                    kind,
+                    false,
+                    format!("server refused handshake ({code:?}): {message}"),
+                ));
+            }
+            other => {
+                return Err(AttemptFail::new(
+                    TransportErrorKind::Corrupt,
+                    false,
+                    format!("unexpected handshake response: {other:?}"),
+                ))
+            }
+        }
+
+        // Idempotent session re-establishment: replay the journal in issue
+        // order. The server acknowledges already-applied request ids without
+        // re-executing them, so a replay after a mid-load reconnect restores
+        // table ownership without double-loading a single row.
+        for entry in &inner.journal {
+            let (resp, sent, received) = round_trip_raw(&stream, entry, deadline, 1)?;
+            wire.bytes_sent += sent;
+            wire.bytes_received += received;
+            match resp {
+                Response::Ok => {}
+                Response::Error { code, message } => {
+                    return Err(AttemptFail::new(
+                        TransportErrorKind::Server(code),
+                        false,
+                        format!("session replay rejected ({code:?}): {message}"),
+                    ))
+                }
+                other => {
+                    return Err(AttemptFail::new(
+                        TransportErrorKind::Corrupt,
+                        false,
+                        format!("unexpected replay response: {other:?}"),
+                    ))
+                }
+            }
+        }
+        inner.stream = Some(stream);
+        Ok(())
+    }
+
+    /// One TCP connect attempt, bounded by the connect timeout and the
+    /// request deadline (whichever is tighter).
+    fn dial(&self, deadline: Instant) -> Result<TcpStream, AttemptFail> {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(AttemptFail::new(
+                TransportErrorKind::Timeout,
+                false,
+                format!("deadline elapsed before connecting to {}", self.addr),
+            ));
+        }
+        let budget = remaining.min(self.opts.connect_timeout);
+        let mut last: Option<std::io::Error> = None;
+        let addrs = self.addr.to_socket_addrs().map_err(|e| {
+            AttemptFail::new(
+                TransportErrorKind::Disconnected,
+                true,
+                format!("cannot resolve {}: {e}", self.addr),
+            )
+        })?;
+        for sock in addrs {
+            match TcpStream::connect_timeout(&sock, budget) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(match last {
+            Some(e) => AttemptFail::new(
+                io_error_kind(&e),
+                true,
+                format!("cannot connect to monomi-server {}: {e}", self.addr),
+            ),
+            None => AttemptFail::new(
+                TransportErrorKind::Disconnected,
+                true,
+                format!("{} resolves to no address", self.addr),
+            ),
+        })
+    }
+
+    /// Issues a session-mutating request: assigns it the next request id,
+    /// runs it through the retry machinery, and on success appends it to the
+    /// replay journal.
+    fn mutate(&mut self, make: impl FnOnce(u64) -> Request) -> Result<(), CoreError> {
+        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let id = inner.next_request_id;
+        inner.next_request_id += 1;
+        let req = make(id);
+        let (resp, _) = self.call_locked(&mut inner, &req)?;
+        expect_ok(resp)?;
+        inner.journal.push(req);
+        Ok(())
     }
 }
 
-/// Sends one request and reads one response, charging the frame bytes and
-/// the round-trip wall-clock to the connection's running totals.
-fn round_trip(inner: &mut TcpInner, req: &Request) -> Result<(Response, WireMetrics), CoreError> {
-    let started = Instant::now();
-    let sent = write_request(&mut inner.stream, req).map_err(proto_err)?;
-    let (resp, received) = read_response(&mut inner.stream).map_err(proto_err)?;
-    let wire = WireMetrics {
-        seconds: started.elapsed().as_secs_f64(),
-        bytes_sent: sent as u64,
-        bytes_received: received as u64,
+/// Sends one request and reads one response on a bare stream, with socket
+/// timeouts set from the remaining deadline. Failures come back classified.
+fn round_trip_raw(
+    stream: &TcpStream,
+    req: &Request,
+    deadline: Instant,
+    slices: u32,
+) -> Result<(Response, u64, u64), AttemptFail> {
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    if remaining.is_zero() {
+        return Err(AttemptFail::new(
+            TransportErrorKind::Timeout,
+            false,
+            "request deadline elapsed",
+        ));
+    }
+    // This attempt's slice of the remaining budget (see call_locked).
+    let budget = (remaining / slices.max(1)).max(Duration::from_millis(1));
+    let _ = stream.set_read_timeout(Some(budget));
+    let _ = stream.set_write_timeout(Some(budget));
+
+    let framed = frame(&req.encode());
+    if let Err(e) = (&mut &*stream).write_all(&framed) {
+        // Nothing of the response was seen; the server may or may not have
+        // received the request — exactly what request-id idempotency covers.
+        return Err(AttemptFail::new(
+            io_error_kind(&e),
+            true,
+            format!("send failed: {e}"),
+        ));
+    }
+    let sent = framed.len() as u64;
+
+    let mut reader = CountingReader {
+        inner: stream,
+        seen: 0,
+        last_io: None,
     };
-    inner.totals.add(&wire);
-    Ok((resp, wire))
+    match read_response(&mut reader) {
+        Ok((resp, received)) => Ok((resp, sent, received as u64)),
+        Err(e) => {
+            let received = reader.seen as u64;
+            let mut fail = match e.kind {
+                ProtoErrorKind::Io => {
+                    let kind = match reader.last_io {
+                        Some(std::io::ErrorKind::TimedOut)
+                        | Some(std::io::ErrorKind::WouldBlock) => TransportErrorKind::Timeout,
+                        _ => TransportErrorKind::Disconnected,
+                    };
+                    match (kind, received) {
+                        // Timeout before any response byte: the request may
+                        // still be running, but re-asking is safe.
+                        (TransportErrorKind::Timeout, 0) => {
+                            AttemptFail::new(kind, true, format!("no response: {e}"))
+                        }
+                        // Timeout mid-response: framing state is lost and the
+                        // budget is evidently tight — surface it.
+                        (TransportErrorKind::Timeout, _) => AttemptFail::new(
+                            kind,
+                            false,
+                            format!("response stalled after {received} bytes: {e}"),
+                        ),
+                        // Reset/EOF, before or during the response: the
+                        // connection is gone; reconnect and replay.
+                        _ => AttemptFail::new(
+                            kind,
+                            true,
+                            format!("connection lost after {received} response bytes: {e}"),
+                        ),
+                    }
+                }
+                ProtoErrorKind::VersionMismatch => AttemptFail::new(
+                    TransportErrorKind::HandshakeVersionMismatch,
+                    false,
+                    e.to_string(),
+                ),
+                // Bad magic, checksum mismatch, truncation, oversize,
+                // malformed payload: mid-response corruption, never retried.
+                _ => AttemptFail::new(TransportErrorKind::Corrupt, false, e.to_string()),
+            };
+            fail.bytes_sent = sent;
+            fail.bytes_received = received;
+            Err(fail)
+        }
+    }
+}
+
+/// Sleeps the `attempt`-th backoff: exponential in the attempt number,
+/// jittered deterministically to 50–100% of nominal, capped, and never past
+/// the deadline.
+fn backoff_sleep(rng: &mut StdRng, base: Duration, attempt: u32, deadline: Instant) {
+    let exp = attempt.saturating_sub(1).min(16);
+    let nominal = base
+        .saturating_mul(1u32 << exp)
+        .min(BACKOFF_CAP)
+        .max(Duration::from_millis(1));
+    let nanos = nominal.as_nanos() as u64;
+    let jittered = Duration::from_nanos(nanos / 2 + rng.next_u64() % (nanos / 2 + 1));
+    let remaining = deadline.saturating_duration_since(Instant::now());
+    let sleep = jittered.min(remaining);
+    if !sleep.is_zero() {
+        std::thread::sleep(sleep);
+    }
 }
 
 fn unexpected(resp: &Response) -> CoreError {
     match resp {
-        Response::Error { code, message } => {
-            CoreError::new(format!("server error ({code:?}): {message}"))
-        }
+        Response::Error { code, message } => CoreError::transport(
+            TransportErrorKind::Server(*code),
+            format!("server error ({code:?}): {message}"),
+        ),
         other => CoreError::new(format!("unexpected server response: {other:?}")),
     }
 }
@@ -288,38 +789,45 @@ impl ServerTransport for TcpTransport {
     }
 
     fn create_table(&mut self, schema: &TableSchema) -> Result<(), CoreError> {
-        let (resp, _) = self.call(&Request::CreateTable {
-            name: schema.name.clone(),
-            columns: schema
-                .columns
-                .iter()
-                .map(|c| (c.name.clone(), c.ty))
-                .collect(),
-        })?;
-        expect_ok(resp)
+        let name = schema.name.clone();
+        let columns: Vec<_> = schema
+            .columns
+            .iter()
+            .map(|c| (c.name.clone(), c.ty))
+            .collect();
+        self.mutate(move |request_id| Request::CreateTable {
+            request_id,
+            name,
+            columns,
+        })
     }
 
     fn register_paillier_modulus(&mut self, n_squared: &BigUint) -> Result<(), CoreError> {
-        let (resp, _) = self.call(&Request::RegisterModulus {
-            n_squared_be: n_squared.to_bytes_be(),
-        })?;
-        expect_ok(resp)
+        let n_squared_be = n_squared.to_bytes_be();
+        self.mutate(move |request_id| Request::RegisterModulus {
+            request_id,
+            n_squared_be,
+        })
     }
 
     fn bulk_load(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<(), CoreError> {
         // Chunked so a large ciphertext load never materializes as one giant
-        // frame (MAX_PAYLOAD) on either side.
+        // frame (MAX_PAYLOAD) on either side. Each chunk carries its own
+        // request id, so a retry replays exactly the chunks whose
+        // acknowledgement was lost — and the server applies none of them
+        // twice.
         if rows.is_empty() {
             return Ok(());
         }
         let mut rows = rows;
         while !rows.is_empty() {
             let rest = rows.split_off(rows.len().min(LOAD_CHUNK_ROWS));
-            let (resp, _) = self.call(&Request::BulkLoad {
-                table: table.to_string(),
+            let table = table.to_string();
+            self.mutate(move |request_id| Request::BulkLoad {
+                request_id,
+                table,
                 rows,
             })?;
-            expect_ok(resp)?;
             rows = rest;
         }
         Ok(())
@@ -328,7 +836,7 @@ impl ServerTransport for TcpTransport {
     fn execute(&self, query: &Query, opts: &ExecOptions) -> Result<RemoteExecution, CoreError> {
         // The SQL dialect round-trips through Display/parse (the sql crate's
         // tests hold that invariant), so the server re-parses exactly this
-        // query.
+        // query. Execute is read-only, hence retry-safe without an id.
         let (resp, wire) = self.call(&Request::Execute {
             sql: query.to_string(),
             threads: opts.threads.min(u32::MAX as usize) as u32,

@@ -66,26 +66,19 @@ impl ExecOptions {
     /// available cores) and `MONOMI_MORSEL_ROWS` (default
     /// [`DEFAULT_MORSEL_ROWS`]).
     pub fn from_env() -> Self {
-        // monomi-lint: allow(determinism-clock-env): options are resolved once at setup, before execution; they size the thread pool, never the result bytes
-        let threads = std::env::var("MONOMI_THREADS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| {
-                // monomi-lint: allow(determinism-clock-env): parallelism probe only picks a thread count; results are byte-identical at every thread count
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
-            });
-        // monomi-lint: allow(determinism-clock-env): morsel size shapes work partitioning, and partition boundaries are identical for all thread counts
-        let morsel_rows = std::env::var("MONOMI_MORSEL_ROWS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or(DEFAULT_MORSEL_ROWS);
+        // Env parsing goes through the shared `env_knob` helper (reject with a
+        // logged warning on malformed values, never a silent fallback). Both
+        // knobs are resolved once at setup, before execution; they size the
+        // thread pool and the partitioning, never the result bytes.
+        // monomi-lint: allow(determinism-clock-env): parallelism probe only picks a thread count; results are byte-identical at every thread count
+        let default_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         ExecOptions {
-            threads,
-            morsel_rows,
+            threads: monomi_store::env_knob("MONOMI_THREADS", default_threads, |&n| n >= 1),
+            morsel_rows: monomi_store::env_knob("MONOMI_MORSEL_ROWS", DEFAULT_MORSEL_ROWS, |&n| {
+                n >= 1
+            }),
         }
     }
 

@@ -1,0 +1,664 @@
+#![forbid(unsafe_code)]
+//! # monomi-faults
+//!
+//! Deterministic fault injection for the MONOMI client/server transport.
+//! The chaos suite (`tests/chaos.rs` in the umbrella crate) uses this crate
+//! to prove the transport's contract: under any single wire fault the client
+//! returns either a byte-identical correct result or a typed error — never a
+//! hang, a panic, or a silently wrong or partial result.
+//!
+//! Two injection points:
+//!
+//! * [`ChaosProxy`] — a standalone TCP proxy thread between a real client
+//!   and a real `monomi-server`. It understands `monomi-proto` framing, so
+//!   faults land at exact protocol positions: delay a frame, stall forever,
+//!   cut the connection before/after the Nth byte of a frame, truncate a
+//!   frame, flip a byte (caught by the CRC trailer), or abort fresh
+//!   connections.
+//! * [`FaultyTransport`] — an in-process [`ServerTransport`] wrapper driven
+//!   by a scripted per-call fault queue, for exercising the client's error
+//!   paths without sockets.
+//!
+//! Both are fully deterministic: faults fire exactly where armed, and
+//! [`schedule`] expands a seed into a reproducible fault sequence — the same
+//! seed yields the same faults at the same protocol positions on every run.
+//!
+//! This crate sits on the *untrusted* side of the deployment (it touches
+//! only ciphertext frames in flight), so the workspace lint holds it to the
+//! same invariants as the server crates: no key material or decryption
+//! capability is ever named here, and nothing in it may panic — a mangled
+//! frame must surface as an error (or a dropped connection), not take the
+//! test harness down.
+
+use monomi_core::{CoreError, RemoteExecution, ServerTransport, TransportErrorKind, WireMetrics};
+use monomi_engine::{ExecOptions, TableSchema, Value};
+use monomi_math::BigUint;
+use monomi_sql::Query;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Magic + version + payload-length words of a `monomi-proto` frame.
+const HEADER_LEN: usize = 12;
+/// CRC-64 trailer of a frame.
+const TRAILER_LEN: usize = 8;
+/// Granularity of the proxy's shutdown checks.
+const POLL: Duration = Duration::from_millis(10);
+
+/// One wire fault, applied to exactly one frame (or one connection attempt).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Hold the frame for this long, then forward it intact. The client must
+    /// absorb the latency (or time out with a typed error) — never corrupt.
+    Delay { millis: u64 },
+    /// Never forward the frame. The client's deadline must fire: a typed
+    /// timeout, not a hang.
+    Stall,
+    /// Cut the connection without forwarding any byte of the frame.
+    DisconnectBefore,
+    /// Forward the first `bytes` bytes of the frame, then cut the
+    /// connection — the peer sees a torn frame.
+    DisconnectAfter { bytes: usize },
+    /// Forward the frame minus its CRC trailer, then cut the connection.
+    TruncateFrame,
+    /// XOR one bit into the frame at `offset % len`, forward it, and keep
+    /// the connection up: the CRC trailer must catch it.
+    FlipByte { offset: usize },
+    /// Abort the next inbound connection at accept. (The proxy cannot make
+    /// the OS refuse a connect to a bound port; a *refused* connect — typed
+    /// [`TransportErrorKind::Refused`] — is exercised by dialing a port with
+    /// no listener.)
+    Refuse,
+}
+
+/// Which half of the conversation a fault applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Request frames, client → server.
+    ClientToServer,
+    /// Response frames, server → client.
+    ServerToClient,
+}
+
+/// A fault armed at a direction. The proxy consumes it on the next matching
+/// frame (or connection attempt, for [`Fault::Refuse`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultPlan {
+    pub direction: Direction,
+    pub fault: Fault,
+}
+
+/// Expands a seed into `count` fault plans — the deterministic schedule the
+/// seeded chaos runs replay. Same seed, same plans, every run, every machine.
+/// `Stall` and `Refuse` are excluded (each costs a full client deadline per
+/// occurrence; the scripted tests cover them explicitly).
+pub fn schedule(seed: u64, count: usize) -> Vec<FaultPlan> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut plans = Vec::with_capacity(count);
+    for _ in 0..count {
+        let direction = if rng.next_u64() % 2 == 0 {
+            Direction::ClientToServer
+        } else {
+            Direction::ServerToClient
+        };
+        let fault = match rng.next_u64() % 5 {
+            0 => Fault::Delay {
+                millis: 1 + rng.next_u64() % 40,
+            },
+            1 => Fault::DisconnectBefore,
+            2 => Fault::DisconnectAfter {
+                bytes: 1 + (rng.next_u64() % 64) as usize,
+            },
+            3 => Fault::TruncateFrame,
+            _ => Fault::FlipByte {
+                offset: (rng.next_u64() % 4096) as usize,
+            },
+        };
+        plans.push(FaultPlan { direction, fault });
+    }
+    plans
+}
+
+// ---------------------------------------------------------------------------
+// Chaos proxy
+// ---------------------------------------------------------------------------
+
+struct ProxyShared {
+    upstream: String,
+    armed: Mutex<Option<FaultPlan>>,
+    shutdown: AtomicBool,
+    /// Faults actually applied to a frame or connection so far.
+    injected: AtomicUsize,
+}
+
+/// A TCP proxy that forwards `monomi-proto` frames between a client and an
+/// upstream `monomi-server`, applying at most one armed [`FaultPlan`] at a
+/// time. Frame-aware: it reads whole frames off the wire, so a fault lands
+/// at an exact protocol position instead of a raw byte offset mid-stream.
+///
+/// Arm a fault with [`arm`](ChaosProxy::arm); the next frame in the matching
+/// direction consumes it. Unarmed, the proxy is transparent.
+pub struct ChaosProxy {
+    addr: String,
+    shared: Arc<ProxyShared>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ChaosProxy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaosProxy")
+            .field("addr", &self.addr)
+            .field("upstream", &self.shared.upstream)
+            .finish()
+    }
+}
+
+impl ChaosProxy {
+    /// Starts a proxy on an ephemeral loopback port, forwarding to
+    /// `upstream` (an address a `monomi-server` listens on).
+    pub fn start(upstream: &str) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?.to_string();
+        let shared = Arc::new(ProxyShared {
+            upstream: upstream.to_string(),
+            armed: Mutex::new(None),
+            shutdown: AtomicBool::new(false),
+            injected: AtomicUsize::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        Ok(ChaosProxy {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address clients should connect to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Arms a fault; the next matching frame (or connection, for
+    /// [`Fault::Refuse`]) consumes it. Replaces any still-pending plan.
+    pub fn arm(&self, plan: FaultPlan) {
+        *self.shared.armed.lock() = Some(plan);
+    }
+
+    /// Whether an armed fault is still waiting to fire.
+    pub fn pending(&self) -> bool {
+        self.shared.armed.lock().is_some()
+    }
+
+    /// How many faults have actually been applied.
+    pub fn injected(&self) -> usize {
+        self.shared.injected.load(Ordering::SeqCst)
+    }
+
+    /// Stops the proxy: no new connections, pumps wind down at the next
+    /// poll. Called by `Drop`; explicit for tests that reuse the port.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<ProxyShared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let client = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(POLL);
+                continue;
+            }
+            Err(_) => return,
+        };
+        let _ = client.set_nonblocking(false);
+        // An armed Refuse consumes the connection attempt itself.
+        let refuse = {
+            let mut armed = shared.armed.lock();
+            if armed.map(|p| p.fault) == Some(Fault::Refuse) {
+                *armed = None;
+                true
+            } else {
+                false
+            }
+        };
+        if refuse {
+            shared.injected.fetch_add(1, Ordering::SeqCst);
+            let _ = client.shutdown(Shutdown::Both);
+            continue;
+        }
+        let server = match TcpStream::connect(&shared.upstream) {
+            Ok(s) => s,
+            Err(_) => {
+                let _ = client.shutdown(Shutdown::Both);
+                continue;
+            }
+        };
+        let _ = client.set_nodelay(true);
+        let _ = server.set_nodelay(true);
+        spawn_pump(Direction::ClientToServer, &client, &server, shared);
+        spawn_pump(Direction::ServerToClient, &server, &client, shared);
+    }
+}
+
+fn spawn_pump(dir: Direction, src: &TcpStream, dst: &TcpStream, shared: &Arc<ProxyShared>) {
+    let (Ok(src), Ok(dst)) = (src.try_clone(), dst.try_clone()) else {
+        let _ = src.shutdown(Shutdown::Both);
+        let _ = dst.shutdown(Shutdown::Both);
+        return;
+    };
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || {
+        pump(dir, &src, &dst, &shared);
+        // Cutting both streams unblocks the sibling pump of this connection.
+        let _ = src.shutdown(Shutdown::Both);
+        let _ = dst.shutdown(Shutdown::Both);
+    });
+}
+
+/// Forwards whole frames from `src` to `dst`, applying at most one armed
+/// fault per frame, until either side drops or the proxy shuts down.
+fn pump(dir: Direction, src: &TcpStream, mut dst: &TcpStream, shared: &ProxyShared) {
+    let _ = src.set_read_timeout(Some(POLL));
+    loop {
+        let Some(frame) = read_frame(src, shared) else {
+            return;
+        };
+        let plan = {
+            let mut armed = shared.armed.lock();
+            if armed.is_some_and(|p| p.direction == dir) {
+                armed.take()
+            } else {
+                None
+            }
+        };
+        let fault = match plan {
+            Some(p) => {
+                shared.injected.fetch_add(1, Ordering::SeqCst);
+                p.fault
+            }
+            None => {
+                if dst.write_all(&frame).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        match fault {
+            Fault::Delay { millis } => {
+                sleep_unless_shutdown(Duration::from_millis(millis), shared);
+                if dst.write_all(&frame).is_err() {
+                    return;
+                }
+            }
+            Fault::Stall => {
+                // Swallow the frame and hold the connection open until the
+                // proxy shuts down — the client's deadline must fire.
+                while !shared.shutdown.load(Ordering::SeqCst) {
+                    std::thread::sleep(POLL);
+                }
+                return;
+            }
+            Fault::DisconnectBefore => return,
+            Fault::DisconnectAfter { bytes } => {
+                if let Some(head) = frame.get(..bytes.min(frame.len())) {
+                    let _ = dst.write_all(head);
+                }
+                return;
+            }
+            Fault::TruncateFrame => {
+                if let Some(head) = frame.get(..frame.len().saturating_sub(TRAILER_LEN)) {
+                    let _ = dst.write_all(head);
+                }
+                return;
+            }
+            Fault::FlipByte { offset } => {
+                let mut frame = frame;
+                let len = frame.len();
+                if len > 0 {
+                    if let Some(b) = frame.get_mut(offset % len) {
+                        *b ^= 0x40;
+                    }
+                }
+                if dst.write_all(&frame).is_err() {
+                    return;
+                }
+            }
+            // Refuse is consumed at accept; a frame-armed Refuse just cuts.
+            Fault::Refuse => return,
+        }
+    }
+}
+
+/// Reads one whole frame (header + payload + trailer). `None` on EOF, error,
+/// nonsense framing, or proxy shutdown.
+fn read_frame(src: &TcpStream, shared: &ProxyShared) -> Option<Vec<u8>> {
+    let mut frame = Vec::with_capacity(HEADER_LEN + TRAILER_LEN);
+    read_until(src, &mut frame, HEADER_LEN, shared)?;
+    let len_word: [u8; 4] = frame.get(8..12)?.try_into().ok()?;
+    let payload_len = u32::from_le_bytes(len_word) as usize;
+    if payload_len > monomi_proto::MAX_PAYLOAD {
+        return None;
+    }
+    read_until(
+        src,
+        &mut frame,
+        HEADER_LEN + payload_len + TRAILER_LEN,
+        shared,
+    )?;
+    Some(frame)
+}
+
+/// Appends to `buf` until it holds `target` bytes. `None` on EOF, a
+/// non-timeout error, or proxy shutdown; timeouts just re-poll.
+fn read_until(
+    src: &TcpStream,
+    buf: &mut Vec<u8>,
+    target: usize,
+    shared: &ProxyShared,
+) -> Option<()> {
+    let mut chunk = [0u8; 4096];
+    let mut src = src;
+    while buf.len() < target {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return None;
+        }
+        let want = (target - buf.len()).min(chunk.len());
+        let slot = chunk.get_mut(..want)?;
+        match src.read(slot) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(slot.get(..n)?),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return None,
+        }
+    }
+    Some(())
+}
+
+fn sleep_unless_shutdown(total: Duration, shared: &ProxyShared) {
+    let mut remaining = total;
+    while !remaining.is_zero() && !shared.shutdown.load(Ordering::SeqCst) {
+        let step = remaining.min(POLL);
+        std::thread::sleep(step);
+        remaining = remaining.saturating_sub(step);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-process transport wrapper
+// ---------------------------------------------------------------------------
+
+/// One scripted fault for a [`FaultyTransport`] call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CallFault {
+    /// Fail before delegating: the inner transport never sees the call.
+    ErrBefore,
+    /// Delegate, then drop the response and fail — a lost acknowledgement.
+    /// For setup-time mutations, the work *was* applied: this is exactly the
+    /// ambiguity the request-id idempotency machinery exists for.
+    ErrAfter,
+    /// Delegate after sleeping this long.
+    Delay { millis: u64 },
+}
+
+/// Remote control for a [`FaultyTransport`] whose ownership has moved into a
+/// client: queue faults and observe how many fired. Cloneable; all clones
+/// share the same script.
+#[derive(Clone)]
+pub struct FaultHandle {
+    script: Arc<Mutex<VecDeque<CallFault>>>,
+    injected: Arc<AtomicUsize>,
+}
+
+impl std::fmt::Debug for FaultHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultHandle")
+            .field("queued", &self.script.lock().len())
+            .finish()
+    }
+}
+
+impl FaultHandle {
+    /// Queues a fault for the next un-faulted call.
+    pub fn push(&self, fault: CallFault) {
+        self.script.lock().push_back(fault);
+    }
+
+    /// How many faults have fired.
+    pub fn injected(&self) -> usize {
+        self.injected.load(Ordering::SeqCst)
+    }
+}
+
+/// Wraps any [`ServerTransport`] with a scripted per-call fault queue: each
+/// call pops the next entry (`None` when empty → transparent). The client's
+/// error paths can thus be exercised in-process, without sockets, with the
+/// fault landing at an exact call position.
+pub struct FaultyTransport {
+    inner: Mutex<Box<dyn ServerTransport>>,
+    handle: FaultHandle,
+}
+
+impl std::fmt::Debug for FaultyTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultyTransport")
+            .field("queued", &self.handle.script.lock().len())
+            .finish()
+    }
+}
+
+impl FaultyTransport {
+    /// Wraps `inner` with an empty (transparent) script; the returned
+    /// [`FaultHandle`] keeps control after the transport moves into a client.
+    pub fn new(inner: Box<dyn ServerTransport>) -> (Self, FaultHandle) {
+        let handle = FaultHandle {
+            script: Arc::new(Mutex::new(VecDeque::new())),
+            injected: Arc::new(AtomicUsize::new(0)),
+        };
+        (
+            FaultyTransport {
+                inner: Mutex::new(inner),
+                handle: handle.clone(),
+            },
+            handle,
+        )
+    }
+
+    /// Runs `call` against the inner transport under the next scripted
+    /// fault, if any.
+    fn faulted<T>(
+        &self,
+        what: &str,
+        call: impl FnOnce(&mut dyn ServerTransport) -> Result<T, CoreError>,
+    ) -> Result<T, CoreError> {
+        let fault = self.handle.script.lock().pop_front();
+        if fault.is_some() {
+            self.handle.injected.fetch_add(1, Ordering::SeqCst);
+        }
+        match fault {
+            Some(CallFault::ErrBefore) => Err(CoreError::transport(
+                TransportErrorKind::Disconnected,
+                format!("injected fault before {what}"),
+            )),
+            Some(CallFault::ErrAfter) => {
+                let mut inner = self.inner.lock();
+                let _applied = call(inner.as_mut())?;
+                Err(CoreError::transport(
+                    TransportErrorKind::Disconnected,
+                    format!("injected fault after {what} (response lost)"),
+                ))
+            }
+            Some(CallFault::Delay { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+                let mut inner = self.inner.lock();
+                call(inner.as_mut())
+            }
+            None => {
+                let mut inner = self.inner.lock();
+                call(inner.as_mut())
+            }
+        }
+    }
+}
+
+impl ServerTransport for FaultyTransport {
+    fn kind(&self) -> &'static str {
+        "faulty"
+    }
+
+    fn create_table(&mut self, schema: &TableSchema) -> Result<(), CoreError> {
+        self.faulted("create_table", |t| t.create_table(schema))
+    }
+
+    fn register_paillier_modulus(&mut self, n_squared: &BigUint) -> Result<(), CoreError> {
+        self.faulted("register_modulus", |t| {
+            t.register_paillier_modulus(n_squared)
+        })
+    }
+
+    fn bulk_load(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<(), CoreError> {
+        self.faulted("bulk_load", |t| t.bulk_load(table, rows))
+    }
+
+    fn execute(&self, query: &Query, opts: &ExecOptions) -> Result<RemoteExecution, CoreError> {
+        self.faulted("execute", |t| t.execute(query, opts))
+    }
+
+    fn server_size_bytes(&self) -> Result<u64, CoreError> {
+        self.faulted("server_size", |t| t.server_size_bytes())
+    }
+
+    fn wire_totals(&self) -> WireMetrics {
+        self.inner.lock().wire_totals()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_constants_match_proto() {
+        assert_eq!(HEADER_LEN + TRAILER_LEN, monomi_proto::FRAME_OVERHEAD);
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        assert_eq!(schedule(7, 32), schedule(7, 32));
+        assert_ne!(schedule(7, 32), schedule(8, 32));
+        assert_eq!(schedule(7, 32).len(), 32);
+        // Random schedules never contain the whole-deadline faults.
+        for plan in schedule(7, 256) {
+            assert_ne!(plan.fault, Fault::Stall);
+            assert_ne!(plan.fault, Fault::Refuse);
+        }
+    }
+
+    #[test]
+    fn proxy_forwards_frames_transparently() {
+        // Echo upstream: reads one frame, writes it back verbatim.
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap().to_string();
+        let echo = std::thread::spawn(move || {
+            let (mut conn, _) = upstream.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            loop {
+                match conn.read(&mut buf) {
+                    Ok(0) | Err(_) => return,
+                    Ok(n) => {
+                        if conn.write_all(&buf[..n]).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        });
+
+        let proxy = ChaosProxy::start(&upstream_addr).unwrap();
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let frame = monomi_proto::frame(b"chaos-payload");
+        client.write_all(&frame).unwrap();
+        let mut back = vec![0u8; frame.len()];
+        client.read_exact(&mut back).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(proxy.injected(), 0);
+        drop(client);
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn proxy_flip_byte_breaks_crc_and_stays_connected() {
+        let upstream = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream_addr = upstream.local_addr().unwrap().to_string();
+        let echo = std::thread::spawn(move || {
+            let (mut conn, _) = upstream.accept().unwrap();
+            let mut buf = [0u8; 4096];
+            loop {
+                match conn.read(&mut buf) {
+                    Ok(0) | Err(_) => return,
+                    Ok(n) => {
+                        if conn.write_all(&buf[..n]).is_err() {
+                            return;
+                        }
+                    }
+                }
+            }
+        });
+
+        let proxy = ChaosProxy::start(&upstream_addr).unwrap();
+        proxy.arm(FaultPlan {
+            direction: Direction::ClientToServer,
+            // Offset far past the header so the magic/version words survive
+            // and only the payload (hence the CRC check) is damaged.
+            fault: Fault::FlipByte { offset: 16 },
+        });
+        let mut client = TcpStream::connect(proxy.addr()).unwrap();
+        client
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let frame = monomi_proto::frame(b"payload-to-damage");
+        client.write_all(&frame).unwrap();
+        let mut back = vec![0u8; frame.len()];
+        client.read_exact(&mut back).unwrap();
+        assert_ne!(back, frame, "exactly one byte must differ");
+        let diff = back
+            .iter()
+            .zip(frame.iter())
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(diff, 1);
+        assert_eq!(proxy.injected(), 1);
+        assert!(!proxy.pending());
+        drop(client);
+        echo.join().unwrap();
+    }
+}

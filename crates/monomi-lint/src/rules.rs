@@ -55,7 +55,8 @@ pub const RULES: &[RuleInfo] = &[
         invariant: "I1",
         severity: Severity::Deny,
         summary: "key material and decryption must never be named in server-side crates \
-                  (monomi-engine, monomi-store, monomi-sql, monomi-proto, monomi-server)",
+                  (monomi-engine, monomi-store, monomi-sql, monomi-proto, monomi-server, \
+                  monomi-faults)",
     },
     RuleInfo {
         id: MONTGOMERY_DOMAIN,
@@ -83,7 +84,8 @@ pub const RULES: &[RuleInfo] = &[
         invariant: "I4",
         severity: Severity::Deny,
         summary: "no unwrap/expect/panic!/unreachable!/unchecked indexing in monomi-store \
-                  (bytes from disk must fail the query with a StoreError, not the process)",
+                  (bytes from disk must fail the query, not the process) or monomi-faults \
+                  (a mangled frame must fail the transfer, not the harness)",
     },
     RuleInfo {
         id: UNSAFE_HYGIENE,
@@ -111,13 +113,21 @@ pub const ALLOW_JUSTIFICATION: &str = "allow-justification";
 
 /// Crates that run inside the untrusted server's trust domain: they compute
 /// on ciphertexts and must never name key material or decryption.
+/// `monomi-faults` sits on the wire between client and server — it handles
+/// ciphertext frames in flight, so it is held to the same boundary.
 const SERVER_CRATES: &[&str] = &[
     "monomi-engine",
     "monomi-store",
     "monomi-sql",
     "monomi-proto",
     "monomi-server",
+    "monomi-faults",
 ];
+
+/// Crates whose non-test code must never panic: monomi-store decodes
+/// untrusted disk bytes, monomi-faults deliberately mangles wire bytes —
+/// both must surface failure as an error, not take the process down.
+const PANIC_FREE_CRATES: &[&str] = &["monomi-store", "monomi-faults"];
 
 /// Identifiers that *are* key material or decryption capability. Naming one
 /// of these in a server crate is a trust-boundary violation.
@@ -174,7 +184,7 @@ pub fn check_file(file: &SourceFile, out: &mut Vec<Violation>) {
         }
         check_determinism_hash_iter(file, out);
     }
-    if file.crate_name == "monomi-store" {
+    if PANIC_FREE_CRATES.contains(&file.crate_name.as_str()) {
         check_panic_freedom(file, out);
     }
 }
@@ -537,10 +547,10 @@ fn check_determinism_hash_iter(file: &SourceFile, out: &mut Vec<Violation>) {
     }
 }
 
-/// `panic-freedom` (I4): monomi-store code must return `StoreError`s, never
-/// panic. Flags `.unwrap()`, `.expect(`, panic-family macros, and indexing
-/// `base[...]` whose index is not a single integer literal (those are
-/// reviewable fixed offsets). Test modules are excluded.
+/// `panic-freedom` (I4): code in [`PANIC_FREE_CRATES`] must return errors,
+/// never panic. Flags `.unwrap()`, `.expect(`, panic-family macros, and
+/// indexing `base[...]` whose index is not a single integer literal (those
+/// are reviewable fixed offsets). Test modules are excluded.
 fn check_panic_freedom(file: &SourceFile, out: &mut Vec<Violation>) {
     let code: Vec<usize> = file.code_indices().collect();
     let tok = |k: usize| &file.toks[code[k]];
@@ -561,9 +571,8 @@ fn check_panic_freedom(file: &SourceFile, out: &mut Vec<Violation>) {
                 PANIC_FREEDOM,
                 t.line,
                 format!(
-                    "`.{}()` in monomi-store: disk bytes are untrusted — return a StoreError \
-                     instead of panicking",
-                    t.text
+                    "`.{}()` in {}: untrusted bytes — return an error instead of panicking",
+                    t.text, file.crate_name
                 ),
             );
         }
@@ -582,8 +591,8 @@ fn check_panic_freedom(file: &SourceFile, out: &mut Vec<Violation>) {
                 PANIC_FREEDOM,
                 t.line,
                 format!(
-                    "`{}!` in monomi-store: corrupt input must fail the query, not the process",
-                    t.text
+                    "`{}!` in {}: corrupt input must fail the operation, not the process",
+                    t.text, file.crate_name
                 ),
             );
         }
@@ -625,9 +634,11 @@ fn check_panic_freedom(file: &SourceFile, out: &mut Vec<Violation>) {
                     out,
                     PANIC_FREEDOM,
                     t.line,
-                    "unchecked slice indexing in monomi-store: use .get()/.get_mut() and \
-                     return a StoreError (or justify with an allow marker)"
-                        .to_string(),
+                    format!(
+                        "unchecked slice indexing in {}: use .get()/.get_mut() and return an \
+                         error (or justify with an allow marker)",
+                        file.crate_name
+                    ),
                 );
             }
         }

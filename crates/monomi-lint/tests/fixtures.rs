@@ -82,6 +82,27 @@ fn trust_boundary_covers_the_wire_and_server_crates() {
 }
 
 #[test]
+fn trust_boundary_covers_the_fault_injection_crate() {
+    // monomi-faults sits on the wire: it relays and mangles ciphertext
+    // frames, so key material and decryption are violations there too.
+    assert!(fires(
+        "monomi-faults",
+        "crates/monomi-faults/src/lib.rs",
+        "pub fn peek(frame: &[u8]) { decrypt_frame(frame); }",
+        "trust-boundary"
+    ));
+    assert!(fires(
+        "monomi-faults",
+        "crates/monomi-faults/src/lib.rs",
+        "fn f(k: &MasterKey) {}",
+        "trust-boundary"
+    ));
+    // Relaying opaque frame bytes stays silent.
+    let clean = "pub fn forward(frame: &[u8]) -> usize { frame.len() }";
+    assert!(lint_source("monomi-faults", "crates/monomi-faults/src/lib.rs", clean).is_empty());
+}
+
+#[test]
 fn trust_boundary_is_silent_in_client_crates() {
     let src = "pub fn open(k: &MasterKey, c: &[u8]) -> Vec<u8> { decrypt_block(k, c) }";
     assert!(lint_source("monomi-crypto", "crates/monomi-crypto/src/x.rs", src).is_empty());
@@ -265,6 +286,31 @@ fn panic_freedom_flags_unchecked_indexing_but_not_fixed_offsets() {
     // A single integer literal index is a reviewable fixed offset.
     let fixed = "fn f(b: [u8; 4]) -> u8 { b[0] }";
     assert!(lint_source("monomi-store", "crates/monomi-store/src/x.rs", fixed).is_empty());
+}
+
+#[test]
+fn panic_freedom_covers_the_fault_injection_crate() {
+    // monomi-faults deliberately mangles frames; a mangled frame must fail
+    // the transfer, never panic the harness.
+    for snippet in [
+        "let b = frame.get(i).unwrap();",
+        "panic!(\"torn frame\");",
+        "let b = frame[i % frame.len()];",
+    ] {
+        let src = format!("fn f(frame: &[u8], i: usize) {{ {snippet} }}");
+        assert!(
+            fires(
+                "monomi-faults",
+                "crates/monomi-faults/src/lib.rs",
+                &src,
+                "panic-freedom"
+            ),
+            "`{snippet}` must be flagged in monomi-faults"
+        );
+    }
+    // The fallible idioms the crate actually uses stay silent.
+    let clean = "fn f(frame: &[u8], i: usize) -> u8 { frame.get(i).copied().unwrap_or(0) }";
+    assert!(lint_source("monomi-faults", "crates/monomi-faults/src/lib.rs", clean).is_empty());
 }
 
 #[test]

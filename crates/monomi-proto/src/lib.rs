@@ -48,7 +48,13 @@ use monomi_store::{
 
 /// Protocol version spoken by this build. Bump on any frame or payload layout
 /// change; the `Hello` exchange and the frame header both carry it.
-pub const WIRE_VERSION: u32 = 1;
+///
+/// v2: `Hello` carries a client id (stable across reconnects, so the server
+/// can key table ownership and its idempotency journal by *client* rather
+/// than by connection), the three session-mutating requests (`CreateTable`,
+/// `RegisterModulus`, `BulkLoad`) carry a request id for exactly-once replay
+/// after a reconnect, and [`ErrorCode::ShuttingDown`] marks a draining server.
+pub const WIRE_VERSION: u32 = 2;
 
 /// Frame magic: the first four bytes of every MONOMI frame.
 pub const MAGIC: [u8; 4] = *b"MNMI";
@@ -144,6 +150,9 @@ pub enum ErrorCode {
     Ownership,
     /// Anything else; the message has details.
     Internal,
+    /// The server is draining for shutdown: in-flight requests were answered,
+    /// new ones are refused. Clients should reconnect elsewhere, not retry.
+    ShuttingDown,
 }
 
 impl ErrorCode {
@@ -156,6 +165,7 @@ impl ErrorCode {
             ErrorCode::Exec => 5,
             ErrorCode::Ownership => 6,
             ErrorCode::Internal => 7,
+            ErrorCode::ShuttingDown => 8,
         }
     }
 
@@ -168,6 +178,7 @@ impl ErrorCode {
             5 => ErrorCode::Exec,
             6 => ErrorCode::Ownership,
             7 => ErrorCode::Internal,
+            8 => ErrorCode::ShuttingDown,
             _ => return None,
         })
     }
@@ -183,18 +194,30 @@ impl ErrorCode {
 /// which the server learns anyway from the ciphertext shapes.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Request {
-    /// Version negotiation; must be the first request on a connection.
-    Hello { version: u32 },
+    /// Version negotiation; must be the first request on a connection. The
+    /// `client_id` is chosen by the client once and reused across reconnects,
+    /// so the server can hand a reconnecting client its table ownership and
+    /// applied-request journal back.
+    Hello { version: u32, client_id: u64 },
     /// Register an encrypted table: name plus `(column name, type)` pairs.
+    /// `request_id` makes the request idempotent: a replay the server already
+    /// applied is acknowledged, not re-executed.
     CreateTable {
+        request_id: u64,
         name: String,
         columns: Vec<(String, ColumnType)>,
     },
     /// Register the public Paillier modulus `n²` (big-endian bytes) so the
-    /// server can add HOM ciphertexts.
-    RegisterModulus { n_squared_be: Vec<u8> },
-    /// Append ciphertext rows to a table this session created.
+    /// server can add HOM ciphertexts. Idempotent via `request_id`.
+    RegisterModulus {
+        request_id: u64,
+        n_squared_be: Vec<u8>,
+    },
+    /// Append ciphertext rows to a table this session created. `request_id`
+    /// is the double-load guard: a chunk replayed after a reconnect whose id
+    /// the server has already applied is acknowledged without re-loading.
     BulkLoad {
+        request_id: u64,
         table: String,
         rows: Vec<Vec<Value>>,
     },
@@ -333,12 +356,18 @@ impl Request {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Request::Hello { version } => {
+            Request::Hello { version, client_id } => {
                 out.push(RQ_HELLO);
                 put_u32(&mut out, *version);
+                put_u64(&mut out, *client_id);
             }
-            Request::CreateTable { name, columns } => {
+            Request::CreateTable {
+                request_id,
+                name,
+                columns,
+            } => {
                 out.push(RQ_CREATE_TABLE);
+                put_u64(&mut out, *request_id);
                 put_str(&mut out, name);
                 put_u32(&mut out, columns.len() as u32);
                 for (col, ty) in columns {
@@ -346,12 +375,21 @@ impl Request {
                     out.push(ty.tag());
                 }
             }
-            Request::RegisterModulus { n_squared_be } => {
+            Request::RegisterModulus {
+                request_id,
+                n_squared_be,
+            } => {
                 out.push(RQ_REGISTER_MODULUS);
+                put_u64(&mut out, *request_id);
                 put_blob(&mut out, n_squared_be);
             }
-            Request::BulkLoad { table, rows } => {
+            Request::BulkLoad {
+                request_id,
+                table,
+                rows,
+            } => {
                 out.push(RQ_BULK_LOAD);
+                put_u64(&mut out, *request_id);
                 put_str(&mut out, table);
                 write_rows(&mut out, rows);
             }
@@ -376,8 +414,12 @@ impl Request {
     pub fn decode(payload: &[u8]) -> Result<Request, ProtoError> {
         let mut r = Reader::new(payload);
         let req = match r.u8()? {
-            RQ_HELLO => Request::Hello { version: r.u32()? },
+            RQ_HELLO => Request::Hello {
+                version: r.u32()?,
+                client_id: r.u64()?,
+            },
             RQ_CREATE_TABLE => {
+                let request_id = r.u64()?;
                 let name = r.string()?;
                 let n = r.u32()? as usize;
                 let mut columns = Vec::with_capacity(n.min(1 << 12));
@@ -389,12 +431,18 @@ impl Request {
                     })?;
                     columns.push((col, ty));
                 }
-                Request::CreateTable { name, columns }
+                Request::CreateTable {
+                    request_id,
+                    name,
+                    columns,
+                }
             }
             RQ_REGISTER_MODULUS => Request::RegisterModulus {
+                request_id: r.u64()?,
                 n_squared_be: r.blob()?.to_vec(),
             },
             RQ_BULK_LOAD => Request::BulkLoad {
+                request_id: r.u64()?,
                 table: r.string()?,
                 rows: read_rows(&mut r)?,
             },
@@ -658,8 +706,10 @@ mod tests {
         vec![
             Request::Hello {
                 version: WIRE_VERSION,
+                client_id: 0xFEED_FACE_CAFE_BEEF,
             },
             Request::CreateTable {
+                request_id: 1,
                 name: "lineitem_enc".into(),
                 columns: vec![
                     ("l_quantity_det".into(), ColumnType::Bytes),
@@ -668,9 +718,11 @@ mod tests {
                 ],
             },
             Request::RegisterModulus {
+                request_id: 2,
                 n_squared_be: vec![0x01, 0x00, 0xFF, 0xAB],
             },
             Request::BulkLoad {
+                request_id: u64::MAX,
                 table: "lineitem_enc".into(),
                 rows: vec![
                     vec![Value::Int(1), Value::Bytes(vec![9, 9]), Value::Null],
@@ -722,6 +774,7 @@ mod tests {
             },
             Response::Size { bytes: u64::MAX },
             Response::error(ErrorCode::Sql, "no such table"),
+            Response::error(ErrorCode::ShuttingDown, "server is draining"),
         ]
     }
 

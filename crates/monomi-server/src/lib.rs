@@ -18,10 +18,24 @@
 //! * a **connection limit** (`MONOMI_MAX_CONNS`) as primitive admission
 //!   control: connection number `max_conns + 1` is greeted with a typed
 //!   [`ErrorCode::Busy`] and closed, rather than queued into oblivion;
-//! * a **per-session schema registry**: tables are owned by the session that
-//!   created them; other sessions can query them (shared analytics is the
-//!   point) but cannot load into or redefine them. Ownership claims are
-//!   released when the session disconnects;
+//! * **per-connection timeouts** (`MONOMI_CONN_TIMEOUT_MS`): a connection
+//!   may sit idle for at most the timeout, and once the first byte of a
+//!   frame arrives the *whole frame* must arrive within the timeout — so a
+//!   half-open or slowloris client cannot pin a connection thread (and with
+//!   it an admission slot) indefinitely;
+//! * a **per-client schema registry**: tables are owned by the client that
+//!   created them (clients identify themselves with a stable id in `Hello`,
+//!   so a reconnect regains ownership); other clients can query them (shared
+//!   analytics is the point) but cannot load into or redefine them.
+//!   Ownership claims are released when the owner's last connection ends;
+//! * an **idempotency journal**: `CreateTable`/`RegisterModulus`/`BulkLoad`
+//!   carry request ids, and the server remembers which ids each client has
+//!   applied. A replayed request — the client retried because the connection
+//!   died before the acknowledgement arrived — is acknowledged without being
+//!   re-executed, so a `BulkLoad` is never double-applied;
+//! * **graceful drain**: shutdown stops the accept loop, lets in-flight
+//!   requests finish and their responses flush (no mid-frame cuts), and
+//!   answers subsequent requests with a typed [`ErrorCode::ShuttingDown`];
 //! * one shared [`Database`] behind the existing store — `MONOMI_STORAGE`
 //!   picks the in-memory or on-disk backend exactly as in-process execution
 //!   does.
@@ -30,12 +44,12 @@
 //! protocol; a connection must open with a `Hello` carrying a matching
 //! [`WIRE_VERSION`] before anything else is accepted.
 
-use std::collections::BTreeMap;
-use std::io;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use monomi_engine::{ColumnDef, Database, ExecOptions, TableSchema};
 use monomi_math::BigUint;
@@ -44,6 +58,7 @@ use monomi_proto::{
     WIRE_VERSION,
 };
 use monomi_sql::parse_query;
+use monomi_store::env_knob;
 use parking_lot::{Mutex, RwLock};
 
 /// Default listen address when `MONOMI_LISTEN` is unset.
@@ -52,45 +67,126 @@ pub const DEFAULT_LISTEN: &str = "127.0.0.1:7433";
 /// Default connection limit when `MONOMI_MAX_CONNS` is unset.
 pub const DEFAULT_MAX_CONNS: usize = 64;
 
+/// Default per-connection timeout (idle wait and whole-frame receive alike)
+/// when `MONOMI_CONN_TIMEOUT_MS` is unset.
+pub const DEFAULT_CONN_TIMEOUT_MS: u64 = 30_000;
+
+/// Disconnected clients whose idempotency journal is retained, at most. The
+/// journal lets a client that reconnects *after* its last connection dropped
+/// replay its session without double-applying anything; beyond this many
+/// remembered clients, the longest-disconnected journals are evicted.
+const MAX_CLIENT_JOURNALS: usize = 128;
+
 /// Server tunables.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerOptions {
     /// Connections admitted concurrently; the next one is refused with
     /// [`ErrorCode::Busy`].
     pub max_conns: usize,
+    /// Per-connection read/write budget: the longest a connection may sit
+    /// idle between frames, and the longest one frame may take to arrive
+    /// once its first byte has been read.
+    pub conn_timeout: Duration,
 }
 
 impl Default for ServerOptions {
     fn default() -> Self {
         ServerOptions {
             max_conns: DEFAULT_MAX_CONNS,
+            conn_timeout: Duration::from_millis(DEFAULT_CONN_TIMEOUT_MS),
         }
     }
 }
 
 impl ServerOptions {
     /// Reads options from the environment: `MONOMI_MAX_CONNS` (default
-    /// [`DEFAULT_MAX_CONNS`]).
+    /// [`DEFAULT_MAX_CONNS`]) and `MONOMI_CONN_TIMEOUT_MS` (default
+    /// [`DEFAULT_CONN_TIMEOUT_MS`]). Malformed values are rejected with a
+    /// logged warning (never silently swallowed) and the default is used.
     pub fn from_env() -> Self {
-        let max_conns = std::env::var("MONOMI_MAX_CONNS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or(DEFAULT_MAX_CONNS);
-        ServerOptions { max_conns }
+        ServerOptions {
+            max_conns: env_knob("MONOMI_MAX_CONNS", DEFAULT_MAX_CONNS, |&n| n >= 1),
+            conn_timeout: Duration::from_millis(env_knob(
+                "MONOMI_CONN_TIMEOUT_MS",
+                DEFAULT_CONN_TIMEOUT_MS,
+                |&ms| ms >= 1,
+            )),
+        }
     }
+}
+
+/// What the server remembers about one client id.
+struct ClientState {
+    /// Live connections presenting this client id.
+    conns: usize,
+    /// Request ids this client has successfully applied (`CreateTable`,
+    /// `RegisterModulus`, `BulkLoad`). Survives disconnects so replays after
+    /// a reconnect are acknowledged instead of re-executed.
+    applied: BTreeSet<u64>,
+    /// Monotonic tick of the last activity, for journal eviction.
+    last_seen: u64,
 }
 
 /// State shared by the accept loop and every connection thread.
 struct Shared {
     db: RwLock<Database>,
-    /// Table name → owning session id. Entries disappear when the owning
-    /// session disconnects; the tables themselves stay.
+    /// Table name → owning client id. Entries disappear when the owner's
+    /// last connection ends; the tables themselves stay.
     owners: Mutex<BTreeMap<String, u64>>,
+    /// Per-client connection counts and idempotency journals.
+    clients: Mutex<BTreeMap<u64, ClientState>>,
     active: AtomicUsize,
-    next_session: AtomicU64,
+    tick: AtomicU64,
     shutdown: AtomicBool,
     opts: ServerOptions,
+}
+
+impl Shared {
+    /// Registers one more live connection for `client_id`.
+    fn client_connected(&self, client_id: u64) {
+        let tick = self.tick.fetch_add(1, Ordering::SeqCst);
+        let mut clients = self.clients.lock();
+        let state = clients.entry(client_id).or_insert(ClientState {
+            conns: 0,
+            applied: BTreeSet::new(),
+            last_seen: tick,
+        });
+        state.conns += 1;
+        state.last_seen = tick;
+    }
+
+    /// Unregisters a connection; when it was the client's last, releases the
+    /// client's table ownership and bounds the retained journals.
+    fn client_disconnected(&self, client_id: u64) {
+        let mut clients = self.clients.lock();
+        let last_gone = match clients.get_mut(&client_id) {
+            Some(state) => {
+                state.conns = state.conns.saturating_sub(1);
+                state.conns == 0
+            }
+            None => false,
+        };
+        if last_gone {
+            self.owners
+                .lock()
+                .retain(|_, &mut owner| owner != client_id);
+        }
+        // Bound the journal table: evict the longest-disconnected clients
+        // first (never one with live connections).
+        while clients.len() > MAX_CLIENT_JOURNALS {
+            let oldest = clients
+                .iter()
+                .filter(|(_, s)| s.conns == 0)
+                .min_by_key(|(_, s)| s.last_seen)
+                .map(|(&id, _)| id);
+            match oldest {
+                Some(id) => {
+                    clients.remove(&id);
+                }
+                None => break,
+            }
+        }
+    }
 }
 
 /// A bound, not-yet-running server.
@@ -126,8 +222,9 @@ impl Server {
             shared: Arc::new(Shared {
                 db: RwLock::new(db),
                 owners: Mutex::new(BTreeMap::new()),
+                clients: Mutex::new(BTreeMap::new()),
                 active: AtomicUsize::new(0),
-                next_session: AtomicU64::new(1),
+                tick: AtomicU64::new(1),
                 shutdown: AtomicBool::new(false),
                 opts,
             }),
@@ -156,6 +253,7 @@ impl Server {
             if shared.active.fetch_add(1, Ordering::SeqCst) >= shared.opts.max_conns {
                 shared.active.fetch_sub(1, Ordering::SeqCst);
                 let mut stream = stream;
+                let _ = stream.set_write_timeout(Some(shared.opts.conn_timeout));
                 let _ = write_response(
                     &mut stream,
                     &Response::error(ErrorCode::Busy, "connection limit reached"),
@@ -163,12 +261,7 @@ impl Server {
                 continue;
             }
             std::thread::spawn(move || {
-                let session = shared.next_session.fetch_add(1, Ordering::SeqCst);
-                let _ = serve_connection(&shared, stream, session);
-                shared
-                    .owners
-                    .lock()
-                    .retain(|_, &mut owner| owner != session);
+                let _ = serve_connection(&shared, stream);
                 shared.active.fetch_sub(1, Ordering::SeqCst);
             });
         }
@@ -209,8 +302,37 @@ impl ServerHandle {
         self.addr
     }
 
+    /// Connections currently admitted (live connection threads).
+    pub fn active_connections(&self) -> usize {
+        self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// Tables currently claimed by some live client.
+    pub fn owned_tables(&self) -> usize {
+        self.shared.owners.lock().len()
+    }
+
+    /// Begins a graceful drain: stop accepting, let in-flight requests
+    /// complete and their responses flush, answer subsequent requests with a
+    /// typed [`ErrorCode::ShuttingDown`]. Returns `true` once every
+    /// connection has ended, `false` if `timeout` elapsed first (stragglers
+    /// are then cut by [`shutdown`](Self::shutdown) / drop as before).
+    pub fn drain(&self, timeout: Duration) -> bool {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept call so it observes the flag.
+        let _ = TcpStream::connect(self.addr);
+        let deadline = Instant::now() + timeout;
+        while self.shared.active.load(Ordering::SeqCst) > 0 {
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        true
+    }
+
     /// Stops the accept loop and joins its thread. Connection threads exit
-    /// when their clients hang up.
+    /// when their clients hang up or their per-connection timeout fires.
     pub fn shutdown(&mut self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         // Unblock the accept call with a throwaway connection.
@@ -227,28 +349,77 @@ impl Drop for ServerHandle {
     }
 }
 
-/// One session: Hello handshake, then a request/response loop until the
-/// client disconnects or the transport breaks.
-fn serve_connection(
-    shared: &Shared,
-    mut stream: TcpStream,
-    session: u64,
-) -> Result<(), ProtoError> {
-    let _ = stream.set_nodelay(true);
+/// A [`Read`] over a connection that enforces the per-connection budget: an
+/// idle wait for the next frame is bounded by the budget, and once the first
+/// byte of a frame has been read the *rest of that frame* must arrive before
+/// the budget elapses (call [`start_frame`](Self::start_frame) at each frame
+/// boundary). This is the slowloris bound: trickling one byte per
+/// almost-timeout no longer holds the connection open indefinitely.
+struct TimedConn<'a> {
+    stream: &'a TcpStream,
+    budget: Duration,
+    deadline: Option<Instant>,
+}
 
-    // The first message must be a version handshake.
-    match read_request(&mut stream) {
-        Ok((Request::Hello { version }, _)) if version == WIRE_VERSION => {
+impl<'a> TimedConn<'a> {
+    fn new(stream: &'a TcpStream, budget: Duration) -> Self {
+        TimedConn {
+            stream,
+            budget,
+            deadline: None,
+        }
+    }
+
+    /// Resets the frame clock: the next read is an idle wait again.
+    fn start_frame(&mut self) {
+        self.deadline = None;
+    }
+}
+
+impl Read for TimedConn<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let remaining = match self.deadline {
+            None => self.budget,
+            Some(d) => d.saturating_duration_since(Instant::now()),
+        };
+        if remaining.is_zero() {
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "per-connection frame budget exhausted",
+            ));
+        }
+        self.stream.set_read_timeout(Some(remaining))?;
+        let n = self.stream.read(buf)?;
+        if self.deadline.is_none() && n > 0 {
+            self.deadline = Some(Instant::now() + self.budget);
+        }
+        Ok(n)
+    }
+}
+
+/// One connection: Hello handshake (which identifies the client), then a
+/// request/response loop until the client disconnects, the per-connection
+/// budget fires, or the transport breaks.
+fn serve_connection(shared: &Shared, stream: TcpStream) -> Result<(), ProtoError> {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(shared.opts.conn_timeout));
+    let mut reader = TimedConn::new(&stream, shared.opts.conn_timeout);
+    let mut writer = &stream;
+
+    // The first message must be a version handshake carrying the client id.
+    let client_id = match read_request(&mut reader) {
+        Ok((Request::Hello { version, client_id }, _)) if version == WIRE_VERSION => {
             write_response(
-                &mut stream,
+                &mut writer,
                 &Response::Hello {
                     version: WIRE_VERSION,
                 },
             )?;
+            client_id
         }
-        Ok((Request::Hello { version }, _)) => {
+        Ok((Request::Hello { version, .. }, _)) => {
             write_response(
-                &mut stream,
+                &mut writer,
                 &Response::error(
                     ErrorCode::VersionMismatch,
                     format!("client speaks v{version}, server speaks v{WIRE_VERSION}"),
@@ -258,7 +429,7 @@ fn serve_connection(
         }
         Ok(_) => {
             write_response(
-                &mut stream,
+                &mut writer,
                 &Response::error(ErrorCode::BadRequest, "expected Hello first"),
             )?;
             return Ok(());
@@ -267,56 +438,113 @@ fn serve_connection(
             // Frame-level version mismatch: our reply frame may be
             // undecodable to the peer, but a typed refusal beats silence.
             write_response(
-                &mut stream,
+                &mut writer,
                 &Response::error(ErrorCode::VersionMismatch, e.message),
             )?;
             return Ok(());
         }
         Err(e) => return Err(e),
-    }
+    };
 
+    shared.client_connected(client_id);
+    let result = session_loop(shared, &stream, client_id);
+    shared.client_disconnected(client_id);
+    result
+}
+
+/// The post-handshake request/response loop.
+fn session_loop(shared: &Shared, stream: &TcpStream, client_id: u64) -> Result<(), ProtoError> {
+    let mut reader = TimedConn::new(stream, shared.opts.conn_timeout);
+    let mut writer = stream;
     loop {
-        let request = match read_request(&mut stream) {
+        reader.start_frame();
+        let request = match read_request(&mut reader) {
             Ok((req, _)) => req,
-            // Clean disconnect (or a broken transport either way): done.
+            // Clean disconnect, idle/frame timeout, or a broken transport
+            // either way: done. The timeout is what keeps a half-open client
+            // from pinning this thread (and its admission slot) forever.
             Err(e) if e.kind == ProtoErrorKind::Io => return Ok(()),
             // Corrupt frame: tell the peer and drop the connection — framing
             // state past a corrupt frame is unrecoverable.
             Err(e) => {
                 let _ = write_response(
-                    &mut stream,
+                    &mut writer,
                     &Response::error(ErrorCode::BadRequest, e.to_string()),
                 );
                 return Err(e);
             }
         };
-        let response = handle_request(shared, session, request);
-        write_response(&mut stream, &response)?;
+        // Graceful drain: requests that arrive after shutdown began get a
+        // typed refusal — a complete, well-formed frame, never a mid-frame
+        // cut. (A request already being handled below finishes normally and
+        // its response is fully written before this check is reached again.)
+        if shared.shutdown.load(Ordering::SeqCst) {
+            let _ = write_response(
+                &mut writer,
+                &Response::error(ErrorCode::ShuttingDown, "server is draining"),
+            );
+            return Ok(());
+        }
+        let response = handle_request(shared, client_id, request);
+        write_response(&mut writer, &response)?;
+    }
+}
+
+/// Looks up whether `request_id` has already been applied for `client_id`,
+/// updating the client's activity tick either way.
+fn already_applied(shared: &Shared, client_id: u64, request_id: u64) -> bool {
+    let tick = shared.tick.fetch_add(1, Ordering::SeqCst);
+    let mut clients = shared.clients.lock();
+    match clients.get_mut(&client_id) {
+        Some(state) => {
+            state.last_seen = tick;
+            state.applied.contains(&request_id)
+        }
+        None => false,
+    }
+}
+
+/// Records `request_id` as applied for `client_id`.
+fn mark_applied(shared: &Shared, client_id: u64, request_id: u64) {
+    let mut clients = shared.clients.lock();
+    if let Some(state) = clients.get_mut(&client_id) {
+        state.applied.insert(request_id);
     }
 }
 
 /// Executes one request against the shared state. Pure with respect to the
 /// transport: all socket handling lives in [`serve_connection`].
-fn handle_request(shared: &Shared, session: u64, request: Request) -> Response {
+fn handle_request(shared: &Shared, client_id: u64, request: Request) -> Response {
     match request {
-        Request::Hello { version } if version == WIRE_VERSION => Response::Hello {
+        Request::Hello { version, .. } if version == WIRE_VERSION => Response::Hello {
             version: WIRE_VERSION,
         },
-        Request::Hello { version } => Response::error(
+        Request::Hello { version, .. } => Response::error(
             ErrorCode::VersionMismatch,
             format!("client speaks v{version}, server speaks v{WIRE_VERSION}"),
         ),
-        Request::CreateTable { name, columns } => {
+        Request::CreateTable {
+            request_id,
+            name,
+            columns,
+        } => {
+            if already_applied(shared, client_id, request_id) {
+                // Replay after a reconnect: the table exists and this client
+                // created it — re-claim ownership (it was released when the
+                // client's last connection dropped) and acknowledge.
+                shared.owners.lock().insert(name, client_id);
+                return Response::Ok;
+            }
             let mut owners = shared.owners.lock();
             let mut db = shared.db.write();
             if db.table(&name).is_some() {
                 return match owners.get(&name) {
-                    Some(&owner) if owner == session => {
+                    Some(&owner) if owner == client_id => {
                         Response::error(ErrorCode::BadRequest, format!("table {name} exists"))
                     }
                     _ => Response::error(
                         ErrorCode::Ownership,
-                        format!("table {name} belongs to another session"),
+                        format!("table {name} belongs to another client"),
                     ),
                 };
             }
@@ -325,10 +553,19 @@ fn handle_request(shared: &Shared, session: u64, request: Request) -> Response {
                 .map(|(col, ty)| ColumnDef::new(col, ty))
                 .collect();
             db.create_table(TableSchema::new(name.clone(), defs));
-            owners.insert(name, session);
+            owners.insert(name, client_id);
+            drop(db);
+            drop(owners);
+            mark_applied(shared, client_id, request_id);
             Response::Ok
         }
-        Request::RegisterModulus { n_squared_be } => {
+        Request::RegisterModulus {
+            request_id,
+            n_squared_be,
+        } => {
+            if already_applied(shared, client_id, request_id) {
+                return Response::Ok;
+            }
             if n_squared_be.is_empty() {
                 return Response::error(ErrorCode::BadRequest, "empty modulus");
             }
@@ -336,27 +573,41 @@ fn handle_request(shared: &Shared, session: u64, request: Request) -> Response {
                 .db
                 .write()
                 .register_paillier_modulus(BigUint::from_bytes_be(&n_squared_be));
+            mark_applied(shared, client_id, request_id);
             Response::Ok
         }
-        Request::BulkLoad { table, rows } => {
+        Request::BulkLoad {
+            request_id,
+            table,
+            rows,
+        } => {
+            if already_applied(shared, client_id, request_id) {
+                // The chunk landed before the connection died; acknowledging
+                // without re-loading is what makes client retries safe.
+                return Response::Ok;
+            }
             let owners = shared.owners.lock();
             match owners.get(&table) {
-                Some(&owner) if owner == session => {}
+                Some(&owner) if owner == client_id => {}
                 Some(_) => {
                     return Response::error(
                         ErrorCode::Ownership,
-                        format!("table {table} belongs to another session"),
+                        format!("table {table} belongs to another client"),
                     )
                 }
                 None => {
                     return Response::error(
                         ErrorCode::BadRequest,
-                        format!("table {table} was not created by any live session"),
+                        format!("table {table} was not created by any live client"),
                     )
                 }
             }
+            drop(owners);
             match shared.db.write().bulk_load(&table, rows) {
-                Ok(()) => Response::Ok,
+                Ok(()) => {
+                    mark_applied(shared, client_id, request_id);
+                    Response::Ok
+                }
                 Err(e) => Response::error(ErrorCode::Exec, e.to_string()),
             }
         }

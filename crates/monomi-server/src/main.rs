@@ -1,9 +1,13 @@
 #![forbid(unsafe_code)]
 //! Standalone MONOMI server binary.
 //!
-//! Knobs (environment):
+//! Knobs (environment; malformed values are rejected with a logged warning
+//! and the default is used — never a silent fallback):
 //! * `MONOMI_LISTEN` — listen address, default `127.0.0.1:7433`;
 //! * `MONOMI_MAX_CONNS` — concurrent-connection limit, default 64;
+//! * `MONOMI_CONN_TIMEOUT_MS` — per-connection idle/frame budget, default
+//!   30000: a connection is dropped after this long idle, and a frame whose
+//!   first byte has arrived must complete within it (slowloris bound);
 //! * `MONOMI_STORAGE` — `memory` (default) or `disk`, as everywhere else.
 
 use monomi_server::{Server, ServerOptions, DEFAULT_LISTEN};

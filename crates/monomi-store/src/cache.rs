@@ -55,11 +55,11 @@ impl SegmentCache {
 
     /// A cache budgeted from `MONOMI_CACHE_BYTES` (default 256 MiB).
     pub fn from_env() -> SegmentCache {
-        let budget = std::env::var(CACHE_BYTES_ENV)
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .unwrap_or(DEFAULT_CACHE_BYTES);
-        Self::with_budget(budget)
+        Self::with_budget(crate::env_knob(
+            CACHE_BYTES_ENV,
+            DEFAULT_CACHE_BYTES,
+            |_| true,
+        ))
     }
 
     /// The configured budget in bytes.

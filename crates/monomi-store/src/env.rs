@@ -1,0 +1,69 @@
+//! Shared parsing for `MONOMI_*` environment knobs.
+//!
+//! Every crate that reads a tuning knob from the environment goes through
+//! [`env_knob`], which rejects malformed values *loudly*: a typo like
+//! `MONOMI_MAX_CONNS=sixty-four` logs a warning naming the variable, the bad
+//! value, and the default that will be used instead — rather than silently
+//! falling back the way a bare `.ok().and_then(parse).unwrap_or(default)`
+//! chain does. An unset variable stays silent; only a *present but unusable*
+//! value warns.
+//!
+//! The helper lives here because `monomi-store` is the lowest crate in the
+//! dependency order that engine, proto, server, and core all share.
+
+/// Reads `name` from the environment, parsing it as `T` and validating with
+/// `valid`. Returns `default` when the variable is unset; when it is set but
+/// fails to parse or validate, logs one warning to stderr and returns
+/// `default`.
+pub fn env_knob<T, F>(name: &str, default: T, valid: F) -> T
+where
+    T: std::str::FromStr + std::fmt::Display + Copy,
+    F: Fn(&T) -> bool,
+{
+    let raw = match std::env::var(name) {
+        Ok(v) => v,
+        Err(_) => return default,
+    };
+    match raw.parse::<T>() {
+        Ok(v) if valid(&v) => v,
+        Ok(v) => {
+            eprintln!("monomi: {name}={v} is out of range; using default {default}");
+            default
+        }
+        Err(_) => {
+            eprintln!("monomi: {name}={raw:?} does not parse; using default {default}");
+            default
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test uses a unique variable name: tests in one binary share the
+    // process environment, so reusing a name would race.
+
+    #[test]
+    fn unset_returns_default_silently() {
+        assert_eq!(env_knob("MONOMI_TEST_KNOB_UNSET", 7usize, |&n| n >= 1), 7);
+    }
+
+    #[test]
+    fn valid_value_wins() {
+        std::env::set_var("MONOMI_TEST_KNOB_VALID", "12");
+        assert_eq!(env_knob("MONOMI_TEST_KNOB_VALID", 7usize, |&n| n >= 1), 12);
+    }
+
+    #[test]
+    fn malformed_value_falls_back_to_default() {
+        std::env::set_var("MONOMI_TEST_KNOB_BAD", "sixty-four");
+        assert_eq!(env_knob("MONOMI_TEST_KNOB_BAD", 7usize, |&n| n >= 1), 7);
+    }
+
+    #[test]
+    fn out_of_range_value_falls_back_to_default() {
+        std::env::set_var("MONOMI_TEST_KNOB_RANGE", "0");
+        assert_eq!(env_knob("MONOMI_TEST_KNOB_RANGE", 7usize, |&n| n >= 1), 7);
+    }
+}

@@ -41,6 +41,7 @@
 
 pub mod cache;
 pub mod encoding;
+pub mod env;
 pub mod manifest;
 pub mod segment;
 pub mod store;
@@ -48,6 +49,7 @@ pub mod value;
 
 pub use cache::SegmentCache;
 pub use encoding::{put_blob, read_value, write_value, Reader};
+pub use env::env_knob;
 pub use manifest::{Manifest, SegmentMeta, TableMeta};
 pub use segment::{ColumnZone, ZoneMap};
 pub use store::{BulkLoad, SegmentData, Store, StoreOptions};

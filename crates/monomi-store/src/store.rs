@@ -38,15 +38,12 @@ impl Default for StoreOptions {
     /// `MONOMI_CACHE_BYTES` (default 256 MiB).
     fn default() -> Self {
         StoreOptions {
-            segment_rows: std::env::var(SEGMENT_ROWS_ENV)
-                .ok()
-                .and_then(|s| s.parse::<usize>().ok())
-                .filter(|&n| n >= 1)
-                .unwrap_or(DEFAULT_SEGMENT_ROWS),
-            cache_bytes: std::env::var(crate::cache::CACHE_BYTES_ENV)
-                .ok()
-                .and_then(|s| s.parse::<usize>().ok())
-                .unwrap_or(crate::cache::DEFAULT_CACHE_BYTES),
+            segment_rows: crate::env_knob(SEGMENT_ROWS_ENV, DEFAULT_SEGMENT_ROWS, |&n| n >= 1),
+            cache_bytes: crate::env_knob(
+                crate::cache::CACHE_BYTES_ENV,
+                crate::cache::DEFAULT_CACHE_BYTES,
+                |_| true,
+            ),
         }
     }
 }

@@ -78,6 +78,8 @@ pub fn run_plaintext(
         wire_seconds: 0.0,
         wire_bytes_sent: 0,
         wire_bytes_received: 0,
+        retries: 0,
+        reconnects: 0,
         decrypt_seconds: 0.0,
         client_seconds: 0.0,
         transfer_bytes: rs.size_bytes() as u64,

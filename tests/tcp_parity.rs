@@ -36,7 +36,10 @@ fn fast_config() -> ClientConfig {
 fn loopback_server() -> monomi_server::ServerHandle {
     let server = Server::bind_with_db(
         "127.0.0.1:0",
-        ServerOptions { max_conns: 16 },
+        ServerOptions {
+            max_conns: 16,
+            ..Default::default()
+        },
         monomi_engine::Database::in_memory(),
     )
     .expect("bind loopback");
@@ -183,7 +186,10 @@ fn engine_exec_stats_counters_agree_across_transports() {
 fn admission_control_refuses_connections_past_the_limit() {
     let server = Server::bind_with_db(
         "127.0.0.1:0",
-        ServerOptions { max_conns: 2 },
+        ServerOptions {
+            max_conns: 2,
+            ..Default::default()
+        },
         monomi_engine::Database::in_memory(),
     )
     .expect("bind");
