@@ -13,7 +13,8 @@ use crate::network::NetworkModel;
 use crate::plan::{PlanOptions, SplitPlan};
 use crate::planner::Planner;
 use crate::transport::{
-    load_database, InProcessTransport, ServerTransport, TcpTransport, TransportOptions, WireMetrics,
+    load_database_with, InProcessTransport, ServerTransport, TcpTransport, TransportOptions,
+    WireMetrics,
 };
 use crate::CoreError;
 use monomi_crypto::{MasterKey, PaillierKey};
@@ -167,7 +168,11 @@ impl MonomiClient {
             Some(addr) => {
                 let opts = config.transport.unwrap_or_else(TransportOptions::from_env);
                 let mut transport = TcpTransport::connect_with(addr, opts)?;
-                load_database(&mut transport, &encrypted_db)?;
+                load_database_with(
+                    &mut transport,
+                    &encrypted_db,
+                    &encryptor.design().unindexed_by_table(),
+                )?;
                 Box::new(transport)
             }
         };

@@ -191,6 +191,22 @@ const CLIENT_ROW_SECONDS: f64 = 2e-6;
 /// post-filter rows just like they widen the scan, so this term is scaled by
 /// the same expansion factor; selective queries pay proportionally less.
 const MATERIALIZE_BYTE_SECONDS: f64 = 1e-9;
+/// Selectivity above which the engine's runtime planner keeps the full
+/// vectorized scan instead of probing secondary indexes — the same crossover
+/// `monomi-engine` applies, mirrored here so estimates and execution pick the
+/// same access path.
+pub const INDEX_SELECTIVITY_CROSSOVER: f64 = 0.25;
+/// Fixed overhead of one index probe: the per-segment binary searches over
+/// the sorted key blocks plus reading the posting headers.
+const INDEX_PROBE_BASE_SECONDS: f64 = 2e-6;
+/// Per fetched row: posting-list read plus the late-materializing gather's
+/// random access, priced at 3× the sequential per-tuple scan cost.
+const INDEX_PROBE_ROW_SECONDS: f64 = 3.0 * SCAN_ROW_SECONDS;
+/// Sequential scan cost per tuple in seconds: the engine estimator's
+/// `CPU_TUPLE_COST` through the same abstract-unit conversion, so the probe
+/// vs scan comparison is made in the scan term's own currency.
+const SCAN_ROW_SECONDS: f64 = monomi_engine::stats::CPU_TUPLE_COST * COST_UNIT_SECONDS;
+
 /// Assumed serial fraction of server-side query execution (hash-join builds,
 /// partial-aggregate merges, sorts, result assembly, morsel dispatch). The
 /// profiler's `effective_parallelism` is measured on an embarrassingly
@@ -266,6 +282,29 @@ impl<'a> CostModel<'a> {
         let expansion = self.scan_expansion(original);
         cost.server_seconds +=
             est_original.server_cost * COST_UNIT_SECONDS * expansion / parallelism;
+        // Access-path refinement: when the WHERE is selective enough that the
+        // engine probes secondary indexes instead of scanning, credit the
+        // difference between the full per-tuple scan term and the probe
+        // price over the base-table rows. Unselective queries clear nothing
+        // — the crossover keeps the scan term intact.
+        let base_rows: f64 = original
+            .from
+            .iter()
+            .map(|t| match t {
+                TableRef::Table { name, .. } => self
+                    .plain
+                    .table(name)
+                    .map(|t| t.row_count() as f64)
+                    .unwrap_or(0.0),
+                TableRef::Subquery { .. } => 0.0,
+            })
+            .sum();
+        let (path, probe_seconds) = self.access_path(base_rows, est_original.scan_selectivity);
+        if path == AccessPath::IndexProbe {
+            let scan_seconds = base_rows * SCAN_ROW_SECONDS;
+            cost.server_seconds -=
+                (scan_seconds - probe_seconds).max(0.0) * expansion / parallelism;
+        }
         cost.server_seconds +=
             est_original.post_filter_bytes * MATERIALIZE_BYTE_SECONDS * expansion / parallelism;
 
@@ -370,6 +409,35 @@ impl<'a> CostModel<'a> {
             .max(1);
         1.7 + 0.05 * (tables as f64 - 1.0)
     }
+
+    /// Prices both access paths for a scan of `rows` rows whose indexable
+    /// WHERE conjuncts keep `selectivity` of them, and picks the cheaper:
+    /// a secondary-index probe costs its fixed overhead plus the fetched
+    /// rows' posting reads and random-access gathers, a full scan costs every
+    /// row sequentially. With the constants above the break-even sits at the
+    /// engine's [`INDEX_SELECTIVITY_CROSSOVER`] (plus the vanishing base
+    /// term), so the model picks the path the executor will actually take —
+    /// a crossover, not index-always.
+    pub fn access_path(&self, rows: f64, selectivity: f64) -> (AccessPath, f64) {
+        let scan = rows * SCAN_ROW_SECONDS;
+        let probe = INDEX_PROBE_BASE_SECONDS
+            + rows * selectivity.clamp(0.0, 1.0) * (INDEX_PROBE_ROW_SECONDS + SCAN_ROW_SECONDS);
+        if probe < scan {
+            (AccessPath::IndexProbe, probe)
+        } else {
+            (AccessPath::FullScan, scan)
+        }
+    }
+}
+
+/// The access path the server's scan is expected to take for a predicate,
+/// as chosen by [`CostModel::access_path`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Seed the scan from DET/OPE index postings; touch only fetched rows.
+    IndexProbe,
+    /// Vectorized full scan (zone-map pruning still applies).
+    FullScan,
 }
 
 /// Helper used by the planner to bind parameters before planning: replaces
@@ -507,5 +575,39 @@ fn value_to_literal_expr(v: &Value) -> Expr {
         Value::Str(s) => Expr::Literal(Literal::String(s.clone())),
         Value::Date(d) => Expr::Literal(Literal::Date(monomi_engine::date::format_date(*d))),
         _ => Expr::Literal(Literal::Null),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_path_crossover_matches_the_engine() {
+        let plain = Database::in_memory();
+        let model = CostModel {
+            plain: &plain,
+            profile: DecryptProfile::default(),
+            network: NetworkModel::paper_default(),
+        };
+        let rows = 1_000_000.0;
+        // Selective predicates probe, unselective ones keep the scan.
+        let (path, cost) = model.access_path(rows, 0.001);
+        assert_eq!(path, AccessPath::IndexProbe);
+        assert!(cost < rows * SCAN_ROW_SECONDS);
+        let (path, cost) = model.access_path(rows, 0.9);
+        assert_eq!(path, AccessPath::FullScan);
+        assert!((cost - rows * SCAN_ROW_SECONDS).abs() < 1e-12);
+        // The break-even sits at the engine's published crossover (the fixed
+        // probe base vanishes against a million rows).
+        let (lo, _) = model.access_path(rows, INDEX_SELECTIVITY_CROSSOVER - 0.01);
+        let (hi, _) = model.access_path(rows, INDEX_SELECTIVITY_CROSSOVER + 0.01);
+        assert_eq!(lo, AccessPath::IndexProbe);
+        assert_eq!(hi, AccessPath::FullScan);
+        // Out-of-range selectivities clamp instead of extrapolating.
+        assert_eq!(model.access_path(rows, -3.0).0, AccessPath::IndexProbe);
+        assert_eq!(model.access_path(rows, 7.0).0, AccessPath::FullScan);
+        // A tiny table never pays the probe's fixed overhead.
+        assert_eq!(model.access_path(1.0, 0.0).0, AccessPath::FullScan);
     }
 }

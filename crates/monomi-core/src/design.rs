@@ -40,6 +40,16 @@ pub struct ColumnDesign {
     pub ty: ColumnType,
     /// Encryption schemes materialized for this source.
     pub schemes: std::collections::BTreeSet<EncScheme>,
+    /// Opt this source's encrypted columns out of secondary-index builds.
+    ///
+    /// A DET index materializes the column's ciphertext equality classes and
+    /// an OPE index its total order as sorted on-disk structures. Both are
+    /// facts the ciphertexts already reveal to the server scheme-wise, but an
+    /// index stores them *pre-extracted*; a cautious deployment can decline
+    /// that (and the index's disk footprint) per column, at the cost of
+    /// falling back to zone-map scans. Defaults to indexed.
+    #[serde(default)]
+    pub index_opt_out: bool,
 }
 
 impl ColumnDesign {
@@ -118,8 +128,42 @@ impl TableDesign {
             source,
             ty,
             schemes,
+            index_opt_out: false,
         });
         base_name
+    }
+
+    /// Register-time index opt-out for one source (by base name); see
+    /// [`ColumnDesign::index_opt_out`]. Returns false when the base is
+    /// unknown.
+    pub fn set_index_opt_out(&mut self, base: &str, opt_out: bool) -> bool {
+        match self.columns.iter_mut().find(|c| c.base_name == base) {
+            Some(cd) => {
+                cd.index_opt_out = opt_out;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Encrypted column names this table's design opts out of index builds:
+    /// the DET and OPE materializations of every opted-out source (the other
+    /// schemes never build indexes, so listing them would be noise).
+    pub fn unindexed_columns(&self) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .columns
+            .iter()
+            .filter(|cd| cd.index_opt_out)
+            .flat_map(|cd| {
+                cd.schemes
+                    .iter()
+                    .filter(|s| matches!(s, EncScheme::Det | EncScheme::Ope))
+                    .map(|s| cd.enc_name(*s))
+            })
+            .collect();
+        out.sort();
+        out.dedup();
+        out
     }
 
     /// Base names of HOM sources in slot order (for grouped packing).
@@ -340,6 +384,46 @@ impl PhysicalDesign {
                 }
             }
             out.insert(td.table.clone(), summary);
+        }
+        out
+    }
+
+    /// Per-table list of encrypted column names opted out of secondary-index
+    /// builds — the shape [`create_table_with`](Database::create_table_with)
+    /// and the wire protocol's `CreateTable` expect.
+    pub fn unindexed_by_table(&self) -> BTreeMap<String, Vec<String>> {
+        self.tables
+            .values()
+            .map(|td| (td.table.clone(), td.unindexed_columns()))
+            .filter(|(_, cols)| !cols.is_empty())
+            .collect()
+    }
+
+    /// The designer's storage/leakage surface of the encrypted access paths:
+    /// per table, every `(encrypted column, scheme)` whose DET equality
+    /// classes or OPE ordering *will* be pre-extracted into on-disk index
+    /// files — i.e. indexable and not opted out. The ciphertexts already
+    /// reveal these facts scheme-wise; this names where they additionally
+    /// sit materialized at rest, so a deployment can review and opt out.
+    pub fn index_exposure(&self) -> BTreeMap<String, Vec<(String, EncScheme)>> {
+        let mut out = BTreeMap::new();
+        for td in self.tables.values() {
+            let mut cols: Vec<(String, EncScheme)> = td
+                .columns
+                .iter()
+                .filter(|cd| !cd.index_opt_out)
+                .flat_map(|cd| {
+                    cd.schemes
+                        .iter()
+                        .filter(|s| matches!(s, EncScheme::Det | EncScheme::Ope))
+                        .map(|s| (cd.enc_name(*s), *s))
+                })
+                .collect();
+            if cols.is_empty() {
+                continue;
+            }
+            cols.sort();
+            out.insert(td.table.clone(), cols);
         }
         out
     }
@@ -631,7 +715,12 @@ impl Encryptor {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut enc_db = Database::new();
         for schema in self.design.encrypted_schema(&self.paillier) {
-            enc_db.create_table(schema);
+            let unindexed = self
+                .design
+                .table(&schema.name)
+                .map(TableDesign::unindexed_columns)
+                .unwrap_or_default();
+            enc_db.create_table_with(schema, unindexed);
         }
         enc_db.register_paillier_modulus(self.paillier.n_squared().clone());
 
@@ -847,6 +936,54 @@ mod tests {
         assert_eq!(td.hom_slots().len(), 2);
         assert_eq!(td.hom_slot_index("o_totalprice"), Some(0));
         assert_eq!(td.hom_slot_index("precomp_0"), Some(1));
+    }
+
+    #[test]
+    fn index_opt_out_surfaces_leakage_and_unindexed_columns() {
+        let plain = plain_db();
+        let mut design = sample_design(&plain);
+        // Nothing opted out: every DET/OPE materialization is exposed and
+        // no column is unindexed.
+        assert!(design.unindexed_by_table().is_empty());
+        let exposure = design.index_exposure();
+        let cols = exposure.get("orders").unwrap();
+        assert!(cols.contains(&("o_totalprice_det".into(), EncScheme::Det)));
+        assert!(cols.contains(&("o_orderdate_ope".into(), EncScheme::Ope)));
+        // HOM/RND/SEARCH materializations never appear: they build no index.
+        assert!(cols.iter().all(|(name, _)| {
+            !name.ends_with("_hom") && !name.ends_with("_rnd") && !name.ends_with("_search")
+        }));
+
+        // Opting a source out moves its DET+OPE names from the exposure
+        // report to the unindexed list create_table_with persists.
+        let td = design.table_mut("orders");
+        assert!(td.set_index_opt_out("o_totalprice", true));
+        assert!(!td.set_index_opt_out("no_such_column", true));
+        let unindexed = design.unindexed_by_table();
+        assert_eq!(
+            unindexed.get("orders").unwrap(),
+            &vec![
+                "o_totalprice_det".to_string(),
+                "o_totalprice_ope".to_string()
+            ]
+        );
+        let exposure = design.index_exposure();
+        assert!(exposure
+            .get("orders")
+            .unwrap()
+            .iter()
+            .all(|(n, _)| !n.starts_with("o_totalprice")));
+
+        // Opting back in restores the exposure and empties the list.
+        design
+            .table_mut("orders")
+            .set_index_opt_out("o_totalprice", false);
+        assert!(design.unindexed_by_table().is_empty());
+        assert!(design
+            .index_exposure()
+            .get("orders")
+            .unwrap()
+            .contains(&("o_totalprice_ope".into(), EncScheme::Ope)));
     }
 
     #[test]

@@ -71,6 +71,14 @@ pub struct QueryTimings {
     /// vector survivors, referenced columns only) — the selectivity-aware
     /// scan output the cost model's materialization term corresponds to.
     pub server_bytes_materialized: u64,
+    /// Secondary-index probes the server's scans ran (DET dictionary point
+    /// lookups and OPE range binary searches over per-segment index blocks).
+    pub server_index_probes: u64,
+    /// Row ids the probes' postings yielded before intersection — the rows
+    /// the index path actually fetched instead of scanning the segment.
+    pub server_index_rows_fetched: u64,
+    /// Bytes of posting lists the probes touched.
+    pub server_postings_bytes_read: u64,
 }
 
 impl QueryTimings {
@@ -100,6 +108,9 @@ impl QueryTimings {
         self.server_segments_read += other.server_segments_read;
         self.server_segments_pruned += other.server_segments_pruned;
         self.server_bytes_materialized += other.server_bytes_materialized;
+        self.server_index_probes += other.server_index_probes;
+        self.server_index_rows_fetched += other.server_index_rows_fetched;
+        self.server_postings_bytes_read += other.server_postings_bytes_read;
     }
 }
 
@@ -211,6 +222,9 @@ impl<'a> SplitExecutor<'a> {
         timings.server_segments_read += stats.segments_read;
         timings.server_segments_pruned += stats.segments_pruned;
         timings.server_bytes_materialized += stats.bytes_materialized;
+        timings.server_index_probes += stats.index_probes;
+        timings.server_index_rows_fetched += stats.index_rows_fetched;
+        timings.server_postings_bytes_read += stats.postings_bytes_read;
         let transfer = enc_rs.size_bytes() as u64;
         timings.transfer_bytes += transfer;
         timings.network_seconds += self.network.transfer_seconds(transfer);

@@ -188,8 +188,10 @@ pub trait ServerTransport: Send {
     /// Short transport name for reports ("in-process" / "tcp").
     fn kind(&self) -> &'static str;
 
-    /// Registers an encrypted table schema on the server.
-    fn create_table(&mut self, schema: &TableSchema) -> Result<(), CoreError>;
+    /// Registers an encrypted table schema on the server, with the columns
+    /// the design opts out of secondary-index builds.
+    fn create_table(&mut self, schema: &TableSchema, unindexed: &[String])
+        -> Result<(), CoreError>;
 
     /// Registers the public Paillier modulus `n²` the server needs for
     /// ciphertext addition.
@@ -248,8 +250,13 @@ impl ServerTransport for InProcessTransport {
         "in-process"
     }
 
-    fn create_table(&mut self, schema: &TableSchema) -> Result<(), CoreError> {
-        self.db.create_table(schema.clone());
+    fn create_table(
+        &mut self,
+        schema: &TableSchema,
+        unindexed: &[String],
+    ) -> Result<(), CoreError> {
+        self.db
+            .create_table_with(schema.clone(), unindexed.to_vec());
         Ok(())
     }
 
@@ -788,17 +795,23 @@ impl ServerTransport for TcpTransport {
         "tcp"
     }
 
-    fn create_table(&mut self, schema: &TableSchema) -> Result<(), CoreError> {
+    fn create_table(
+        &mut self,
+        schema: &TableSchema,
+        unindexed: &[String],
+    ) -> Result<(), CoreError> {
         let name = schema.name.clone();
         let columns: Vec<_> = schema
             .columns
             .iter()
             .map(|c| (c.name.clone(), c.ty))
             .collect();
+        let unindexed = unindexed.to_vec();
         self.mutate(move |request_id| Request::CreateTable {
             request_id,
             name,
             columns,
+            unindexed,
         })
     }
 
@@ -880,8 +893,22 @@ impl ServerTransport for TcpTransport {
 /// remote server address is configured; the in-process transport never needs
 /// it (it is handed the database whole).
 pub fn load_database(transport: &mut dyn ServerTransport, db: &Database) -> Result<(), CoreError> {
+    load_database_with(transport, db, &std::collections::BTreeMap::new())
+}
+
+/// [`load_database`] with per-table index opt-out lists (keyed by table
+/// name), as produced by `PhysicalDesign::unindexed_by_table`.
+pub fn load_database_with(
+    transport: &mut dyn ServerTransport,
+    db: &Database,
+    unindexed: &std::collections::BTreeMap<String, Vec<String>>,
+) -> Result<(), CoreError> {
     for schema in db.catalog().tables() {
-        transport.create_table(schema)?;
+        let opt_outs = unindexed
+            .get(&schema.name.to_lowercase())
+            .map(Vec::as_slice)
+            .unwrap_or(&[]);
+        transport.create_table(schema, opt_outs)?;
     }
     if let Some(n_squared) = db.paillier_modulus() {
         transport.register_paillier_modulus(n_squared)?;

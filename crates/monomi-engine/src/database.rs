@@ -220,18 +220,29 @@ impl Database {
     /// errors after setup surface as `Result`s (`insert`, `bulk_load`,
     /// `persist`, query execution).
     pub fn create_table(&mut self, schema: TableSchema) {
+        self.create_table_with(schema, Vec::new());
+    }
+
+    /// [`create_table`](Self::create_table) with a list of columns opted out
+    /// of secondary-index builds. An index file materializes a column's
+    /// ciphertext equality (DET) or ordering (OPE) structure at rest; the
+    /// opt-out trades lookup speed for not storing that structure. Only
+    /// meaningful on the disk backend (memory tables build no indexes);
+    /// unknown names are harmless.
+    pub fn create_table_with(&mut self, schema: TableSchema, unindexed: Vec<String>) {
         let key = schema.name.to_lowercase();
         self.catalog.register(schema.clone());
         let table = match &self.store {
             Some(store) => {
                 store
-                    .create_table(
+                    .create_table_with(
                         &key,
                         schema
                             .columns
                             .iter()
                             .map(|c| (c.name.clone(), c.ty))
                             .collect(),
+                        unindexed,
                     )
                     .expect("catalog commit succeeds");
                 Table::new_disk(schema, Arc::clone(store))

@@ -23,8 +23,8 @@
 use crate::database::Database;
 use crate::expr::{compile_predicate, eval, ColumnarPredicate, EvalContext, RowSchema};
 use crate::ops::{
-    AggSpec, AggState, CrossJoin, ExecOptions, GroupEntry, HashJoin, MorselAggregate,
-    ParallelMetrics, Relation, RowFilter, ScanFilter, Sort,
+    AggSpec, AggState, CrossJoin, ExecOptions, GroupEntry, HashJoin, IndexProbe, MorselAggregate,
+    ParallelMetrics, ProbeOp, Relation, RowFilter, ScanFilter, Sort,
 };
 use crate::storage::Table;
 use crate::value::Value;
@@ -87,10 +87,20 @@ pub struct ExecStats {
     /// Disk segments decoded (or served from the segment cache) by scans.
     /// Always 0 on the memory backing.
     pub segments_read: u64,
-    /// Disk segments skipped by zone-map pruning before any predicate ran.
-    /// Pruned segments contribute nothing to `rows_scanned`/`bytes_scanned` —
-    /// they were never read.
+    /// Disk segments skipped before any predicate ran — by zone-map pruning
+    /// or by an index-probe intersection coming back empty. Pruned segments
+    /// contribute nothing to `rows_scanned`/`bytes_scanned` — they were
+    /// never read.
     pub segments_pruned: u64,
+    /// Index postings lookups (one per probeable conjunct per indexed
+    /// segment). Always 0 on the memory backing and with `MONOMI_INDEXES=off`.
+    pub index_probes: u64,
+    /// Row ids returned by index probes, before conjunct intersection. A
+    /// probed segment's `rows_scanned` is its *seeded* row count, so the
+    /// rows-scanned reduction of the index path shows up directly.
+    pub index_rows_fetched: u64,
+    /// Bytes of postings the probes touched (4 bytes per fetched row id).
+    pub postings_bytes_read: u64,
     /// Morsels processed by morsel-driven operators (scan, filter, join
     /// probe, partial aggregation).
     pub morsels: u64,
@@ -131,6 +141,9 @@ impl ExecStats {
         self.result_bytes += other.result_bytes;
         self.segments_read += other.segments_read;
         self.segments_pruned += other.segments_pruned;
+        self.index_probes += other.index_probes;
+        self.index_rows_fetched += other.index_rows_fetched;
+        self.postings_bytes_read += other.postings_bytes_read;
         self.morsels += other.morsels;
         self.threads_used = self.threads_used.max(other.threads_used);
         self.worker_busy_nanos += other.worker_busy_nanos;
@@ -153,11 +166,13 @@ impl ExecStats {
     /// The deterministic work counters, excluding the two wall-clock fields
     /// (`worker_busy_nanos`, `parallel_wall_nanos`) that legitimately differ
     /// between otherwise identical runs. Two executions of the same query
-    /// over the same data must agree on this tuple regardless of transport,
+    /// over the same data must agree on this array regardless of transport,
     /// thread count, or host load — the transport-parity tests compare it.
-    #[allow(clippy::type_complexity)]
-    pub fn work_counters(&self) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64, u32) {
-        (
+    /// Order: rows/bytes scanned, rows/bytes materialized, result rows/bytes,
+    /// segments read/pruned, index probes / rows fetched / postings bytes,
+    /// morsels, threads used.
+    pub fn work_counters(&self) -> [u64; 13] {
+        [
             self.rows_scanned,
             self.bytes_scanned,
             self.rows_materialized,
@@ -166,9 +181,12 @@ impl ExecStats {
             self.result_bytes,
             self.segments_read,
             self.segments_pruned,
+            self.index_probes,
+            self.index_rows_fetched,
+            self.postings_bytes_read,
             self.morsels,
-            self.threads_used,
-        )
+            u64::from(self.threads_used),
+        ]
     }
 
     /// Records the work accounting of one morsel-driven region.
@@ -280,14 +298,242 @@ fn make_subquery_fn<'a>(
     // worker pool for each evaluation would cost far more than it saves.
     // The morsel size is kept, so results stay partition-identical; only the
     // parent's own regions (and derived tables in FROM) parallelize.
-    let opts = ExecOptions {
-        threads: 1,
-        morsel_rows: opts.morsel_rows,
-    };
+    let opts = ExecOptions { threads: 1, ..opts };
     move |q: &Query, outer: Option<(&RowSchema, &[Value])>| {
         let mut local_stats = ExecStats::default();
         let rs = execute_inner(db, q, params, outer, &mut local_stats, &opts)?;
         Ok(rs.rows)
+    }
+}
+
+/// Fraction of a table a probed conjunct may be estimated to select before a
+/// full vectorized scan is considered cheaper than gathering and intersecting
+/// postings. Probing is only a win when the seed it produces is small: every
+/// compiled predicate still runs over the seeded rows, so a low-selectivity
+/// probe pays the posting fetch *and* nearly the whole column pass.
+const INDEX_SELECTIVITY_CROSSOVER: f64 = 0.25;
+
+/// Assumed selectivity for a range whose bounds don't interpolate numerically
+/// (strings, bytes): above the crossover, so such ranges scan by default.
+const DEFAULT_RANGE_SELECTIVITY: f64 = 0.3;
+
+/// Numeric interpolation point of a value, for range-width estimation.
+fn value_as_f64(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        Value::Date(d) => Some(f64::from(*d)),
+        _ => None,
+    }
+}
+
+/// Estimated fraction of rows a probe selects, from the table's memoized
+/// column statistics (`distinct_count` for equality, zone-fold `min_max` for
+/// ranges). Estimates assume uniformity — good enough to pick an access path,
+/// and a wrong pick only costs speed, never correctness.
+fn probe_selectivity(table: &Table, col: usize, op: &ProbeOp) -> f64 {
+    match op {
+        ProbeOp::Eq(_) => 1.0 / table.distinct_count(col).max(1) as f64,
+        ProbeOp::InList(values) => values.len() as f64 / table.distinct_count(col).max(1) as f64,
+        ProbeOp::Range { low, high } => {
+            let Some((min, max)) = table.min_max(col) else {
+                return 0.0; // empty or all-NULL column: nothing to fetch
+            };
+            let (Some(lo_col), Some(hi_col)) = (value_as_f64(&min), value_as_f64(&max)) else {
+                return DEFAULT_RANGE_SELECTIVITY;
+            };
+            let width = hi_col - lo_col;
+            if width <= 0.0 {
+                return 1.0; // single-valued column: a range can't narrow it
+            }
+            let interp = |bound: &Option<(Value, bool)>, unbounded: f64| match bound {
+                None => Some(unbounded),
+                Some((v, _)) => value_as_f64(v),
+            };
+            match (interp(low, lo_col), interp(high, hi_col)) {
+                (Some(lo), Some(hi)) => ((hi.min(hi_col) - lo.max(lo_col)) / width).clamp(0.0, 1.0),
+                _ => DEFAULT_RANGE_SELECTIVITY,
+            }
+        }
+    }
+}
+
+/// Derives index probes from one scan's compiled conjuncts.
+///
+/// Each probe's postings are a *superset* of the rows its conjunct accepts
+/// (minus NULLs — a comparison predicate is never true of NULL), so seeding
+/// the scan's selection vector with their intersection and still running every
+/// compiled predicate over the seed leaves results byte-identical to the full
+/// scan. The probe only narrows work; it never decides membership.
+///
+/// A probe is planned only when its estimated selectivity clears
+/// [`INDEX_SELECTIVITY_CROSSOVER`] — the index is an access path the
+/// statistics must justify, not a default.
+fn plan_index_probes(
+    table: &Table,
+    schema: &RowSchema,
+    predicates: &[ColumnarPredicate],
+    opts: &ExecOptions,
+) -> Vec<IndexProbe> {
+    if opts.index_mode == monomi_store::IndexMode::Off || !table.has_segment_indexes() {
+        return Vec::new();
+    }
+    let mut candidates = Vec::new();
+    for pred in predicates {
+        collect_probe_candidates(pred, &mut candidates);
+    }
+    // Range conjuncts on the same column merge into one two-sided probe
+    // before the selectivity gate: in the classic Q6 shape
+    // `d >= lo AND d < hi` each half keeps ~half the table and fails the
+    // crossover alone, while together they select a narrow window. Each
+    // conjunct's range is a superset of the rows it accepts, so their
+    // intersection stays a superset of the rows satisfying all of them.
+    let mut probes = Vec::new();
+    let mut ranges: Vec<(usize, ProbeOp)> = Vec::new();
+    for (col, op) in candidates {
+        match op {
+            ProbeOp::Range { low, high } => match ranges.iter_mut().find(|(c, _)| *c == col) {
+                Some((
+                    _,
+                    ProbeOp::Range {
+                        low: merged_low,
+                        high: merged_high,
+                    },
+                )) => {
+                    *merged_low = tighter_bound(merged_low.take(), low, true);
+                    *merged_high = tighter_bound(merged_high.take(), high, false);
+                }
+                _ => ranges.push((col, ProbeOp::Range { low, high })),
+            },
+            other => {
+                if probe_selectivity(table, col, &other) <= INDEX_SELECTIVITY_CROSSOVER {
+                    probes.push(IndexProbe {
+                        column: schema.columns[col].1.clone(),
+                        op: other,
+                    });
+                }
+            }
+        }
+    }
+    for (col, op) in ranges {
+        if probe_selectivity(table, col, &op) <= INDEX_SELECTIVITY_CROSSOVER {
+            probes.push(IndexProbe {
+                column: schema.columns[col].1.clone(),
+                op,
+            });
+        }
+    }
+    probes
+}
+
+/// The tighter of two optional range bounds: the larger lower bound when
+/// `lower` (else the smaller upper bound), `None` meaning unbounded. On equal
+/// values the exclusive flag wins — a row must satisfy *both* conjuncts.
+fn tighter_bound(
+    a: Option<(Value, bool)>,
+    b: Option<(Value, bool)>,
+    lower: bool,
+) -> Option<(Value, bool)> {
+    match (a, b) {
+        (None, b) => b,
+        (a, None) => a,
+        (Some((va, ia)), Some((vb, ib))) => Some(match va.compare(&vb) {
+            std::cmp::Ordering::Equal => (va, ia && ib),
+            std::cmp::Ordering::Less => {
+                if lower {
+                    (vb, ib)
+                } else {
+                    (va, ia)
+                }
+            }
+            std::cmp::Ordering::Greater => {
+                if lower {
+                    (va, ia)
+                } else {
+                    (vb, ib)
+                }
+            }
+        }),
+    }
+}
+
+/// Collects the probe candidate (if any) of one compiled predicate,
+/// recursing into ANDs (every branch must hold, so each branch's probe
+/// stands on its own). ORs, negations, LIKE, and NULL tests never probe:
+/// their row sets aren't a single sorted-key lookup, and the fallback scan
+/// answers them exactly. Candidates are ungated — the caller merges
+/// same-column ranges and applies the selectivity crossover.
+fn collect_probe_candidates(pred: &ColumnarPredicate, out: &mut Vec<(usize, ProbeOp)>) {
+    let planned: Option<(usize, ProbeOp)> = match pred {
+        ColumnarPredicate::And(children) => {
+            for child in children {
+                collect_probe_candidates(child, out);
+            }
+            None
+        }
+        ColumnarPredicate::CmpConst { col, op, value } if !value.is_null() => {
+            let bound = |inclusive: bool| Some((value.clone(), inclusive));
+            match op {
+                BinaryOp::Eq => Some((*col, ProbeOp::Eq(value.clone()))),
+                BinaryOp::Lt => Some((
+                    *col,
+                    ProbeOp::Range {
+                        low: None,
+                        high: bound(false),
+                    },
+                )),
+                BinaryOp::LtEq => Some((
+                    *col,
+                    ProbeOp::Range {
+                        low: None,
+                        high: bound(true),
+                    },
+                )),
+                BinaryOp::Gt => Some((
+                    *col,
+                    ProbeOp::Range {
+                        low: bound(false),
+                        high: None,
+                    },
+                )),
+                BinaryOp::GtEq => Some((
+                    *col,
+                    ProbeOp::Range {
+                        low: bound(true),
+                        high: None,
+                    },
+                )),
+                _ => None,
+            }
+        }
+        ColumnarPredicate::BetweenConst {
+            col,
+            low,
+            high,
+            negated: false,
+        } if !low.is_null() && !high.is_null() => Some((
+            *col,
+            ProbeOp::Range {
+                low: Some((low.clone(), true)),
+                high: Some((high.clone(), true)),
+            },
+        )),
+        ColumnarPredicate::InListConst {
+            col,
+            values,
+            negated: false,
+        } => {
+            // NULL list entries never match a row; dropping them keeps the
+            // probe a superset (an all-NULL list legitimately selects
+            // nothing, and the empty posting intersection prunes the
+            // segment outright).
+            let nonnull: Vec<Value> = values.iter().filter(|v| !v.is_null()).cloned().collect();
+            Some((*col, ProbeOp::InList(nonnull)))
+        }
+        _ => None,
+    };
+    if let Some(candidate) = planned {
+        out.push(candidate);
     }
 }
 
@@ -408,6 +654,7 @@ fn build_from_relation(
                         .map(|&c| schema.columns[c].clone())
                         .collect::<Vec<_>>(),
                 );
+                let probes = plan_index_probes(table, schema, &predicates, opts);
                 let scan = ScanFilter {
                     table,
                     schema,
@@ -415,6 +662,8 @@ fn build_from_relation(
                     keep: &keep,
                     params,
                     outer,
+                    probes: &probes,
+                    index_mode: opts.index_mode,
                 };
                 let (rows, scan_stats) = scan.execute(opts)?;
                 stats.merge(&scan_stats);
@@ -951,6 +1200,9 @@ mod tests {
             result_bytes: 0,
             segments_read: 2,
             segments_pruned: 1,
+            index_probes: 2,
+            index_rows_fetched: 30,
+            postings_bytes_read: 240,
             morsels: 3,
             threads_used: 4,
             worker_busy_nanos: 1_000,
@@ -965,6 +1217,9 @@ mod tests {
             result_bytes: 200,
             segments_read: 1,
             segments_pruned: 3,
+            index_probes: 1,
+            index_rows_fetched: 10,
+            postings_bytes_read: 60,
             morsels: 2,
             threads_used: 2,
             worker_busy_nanos: 500,
@@ -980,6 +1235,9 @@ mod tests {
         assert_eq!(merged.result_bytes, 200);
         assert_eq!(merged.segments_read, 3);
         assert_eq!(merged.segments_pruned, 4);
+        assert_eq!(merged.index_probes, 3);
+        assert_eq!(merged.index_rows_fetched, 40);
+        assert_eq!(merged.postings_bytes_read, 300);
         assert_eq!(merged.morsels, 5);
         assert_eq!(merged.threads_used, 4);
         assert_eq!(merged.worker_busy_nanos, 1_500);
@@ -999,6 +1257,9 @@ mod tests {
             result_bytes: 24,
             segments_read: 0,
             segments_pruned: 0,
+            index_probes: 0,
+            index_rows_fetched: 0,
+            postings_bytes_read: 0,
             morsels: 1,
             threads_used: 1,
             worker_busy_nanos: 10,

@@ -844,7 +844,7 @@ pub fn apply_predicate(
 /// use [`Value::compare`]'s total order — the same order the zone maps'
 /// min/max were computed under at load time — NULL rows never satisfy a
 /// comparison, and anything the fast paths cannot reason about
-/// (`General`, negated IN) conservatively answers `true`.
+/// (`General`) conservatively answers `true`.
 pub fn zone_may_match(
     pred: &ColumnarPredicate,
     zones: &[monomi_store::ColumnZone],
@@ -901,7 +901,16 @@ pub fn zone_may_match(
                 return false;
             };
             if *negated {
-                true
+                // `NOT IN` is never *true* when the list has a NULL item
+                // (three-valued logic: `x != NULL` is NULL, and a single
+                // NULL conjunct poisons the whole AND); without one, only an
+                // all-equal segment whose value appears in the list is ruled
+                // out entirely.
+                if values.iter().any(Value::is_null) {
+                    false
+                } else {
+                    !(min == max && values.iter().any(|v| v == min))
+                }
             } else {
                 // NULL list items never equal a non-null value.
                 values.iter().any(|v| !v.is_null() && min <= v && v <= max)
@@ -1060,6 +1069,108 @@ mod tests {
             Value::Int(5)
         );
         assert_eq!(eval_str("substring(ship, 1, 2)"), Value::Str("AI".into()));
+    }
+
+    fn zone(min: Option<Value>, max: Option<Value>, null_count: u64) -> monomi_store::ColumnZone {
+        monomi_store::ColumnZone {
+            null_count,
+            logical_bytes: 0,
+            min,
+            max,
+        }
+    }
+
+    #[test]
+    fn zone_pruning_in_list() {
+        let zones = [zone(Some(Value::Int(10)), Some(Value::Int(20)), 0)];
+        let in_list = |values: Vec<Value>, negated: bool| ColumnarPredicate::InListConst {
+            col: 0,
+            values,
+            negated,
+        };
+        // A list value inside [min, max] keeps the segment.
+        assert!(zone_may_match(
+            &in_list(vec![Value::Int(1), Value::Int(15)], false),
+            &zones,
+            100
+        ));
+        // Every list value outside the range prunes it.
+        assert!(!zone_may_match(
+            &in_list(vec![Value::Int(1), Value::Int(30)], false),
+            &zones,
+            100
+        ));
+        // NULL list items never equal anything; alone they prune too.
+        assert!(!zone_may_match(
+            &in_list(vec![Value::Null, Value::Int(30)], false),
+            &zones,
+            100
+        ));
+        assert!(!zone_may_match(
+            &in_list(vec![Value::Null], false),
+            &zones,
+            100
+        ));
+        // An all-NULL column cannot satisfy IN at all.
+        assert!(!zone_may_match(
+            &in_list(vec![Value::Int(15)], false),
+            &[zone(None, None, 100)],
+            100
+        ));
+    }
+
+    #[test]
+    fn zone_pruning_not_in() {
+        let spread = [zone(Some(Value::Int(10)), Some(Value::Int(20)), 0)];
+        let single = [zone(Some(Value::Int(7)), Some(Value::Int(7)), 0)];
+        let in_list = |values: Vec<Value>| ColumnarPredicate::InListConst {
+            col: 0,
+            values,
+            negated: true,
+        };
+        // A NULL list item makes NOT IN unsatisfiable (3VL): prune.
+        assert!(!zone_may_match(
+            &in_list(vec![Value::Null, Value::Int(1)]),
+            &spread,
+            100
+        ));
+        // All-equal segment whose value is listed: prune.
+        assert!(!zone_may_match(&in_list(vec![Value::Int(7)]), &single, 100));
+        // All-equal segment whose value is NOT listed: keep.
+        assert!(zone_may_match(&in_list(vec![Value::Int(8)]), &single, 100));
+        // A spread segment may always contain unlisted values: keep.
+        assert!(zone_may_match(&in_list(vec![Value::Int(10)]), &spread, 100));
+        // All-NULL column never satisfies NOT IN either.
+        assert!(!zone_may_match(
+            &in_list(vec![Value::Int(1)]),
+            &[zone(None, None, 100)],
+            100
+        ));
+    }
+
+    #[test]
+    fn zone_pruning_null_tests() {
+        let no_nulls = [zone(Some(Value::Int(1)), Some(Value::Int(9)), 0)];
+        let some_nulls = [zone(Some(Value::Int(1)), Some(Value::Int(9)), 3)];
+        let all_nulls = [zone(None, None, 100)];
+        let is_null = ColumnarPredicate::IsNullTest {
+            col: 0,
+            negated: false,
+        };
+        let is_not_null = ColumnarPredicate::IsNullTest {
+            col: 0,
+            negated: true,
+        };
+        // IS NULL prunes exactly when the zone counted zero NULLs.
+        assert!(!zone_may_match(&is_null, &no_nulls, 100));
+        assert!(zone_may_match(&is_null, &some_nulls, 100));
+        assert!(zone_may_match(&is_null, &all_nulls, 100));
+        // IS NOT NULL prunes exactly when every row is NULL.
+        assert!(zone_may_match(&is_not_null, &no_nulls, 100));
+        assert!(zone_may_match(&is_not_null, &some_nulls, 100));
+        assert!(!zone_may_match(&is_not_null, &all_nulls, 100));
+        // Empty segments never match anything.
+        assert!(!zone_may_match(&is_null, &all_nulls, 0));
     }
 
     #[test]

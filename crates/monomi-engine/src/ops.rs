@@ -59,17 +59,21 @@ pub struct ExecOptions {
     pub threads: usize,
     /// Rows per morsel (≥ 1).
     pub morsel_rows: usize,
+    /// Which secondary-index kinds the planner may probe. Purely an access
+    /// path choice: results are byte-identical in every mode.
+    pub index_mode: monomi_store::IndexMode,
 }
 
 impl ExecOptions {
     /// Reads options from the environment: `MONOMI_THREADS` (default: all
-    /// available cores) and `MONOMI_MORSEL_ROWS` (default
-    /// [`DEFAULT_MORSEL_ROWS`]).
+    /// available cores), `MONOMI_MORSEL_ROWS` (default
+    /// [`DEFAULT_MORSEL_ROWS`]), and `MONOMI_INDEXES` (default `all`).
     pub fn from_env() -> Self {
         // Env parsing goes through the shared `env_knob` helper (reject with a
-        // logged warning on malformed values, never a silent fallback). Both
+        // logged warning on malformed values, never a silent fallback). The
         // knobs are resolved once at setup, before execution; they size the
-        // thread pool and the partitioning, never the result bytes.
+        // thread pool, the partitioning, and the access-path choice — never
+        // the result bytes.
         // monomi-lint: allow(determinism-clock-env): parallelism probe only picks a thread count; results are byte-identical at every thread count
         let default_threads = std::thread::available_parallelism()
             .map(|n| n.get())
@@ -79,6 +83,7 @@ impl ExecOptions {
             morsel_rows: monomi_store::env_knob("MONOMI_MORSEL_ROWS", DEFAULT_MORSEL_ROWS, |&n| {
                 n >= 1
             }),
+            index_mode: monomi_store::IndexMode::from_env(),
         }
     }
 
@@ -91,12 +96,20 @@ impl ExecOptions {
         *CACHED.get_or_init(Self::from_env)
     }
 
-    /// Options with an explicit thread count and the default morsel size.
+    /// Options with an explicit thread count, the default morsel size, and
+    /// the environment-selected index mode.
     pub fn with_threads(threads: usize) -> Self {
         ExecOptions {
             threads: threads.max(1),
             morsel_rows: DEFAULT_MORSEL_ROWS,
+            index_mode: monomi_store::IndexMode::from_env(),
         }
+    }
+
+    /// These options with an explicit index mode (benchmarks compare access
+    /// paths in one process this way, without racing on the environment).
+    pub fn with_index_mode(self, index_mode: monomi_store::IndexMode) -> Self {
+        ExecOptions { index_mode, ..self }
     }
 
     /// Fully serial execution (one thread).
@@ -295,8 +308,61 @@ pub(crate) struct ScanMorselOut {
     pub bytes_materialized: u64,
     /// 1 when this partition was a segment the scan decoded.
     pub segments_read: u64,
-    /// 1 when this partition was a segment the zone map skipped.
+    /// 1 when this partition was a segment the zone map (or an index probe
+    /// returning zero postings) skipped.
     pub segments_pruned: u64,
+    /// Index postings lookups executed for this partition.
+    pub index_probes: u64,
+    /// Row ids the executed probes returned (before intersection).
+    pub index_rows_fetched: u64,
+    /// Bytes of postings the executed probes touched.
+    pub postings_bytes_read: u64,
+}
+
+/// One index-eligible probe a predicate conjunct compiled to. Every probe is
+/// a *superset contract*: the postings it returns must contain every row the
+/// conjunct accepts (NULL rows excepted — comparison predicates are never
+/// true of NULL), because the scan seeds its selection from them. The full
+/// predicate list still runs over the seed, so a probe can only narrow work,
+/// never change results.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum ProbeOp {
+    /// `col = const` — served by DET and OPE blocks.
+    Eq(Value),
+    /// `col IN (consts)` — served by DET and OPE blocks.
+    InList(Vec<Value>),
+    /// `col </<=/>/>= const`, `BETWEEN` — OPE blocks only (needs order);
+    /// each bound is `(value, inclusive)`, `None` = unbounded.
+    Range {
+        low: Option<(Value, bool)>,
+        high: Option<(Value, bool)>,
+    },
+}
+
+/// An index probe planned for one scan: which column to look up and how.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct IndexProbe {
+    /// Schema column name, as recorded in the store catalog's index metadata.
+    pub column: String,
+    pub op: ProbeOp,
+}
+
+/// Intersection of two ascending row-id lists (conjuncts AND together).
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while let (Some(&x), Some(&y)) = (a.get(i), b.get(j)) {
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(x);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
 }
 
 /// Scan + Filter: evaluates compiled single-table predicates over the column
@@ -318,6 +384,13 @@ pub(crate) struct ScanFilter<'a> {
     pub schema: &'a RowSchema,
     /// Compiled scan-level conjuncts, applied as successive narrowing passes.
     pub predicates: &'a [ColumnarPredicate],
+    /// Index probes the planner extracted from the conjuncts (empty = plain
+    /// scan). Probed segments seed their selection from the intersected
+    /// postings instead of all rows; every predicate still runs over the
+    /// seed, so results are byte-identical to the scan path.
+    pub probes: &'a [IndexProbe],
+    /// Which index kinds may be probed (`MONOMI_INDEXES` via [`ExecOptions`]).
+    pub index_mode: monomi_store::IndexMode,
     /// Column indices to materialize for surviving rows.
     pub keep: &'a [usize],
     pub params: &'a [Value],
@@ -383,6 +456,9 @@ impl ScanFilter<'_> {
                     bytes_materialized,
                     segments_read: 0,
                     segments_pruned: 0,
+                    index_probes: 0,
+                    index_rows_fetched: 0,
+                    postings_bytes_read: 0,
                 })
             }
             ScanPartition::Segment(idx) => {
@@ -401,21 +477,91 @@ impl ScanFilter<'_> {
                         bytes_materialized: 0,
                         segments_read: 0,
                         segments_pruned: 1,
+                        index_probes: 0,
+                        index_rows_fetched: 0,
+                        postings_bytes_read: 0,
+                    });
+                }
+                // Index probes: intersect postings across probeable conjuncts
+                // into a seed selection. A missing, ineligible, or unreadable
+                // index leaves `seed` at None — the plain full-segment scan.
+                let (mut index_probes, mut index_rows_fetched, mut postings_bytes_read) =
+                    (0u64, 0u64, 0u64);
+                let mut seed: Option<Vec<u32>> = None;
+                if !self.probes.is_empty() {
+                    if let Some(indexes) = self.table.segment_indexes(meta) {
+                        for probe in self.probes {
+                            let Some(block) = indexes.block(&probe.column) else {
+                                continue;
+                            };
+                            if !self.index_mode.allows(block.kind) || block.rows != meta.rows as u32
+                            {
+                                continue;
+                            }
+                            let ids: Vec<u32> = match &probe.op {
+                                ProbeOp::Eq(v) => block.postings_eq(v).to_vec(),
+                                ProbeOp::InList(vs) => block.postings_in(vs),
+                                ProbeOp::Range { low, high } => {
+                                    if block.kind != monomi_store::IndexKind::Ope {
+                                        continue;
+                                    }
+                                    block.postings_range(
+                                        low.as_ref().map(|(v, incl)| (v, *incl)),
+                                        high.as_ref().map(|(v, incl)| (v, *incl)),
+                                    )
+                                }
+                            };
+                            index_probes += 1;
+                            index_rows_fetched += ids.len() as u64;
+                            postings_bytes_read += 4 * ids.len() as u64;
+                            seed = Some(match seed.take() {
+                                None => ids,
+                                Some(prev) => intersect_sorted(&prev, &ids),
+                            });
+                            if seed.as_ref().is_some_and(Vec::is_empty) {
+                                break;
+                            }
+                        }
+                    }
+                }
+                if seed.as_ref().is_some_and(Vec::is_empty) {
+                    // The intersection is empty: no row can survive, so the
+                    // segment is never decoded — index-pruned, like a zone
+                    // miss (equally result-invisible).
+                    return Ok(ScanMorselOut {
+                        rows: Vec::new(),
+                        rows_scanned: 0,
+                        bytes_scanned: 0,
+                        bytes_materialized: 0,
+                        segments_read: 0,
+                        segments_pruned: 1,
+                        index_probes,
+                        index_rows_fetched,
+                        postings_bytes_read,
                     });
                 }
                 let data = self.table.read_segment(meta).map_err(EngineError::new)?;
                 let batch = ColumnBatch::new(&data.columns, data.rows);
-                let (rows, bytes_materialized) =
-                    self.filter_batch(&batch, SelectionVector::all(data.rows))?;
+                let (selection, rows_scanned) = match seed {
+                    Some(ids) => {
+                        let seeded = ids.len() as u64;
+                        (SelectionVector::from_indices(ids), seeded)
+                    }
+                    None => (SelectionVector::all(data.rows), meta.rows),
+                };
+                let (rows, bytes_materialized) = self.filter_batch(&batch, selection)?;
                 Ok(ScanMorselOut {
                     rows,
-                    rows_scanned: meta.rows,
+                    rows_scanned,
                     // Stored (encoded) bytes: the real disk read this segment
                     // costs, cached or not.
                     bytes_scanned: meta.stored_bytes,
                     bytes_materialized,
                     segments_read: 1,
                     segments_pruned: 0,
+                    index_probes,
+                    index_rows_fetched,
+                    postings_bytes_read,
                 })
             }
         }
@@ -431,8 +577,8 @@ impl ScanFilter<'_> {
         // One claim per partition: partitions already embody the morsel
         // granularity (ranges) or the segment alignment (disk).
         let claim_opts = ExecOptions {
-            threads: opts.threads,
             morsel_rows: 1,
+            ..*opts
         };
         let (parts, metrics) = run_morsels(plan.partitions.len(), &claim_opts, |m| {
             self.run_partition(&plan, plan.partitions[m.index])
@@ -448,6 +594,9 @@ impl ScanFilter<'_> {
             stats.bytes_materialized += part.bytes_materialized;
             stats.segments_read += part.segments_read;
             stats.segments_pruned += part.segments_pruned;
+            stats.index_probes += part.index_probes;
+            stats.index_rows_fetched += part.index_rows_fetched;
+            stats.postings_bytes_read += part.postings_bytes_read;
             rows.extend(part.rows);
         }
         Ok((rows, stats))
@@ -1112,6 +1261,7 @@ mod tests {
             let opts = ExecOptions {
                 threads,
                 morsel_rows: 7,
+                ..ExecOptions::serial()
             };
             let (parts, metrics) =
                 run_morsels(100, &opts, |m| Ok((m.index, m.start, m.end))).unwrap();
@@ -1131,6 +1281,7 @@ mod tests {
         let opts = ExecOptions {
             threads: 4,
             morsel_rows: 1,
+            ..ExecOptions::serial()
         };
         let err = run_morsels(64, &opts, |m| {
             if m.index >= 10 {

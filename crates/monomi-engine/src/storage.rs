@@ -400,32 +400,39 @@ impl Table {
     /// Flushes the disk backing's tail into committed segments (one atomic
     /// catalog commit); a no-op for memory tables and empty tails.
     pub fn flush(&mut self) -> Result<(), String> {
-        let Backing::Disk {
-            store,
-            key,
-            tail,
-            tail_rows,
-        } = &mut self.backing
-        else {
-            return Ok(());
-        };
-        if *tail_rows == 0 {
-            return Ok(());
+        {
+            let Backing::Disk {
+                store,
+                key,
+                tail,
+                tail_rows,
+            } = &mut self.backing
+            else {
+                return Ok(());
+            };
+            if *tail_rows == 0 {
+                return Ok(());
+            }
+            let segment_rows = store.segment_rows();
+            let mut load = store.begin_load(key);
+            let mut start = 0usize;
+            while start < *tail_rows {
+                let end = (start + segment_rows).min(*tail_rows);
+                let chunk: Vec<Vec<Value>> = tail.iter().map(|c| c[start..end].to_vec()).collect();
+                load.add_segment(&chunk).map_err(|e| e.to_string())?;
+                start = end;
+            }
+            load.commit().map_err(|e| e.to_string())?;
+            for col in tail.iter_mut() {
+                col.clear();
+            }
+            *tail_rows = 0;
         }
-        let segment_rows = store.segment_rows();
-        let mut load = store.begin_load(key);
-        let mut start = 0usize;
-        while start < *tail_rows {
-            let end = (start + segment_rows).min(*tail_rows);
-            let chunk: Vec<Vec<Value>> = tail.iter().map(|c| c[start..end].to_vec()).collect();
-            load.add_segment(&chunk).map_err(|e| e.to_string())?;
-            start = end;
-        }
-        load.commit().map_err(|e| e.to_string())?;
-        for col in tail.iter_mut() {
-            col.clear();
-        }
-        *tail_rows = 0;
+        // Publication moved rows from the tail into segments: the logical
+        // values are unchanged, but the memoized stats must not outlive the
+        // state they were computed from — index-vs-scan costing reads them,
+        // and a conservative invalidation is cheap next to a segment write.
+        self.invalidate_stats();
         Ok(())
     }
 
@@ -581,6 +588,36 @@ impl Table {
         match &self.backing {
             Backing::Disk { store, .. } => store.read_segment(meta).map_err(|e| e.to_string()),
             Backing::Memory { .. } => Err("memory tables have no segments".into()),
+        }
+    }
+
+    /// Decoded secondary indexes of one committed segment, or `None` when the
+    /// segment has none — or its index file fails to read or verify. The
+    /// store surfaces that failure as a typed error; here it degrades to "no
+    /// index", so a corrupted index can only cost speed, never correctness.
+    pub(crate) fn segment_indexes(
+        &self,
+        meta: &SegmentMeta,
+    ) -> Option<Arc<monomi_store::SegmentIndexes>> {
+        match &self.backing {
+            Backing::Disk { store, .. } => meta
+                .index
+                .as_ref()
+                .and_then(|index| store.read_indexes(index).ok()),
+            Backing::Memory { .. } => None,
+        }
+    }
+
+    /// Whether any committed segment of this table carries an index file.
+    /// Gates probe planning: when nothing is indexed (memory backing, indexes
+    /// disabled at load time, or the whole table opted out) the planner skips
+    /// the per-column statistics lookups entirely.
+    pub(crate) fn has_segment_indexes(&self) -> bool {
+        match &self.backing {
+            Backing::Disk { store, key, .. } => store.with_table_meta(key, |meta| {
+                meta.is_some_and(|m| m.segments.iter().any(|s| s.index.is_some()))
+            }),
+            Backing::Memory { .. } => false,
         }
     }
 
@@ -841,6 +878,55 @@ mod tests {
         // Repeated reads hit the memo (same values back).
         assert_eq!(t.distinct_count(0), 4);
         assert_eq!(t.distinct_count(1), 2);
+    }
+
+    #[test]
+    fn stats_memo_invalidates_on_tail_flush() {
+        let dir =
+            std::env::temp_dir().join(format!("monomi-storage-flush-memo-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = monomi_store::Store::open_with(
+            &dir,
+            monomi_store::StoreOptions {
+                segment_rows: 8,
+                ..monomi_store::StoreOptions::default()
+            },
+        )
+        .unwrap();
+        store
+            .create_table(
+                "t",
+                vec![
+                    ("id".into(), ColumnType::Int),
+                    ("name".into(), ColumnType::Str),
+                ],
+            )
+            .unwrap();
+        let schema = TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", ColumnType::Int),
+                ColumnDef::new("name", ColumnType::Str),
+            ],
+        );
+        let mut t = Table::new_disk(schema, store);
+        for i in 0..5 {
+            t.insert(vec![Value::Int(i), Value::Str("x".into())])
+                .unwrap();
+        }
+        // Populate the memo from the tail-resident rows.
+        assert_eq!(t.distinct_count(0), 5);
+        assert!(t.stats_memo.read()[0].is_some());
+        // Publishing the tail as a committed segment must drop the memo: the
+        // logical values survive unchanged, but the memo was computed from a
+        // state (tail layout) that no longer exists, and index-vs-scan
+        // costing reads it.
+        t.flush().unwrap();
+        assert!(t.stats_memo.read()[0].is_none());
+        // Recomputation over the published segment agrees with the old answer.
+        assert_eq!(t.distinct_count(0), 5);
+        assert_eq!(t.min_max(0).unwrap(), (Value::Int(0), Value::Int(4)));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -40,6 +40,7 @@ fn open_small_store(dir: &PathBuf, segment_rows: usize) -> Arc<Store> {
         StoreOptions {
             segment_rows,
             cache_bytes: 4 << 20,
+            ..StoreOptions::default()
         },
     )
     .expect("store opens")
@@ -151,6 +152,87 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Index-probed execution ≡ full-scan execution, byte for byte, over a
+    /// table whose segments are *mixed*: the first half committed by a store
+    /// with indexes off (no `.idx` files), the second half after a reopen
+    /// with indexes on. Both legs must also match the memory backend, probes
+    /// never scan more rows than the full scan, and the work counters are
+    /// invariant under the thread count.
+    #[test]
+    fn index_probes_match_full_scan_byte_for_byte(
+        spec in proptest::collection::vec(
+            (-40i64..40, -40i64..40, any::<u8>(), -200i16..200), 1..60),
+        segment_rows in 2usize..9,
+        t1 in any::<u8>(),
+        c1 in -50i64..50, c2 in -50i64..50,
+    ) {
+        let rows = rows_from(&spec);
+        let split = rows.len() / 2;
+
+        let mut mem = Database::in_memory();
+        mem.create_table(lineitem_like_schema());
+        mem.bulk_load("t", rows.clone()).expect("memory load");
+
+        let dir = fresh_dir("probe");
+        {
+            let store = Store::open_with(&dir, StoreOptions {
+                segment_rows,
+                cache_bytes: 4 << 20,
+                index_mode: monomi_store::IndexMode::Off,
+                ..StoreOptions::default()
+            }).expect("store opens");
+            let mut disk = Database::with_store(store);
+            disk.create_table(lineitem_like_schema());
+            disk.bulk_load("t", rows[..split].to_vec()).expect("unindexed half");
+        }
+        let store = open_small_store(&dir, segment_rows);
+        let mut disk = Database::with_store(store);
+        disk.bulk_load("t", rows[split..].to_vec()).expect("indexed half");
+
+        let queries = [
+            format!("SELECT a, b, s, d FROM t WHERE {}", predicate_sql(t1, c1, c2)),
+            format!("SELECT b, s FROM t WHERE a = {c1}"),
+            format!("SELECT a FROM t WHERE b BETWEEN {} AND {}", c1.min(c2), c1.max(c2)),
+        ];
+        for sql in &queries {
+            let (baseline, _) = mem.execute_sql(sql, &[]).expect("memory baseline");
+            let expected = format!("{:?}", baseline.rows);
+            let mut counters = Vec::new();
+            for threads in [1usize, 4] {
+                let probed_opts = ExecOptions::with_threads(threads)
+                    .with_index_mode(monomi_store::IndexMode::All);
+                let scan_opts = ExecOptions::with_threads(threads)
+                    .with_index_mode(monomi_store::IndexMode::Off);
+                let (probed, probed_stats) =
+                    disk.execute_sql_with(sql, &[], &probed_opts).expect("probed run");
+                let (scanned, scanned_stats) =
+                    disk.execute_sql_with(sql, &[], &scan_opts).expect("scanned run");
+                prop_assert_eq!(&format!("{:?}", probed.rows), &expected,
+                    "probed diverged for {} at {} threads", sql, threads);
+                prop_assert_eq!(&format!("{:?}", scanned.rows), &expected,
+                    "full scan diverged for {} at {} threads", sql, threads);
+                // Probing narrows work, never the result.
+                prop_assert!(probed_stats.rows_scanned <= scanned_stats.rows_scanned);
+                prop_assert_eq!(probed_stats.rows_materialized, scanned_stats.rows_materialized);
+                prop_assert_eq!(probed_stats.result_rows, scanned_stats.result_rows);
+                prop_assert_eq!(probed_stats.result_bytes, scanned_stats.result_bytes);
+                prop_assert_eq!(scanned_stats.index_probes, 0);
+                counters.push((probed_stats.work_counters(), scanned_stats.work_counters()));
+            }
+            // The thread count changes parallelism, not work: every counter
+            // except the trailing morsels/threads_used pair is identical.
+            let (p1, s1) = &counters[0];
+            let (p4, s4) = &counters[1];
+            prop_assert_eq!(&p1[..11], &p4[..11], "probed counters drifted for {}", sql);
+            prop_assert_eq!(&s1[..11], &s4[..11], "scan counters drifted for {}", sql);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
 /// Builds a disk table whose `a` column is clustered (sorted), so segment
 /// zone maps carry disjoint ranges — the shape a selective Q6-like range
 /// predicate can prune.
@@ -185,7 +267,23 @@ fn q6_shaped_selective_scan_prunes_segments_and_reads_fewer_bytes() {
         "zone maps must skip 9/10 segments"
     );
     assert_eq!(stats.segments_read, 1);
-    assert_eq!(stats.rows_scanned, 100);
+    // The ordered index narrows the surviving segment to the 21 matching
+    // rows before any column data is decoded.
+    assert_eq!(stats.rows_scanned, 21);
+    assert!(stats.index_probes >= 1, "range probe must run");
+    assert_eq!(stats.index_rows_fetched, 21);
+    assert!(stats.postings_bytes_read > 0);
+
+    // With index probing disabled, zone maps still prune — and the one
+    // surviving segment is scanned in full, byte-identically.
+    let off = ExecOptions::serial().with_index_mode(monomi_store::IndexMode::Off);
+    let (rs_off, off_stats) = db
+        .execute_sql_with(selective, &[], &off)
+        .expect("selective scan, indexes off");
+    assert_eq!(format!("{:?}", rs.rows), format!("{:?}", rs_off.rows));
+    assert_eq!(off_stats.segments_pruned, 9);
+    assert_eq!(off_stats.rows_scanned, 100);
+    assert_eq!(off_stats.index_probes, 0);
 
     let (_, full) = db
         .execute_sql("SELECT a, b FROM t", &[])
@@ -315,6 +413,53 @@ fn corrupted_segment_fails_the_query_not_the_results() {
         err.message.contains("checksum"),
         "error should name the checksum: {err}"
     );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn corrupted_index_file_falls_back_to_full_scan() {
+    let dir = fresh_dir("idxcorrupt");
+    let sql = "SELECT b FROM t WHERE a BETWEEN 5 AND 8";
+    let (expected, idx_path) = {
+        let db = clustered_disk_db(&dir, 30, 30); // one segment, one .idx
+        let (rs, stats) = db.execute_sql(sql, &[]).expect("indexed query");
+        assert!(stats.index_probes >= 1, "the pristine index must be probed");
+        let idx = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .find(|p| p.extension().is_some_and(|x| x == "idx"))
+            .expect("an index file exists");
+        (format!("{:?}", rs.rows), idx)
+    };
+    let pristine = std::fs::read(&idx_path).unwrap();
+    // Every possible single-byte corruption: the store reports a typed error,
+    // and the engine silently degrades to the full scan — same rows, no
+    // panic, no probe against poisoned postings.
+    for i in 0..pristine.len() {
+        let mut corrupted = pristine.clone();
+        corrupted[i] ^= 0xFF;
+        std::fs::write(&idx_path, &corrupted).unwrap();
+        // Fresh open per flip so no decoded index lingers in a cache.
+        let db = Database::open(&dir).expect("reopen");
+        let store = Arc::clone(db.store().expect("disk backed"));
+        let meta = store.with_table_meta("t", |m| {
+            m.expect("table exists").segments[0]
+                .index
+                .clone()
+                .expect("segment is indexed")
+        });
+        let err = store
+            .read_indexes(&meta)
+            .expect_err("corruption must surface as a typed error");
+        assert!(!err.message.is_empty(), "byte {i}");
+        let (rs, stats) = db.execute_sql(sql, &[]).expect("query survives corruption");
+        assert_eq!(format!("{:?}", rs.rows), expected, "byte {i}");
+        assert_eq!(
+            stats.index_probes, 0,
+            "byte {i}: corrupt index must not seed"
+        );
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 

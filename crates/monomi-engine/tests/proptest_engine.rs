@@ -243,12 +243,12 @@ proptest! {
         let sql = query_sql(shape, &predicate_sql(template, c1, c2));
         let query = parse_query(&sql).unwrap();
         // Small morsels so even tiny generated tables span several partitions.
-        let serial_opts = ExecOptions { threads: 1, morsel_rows: 16 };
+        let serial_opts = ExecOptions { threads: 1, morsel_rows: 16, ..ExecOptions::serial() };
         let (serial, serial_stats) = db
             .execute_with(&query, &[], &serial_opts)
             .expect("serial execution");
         for threads in [2usize, 4, 8] {
-            let opts = ExecOptions { threads, morsel_rows: 16 };
+            let opts = ExecOptions { threads, morsel_rows: 16, ..ExecOptions::serial() };
             let (parallel, stats) = db
                 .execute_with(&query, &[], &opts)
                 .expect("parallel execution");
@@ -301,12 +301,12 @@ proptest! {
             "SELECT g, paillier_sum(c), COUNT(*) FROM e GROUP BY g ORDER BY g",
         )
         .unwrap();
-        let serial_opts = ExecOptions { threads: 1, morsel_rows: 8 };
+        let serial_opts = ExecOptions { threads: 1, morsel_rows: 8, ..ExecOptions::serial() };
         let (serial, _) = db
             .execute_with(&query, &[], &serial_opts)
             .expect("serial paillier_sum");
         for threads in [2usize, 4, 8] {
-            let opts = ExecOptions { threads, morsel_rows: 8 };
+            let opts = ExecOptions { threads, morsel_rows: 8, ..ExecOptions::serial() };
             let (parallel, _) = db
                 .execute_with(&query, &[], &opts)
                 .expect("parallel paillier_sum");

@@ -532,8 +532,12 @@ impl ServerTransport for FaultyTransport {
         "faulty"
     }
 
-    fn create_table(&mut self, schema: &TableSchema) -> Result<(), CoreError> {
-        self.faulted("create_table", |t| t.create_table(schema))
+    fn create_table(
+        &mut self,
+        schema: &TableSchema,
+        unindexed: &[String],
+    ) -> Result<(), CoreError> {
+        self.faulted("create_table", |t| t.create_table(schema, unindexed))
     }
 
     fn register_paillier_modulus(&mut self, n_squared: &BigUint) -> Result<(), CoreError> {

@@ -229,6 +229,24 @@ fn hash_iter_flags_order_observing_methods_on_tracked_fields() {
 }
 
 #[test]
+fn hash_iter_covers_index_probe_planning_shapes() {
+    // Probe planning (exec.rs) folds per-column probes into a plan; doing so
+    // by iterating a HashMap would make probe order — and therefore posting
+    // intersection order and stats — nondeterministic.
+    let src = "fn plan(by_col: HashMap<String, Probe>) { \
+               for (col, p) in &by_col { push_probe(col, p); } }";
+    assert!(fires(
+        "monomi-engine",
+        "crates/monomi-engine/src/exec.rs",
+        src,
+        "determinism-hash-iter"
+    ));
+    // The shipped shape — a Vec of probes in predicate order — stays silent.
+    let clean = "fn plan(probes: Vec<Probe>) { for p in &probes { push_probe(p); } }";
+    assert!(lint_source("monomi-engine", "crates/monomi-engine/src/exec.rs", clean).is_empty());
+}
+
+#[test]
 fn hash_iter_is_silent_for_lookups_and_btreemaps() {
     let src = "fn f() { let mut m: HashMap<String, u32> = HashMap::new(); \
                m.insert(k, 1); let x = m.get(&k); let n = m.len(); \
@@ -311,6 +329,33 @@ fn panic_freedom_covers_the_fault_injection_crate() {
     // The fallible idioms the crate actually uses stay silent.
     let clean = "fn f(frame: &[u8], i: usize) -> u8 { frame.get(i).copied().unwrap_or(0) }";
     assert!(lint_source("monomi-faults", "crates/monomi-faults/src/lib.rs", clean).is_empty());
+}
+
+#[test]
+fn panic_freedom_covers_index_decode_shapes() {
+    // The index codec (monomi-store/src/index.rs) parses untrusted bytes: a
+    // corrupted `.idx` must surface as a typed error, so the decode shapes
+    // that could panic on hostile lengths are violations there.
+    for snippet in [
+        "let key = keys[mid];",
+        "let ids = &postings[start..end];",
+        "let n = u32::from_le_bytes(b[o..o + 4].try_into().unwrap());",
+    ] {
+        let src = format!("fn f(keys: &[u32], postings: &[u32], b: &[u8], mid: usize, start: usize, end: usize, o: usize) {{ {snippet} }}");
+        assert!(
+            fires(
+                "monomi-store",
+                "crates/monomi-store/src/index.rs",
+                &src,
+                "panic-freedom"
+            ),
+            "`{snippet}` must be flagged in the index codec"
+        );
+    }
+    // The checked idioms the codec actually uses stay silent.
+    let clean = "fn f(keys: &[u32], mid: usize) -> Result<u32, E> { \
+                 keys.get(mid).copied().ok_or_else(E::truncated) }";
+    assert!(lint_source("monomi-store", "crates/monomi-store/src/index.rs", clean).is_empty());
 }
 
 #[test]

@@ -54,7 +54,11 @@ use monomi_store::{
 /// than by connection), the three session-mutating requests (`CreateTable`,
 /// `RegisterModulus`, `BulkLoad`) carry a request id for exactly-once replay
 /// after a reconnect, and [`ErrorCode::ShuttingDown`] marks a draining server.
-pub const WIRE_VERSION: u32 = 2;
+///
+/// v3: `CreateTable` carries the list of columns opted out of secondary-index
+/// builds, and [`ExecStats`] gained the index access-path counters
+/// (`index_probes`, `index_rows_fetched`, `postings_bytes_read`).
+pub const WIRE_VERSION: u32 = 3;
 
 /// Frame magic: the first four bytes of every MONOMI frame.
 pub const MAGIC: [u8; 4] = *b"MNMI";
@@ -206,6 +210,10 @@ pub enum Request {
         request_id: u64,
         name: String,
         columns: Vec<(String, ColumnType)>,
+        /// Columns excluded from secondary-index builds — the client's
+        /// storage/leakage trade (an index file materializes the column's
+        /// ciphertext equality or ordering structure at rest).
+        unindexed: Vec<String>,
     },
     /// Register the public Paillier modulus `n²` (big-endian bytes) so the
     /// server can add HOM ciphertexts. Idempotent via `request_id`.
@@ -328,6 +336,9 @@ fn write_stats(out: &mut Vec<u8>, s: &ExecStats) {
     put_u64(out, s.result_bytes);
     put_u64(out, s.segments_read);
     put_u64(out, s.segments_pruned);
+    put_u64(out, s.index_probes);
+    put_u64(out, s.index_rows_fetched);
+    put_u64(out, s.postings_bytes_read);
     put_u64(out, s.morsels);
     put_u32(out, s.threads_used);
     put_u64(out, s.worker_busy_nanos);
@@ -344,6 +355,9 @@ fn read_stats(r: &mut Reader<'_>) -> Result<ExecStats, ProtoError> {
         result_bytes: r.u64()?,
         segments_read: r.u64()?,
         segments_pruned: r.u64()?,
+        index_probes: r.u64()?,
+        index_rows_fetched: r.u64()?,
+        postings_bytes_read: r.u64()?,
         morsels: r.u64()?,
         threads_used: r.u32()?,
         worker_busy_nanos: r.u64()?,
@@ -365,10 +379,15 @@ impl Request {
                 request_id,
                 name,
                 columns,
+                unindexed,
             } => {
                 out.push(RQ_CREATE_TABLE);
                 put_u64(&mut out, *request_id);
                 put_str(&mut out, name);
+                put_u32(&mut out, unindexed.len() as u32);
+                for col in unindexed {
+                    put_str(&mut out, col);
+                }
                 put_u32(&mut out, columns.len() as u32);
                 for (col, ty) in columns {
                     put_str(&mut out, col);
@@ -421,6 +440,11 @@ impl Request {
             RQ_CREATE_TABLE => {
                 let request_id = r.u64()?;
                 let name = r.string()?;
+                let n_unindexed = r.u32()? as usize;
+                let mut unindexed = Vec::with_capacity(n_unindexed.min(1 << 12));
+                for _ in 0..n_unindexed {
+                    unindexed.push(r.string()?);
+                }
                 let n = r.u32()? as usize;
                 let mut columns = Vec::with_capacity(n.min(1 << 12));
                 for _ in 0..n {
@@ -435,6 +459,7 @@ impl Request {
                     request_id,
                     name,
                     columns,
+                    unindexed,
                 }
             }
             RQ_REGISTER_MODULUS => Request::RegisterModulus {
@@ -716,6 +741,7 @@ mod tests {
                     ("l_shipdate_ope".into(), ColumnType::Int),
                     ("l_comment_rnd".into(), ColumnType::Bytes),
                 ],
+                unindexed: vec!["l_quantity_det".into()],
             },
             Request::RegisterModulus {
                 request_id: 2,
@@ -765,6 +791,9 @@ mod tests {
                     result_bytes: 60,
                     segments_read: 3,
                     segments_pruned: 1,
+                    index_probes: 2,
+                    index_rows_fetched: 9,
+                    postings_bytes_read: 72,
                     morsels: 5,
                     threads_used: 4,
                     worker_busy_nanos: 123_456,

@@ -527,6 +527,7 @@ fn handle_request(shared: &Shared, client_id: u64, request: Request) -> Response
             request_id,
             name,
             columns,
+            unindexed,
         } => {
             if already_applied(shared, client_id, request_id) {
                 // Replay after a reconnect: the table exists and this client
@@ -552,7 +553,7 @@ fn handle_request(shared: &Shared, client_id: u64, request: Request) -> Response
                 .into_iter()
                 .map(|(col, ty)| ColumnDef::new(col, ty))
                 .collect();
-            db.create_table(TableSchema::new(name.clone(), defs));
+            db.create_table_with(TableSchema::new(name.clone(), defs), unindexed);
             owners.insert(name, client_id);
             drop(db);
             drop(owners);
@@ -623,6 +624,7 @@ fn handle_request(shared: &Shared, client_id: u64, request: Request) -> Response
             let opts = ExecOptions {
                 threads: (threads as usize).max(1),
                 morsel_rows: (morsel_rows as usize).max(1),
+                ..ExecOptions::env_cached()
             };
             let started = Instant::now();
             match shared.db.read().execute_with(&query, &[], &opts) {

@@ -1,47 +1,77 @@
-//! Byte-budgeted cache of decoded segments.
+//! Byte-budgeted LRU caches for decoded store artifacts.
 //!
 //! Decoding a segment (checksum + per-column decode) is the expensive part of
 //! a disk scan, so the store keeps decoded segments in memory under a byte
 //! budget (`MONOMI_CACHE_BYTES`, default 256 MiB) with least-recently-used
-//! eviction. Entries are `Arc`-shared: eviction drops the cache's reference,
-//! while in-flight scans holding the `Arc` keep their data alive — nothing is
-//! ever invalidated under a reader.
+//! eviction. Decoded per-segment index files get the same treatment under
+//! their own budget (`MONOMI_INDEX_CACHE_BYTES`, default 64 MiB) so a burst
+//! of index probes cannot evict the segments a concurrent scan needs.
+//!
+//! Both are the one generic [`ByteLru`]: entries are `Arc`-shared, so
+//! eviction drops the cache's reference while in-flight readers holding the
+//! `Arc` keep their data alive — nothing is ever invalidated under a reader.
 
+use crate::index::SegmentIndexes;
 use crate::store::SegmentData;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Environment knob for the cache budget in bytes.
+/// Environment knob for the segment-cache budget in bytes.
 pub const CACHE_BYTES_ENV: &str = "MONOMI_CACHE_BYTES";
-/// Default cache budget: 256 MiB.
+/// Default segment-cache budget: 256 MiB.
 pub const DEFAULT_CACHE_BYTES: usize = 256 << 20;
+/// Environment knob for the index-cache budget in bytes.
+pub const INDEX_CACHE_BYTES_ENV: &str = "MONOMI_INDEX_CACHE_BYTES";
+/// Default index-cache budget: 64 MiB.
+pub const DEFAULT_INDEX_CACHE_BYTES: usize = 64 << 20;
 
-struct Entry {
-    data: Arc<SegmentData>,
+/// How many bytes an entry occupies against a [`ByteLru`] budget.
+pub trait CacheWeight {
+    /// Approximate resident heap size of this entry.
+    fn weight(&self) -> usize;
+}
+
+impl CacheWeight for SegmentData {
+    fn weight(&self) -> usize {
+        self.heap_bytes
+    }
+}
+
+impl CacheWeight for SegmentIndexes {
+    fn weight(&self) -> usize {
+        self.heap_bytes
+    }
+}
+
+struct Entry<T> {
+    data: Arc<T>,
     /// Monotonic tick of the last access (higher = more recent).
     last_used: u64,
 }
 
-struct Inner {
-    entries: HashMap<String, Entry>,
+struct Inner<T> {
+    entries: HashMap<String, Entry<T>>,
     resident_bytes: usize,
     tick: u64,
 }
 
-/// A byte-budgeted LRU cache mapping segment file names to decoded segments.
-pub struct SegmentCache {
+/// A byte-budgeted LRU cache mapping file names to decoded artifacts.
+pub struct ByteLru<T> {
     budget_bytes: usize,
-    inner: Mutex<Inner>,
+    inner: Mutex<Inner<T>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
 
-impl SegmentCache {
+/// The decoded-segment cache (`MONOMI_CACHE_BYTES`).
+pub type SegmentCache = ByteLru<SegmentData>;
+
+impl<T: CacheWeight> ByteLru<T> {
     /// A cache with an explicit byte budget.
-    pub fn with_budget(budget_bytes: usize) -> SegmentCache {
-        SegmentCache {
+    pub fn with_budget(budget_bytes: usize) -> ByteLru<T> {
+        ByteLru {
             budget_bytes,
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
@@ -51,15 +81,6 @@ impl SegmentCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
-    }
-
-    /// A cache budgeted from `MONOMI_CACHE_BYTES` (default 256 MiB).
-    pub fn from_env() -> SegmentCache {
-        Self::with_budget(crate::env_knob(
-            CACHE_BYTES_ENV,
-            DEFAULT_CACHE_BYTES,
-            |_| true,
-        ))
     }
 
     /// The configured budget in bytes.
@@ -80,22 +101,22 @@ impl SegmentCache {
         )
     }
 
-    /// Drops every cached segment (used by benchmarks to measure cold scans).
+    /// Drops every cached entry (used by benchmarks to measure cold scans).
     pub fn clear(&self) {
         let mut inner = self.inner.lock();
         inner.entries.clear();
         inner.resident_bytes = 0;
     }
 
-    /// Returns the cached segment for `file`, or decodes it with `load` and
-    /// caches the result. Concurrent misses on the same segment may both run
+    /// Returns the cached entry for `file`, or decodes it with `load` and
+    /// caches the result. Concurrent misses on the same file may both run
     /// `load`; last insert wins — acceptable duplicated work, never wrong
-    /// data (segments are write-once).
+    /// data (segment and index files are write-once).
     pub fn get_or_load<E>(
         &self,
         file: &str,
-        load: impl FnOnce() -> Result<SegmentData, E>,
-    ) -> Result<Arc<SegmentData>, E> {
+        load: impl FnOnce() -> Result<T, E>,
+    ) -> Result<Arc<T>, E> {
         {
             let mut inner = self.inner.lock();
             inner.tick += 1;
@@ -106,13 +127,13 @@ impl SegmentCache {
                 return Ok(Arc::clone(&entry.data));
             }
         }
-        // Decode outside the lock: a big segment must not stall cache hits.
+        // Decode outside the lock: a big entry must not stall cache hits.
         self.misses.fetch_add(1, Ordering::Relaxed);
         let data = Arc::new(load()?);
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
-        let bytes = data.heap_bytes;
+        let bytes = data.weight();
         if inner
             .entries
             .insert(
@@ -128,7 +149,7 @@ impl SegmentCache {
         }
         // Evict least-recently-used entries until within budget (the newest
         // entry may itself be evicted if it alone exceeds the budget — the
-        // caller still holds its Arc, so oversized scans degrade to
+        // caller still holds its Arc, so oversized loads degrade to
         // cache-bypass instead of pinning the budget).
         while inner.resident_bytes > self.budget_bytes {
             let Some(victim) = inner
@@ -140,17 +161,29 @@ impl SegmentCache {
                 break;
             };
             if let Some(entry) = inner.entries.remove(&victim) {
-                inner.resident_bytes -= entry.data.heap_bytes;
+                inner.resident_bytes -= entry.data.weight();
             }
         }
         Ok(data)
     }
 }
 
+impl SegmentCache {
+    /// A segment cache budgeted from `MONOMI_CACHE_BYTES` (default 256 MiB).
+    pub fn from_env() -> SegmentCache {
+        Self::with_budget(crate::env_knob(
+            CACHE_BYTES_ENV,
+            DEFAULT_CACHE_BYTES,
+            |_| true,
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Value;
+    use crate::index::{decode_segment_indexes, encode_segment_indexes, IndexMode};
+    use crate::{ColumnType, Value};
 
     fn segment(rows: usize) -> SegmentData {
         SegmentData::new(vec![vec![Value::Int(7); rows]])
@@ -192,5 +225,28 @@ mod tests {
         assert!(cache.resident_bytes() > 0);
         cache.clear();
         assert_eq!(cache.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn index_cache_shares_the_lru_machinery() {
+        let schema = vec![("k".to_string(), ColumnType::Int)];
+        let make = || {
+            let enc = encode_segment_indexes(
+                &schema,
+                &[],
+                IndexMode::All,
+                &[vec![Value::Int(1), Value::Int(2)]],
+            )
+            .unwrap();
+            decode_segment_indexes(&enc.bytes, None).unwrap()
+        };
+        let cache: ByteLru<SegmentIndexes> = ByteLru::with_budget(1 << 20);
+        let a = cache.get_or_load::<()>("s1.idx", || Ok(make())).unwrap();
+        let b = cache
+            .get_or_load::<()>("s1.idx", || panic!("must not reload"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(cache.resident_bytes() > 0);
+        assert_eq!(cache.stats(), (1, 1));
     }
 }

@@ -27,10 +27,15 @@
 //!   rename, so a killed bulk load leaves either the old or the new table
 //!   visible — never a torn one. Orphaned segment files from aborted loads
 //!   are swept on open.
+//! * **Indexes** ([`index`]) are per-segment DET-equality dictionaries and
+//!   OPE-ordered postings built while a segment is written and published
+//!   through the same manifest commit, giving point and range predicates a
+//!   sub-scan access path (`MONOMI_INDEXES` gates which kinds exist).
 //! * The **cache** ([`cache`]) holds decoded segments under a byte budget
-//!   (`MONOMI_CACHE_BYTES`), evicting least-recently-used.
+//!   (`MONOMI_CACHE_BYTES`), evicting least-recently-used; decoded index
+//!   files get their own budgeted slot (`MONOMI_INDEX_CACHE_BYTES`).
 //!
-//! [`store::Store`] ties the four together; `monomi-engine`'s `Database`
+//! [`store::Store`] ties the pieces together; `monomi-engine`'s `Database`
 //! selects it as a backend via `MONOMI_STORAGE=disk` or `Database::open`.
 //!
 //! This crate also homes the engine's runtime [`Value`] model (and
@@ -42,15 +47,20 @@
 pub mod cache;
 pub mod encoding;
 pub mod env;
+pub mod index;
 pub mod manifest;
 pub mod segment;
 pub mod store;
 pub mod value;
 
-pub use cache::SegmentCache;
+pub use cache::{ByteLru, CacheWeight, SegmentCache};
 pub use encoding::{put_blob, read_value, write_value, Reader};
 pub use env::env_knob;
-pub use manifest::{Manifest, SegmentMeta, TableMeta};
+pub use index::{
+    decode_segment_indexes, encode_segment_indexes, planned_index_kind, IndexBlock, IndexKind,
+    IndexMode, SegmentIndexes, INDEX_MODE_ENV,
+};
+pub use manifest::{IndexMeta, Manifest, SegmentMeta, TableMeta};
 pub use segment::{ColumnZone, ZoneMap};
 pub use store::{BulkLoad, SegmentData, Store, StoreOptions};
 pub use value::{date, Value};

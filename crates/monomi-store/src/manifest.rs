@@ -19,6 +19,7 @@
 //! mistaken for a valid catalog either.
 
 use crate::encoding::{put_blob, Reader};
+use crate::index::IndexKind;
 use crate::segment::{ColumnZone, ZoneMap};
 use crate::{crc64, ColumnType, StoreError};
 use std::collections::BTreeMap;
@@ -26,11 +27,41 @@ use std::io::Write;
 use std::path::Path;
 
 const MAGIC: &[u8; 4] = b"MMAN";
-const VERSION: u32 = 1;
+/// Format version written by this build. Version 2 added per-segment index
+/// files ([`IndexMeta`]) and the per-table `unindexed` opt-out list; version 1
+/// manifests still load (their segments simply carry no indexes).
+const VERSION: u32 = 2;
+const MIN_VERSION: u32 = 1;
 
 /// The name of the catalog file inside a store directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
 const MANIFEST_TMP: &str = "MANIFEST.tmp";
+
+/// Catalog entry for one segment's index file, published in the same
+/// manifest commit as the segment it accelerates: a crash never leaves a
+/// segment whose catalog entry references a half-written index.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IndexMeta {
+    /// Index file name within the store directory.
+    pub file: String,
+    /// Size of the index file in bytes.
+    pub stored_bytes: u64,
+    /// CRC-64 the index file must carry.
+    pub checksum: u64,
+    /// `(column, kind)` of every block in the file, sorted by column name —
+    /// the planner consults this without opening the file.
+    pub columns: Vec<(String, IndexKind)>,
+}
+
+impl IndexMeta {
+    /// The index kind persisted for `column`, if any.
+    pub fn kind_of(&self, column: &str) -> Option<IndexKind> {
+        self.columns
+            .iter()
+            .find(|(name, _)| name == column)
+            .map(|&(_, kind)| kind)
+    }
+}
 
 /// Catalog entry for one committed segment.
 #[derive(Clone, Debug, PartialEq)]
@@ -46,6 +77,9 @@ pub struct SegmentMeta {
     pub checksum: u64,
     /// Per-column zone map, written at load time.
     pub zones: Vec<ColumnZone>,
+    /// The segment's index file, when one was built (`None` for segments
+    /// loaded with indexes off or from a version-1 manifest).
+    pub index: Option<IndexMeta>,
 }
 
 impl SegmentMeta {
@@ -70,6 +104,9 @@ pub struct TableMeta {
     pub columns: Vec<(String, ColumnType)>,
     /// Committed segments in row order.
     pub segments: Vec<SegmentMeta>,
+    /// Columns opted out of secondary indexes at `CREATE TABLE` time (the
+    /// designer's storage/leakage tradeoff), sorted and deduplicated.
+    pub unindexed: Vec<String>,
 }
 
 impl TableMeta {
@@ -102,6 +139,10 @@ impl Manifest {
                 put_blob(&mut out, cname.as_bytes());
                 out.push(ty.tag());
             }
+            out.extend_from_slice(&(table.unindexed.len() as u32).to_le_bytes());
+            for cname in &table.unindexed {
+                put_blob(&mut out, cname.as_bytes());
+            }
             out.extend_from_slice(&(table.segments.len() as u32).to_le_bytes());
             for seg in &table.segments {
                 put_blob(&mut out, seg.file.as_bytes());
@@ -111,6 +152,20 @@ impl Manifest {
                 out.extend_from_slice(&(seg.zones.len() as u32).to_le_bytes());
                 for zone in &seg.zones {
                     zone.serialize(&mut out);
+                }
+                match &seg.index {
+                    None => out.push(0),
+                    Some(index) => {
+                        out.push(1);
+                        put_blob(&mut out, index.file.as_bytes());
+                        out.extend_from_slice(&index.stored_bytes.to_le_bytes());
+                        out.extend_from_slice(&index.checksum.to_le_bytes());
+                        out.extend_from_slice(&(index.columns.len() as u32).to_le_bytes());
+                        for (cname, kind) in &index.columns {
+                            put_blob(&mut out, cname.as_bytes());
+                            out.push(kind.tag());
+                        }
+                    }
                 }
             }
         }
@@ -136,7 +191,7 @@ impl Manifest {
             return Err(StoreError::new("bad manifest magic"));
         }
         let version_fmt = r.u32()?;
-        if version_fmt != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version_fmt) {
             return Err(StoreError::new(format!(
                 "unknown manifest version {version_fmt}"
             )));
@@ -154,6 +209,13 @@ impl Manifest {
                     .ok_or_else(|| StoreError::new("bad column type tag"))?;
                 columns.push((cname, ty));
             }
+            let mut unindexed = Vec::new();
+            if version_fmt >= 2 {
+                let unindexed_count = r.u32()? as usize;
+                for _ in 0..unindexed_count {
+                    unindexed.push(r.string()?);
+                }
+            }
             let segment_count = r.u32()? as usize;
             let mut segments = Vec::with_capacity(segment_count);
             for _ in 0..segment_count {
@@ -166,15 +228,44 @@ impl Manifest {
                 for _ in 0..zone_count {
                     zones.push(ColumnZone::deserialize(&mut r)?);
                 }
+                let index = if version_fmt >= 2 && r.u8()? != 0 {
+                    let ifile = r.string()?;
+                    let istored_bytes = r.u64()?;
+                    let ichecksum = r.u64()?;
+                    let icolumn_count = r.u32()? as usize;
+                    let mut icolumns = Vec::with_capacity(icolumn_count);
+                    for _ in 0..icolumn_count {
+                        let cname = r.string()?;
+                        let kind = IndexKind::from_tag(r.u8()?)
+                            .ok_or_else(|| StoreError::new("bad index kind tag"))?;
+                        icolumns.push((cname, kind));
+                    }
+                    Some(IndexMeta {
+                        file: ifile,
+                        stored_bytes: istored_bytes,
+                        checksum: ichecksum,
+                        columns: icolumns,
+                    })
+                } else {
+                    None
+                };
                 segments.push(SegmentMeta {
                     file,
                     rows,
                     stored_bytes,
                     checksum,
                     zones,
+                    index,
                 });
             }
-            tables.insert(name, TableMeta { columns, segments });
+            tables.insert(
+                name,
+                TableMeta {
+                    columns,
+                    segments,
+                    unindexed,
+                },
+            );
         }
         if !r.is_empty() {
             return Err(StoreError::new("trailing bytes in manifest"));
@@ -242,10 +333,81 @@ mod tests {
                     stored_bytes: 123,
                     checksum: 0xDEAD_BEEF,
                     zones: zones.columns,
+                    index: Some(IndexMeta {
+                        file: "orders-1-0.idx".into(),
+                        stored_bytes: 77,
+                        checksum: 0xFEED_FACE,
+                        columns: vec![
+                            ("o_comment".into(), IndexKind::Det),
+                            ("o_orderkey".into(), IndexKind::Ope),
+                        ],
+                    }),
                 }],
+                unindexed: vec!["o_secret".into()],
             },
         );
         Manifest { version: 7, tables }
+    }
+
+    /// Serializes `m` in the version-1 layout (no index files, no opt-out
+    /// list) so the upgrade path stays covered.
+    fn serialize_v1(m: &Manifest) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&m.version.to_le_bytes());
+        out.extend_from_slice(&(m.tables.len() as u32).to_le_bytes());
+        for (name, table) in &m.tables {
+            put_blob(&mut out, name.as_bytes());
+            out.extend_from_slice(&(table.columns.len() as u32).to_le_bytes());
+            for (cname, ty) in &table.columns {
+                put_blob(&mut out, cname.as_bytes());
+                out.push(ty.tag());
+            }
+            out.extend_from_slice(&(table.segments.len() as u32).to_le_bytes());
+            for seg in &table.segments {
+                put_blob(&mut out, seg.file.as_bytes());
+                out.extend_from_slice(&seg.rows.to_le_bytes());
+                out.extend_from_slice(&seg.stored_bytes.to_le_bytes());
+                out.extend_from_slice(&seg.checksum.to_le_bytes());
+                out.extend_from_slice(&(seg.zones.len() as u32).to_le_bytes());
+                for zone in &seg.zones {
+                    zone.serialize(&mut out);
+                }
+            }
+        }
+        let checksum = crc64(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn version_1_manifests_still_load_without_index_metadata() {
+        let m = sample_manifest();
+        let back = Manifest::deserialize(&serialize_v1(&m)).unwrap();
+        assert_eq!(back.version, m.version);
+        let table = &back.tables["orders"];
+        assert_eq!(table.columns, m.tables["orders"].columns);
+        assert!(table.unindexed.is_empty());
+        assert_eq!(table.segments.len(), 1);
+        assert_eq!(table.segments[0].index, None);
+        assert_eq!(table.segments[0].file, "orders-1-0.seg");
+        // Re-committing writes version 2; the index stays absent but the
+        // catalog round-trips.
+        assert_eq!(Manifest::deserialize(&back.serialize()).unwrap(), back);
+    }
+
+    #[test]
+    fn future_manifest_versions_are_rejected() {
+        let mut bytes = sample_manifest().serialize();
+        // Overwrite the format version field (right after the magic) and
+        // re-seal the checksum.
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        let body_len = bytes.len() - 8;
+        let crc = crc64(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+        let err = Manifest::deserialize(&bytes).unwrap_err();
+        assert!(err.message.contains("unknown manifest version"));
     }
 
     #[test]

@@ -8,12 +8,14 @@
 //! kill) leaves the catalog exactly as it was, and the orphaned files are
 //! swept the next time the directory is opened.
 
-use crate::cache::SegmentCache;
-use crate::manifest::{Manifest, SegmentMeta, TableMeta, MANIFEST_FILE};
+use crate::cache::{ByteLru, SegmentCache};
+use crate::index::{encode_segment_indexes, IndexMode, SegmentIndexes};
+use crate::manifest::{IndexMeta, Manifest, SegmentMeta, TableMeta, MANIFEST_FILE};
 use crate::segment::{encode_segment, read_segment_file, write_segment_file};
 use crate::value::Value;
 use crate::{ColumnType, StoreError};
 use parking_lot::RwLock;
+use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -31,11 +33,16 @@ pub struct StoreOptions {
     pub segment_rows: usize,
     /// Byte budget of the decoded-segment cache.
     pub cache_bytes: usize,
+    /// Byte budget of the decoded-index cache.
+    pub index_cache_bytes: usize,
+    /// Which secondary-index kinds newly written segments get.
+    pub index_mode: IndexMode,
 }
 
 impl Default for StoreOptions {
-    /// Environment-derived options: `MONOMI_SEGMENT_ROWS` (default 4096) and
-    /// `MONOMI_CACHE_BYTES` (default 256 MiB).
+    /// Environment-derived options: `MONOMI_SEGMENT_ROWS` (default 4096),
+    /// `MONOMI_CACHE_BYTES` (default 256 MiB), `MONOMI_INDEX_CACHE_BYTES`
+    /// (default 64 MiB), and `MONOMI_INDEXES` (default `all`).
     fn default() -> Self {
         StoreOptions {
             segment_rows: crate::env_knob(SEGMENT_ROWS_ENV, DEFAULT_SEGMENT_ROWS, |&n| n >= 1),
@@ -44,6 +51,12 @@ impl Default for StoreOptions {
                 crate::cache::DEFAULT_CACHE_BYTES,
                 |_| true,
             ),
+            index_cache_bytes: crate::env_knob(
+                crate::cache::INDEX_CACHE_BYTES_ENV,
+                crate::cache::DEFAULT_INDEX_CACHE_BYTES,
+                |_| true,
+            ),
+            index_mode: IndexMode::from_env(),
         }
     }
 }
@@ -84,7 +97,9 @@ pub struct Store {
     dir: PathBuf,
     manifest: RwLock<Manifest>,
     cache: SegmentCache,
+    index_cache: ByteLru<SegmentIndexes>,
     segment_rows: usize,
+    index_mode: IndexMode,
     /// Per-process uniquifier folded into segment file names.
     seq: AtomicU64,
 }
@@ -108,7 +123,9 @@ impl Store {
         let manifest = Manifest::load(&dir)?;
         let store = Store {
             cache: SegmentCache::with_budget(options.cache_bytes),
+            index_cache: ByteLru::with_budget(options.index_cache_bytes),
             segment_rows: options.segment_rows.max(1),
+            index_mode: options.index_mode,
             manifest: RwLock::new(manifest),
             seq: AtomicU64::new(0),
             dir,
@@ -130,6 +147,16 @@ impl Store {
     /// The shared decoded-segment cache.
     pub fn cache(&self) -> &SegmentCache {
         &self.cache
+    }
+
+    /// The shared decoded-index cache.
+    pub fn index_cache(&self) -> &ByteLru<SegmentIndexes> {
+        &self.index_cache
+    }
+
+    /// Which secondary-index kinds newly written segments get.
+    pub fn index_mode(&self) -> IndexMode {
+        self.index_mode
     }
 
     /// Snapshot of one table's catalog entry. Deep-clones the segment list
@@ -177,6 +204,21 @@ impl Store {
         table: &str,
         columns: Vec<(String, ColumnType)>,
     ) -> Result<(), StoreError> {
+        self.create_table_with(table, columns, Vec::new())
+    }
+
+    /// [`create_table`](Self::create_table) with an explicit list of columns
+    /// opted out of secondary indexes (the designer's leakage tradeoff). The
+    /// list is sorted and deduplicated so the persisted manifest bytes do not
+    /// depend on caller iteration order.
+    pub fn create_table_with(
+        &self,
+        table: &str,
+        columns: Vec<(String, ColumnType)>,
+        mut unindexed: Vec<String>,
+    ) -> Result<(), StoreError> {
+        unindexed.sort();
+        unindexed.dedup();
         let mut manifest = self.manifest.write();
         let mut next = manifest.clone();
         let old = next.tables.insert(
@@ -184,6 +226,7 @@ impl Store {
             TableMeta {
                 columns,
                 segments: Vec::new(),
+                unindexed,
             },
         );
         next.version += 1;
@@ -192,6 +235,9 @@ impl Store {
         drop(manifest);
         if let Some(old) = old {
             for seg in old.segments {
+                if let Some(index) = &seg.index {
+                    let _ = std::fs::remove_file(self.dir.join(&index.file));
+                }
                 let _ = std::fs::remove_file(self.dir.join(seg.file));
             }
         }
@@ -201,9 +247,18 @@ impl Store {
     /// Starts a bulk load into `table`. Segments written through the returned
     /// handle become visible only at [`BulkLoad::commit`].
     pub fn begin_load(self: &Arc<Self>, table: &str) -> BulkLoad {
+        // Snapshot the schema and opt-out list now: index eligibility must
+        // not shift mid-load if the table is concurrently replaced (the
+        // commit would fail against a replaced table anyway).
+        let (schema, unindexed) = self.with_table_meta(table, |meta| match meta {
+            Some(t) => (t.columns.clone(), t.unindexed.clone()),
+            None => (Vec::new(), Vec::new()),
+        });
         BulkLoad {
             store: Arc::clone(self),
             table: table.to_string(),
+            schema,
+            unindexed,
             pending: Vec::new(),
             committed: false,
         }
@@ -215,6 +270,19 @@ impl Store {
         let path = self.dir.join(&seg.file);
         self.cache.get_or_load(&seg.file, || {
             read_segment_file(&path, Some(seg.checksum)).map(SegmentData::new)
+        })
+    }
+
+    /// Reads one segment's index file through the index cache, verifying its
+    /// checksum on the (cold) decode path. Any failure is a typed error the
+    /// caller answers with a plain scan — never wrong rows.
+    pub fn read_indexes(&self, index: &IndexMeta) -> Result<Arc<SegmentIndexes>, StoreError> {
+        let path = self.dir.join(&index.file);
+        self.index_cache.get_or_load(&index.file, || {
+            let bytes = std::fs::read(&path)
+                .map_err(|e| StoreError::new(format!("{}: {e}", path.display())))?;
+            crate::index::decode_segment_indexes(&bytes, Some(index.checksum))
+                .map_err(|e| StoreError::new(format!("{}: {}", path.display(), e.message)))
         })
     }
 
@@ -230,19 +298,23 @@ impl Store {
         }
     }
 
-    /// Removes `*.seg` files the manifest does not reference.
+    /// Removes `*.seg` and `*.idx` files the manifest does not reference.
     fn sweep_orphans(&self) -> Result<(), StoreError> {
         let referenced: std::collections::HashSet<String> = self
             .manifest
             .read()
             .tables
             .values()
-            .flat_map(|t| t.segments.iter().map(|s| s.file.clone()))
+            .flat_map(|t| {
+                t.segments.iter().flat_map(|s| {
+                    std::iter::once(s.file.clone()).chain(s.index.as_ref().map(|i| i.file.clone()))
+                })
+            })
             .collect();
         for entry in std::fs::read_dir(&self.dir)? {
             let entry = entry?;
             let name = entry.file_name().to_string_lossy().into_owned();
-            if name.ends_with(".seg") && !referenced.contains(&name) {
+            if (name.ends_with(".seg") || name.ends_with(".idx")) && !referenced.contains(&name) {
                 let _ = std::fs::remove_file(entry.path());
             }
         }
@@ -274,13 +346,19 @@ impl Store {
 pub struct BulkLoad {
     store: Arc<Store>,
     table: String,
+    /// Schema snapshot taken at `begin_load`, driving index eligibility.
+    schema: Vec<(String, ColumnType)>,
+    /// Index opt-out list snapshot taken at `begin_load`.
+    unindexed: Vec<String>,
     pending: Vec<SegmentMeta>,
     committed: bool,
 }
 
 impl BulkLoad {
     /// Encodes and writes one segment (column-major rows), fsyncing the file.
-    /// The segment stays invisible until [`commit`](Self::commit).
+    /// Eligible columns get index blocks, written to a sibling `.idx` file
+    /// in the same staged transaction. The segment stays invisible until
+    /// [`commit`](Self::commit).
     pub fn add_segment(&mut self, columns: &[Vec<Value>]) -> Result<(), StoreError> {
         let rows = columns.first().map(Vec::len).unwrap_or(0);
         if rows == 0 {
@@ -289,12 +367,36 @@ impl BulkLoad {
         let encoded = encode_segment(columns);
         let file = self.store.fresh_segment_name(&self.table);
         write_segment_file(&self.store.dir.join(&file), &encoded)?;
+        let index = match encode_segment_indexes(
+            &self.schema,
+            &self.unindexed,
+            self.store.index_mode,
+            columns,
+        ) {
+            Some(enc) => {
+                let ifile = format!("{}.idx", file.strip_suffix(".seg").unwrap_or(&file));
+                let path = self.store.dir.join(&ifile);
+                {
+                    let mut f = std::fs::File::create(&path)?;
+                    f.write_all(&enc.bytes)?;
+                    f.sync_all()?;
+                }
+                Some(IndexMeta {
+                    file: ifile,
+                    stored_bytes: enc.bytes.len() as u64,
+                    checksum: enc.checksum,
+                    columns: enc.columns,
+                })
+            }
+            None => None,
+        };
         self.pending.push(SegmentMeta {
             file,
             rows: rows as u64,
             stored_bytes: encoded.bytes.len() as u64,
             checksum: encoded.checksum,
             zones: encoded.zones.columns,
+            index,
         });
         Ok(())
     }
@@ -345,6 +447,9 @@ impl Drop for BulkLoad {
         // which is what the open-time orphan sweep is for.
         if !self.committed {
             for seg in &self.pending {
+                if let Some(index) = &seg.index {
+                    let _ = std::fs::remove_file(self.store.dir.join(&index.file));
+                }
                 let _ = std::fs::remove_file(self.store.dir.join(&seg.file));
             }
         }
@@ -437,6 +542,141 @@ mod tests {
             .unwrap();
         assert_eq!(store.table_rows("t"), 0);
         assert!(!old_file.exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bulk_load_publishes_index_files_with_the_segment() {
+        let (dir, store) = temp_store("indexed");
+        store
+            .create_table(
+                "t",
+                vec![
+                    ("k_det".into(), ColumnType::Int),
+                    ("v_rnd".into(), ColumnType::Bytes),
+                ],
+            )
+            .unwrap();
+        let mut load = store.begin_load("t");
+        load.add_segment(&[
+            (0..16).map(|i| Value::Int(i % 4)).collect(),
+            vec![Value::Bytes(vec![9]); 16],
+        ])
+        .unwrap();
+        load.commit().unwrap();
+        let meta = store.table_meta("t").unwrap();
+        let index = meta.segments[0].index.as_ref().expect("index built");
+        assert_eq!(index.columns, vec![("k_det".into(), crate::IndexKind::Det)]);
+        assert!(store.dir.join(&index.file).exists());
+        let ix = store.read_indexes(index).unwrap();
+        assert_eq!(
+            ix.block("k_det").unwrap().postings_eq(&Value::Int(1)),
+            &[1, 5, 9, 13]
+        );
+        assert!(ix.block("v_rnd").is_none());
+        // Cached on the second read.
+        let again = store.read_indexes(index).unwrap();
+        assert!(Arc::ptr_eq(&ix, &again));
+        assert_eq!(store.index_cache().stats().0, 1);
+
+        // Reopen: the index survives; corruption then yields a typed error.
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        let meta = store.table_meta("t").unwrap();
+        let index = meta.segments[0].index.clone().unwrap();
+        store.read_indexes(&index).unwrap();
+        let path = store.dir.join(&index.file);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[10] ^= 0xFF;
+        std::fs::write(&path, bytes).unwrap();
+        store.index_cache().clear();
+        let err = store.read_indexes(&index).unwrap_err();
+        assert!(err.message.contains("checksum"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_mode_off_and_opt_outs_suppress_index_build() {
+        let dir = std::env::temp_dir().join(format!("monomi-store-{}-noindex", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open_with(
+            &dir,
+            StoreOptions {
+                index_mode: IndexMode::Off,
+                ..StoreOptions::default()
+            },
+        )
+        .unwrap();
+        store
+            .create_table("t", vec![("x".into(), ColumnType::Int)])
+            .unwrap();
+        let mut load = store.begin_load("t");
+        load.add_segment(&int_column(0..8)).unwrap();
+        load.commit().unwrap();
+        assert_eq!(store.table_meta("t").unwrap().segments[0].index, None);
+        drop(store);
+
+        // Same directory, indexes back on, but the column is opted out.
+        let store = Store::open(&dir).unwrap();
+        store
+            .create_table_with("t2", vec![("x".into(), ColumnType::Int)], vec!["x".into()])
+            .unwrap();
+        let mut load = store.begin_load("t2");
+        load.add_segment(&int_column(0..8)).unwrap();
+        load.commit().unwrap();
+        assert_eq!(store.table_meta("t2").unwrap().segments[0].index, None);
+        // While "t" reloaded with default options does build one.
+        let mut load = store.begin_load("t");
+        load.add_segment(&int_column(8..16)).unwrap();
+        load.commit().unwrap();
+        let meta = store.table_meta("t").unwrap();
+        assert_eq!(meta.segments[0].index, None); // historical segment
+        assert!(meta.segments[1].index.is_some()); // new segment
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn orphaned_and_replaced_index_files_are_removed() {
+        let (dir, store) = temp_store("idx-sweep");
+        store
+            .create_table("t", vec![("x".into(), ColumnType::Int)])
+            .unwrap();
+        // Simulated kill mid-load: both files stay behind, sweep removes both.
+        let mut load = store.begin_load("t");
+        load.add_segment(&int_column(0..8)).unwrap();
+        let seg_file = store.dir.join(&load.pending[0].file);
+        let idx_file = store
+            .dir
+            .join(&load.pending[0].index.as_ref().unwrap().file);
+        assert!(seg_file.exists() && idx_file.exists());
+        std::mem::forget(load);
+        drop(store);
+        let store = Store::open(&dir).unwrap();
+        assert!(!seg_file.exists() && !idx_file.exists());
+
+        // Table replacement deletes committed index files.
+        let mut load = store.begin_load("t");
+        load.add_segment(&int_column(0..8)).unwrap();
+        load.commit().unwrap();
+        let meta = store.table_meta("t").unwrap();
+        let idx_file = store
+            .dir
+            .join(&meta.segments[0].index.as_ref().unwrap().file);
+        assert!(idx_file.exists());
+        store
+            .create_table("t", vec![("y".into(), ColumnType::Int)])
+            .unwrap();
+        assert!(!idx_file.exists());
+
+        // An explicit abort (Drop) also removes staged index files.
+        let mut load = store.begin_load("t");
+        load.add_segment(&int_column(0..8)).unwrap();
+        let idx_file = store
+            .dir
+            .join(&load.pending[0].index.as_ref().unwrap().file);
+        assert!(idx_file.exists());
+        drop(load);
+        assert!(!idx_file.exists());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

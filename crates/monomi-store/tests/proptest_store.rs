@@ -172,7 +172,11 @@ proptest! {
         {
             let store = Store::open_with(
                 &dir,
-                StoreOptions { segment_rows, cache_bytes: 1 << 20 },
+                StoreOptions {
+                    segment_rows,
+                    cache_bytes: 1 << 20,
+                    ..StoreOptions::default()
+                },
             )
             .expect("store opens");
             store

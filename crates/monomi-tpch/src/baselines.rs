@@ -87,6 +87,9 @@ pub fn run_plaintext(
         server_segments_read: stats.segments_read,
         server_segments_pruned: stats.segments_pruned,
         server_bytes_materialized: stats.bytes_materialized,
+        server_index_probes: stats.index_probes,
+        server_index_rows_fetched: stats.index_rows_fetched,
+        server_postings_bytes_read: stats.postings_bytes_read,
     };
     Ok(QueryRun {
         query_number: query.number,

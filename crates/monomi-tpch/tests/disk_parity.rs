@@ -32,6 +32,7 @@ fn disk_copy(src: &Database, dir: &std::path::PathBuf) -> Database {
         StoreOptions {
             segment_rows: 512,
             cache_bytes: 64 << 20,
+            ..StoreOptions::default()
         },
     )
     .expect("store opens");

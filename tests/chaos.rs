@@ -300,7 +300,7 @@ fn bulk_load_is_not_double_applied_across_reconnect() {
 
     // Fault-free oracle: the same load applied exactly once, in process.
     let mut oracle = monomi_core::InProcessTransport::new(Database::in_memory());
-    oracle.create_table(&schema).expect("oracle create");
+    oracle.create_table(&schema, &[]).expect("oracle create");
     oracle
         .bulk_load("chaos_t", rows.clone())
         .expect("oracle load");
@@ -314,7 +314,7 @@ fn bulk_load_is_not_double_applied_across_reconnect() {
             .rows
     );
 
-    remote.create_table(&schema).expect("create");
+    remote.create_table(&schema, &[]).expect("create");
     // Swallow the server's acknowledgement: the load *is* applied, but the
     // client only sees a dead connection and must retry after reconnecting.
     proxy.arm(FaultPlan {
@@ -430,7 +430,7 @@ fn churn_releases_admission_slots_and_ownership() {
         conns
             .last_mut()
             .expect("conns nonempty")
-            .create_table(&schema)
+            .create_table(&schema, &[])
             .expect("create");
         assert_eq!(server.owned_tables(), 1, "round {round}");
         drop(conns);
