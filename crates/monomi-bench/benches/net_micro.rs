@@ -19,12 +19,12 @@ use monomi_core::{InProcessTransport, RemoteExecution, ServerTransport, TcpTrans
 use monomi_crypto::PaillierKey;
 use monomi_engine::{ColumnDef, ColumnType, Database, ExecOptions, TableSchema, Value};
 use monomi_math::BigUint;
+use monomi_obs::Stopwatch;
 use monomi_server::{Server, ServerOptions};
 use monomi_sql::parse_query;
 use monomi_tpch::datagen;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
 /// Best-of-N round trip through a transport, returning (wall seconds, wire
 /// bytes of one round trip, last execution).
@@ -38,9 +38,9 @@ fn best_of(
     let mut last = transport.execute(query, opts).expect("execute");
     let mut wire = last.wire.bytes_sent + last.wire.bytes_received;
     for _ in 0..n {
-        let start = Instant::now();
+        let watch = Stopwatch::start();
         last = transport.execute(query, opts).expect("execute");
-        best = best.min(start.elapsed().as_secs_f64());
+        best = best.min(watch.seconds());
         wire = last.wire.bytes_sent + last.wire.bytes_received;
     }
     (best, wire, last)
@@ -107,9 +107,9 @@ fn main() {
     .spawn()
     .expect("spawn server");
     let mut tcp = TcpTransport::connect(&handle.addr().to_string()).expect("connect");
-    let load_started = Instant::now();
+    let load_watch = Stopwatch::start();
     load_database(&mut tcp, &db).expect("ship database to the server");
-    let load_secs = load_started.elapsed().as_secs_f64();
+    let load_secs = load_watch.seconds();
     let loaded = tcp.wire_totals();
     println!(
         "bulk load over TCP: {} bytes sent in {load_secs:.3}s ({:.1} MB/s)\n",

@@ -1,0 +1,113 @@
+//! Observability microbenchmark: what does tracing cost?
+//!
+//! Runs the Q6-shaped selective scan through the in-process transport twice —
+//! untraced (trace id zero: the engine takes no timestamps and allocates no
+//! spans) and traced (per-operator spans collected and returned) — and
+//! reports the relative overhead. The contract is that tracing is pay-as-you-
+//! go: untraced execution must not regress, and traced execution should stay
+//! within a few percent on a scan-dominated query (the span count per query
+//! is a handful, so the cost is a few `Instant` reads).
+//!
+//! Results must be byte-identical traced vs untraced (asserted). With
+//! `MONOMI_BENCH_JSON=<path>` the numbers are written as a JSON snapshot for
+//! `scripts/bench_snapshot.sh`. Knobs: `MONOMI_SCALE`, `MONOMI_BENCH_ITERS`.
+
+use monomi_bench::{env_usize, print_header};
+use monomi_core::{InProcessTransport, ServerTransport};
+use monomi_engine::ExecOptions;
+use monomi_obs::{Stopwatch, TraceId, TraceIdGen};
+use monomi_sql::parse_query;
+use monomi_tpch::datagen;
+
+/// Overhead above which the run is flagged — the observability issue's floor
+/// for a Q6-shaped scan. Reported, not asserted: wall-clock on shared CI
+/// boxes is advisory.
+const OVERHEAD_FLOOR_PCT: f64 = 2.0;
+
+fn main() {
+    print_header(
+        "Tracing overhead: traced vs untraced Q6-shaped scan, in-process",
+        "the pay-as-you-go contract of the observability layer",
+    );
+    let iters = env_usize("MONOMI_BENCH_ITERS", 20);
+    let scale = std::env::var("MONOMI_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(0.002);
+    let opts = ExecOptions::serial();
+
+    let db = datagen::generate(&datagen::GeneratorConfig {
+        scale_factor: scale,
+        seed: 42,
+    });
+    let scan_rows = db.table("lineitem").expect("lineitem").row_count();
+    let transport = InProcessTransport::new(db);
+    let q6 = parse_query(
+        "SELECT SUM(l_extendedprice * l_discount) FROM lineitem \
+         WHERE l_shipdate >= DATE '1994-01-01' \
+         AND l_shipdate < DATE '1994-01-01' + INTERVAL '1' YEAR \
+         AND l_discount BETWEEN 5 AND 7 AND l_quantity < 24",
+    )
+    .unwrap();
+    let ids = TraceIdGen::new(0xbe_c0);
+
+    // Interleave the two modes so frequency scaling and cache state hit both
+    // equally; keep the best of N for each.
+    let mut untraced_best = f64::INFINITY;
+    let mut traced_best = f64::INFINITY;
+    let mut span_count = 0usize;
+    let baseline = transport.execute(&q6, &opts).expect("warmup");
+    for _ in 0..iters {
+        let watch = Stopwatch::start();
+        let plain = transport.execute(&q6, &opts).expect("untraced");
+        untraced_best = untraced_best.min(watch.seconds());
+
+        let watch = Stopwatch::start();
+        let traced = transport
+            .execute_traced(&q6, &opts, ids.next_id())
+            .expect("traced");
+        traced_best = traced_best.min(watch.seconds());
+
+        assert_eq!(
+            format!("{:?}", plain.result),
+            format!("{:?}", traced.result),
+            "tracing changed the result"
+        );
+        assert_eq!(
+            format!("{:?}", baseline.result),
+            format!("{:?}", traced.result),
+            "results drifted across iterations"
+        );
+        assert!(!traced.spans.is_empty(), "traced run returned no spans");
+        span_count = traced.spans.iter().map(|s| s.count()).sum();
+    }
+    let untraced_trace = transport
+        .execute_traced(&q6, &opts, TraceId::ZERO)
+        .expect("zero trace");
+    assert!(
+        untraced_trace.spans.is_empty(),
+        "a zero trace id must collect no spans"
+    );
+
+    let overhead_pct = (traced_best - untraced_best).max(0.0) / untraced_best.max(1e-12) * 100.0;
+    println!("q6_scan ({scan_rows} rows, serial, best of {iters}):");
+    println!("  untraced:        {:>10.1} us", untraced_best * 1e6);
+    println!("  traced:          {:>10.1} us", traced_best * 1e6);
+    println!("  spans per query: {span_count:>10}");
+    println!("  overhead:        {overhead_pct:>9.2} %");
+    if overhead_pct > OVERHEAD_FLOOR_PCT {
+        println!("  WARNING: overhead above the {OVERHEAD_FLOOR_PCT}% floor");
+    }
+
+    if let Ok(path) = std::env::var("MONOMI_BENCH_JSON") {
+        let body = format!(
+            "  \"bench\": \"obs_micro\",\n  \"scan_rows\": {scan_rows},\n  \
+             \"untraced_us\": {:.1},\n  \"traced_us\": {:.1},\n  \
+             \"spans_per_query\": {span_count},\n  \"overhead_pct\": {overhead_pct:.2}",
+            untraced_best * 1e6,
+            traced_best * 1e6,
+        );
+        std::fs::write(&path, format!("{{\n{body}\n}}\n")).expect("write bench snapshot JSON");
+        println!("wrote snapshot to {path}");
+    }
+}

@@ -5,7 +5,7 @@
 //! server, and at query time plan, execute, decrypt, and post-process queries,
 //! returning plaintext results together with a timing breakdown.
 
-use crate::cost::{bind_params, DecryptProfile};
+use crate::cost::{bind_params, CostModel, DecryptProfile};
 use crate::design::{Encryptor, PhysicalDesign};
 use crate::designer::{DesignOutcome, Designer};
 use crate::localexec::{QueryTimings, SplitExecutor};
@@ -19,6 +19,7 @@ use crate::transport::{
 use crate::CoreError;
 use monomi_crypto::{MasterKey, PaillierKey};
 use monomi_engine::{Database, ExecOptions, ResultSet, Value};
+use monomi_obs::{Span, TraceId, TraceIdGen};
 use monomi_sql::{parse_query, Query};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -98,6 +99,10 @@ pub struct MonomiClient {
     /// same configuration.
     exec_options: ExecOptions,
     design_outcome: Option<DesignOutcome>,
+    /// Mints the per-query trace ids the traced execution paths carry across
+    /// the wire. Seeded from the client seed, so a pinned-seed run produces
+    /// the same id sequence every time.
+    trace_ids: TraceIdGen,
 }
 
 impl MonomiClient {
@@ -198,6 +203,7 @@ impl MonomiClient {
             plan_options: config.plan_options,
             exec_options,
             design_outcome: None,
+            trace_ids: TraceIdGen::new(config.seed),
         })
     }
 
@@ -311,6 +317,82 @@ impl MonomiClient {
     pub fn execute_plan(&self, plan: &SplitPlan) -> Result<(ResultSet, QueryTimings), CoreError> {
         let executor = self.executor();
         executor.execute(plan)
+    }
+
+    /// Executes a query under a freshly minted trace id. On top of what
+    /// [`MonomiClient::execute`] returns, this yields the trace id (carried
+    /// in every server request frame this query issued and echoed back) and
+    /// the span tree: client plan/decrypt/residual spans with the server's
+    /// per-operator spans nested under each RemoteSQL step.
+    ///
+    /// Tracing never changes results — the parity tests pin traced and
+    /// untraced execution byte-identical at every thread count.
+    pub fn execute_traced(
+        &self,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<(ResultSet, QueryTimings, TraceId, Vec<Span>), CoreError> {
+        let query = parse_query(sql).map_err(|e| CoreError::new(e.to_string()))?;
+        let trace = self.trace_ids.next_id();
+        let bound = bind_params(&query, params);
+        let (plan, _) = self.planner().best_plan(&bound, &self.encryptor);
+        let (result, timings, mut spans) = self.executor().execute_traced(&plan, trace)?;
+        // One Plan leaf up front keeps the tree honest about where client
+        // time went; planning reruns here are cheap (statistics only).
+        spans.insert(0, Span::leaf("Plan", 0.0, 0));
+        Ok((result, timings, trace, spans))
+    }
+
+    /// EXPLAIN ANALYZE: executes `sql` traced and renders a report — the
+    /// chosen split plan, the measured span tree (per-operator wall seconds
+    /// and row counts, server operators included), and the cost model's
+    /// predicted per-phase seconds next to the measured ones, so drift
+    /// between the model and reality is visible at a glance.
+    pub fn explain_analyze(&self, sql: &str, params: &[Value]) -> Result<String, CoreError> {
+        let query = parse_query(sql).map_err(|e| CoreError::new(e.to_string()))?;
+        let bound = bind_params(&query, params);
+        let (plan, _) = self.planner().best_plan(&bound, &self.encryptor);
+        let predicted = CostModel {
+            plain: &self.plain_stats_db,
+            profile: self.profile,
+            network: self.network,
+        }
+        .plan_cost(&plan, &bound);
+
+        let trace = self.trace_ids.next_id();
+        let (result, timings, spans) = self.executor().execute_traced(&plan, trace)?;
+
+        let mut out = String::new();
+        out.push_str(&format!("EXPLAIN ANALYZE  trace={trace}\n"));
+        out.push_str(&format!("plan: {}\n", plan.describe()));
+        out.push_str("spans:\n");
+        for span in &spans {
+            out.push_str(&span.render());
+        }
+        out.push_str(&format!(
+            "{} rows in {:.6}s\n",
+            result.rows.len(),
+            timings.total_seconds()
+        ));
+        out.push_str("phase        predicted_s    actual_s\n");
+        for (phase, pred, actual) in [
+            ("server", predicted.server_seconds, timings.server_seconds),
+            (
+                "network",
+                predicted.network_seconds,
+                timings.network_seconds,
+            ),
+            (
+                "decrypt",
+                predicted.decrypt_seconds,
+                timings.decrypt_seconds,
+            ),
+            ("client", predicted.client_seconds, timings.client_seconds),
+            ("total", predicted.total(), timings.total_seconds()),
+        ] {
+            out.push_str(&format!("{phase:<12} {pred:>11.6} {actual:>11.6}\n"));
+        }
+        Ok(out)
     }
 
     /// Generates a plan with explicit options (bypassing the cost-based choice).

@@ -65,6 +65,10 @@ pub use transport::{
     TransportOptions, WireMetrics,
 };
 
+/// Observability vocabulary, re-exported so callers consuming traced results
+/// need not depend on `monomi-obs` directly.
+pub use monomi_obs::{Span, TraceId};
+
 /// The class of a transport failure, attached to [`CoreError`] so callers and
 /// tests can assert on *what kind* of failure occurred instead of matching
 /// message strings.

@@ -14,9 +14,9 @@ use crate::CoreError;
 use monomi_engine::{
     ColumnDef, ColumnType, Database, ExecOptions, ResultSet, RowSchema, TableSchema, Value,
 };
+use monomi_obs::{Span, Stopwatch, TraceId};
 use monomi_sql::ast::*;
 use std::collections::HashMap;
-use std::time::Instant;
 
 /// Timing breakdown of one query execution through MONOMI.
 #[derive(Clone, Copy, Debug, Default)]
@@ -40,6 +40,11 @@ pub struct QueryTimings {
     /// seconds (0 for in-process execution). Reported alongside the modeled
     /// `network_seconds` so the cost model can be validated against a real
     /// link instead of only the [`NetworkModel`].
+    ///
+    /// The subtraction is clamped at zero (via [`monomi_obs::wire_share`]):
+    /// the two clocks are read on different machines, so on a loopback link a
+    /// server-measured execution can exceed the client-measured round trip by
+    /// scheduling noise, and a negative "time on the wire" is meaningless.
     pub wire_seconds: f64,
     /// Measured frame bytes the client sent to the server (0 in-process).
     pub wire_bytes_sent: u64,
@@ -136,9 +141,36 @@ struct Environment {
 impl<'a> SplitExecutor<'a> {
     /// Executes a plan, returning plaintext results and the timing breakdown.
     pub fn execute(&self, plan: &SplitPlan) -> Result<(ResultSet, QueryTimings), CoreError> {
+        let (rs, timings, _) = self.execute_traced(plan, TraceId::ZERO)?;
+        Ok((rs, timings))
+    }
+
+    /// Executes a plan under a trace id, additionally returning the client
+    /// span tree: the server's per-operator spans (echoed over the wire)
+    /// nested under each RemoteSQL step, plus client-side decrypt and
+    /// residual-computation spans. A zero trace id means untraced — no spans
+    /// are collected anywhere and the server pays no timing overhead.
+    pub fn execute_traced(
+        &self,
+        plan: &SplitPlan,
+        trace: TraceId,
+    ) -> Result<(ResultSet, QueryTimings, Vec<Span>), CoreError> {
+        let mut spans = Vec::new();
+        let (rs, timings) = self.dispatch(plan, trace, &mut spans)?;
+        Ok((rs, timings, spans))
+    }
+
+    fn dispatch(
+        &self,
+        plan: &SplitPlan,
+        trace: TraceId,
+        spans: &mut Vec<Span>,
+    ) -> Result<(ResultSet, QueryTimings), CoreError> {
         match plan {
-            SplitPlan::Remote(rp) => self.execute_remote(rp),
-            SplitPlan::Client { query, children } => self.execute_client(query, children),
+            SplitPlan::Remote(rp) => self.execute_remote(rp, trace, spans),
+            SplitPlan::Client { query, children } => {
+                self.execute_client(query, children, trace, spans)
+            }
         }
     }
 
@@ -146,14 +178,25 @@ impl<'a> SplitExecutor<'a> {
         &self,
         query: &Query,
         children: &[(String, SplitPlan)],
+        trace: TraceId,
+        spans: &mut Vec<Span>,
     ) -> Result<(ResultSet, QueryTimings), CoreError> {
         let mut timings = QueryTimings::default();
         // Materialize every child into a local plaintext database.
         let mut local_db = Database::new();
         for (binding, child) in children {
-            let (rs, t) = self.execute(child)?;
+            let mut child_spans = Vec::new();
+            let (rs, t) = self.dispatch(child, trace, &mut child_spans)?;
             timings.add(&t);
-            let started = Instant::now();
+            if !trace.is_zero() {
+                spans.push(Span::node(
+                    format!("Child({binding})"),
+                    t.total_seconds(),
+                    rs.rows.len() as u64,
+                    child_spans,
+                ));
+            }
+            let started = Stopwatch::start();
             // Column types come from the child plan's declared schema first;
             // sniffing the rows is only a fallback for expressions the
             // inference cannot type. Without the declared types, an all-NULL
@@ -179,29 +222,53 @@ impl<'a> SplitExecutor<'a> {
             local_db
                 .bulk_load(binding, rs.rows)
                 .map_err(|e| CoreError::new(e.to_string()))?;
-            timings.client_seconds += started.elapsed().as_secs_f64();
+            timings.client_seconds += started.seconds();
         }
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let (rs, _) = local_db
             .execute_with(query, &[], &self.exec_options)
             .map_err(|e| CoreError::new(e.to_string()))?;
-        timings.client_seconds += started.elapsed().as_secs_f64();
+        let residual_seconds = started.seconds();
+        timings.client_seconds += residual_seconds;
+        if !trace.is_zero() {
+            spans.push(Span::leaf(
+                "ClientResidual",
+                residual_seconds,
+                rs.rows.len() as u64,
+            ));
+        }
         Ok((rs, timings))
     }
 
-    fn execute_remote(&self, rp: &RemotePlan) -> Result<(ResultSet, QueryTimings), CoreError> {
+    fn execute_remote(
+        &self,
+        rp: &RemotePlan,
+        trace: TraceId,
+        spans: &mut Vec<Span>,
+    ) -> Result<(ResultSet, QueryTimings), CoreError> {
         let mut timings = QueryTimings::default();
 
         // 1. Child subqueries (uncorrelated) referenced by local predicates.
         let mut sub_results: HashMap<Query, Vec<Vec<Value>>> = HashMap::new();
         for (sub, child) in &rp.subquery_children {
-            let (rs, t) = self.execute(child)?;
+            let mut child_spans = Vec::new();
+            let (rs, t) = self.dispatch(child, trace, &mut child_spans)?;
             timings.add(&t);
+            if !trace.is_zero() {
+                spans.push(Span::node(
+                    "Subquery".to_string(),
+                    t.total_seconds(),
+                    rs.rows.len() as u64,
+                    child_spans,
+                ));
+            }
             sub_results.insert(sub.clone(), rs.rows);
         }
 
         // 2. RemoteSQL on the untrusted server, through the transport.
-        let remote = self.server.execute(&rp.server_query, &self.exec_options)?;
+        let remote = self
+            .server
+            .execute_traced(&rp.server_query, &self.exec_options, trace)?;
         let enc_rs = remote.result;
         let stats = remote.stats;
         let exec_elapsed = remote.exec_seconds;
@@ -228,16 +295,45 @@ impl<'a> SplitExecutor<'a> {
         let transfer = enc_rs.size_bytes() as u64;
         timings.transfer_bytes += transfer;
         timings.network_seconds += self.network.transfer_seconds(transfer);
+        if !trace.is_zero() {
+            spans.push(Span::node(
+                "RemoteSQL".to_string(),
+                exec_elapsed,
+                enc_rs.rows.len() as u64,
+                remote.spans,
+            ));
+            spans.push(Span::leaf(
+                "Wire",
+                remote.wire.seconds,
+                enc_rs.rows.len() as u64,
+            ));
+        }
 
         // 3. LocalDecrypt.
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let env = self.decrypt(&rp.outputs, &enc_rs)?;
-        timings.decrypt_seconds += started.elapsed().as_secs_f64();
+        let decrypt_seconds = started.seconds();
+        timings.decrypt_seconds += decrypt_seconds;
+        if !trace.is_zero() {
+            spans.push(Span::leaf(
+                "LocalDecrypt",
+                decrypt_seconds,
+                env.rows.len() as u64,
+            ));
+        }
 
         // 4. Residual client-side operators.
-        let started = Instant::now();
+        let started = Stopwatch::start();
         let result = self.finish_locally(rp, env, &sub_results)?;
-        timings.client_seconds += started.elapsed().as_secs_f64();
+        let residual_seconds = started.seconds();
+        timings.client_seconds += residual_seconds;
+        if !trace.is_zero() {
+            spans.push(Span::leaf(
+                "ClientResidual",
+                residual_seconds,
+                result.rows.len() as u64,
+            ));
+        }
         Ok((result, timings))
     }
 

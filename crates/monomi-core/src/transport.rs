@@ -49,6 +49,7 @@ use std::time::{Duration, Instant};
 use crate::{CoreError, TransportErrorKind};
 use monomi_engine::{Database, ExecOptions, ExecStats, ResultSet, TableSchema, Value};
 use monomi_math::BigUint;
+use monomi_obs::{unflatten_spans, wire_share, Span, Stopwatch, TraceId};
 use monomi_proto::{
     frame, read_response, ErrorCode, ProtoErrorKind, Request, Response, WIRE_VERSION,
 };
@@ -175,6 +176,12 @@ pub struct RemoteExecution {
     pub exec_seconds: f64,
     /// Wire traffic of this call (zeros in-process).
     pub wire: WireMetrics,
+    /// The trace id this execution ran under, echoed back by the server
+    /// ([`TraceId::ZERO`] for untraced calls).
+    pub trace: TraceId,
+    /// Per-operator server spans, present only when a non-zero trace id was
+    /// sent. Timing metadata about ciphertext processing — never row values.
+    pub spans: Vec<Span>,
 }
 
 /// Everything the trusted client is allowed to ask of the untrusted server.
@@ -201,10 +208,34 @@ pub trait ServerTransport: Send {
     fn bulk_load(&mut self, table: &str, rows: Vec<Vec<Value>>) -> Result<(), CoreError>;
 
     /// Executes the server half of a split query.
-    fn execute(&self, query: &Query, opts: &ExecOptions) -> Result<RemoteExecution, CoreError>;
+    ///
+    /// The default forwards to [`ServerTransport::execute_traced`] with
+    /// [`TraceId::ZERO`], i.e. no tracing.
+    fn execute(&self, query: &Query, opts: &ExecOptions) -> Result<RemoteExecution, CoreError> {
+        self.execute_traced(query, opts, TraceId::ZERO)
+    }
+
+    /// Executes the server half of a split query under a trace id. A zero id
+    /// means untraced: the server collects no spans and pays no timing
+    /// overhead. A non-zero id is carried in the request frame, echoed in the
+    /// response, and returns per-operator server spans in
+    /// [`RemoteExecution::spans`].
+    fn execute_traced(
+        &self,
+        query: &Query,
+        opts: &ExecOptions,
+        trace: TraceId,
+    ) -> Result<RemoteExecution, CoreError>;
 
     /// Total bytes the server stores.
     fn server_size_bytes(&self) -> Result<u64, CoreError>;
+
+    /// The server's Prometheus-text metrics dump, when this transport can ask
+    /// for one. `None` for transports without a metrics endpoint (in-process
+    /// execution has no server process to instrument).
+    fn metrics_text(&self) -> Result<Option<String>, CoreError> {
+        Ok(None)
+    }
 
     /// Cumulative wire traffic over the life of this transport.
     fn wire_totals(&self) -> WireMetrics;
@@ -271,17 +302,31 @@ impl ServerTransport for InProcessTransport {
             .map_err(|e| CoreError::new(e.to_string()))
     }
 
-    fn execute(&self, query: &Query, opts: &ExecOptions) -> Result<RemoteExecution, CoreError> {
-        let started = Instant::now();
-        let (result, stats) = self
-            .db
-            .execute_with(query, &[], opts)
-            .map_err(|e| CoreError::new(e.to_string()))?;
+    fn execute_traced(
+        &self,
+        query: &Query,
+        opts: &ExecOptions,
+        trace: TraceId,
+    ) -> Result<RemoteExecution, CoreError> {
+        let watch = Stopwatch::start();
+        let (result, stats, spans) = if trace.is_zero() {
+            let (result, stats) = self
+                .db
+                .execute_with(query, &[], opts)
+                .map_err(|e| CoreError::new(e.to_string()))?;
+            (result, stats, Vec::new())
+        } else {
+            self.db
+                .execute_with_traced(query, &[], opts)
+                .map_err(|e| CoreError::new(e.to_string()))?
+        };
         Ok(RemoteExecution {
             result,
             stats,
-            exec_seconds: started.elapsed().as_secs_f64(),
+            exec_seconds: watch.seconds(),
             wire: WireMetrics::default(),
+            trace,
+            spans,
         })
     }
 
@@ -846,20 +891,30 @@ impl ServerTransport for TcpTransport {
         Ok(())
     }
 
-    fn execute(&self, query: &Query, opts: &ExecOptions) -> Result<RemoteExecution, CoreError> {
+    fn execute_traced(
+        &self,
+        query: &Query,
+        opts: &ExecOptions,
+        trace: TraceId,
+    ) -> Result<RemoteExecution, CoreError> {
         // The SQL dialect round-trips through Display/parse (the sql crate's
         // tests hold that invariant), so the server re-parses exactly this
-        // query. Execute is read-only, hence retry-safe without an id.
+        // query. Execute is read-only, hence retry-safe without an id — and
+        // the trace id rides the request frame, so a retried request reports
+        // under the same trace.
         let (resp, wire) = self.call(&Request::Execute {
             sql: query.to_string(),
             threads: opts.threads.min(u32::MAX as usize) as u32,
             morsel_rows: opts.morsel_rows.min(u32::MAX as usize) as u32,
+            trace,
         })?;
         match resp {
             Response::Result {
                 result,
                 stats,
                 exec_seconds,
+                trace,
+                spans,
             } => Ok(RemoteExecution {
                 result,
                 stats,
@@ -867,10 +922,20 @@ impl ServerTransport for TcpTransport {
                 wire: WireMetrics {
                     // Time on the wire is what the round trip cost beyond
                     // the server's own execution.
-                    seconds: (wire.seconds - exec_seconds).max(0.0),
+                    seconds: wire_share(wire.seconds, exec_seconds),
                     ..wire
                 },
+                trace,
+                spans: unflatten_spans(&spans),
             }),
+            other => Err(unexpected(&other)),
+        }
+    }
+
+    fn metrics_text(&self) -> Result<Option<String>, CoreError> {
+        let (resp, _) = self.call(&Request::Metrics)?;
+        match resp {
+            Response::Metrics { text } => Ok(Some(text)),
             other => Err(unexpected(&other)),
         }
     }

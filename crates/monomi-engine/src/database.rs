@@ -8,7 +8,7 @@
 //! key-derived material it sees is the *public* Paillier modulus needed to
 //! multiply ciphertexts.
 
-use crate::exec::{execute_query, ExecStats, ResultSet};
+use crate::exec::{execute_query, execute_query_traced, ExecStats, ResultSet};
 use crate::ops::ExecOptions;
 use crate::schema::{Catalog, ColumnDef, TableSchema};
 use crate::stats::{collect_stats, Estimator, QueryEstimate, TableStats};
@@ -374,6 +374,31 @@ impl Database {
         opts: &ExecOptions,
     ) -> Result<(ResultSet, ExecStats), EngineError> {
         execute_query(self, query, params, opts)
+    }
+
+    /// Executes a SQL string like [`Database::execute_sql_with`], additionally
+    /// collecting one span per named operator (see
+    /// [`execute_query_traced`]). Results and work counters are identical to
+    /// the untraced path; only wall-clock observability is added.
+    pub fn execute_sql_traced(
+        &self,
+        sql: &str,
+        params: &[Value],
+        opts: &ExecOptions,
+    ) -> Result<(ResultSet, ExecStats, Vec<monomi_obs::Span>), EngineError> {
+        let query = parse_query(sql).map_err(|e| EngineError::new(e.to_string()))?;
+        self.execute_with_traced(&query, params, opts)
+    }
+
+    /// Executes a parsed query like [`Database::execute_with`], additionally
+    /// collecting per-operator spans.
+    pub fn execute_with_traced(
+        &self,
+        query: &Query,
+        params: &[Value],
+        opts: &ExecOptions,
+    ) -> Result<(ResultSet, ExecStats, Vec<monomi_obs::Span>), EngineError> {
+        execute_query_traced(self, query, params, opts)
     }
 
     /// Returns EXPLAIN-style cost and cardinality estimates for a query, the

@@ -29,6 +29,7 @@ use crate::ops::{
 use crate::storage::Table;
 use crate::value::Value;
 use crate::EngineError;
+use monomi_obs::Span;
 use monomi_sql::ast::*;
 use std::collections::HashMap;
 
@@ -205,14 +206,66 @@ pub fn execute_query(
     params: &[Value],
     opts: &ExecOptions,
 ) -> Result<(ResultSet, ExecStats), EngineError> {
+    let (result, stats, _) = execute_query_spanned(db, query, params, opts, false)?;
+    Ok((result, stats))
+}
+
+/// Executes a query and additionally returns one [`Span`] per named operator
+/// (`ScanFilter`, `HashJoin`, `MorselAggregate`, `Sort`) in execution order.
+///
+/// The spans carry wall-clock times, so they vary run to run — but the
+/// *result* and [`ExecStats`] work counters are byte-identical to the
+/// untraced [`execute_query`] path: tracing only ever wraps an operator call
+/// in a stopwatch, it never reorders or alters work. When tracing is off the
+/// executor makes zero clock calls (the `timed` helper short-circuits), so
+/// the untraced hot path pays nothing.
+pub fn execute_query_traced(
+    db: &Database,
+    query: &Query,
+    params: &[Value],
+    opts: &ExecOptions,
+) -> Result<(ResultSet, ExecStats, Vec<Span>), EngineError> {
+    execute_query_spanned(db, query, params, opts, true)
+}
+
+fn execute_query_spanned(
+    db: &Database,
+    query: &Query,
+    params: &[Value],
+    opts: &ExecOptions,
+    traced: bool,
+) -> Result<(ResultSet, ExecStats, Vec<Span>), EngineError> {
     let mut stats = ExecStats {
         threads_used: 1,
         ..Default::default()
     };
-    let result = execute_inner(db, query, params, None, &mut stats, opts)?;
+    let mut spans = if traced { Some(Vec::new()) } else { None };
+    let result = execute_inner(db, query, params, None, &mut stats, opts, &mut spans)?;
     stats.result_rows = result.rows.len() as u64;
     stats.result_bytes = result.size_bytes() as u64;
-    Ok((result, stats))
+    Ok((result, stats, spans.unwrap_or_default()))
+}
+
+/// Runs `f`, timing it into a new leaf span when tracing is on. With `spans`
+/// `None` this is a plain call — no clock is consulted, keeping the untraced
+/// executor free of timing overhead and of nondeterministic syscalls.
+fn timed<T>(
+    spans: &mut Option<Vec<Span>>,
+    label: impl FnOnce() -> String,
+    rows_of: impl FnOnce(&T) -> u64,
+    f: impl FnOnce() -> Result<T, EngineError>,
+) -> Result<T, EngineError> {
+    if spans.is_none() {
+        return f();
+    }
+    // monomi-lint: allow(determinism-clock-env): span timing runs only when tracing was requested and feeds observability output, never operator results
+    let start = std::time::Instant::now();
+    let value = f()?;
+    let seconds = start.elapsed().as_secs_f64();
+    if let Some(out) = spans.as_mut() {
+        out.push(Span::leaf(label(), seconds, rows_of(&value)));
+    }
+    Ok(value)
 }
 
 fn execute_inner(
@@ -222,6 +275,7 @@ fn execute_inner(
     outer: Option<(&RowSchema, &[Value])>,
     stats: &mut ExecStats,
     opts: &ExecOptions,
+    spans: &mut Option<Vec<Span>>,
 ) -> Result<ResultSet, EngineError> {
     // 1. Build the FROM relation (scans, derived tables, joins, filters).
     let where_conjuncts: Vec<Expr> = query
@@ -229,7 +283,16 @@ fn execute_inner(
         .as_ref()
         .map(|w| w.split_conjuncts())
         .unwrap_or_default();
-    let relation = build_from_relation(db, query, &where_conjuncts, params, outer, stats, opts)?;
+    let relation = build_from_relation(
+        db,
+        query,
+        &where_conjuncts,
+        params,
+        outer,
+        stats,
+        opts,
+        spans,
+    )?;
 
     // 2. Aggregate or plain projection. UDF aggregates (paillier_sum,
     // group_concat) make a query an aggregation even though the parser does
@@ -237,7 +300,7 @@ fn execute_inner(
     let is_aggregate = query.is_aggregate_query() || !collect_aggregates(query).is_empty();
     let subquery_fn = make_subquery_fn(db, params, *opts);
     let mut output = if is_aggregate {
-        aggregate_and_project(db, query, &relation, params, outer, stats, opts)?
+        aggregate_and_project(db, query, &relation, params, outer, stats, opts, spans)?
     } else {
         project_rows(query, &relation, params, outer, &subquery_fn)?
     };
@@ -262,8 +325,14 @@ fn execute_inner(
         let sort = Sort {
             order_by: &query.order_by,
         };
-        output.rows = sort.execute(output.rows, output.sort_keys);
-        output.sort_keys = Vec::new();
+        let rows = std::mem::take(&mut output.rows);
+        let keys = std::mem::take(&mut output.sort_keys);
+        output.rows = timed(
+            spans,
+            || "Sort".to_string(),
+            |r: &Vec<Vec<Value>>| r.len() as u64,
+            || Ok(sort.execute(rows, keys)),
+        )?;
     }
 
     // 5. LIMIT.
@@ -299,9 +368,12 @@ fn make_subquery_fn<'a>(
     // The morsel size is kept, so results stay partition-identical; only the
     // parent's own regions (and derived tables in FROM) parallelize.
     let opts = ExecOptions { threads: 1, ..opts };
+    // Subqueries are never traced: a correlated one re-runs per outer row,
+    // and a span per evaluation would swamp the trace with thousands of
+    // entries while timing regions the parent's spans already cover.
     move |q: &Query, outer: Option<(&RowSchema, &[Value])>| {
         let mut local_stats = ExecStats::default();
-        let rs = execute_inner(db, q, params, outer, &mut local_stats, &opts)?;
+        let rs = execute_inner(db, q, params, outer, &mut local_stats, &opts, &mut None)?;
         Ok(rs.rows)
     }
 }
@@ -537,6 +609,7 @@ fn collect_probe_candidates(pred: &ColumnarPredicate, out: &mut Vec<(usize, Prob
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn build_from_relation(
     db: &Database,
     query: &Query,
@@ -545,6 +618,7 @@ fn build_from_relation(
     outer: Option<(&RowSchema, &[Value])>,
     stats: &mut ExecStats,
     opts: &ExecOptions,
+    spans: &mut Option<Vec<Span>>,
 ) -> Result<Relation, EngineError> {
     if query.from.is_empty() {
         // SELECT without FROM: a single empty row.
@@ -583,7 +657,10 @@ fn build_from_relation(
                 loaded.push(Loaded::Scan { table, binding });
             }
             TableRef::Subquery { query: sub, alias } => {
-                let rs = execute_inner(db, sub, params, outer, stats, opts)?;
+                // Derived tables share the parent's span sink: their operator
+                // spans precede the outer scans' in the flat list, matching
+                // execution order.
+                let rs = execute_inner(db, sub, params, outer, stats, opts, spans)?;
                 let schema = RowSchema::new(
                     rs.columns
                         .iter()
@@ -665,7 +742,12 @@ fn build_from_relation(
                     probes: &probes,
                     index_mode: opts.index_mode,
                 };
-                let (rows, scan_stats) = scan.execute(opts)?;
+                let (rows, scan_stats) = timed(
+                    spans,
+                    || format!("ScanFilter({binding})"),
+                    |(rows, _): &(Vec<Vec<Value>>, ExecStats)| rows.len() as u64,
+                    || scan.execute(opts),
+                )?;
                 stats.merge(&scan_stats);
                 relations.push(Relation {
                     schema: pruned_schema,
@@ -745,7 +827,12 @@ fn build_from_relation(
                 params,
                 outer,
             };
-            let (joined, metrics) = join.execute(&acc, &right, opts)?;
+            let (joined, metrics) = timed(
+                spans,
+                || "HashJoin".to_string(),
+                |(rel, _): &(Relation, ParallelMetrics)| rel.rows.len() as u64,
+                || join.execute(&acc, &right, opts),
+            )?;
             stats.note_parallel(&metrics);
             joined
         };
@@ -976,6 +1063,7 @@ pub fn is_udf_aggregate(name: &str) -> bool {
     matches!(name, "paillier_sum" | "group_concat")
 }
 
+#[allow(clippy::too_many_arguments)]
 fn aggregate_and_project(
     db: &Database,
     query: &Query,
@@ -984,6 +1072,7 @@ fn aggregate_and_project(
     outer: Option<(&RowSchema, &[Value])>,
     stats: &mut ExecStats,
     opts: &ExecOptions,
+    spans: &mut Option<Vec<Span>>,
 ) -> Result<ProjectedRows, EngineError> {
     let subquery_fn = make_subquery_fn(db, params, *opts);
     let agg_exprs = collect_aggregates(query);
@@ -1000,7 +1089,12 @@ fn aggregate_and_project(
         params,
         outer,
     };
-    let (mut groups, metrics) = aggregate.execute(opts, Some(&subquery_fn))?;
+    let (mut groups, metrics) = timed(
+        spans,
+        || "MorselAggregate".to_string(),
+        |(groups, _): &(Vec<GroupEntry>, ParallelMetrics)| groups.len() as u64,
+        || aggregate.execute(opts, Some(&subquery_fn)),
+    )?;
     stats.note_parallel(&metrics);
 
     // A global aggregate over an empty input still produces one group.

@@ -42,7 +42,7 @@ pub mod storage;
 pub mod value;
 
 pub use database::{Database, PaillierServerCtx, STORAGE_ENV};
-pub use exec::{ExecStats, ResultSet};
+pub use exec::{execute_query_traced, ExecStats, ResultSet};
 pub use expr::{
     apply_predicate, compile_predicate, decode_hex, encode_hex, zone_may_match, ColumnarPredicate,
     EvalContext, RowSchema,

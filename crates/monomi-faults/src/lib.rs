@@ -550,12 +550,21 @@ impl ServerTransport for FaultyTransport {
         self.faulted("bulk_load", |t| t.bulk_load(table, rows))
     }
 
-    fn execute(&self, query: &Query, opts: &ExecOptions) -> Result<RemoteExecution, CoreError> {
-        self.faulted("execute", |t| t.execute(query, opts))
+    fn execute_traced(
+        &self,
+        query: &Query,
+        opts: &ExecOptions,
+        trace: monomi_obs::TraceId,
+    ) -> Result<RemoteExecution, CoreError> {
+        self.faulted("execute", |t| t.execute_traced(query, opts, trace))
     }
 
     fn server_size_bytes(&self) -> Result<u64, CoreError> {
         self.faulted("server_size", |t| t.server_size_bytes())
+    }
+
+    fn metrics_text(&self) -> Result<Option<String>, CoreError> {
+        self.faulted("metrics", |t| t.metrics_text())
     }
 
     fn wire_totals(&self) -> WireMetrics {

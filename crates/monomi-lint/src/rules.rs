@@ -56,7 +56,7 @@ pub const RULES: &[RuleInfo] = &[
         severity: Severity::Deny,
         summary: "key material and decryption must never be named in server-side crates \
                   (monomi-engine, monomi-store, monomi-sql, monomi-proto, monomi-server, \
-                  monomi-faults)",
+                  monomi-faults, monomi-obs)",
     },
     RuleInfo {
         id: MONTGOMERY_DOMAIN,
@@ -115,6 +115,8 @@ pub const ALLOW_JUSTIFICATION: &str = "allow-justification";
 /// on ciphertexts and must never name key material or decryption.
 /// `monomi-faults` sits on the wire between client and server — it handles
 /// ciphertext frames in flight, so it is held to the same boundary.
+/// `monomi-obs` is linked by the server (spans, metrics), so nothing in it
+/// may ever name key material or decryption either.
 const SERVER_CRATES: &[&str] = &[
     "monomi-engine",
     "monomi-store",
@@ -122,6 +124,7 @@ const SERVER_CRATES: &[&str] = &[
     "monomi-proto",
     "monomi-server",
     "monomi-faults",
+    "monomi-obs",
 ];
 
 /// Crates whose non-test code must never panic: monomi-store decodes

@@ -103,6 +103,29 @@ fn trust_boundary_covers_the_fault_injection_crate() {
 }
 
 #[test]
+fn trust_boundary_covers_the_observability_crate() {
+    // monomi-obs is linked by the server: spans and metrics may carry only
+    // operator labels, counters, and durations — never key material or
+    // decryption capability.
+    assert!(fires(
+        "monomi-obs",
+        "crates/monomi-obs/src/trace.rs",
+        "pub fn annotate(span: &mut Span, k: &MasterKey) { span.label = decrypt_label(k); }",
+        "trust-boundary"
+    ));
+    assert!(fires(
+        "monomi-obs",
+        "crates/monomi-obs/src/metrics.rs",
+        "fn f(k: &PaillierKey) {}",
+        "trust-boundary"
+    ));
+    // Labels, counts, and durations stay silent.
+    let clean = "pub fn record(label: &str, seconds: f64, rows: u64) -> Span { \
+                 Span::leaf(label, seconds, rows) }";
+    assert!(lint_source("monomi-obs", "crates/monomi-obs/src/trace.rs", clean).is_empty());
+}
+
+#[test]
 fn trust_boundary_is_silent_in_client_crates() {
     let src = "pub fn open(k: &MasterKey, c: &[u8]) -> Vec<u8> { decrypt_block(k, c) }";
     assert!(lint_source("monomi-crypto", "crates/monomi-crypto/src/x.rs", src).is_empty());

@@ -1,0 +1,27 @@
+//! Observability substrate for the MONOMI reproduction: trace ids, span
+//! trees, a hand-rolled metrics registry, and the shared timing helpers the
+//! client, server, and benchmarks all use.
+//!
+//! This crate is deliberately dependency-free and sits on *both* sides of the
+//! trust boundary: the trusted client mints [`TraceId`]s and assembles
+//! [`Span`] trees, while the untrusted server records per-operator spans and
+//! aggregates [`ServerMetrics`]. Because the server links it, nothing in here
+//! may ever carry key material or plaintext column values — spans and metrics
+//! hold only operator labels, counters, and wall-clock durations. The
+//! workspace linter (`monomi-lint`) enforces this: `monomi-obs` is covered by
+//! the `trust-boundary` rule exactly like the server crates.
+//!
+//! Everything here is observational: recording a span or bumping a counter
+//! must never change a query result. The engine's determinism contract
+//! (byte-identical results at every thread count) is therefore unaffected by
+//! whether tracing is on or off, which `tests/observability.rs` pins.
+
+#![forbid(unsafe_code)]
+
+pub mod metrics;
+pub mod time;
+pub mod trace;
+
+pub use metrics::{slow_query_json, Counter, Gauge, Histogram, ServerMetrics};
+pub use time::{wire_share, Stopwatch};
+pub use trace::{flatten_spans, unflatten_spans, FlatSpan, Span, SpanBuffer, TraceId, TraceIdGen};

@@ -1,0 +1,420 @@
+//! Hand-rolled metrics: atomic counters and gauges, a log-linear latency
+//! histogram, the server's metric catalog, and the Prometheus text renderer.
+//!
+//! Everything is lock-free (`AtomicU64` with relaxed ordering — metrics are
+//! advisory, not synchronization) and allocation-free on the hot path. The
+//! catalog holds *only* counts and durations: no SQL text, no values, no key
+//! material — it crosses the trust boundary in the Prometheus dump.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous value that can move both ways (e.g. active sessions).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Increments.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements, saturating at zero (a missed increment must not wrap the
+    /// gauge to u64::MAX).
+    pub fn dec(&self) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(1))
+            });
+    }
+
+    /// Sets an absolute value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: 64 exponents × 4 linear sub-buckets covers
+/// 1 µs .. ~5 days with ≤ 25% relative error per bucket.
+const HISTOGRAM_BUCKETS: usize = 256;
+
+/// A log-linear histogram of durations in seconds.
+///
+/// Values are bucketed by the position of their most significant bit in
+/// microseconds (the "log" part) refined by the next two bits (the "linear"
+/// part): bucket width grows with magnitude, so one fixed-size array spans
+/// microseconds to hours while keeping small latencies well resolved.
+/// Quantiles are answered from bucket lower bounds — an underestimate of at
+/// most one bucket width, which is the standard trade of this shape.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Total observed time in nanoseconds (for Prometheus `_sum`).
+    sum_nanos: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..HISTOGRAM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Index of the bucket holding `micros`.
+fn bucket_of(micros: u64) -> usize {
+    if micros < 4 {
+        return micros as usize;
+    }
+    let exponent = 63 - micros.leading_zeros() as u64; // >= 2
+    let sub = (micros >> (exponent - 2)) & 3; // next two bits after the MSB
+    (((exponent - 1) * 4 + sub) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Lower bound, in microseconds, of bucket `index` (inverse of [`bucket_of`]).
+fn bucket_floor_micros(index: usize) -> u64 {
+    if index < 4 {
+        return index as u64;
+    }
+    let exponent = (index as u64) / 4 + 1;
+    let sub = (index as u64) & 3;
+    (4 + sub) << (exponent - 2)
+}
+
+impl Histogram {
+    /// Records one observation of `seconds`.
+    pub fn observe(&self, seconds: f64) {
+        let nanos = (seconds.max(0.0) * 1e9) as u64;
+        let micros = nanos / 1_000;
+        if let Some(b) = self.buckets.get(bucket_of(micros)) {
+            b.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Total observed seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0) in seconds: the lower bound of the
+    /// bucket where the cumulative count crosses `q * count`. Zero when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_floor_micros(i) as f64 / 1e6;
+            }
+        }
+        bucket_floor_micros(HISTOGRAM_BUCKETS - 1) as f64 / 1e6
+    }
+}
+
+/// The server's metric catalog — every counter the Prometheus dump exposes.
+///
+/// One instance lives in the server's shared state for the life of the
+/// process; request handlers bump it with relaxed atomics and the `Metrics`
+/// wire request (or `MONOMI_METRICS_DUMP`) renders it.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    /// Queries executed (successfully or not).
+    pub queries_total: Counter,
+    /// Queries that returned a typed error.
+    pub query_errors_total: Counter,
+    /// Rows scanned by storage, summed over queries.
+    pub rows_scanned_total: Counter,
+    /// Bytes scanned by storage.
+    pub bytes_scanned_total: Counter,
+    /// Rows returned to clients.
+    pub rows_returned_total: Counter,
+    /// Column segments decoded.
+    pub segments_read_total: Counter,
+    /// Column segments skipped by zone maps or empty index probes.
+    pub segments_pruned_total: Counter,
+    /// Secondary-index probes executed.
+    pub index_probes_total: Counter,
+    /// Requests answered from the idempotency journal instead of re-applying
+    /// (the server-side face of a client retry).
+    pub journal_replays_total: Counter,
+    /// Connections refused because the admission limit was reached.
+    pub busy_rejections_total: Counter,
+    /// Sessions accepted over the life of the process.
+    pub sessions_total: Counter,
+    /// Sessions currently open.
+    pub active_sessions: Gauge,
+    /// Per-query server execution latency.
+    pub query_seconds: Histogram,
+}
+
+/// Escapes a string for a JSON string literal (quotes, backslashes, control
+/// characters). Labels are operator names, so this is rarely more than a
+/// pass-through, but the log must stay well-formed for any input.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl ServerMetrics {
+    /// Renders the catalog in the Prometheus text exposition format
+    /// (`# TYPE` lines plus samples; quantiles as summary-style series).
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut counter = |name: &str, help: &str, value: u64| {
+            out.push_str(&format!(
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+            ));
+        };
+        counter(
+            "monomi_queries_total",
+            "Queries executed by the server.",
+            self.queries_total.get(),
+        );
+        counter(
+            "monomi_query_errors_total",
+            "Queries that returned a typed error.",
+            self.query_errors_total.get(),
+        );
+        counter(
+            "monomi_rows_scanned_total",
+            "Rows scanned by storage.",
+            self.rows_scanned_total.get(),
+        );
+        counter(
+            "monomi_bytes_scanned_total",
+            "Bytes scanned by storage.",
+            self.bytes_scanned_total.get(),
+        );
+        counter(
+            "monomi_rows_returned_total",
+            "Rows returned to clients.",
+            self.rows_returned_total.get(),
+        );
+        counter(
+            "monomi_segments_read_total",
+            "Column segments decoded.",
+            self.segments_read_total.get(),
+        );
+        counter(
+            "monomi_segments_pruned_total",
+            "Column segments skipped by zone maps or index probes.",
+            self.segments_pruned_total.get(),
+        );
+        counter(
+            "monomi_index_probes_total",
+            "Secondary-index probes executed.",
+            self.index_probes_total.get(),
+        );
+        counter(
+            "monomi_journal_replays_total",
+            "Requests answered from the idempotency journal (client retries).",
+            self.journal_replays_total.get(),
+        );
+        counter(
+            "monomi_busy_rejections_total",
+            "Connections refused at the admission limit.",
+            self.busy_rejections_total.get(),
+        );
+        counter(
+            "monomi_sessions_total",
+            "Sessions accepted since start.",
+            self.sessions_total.get(),
+        );
+        out.push_str(&format!(
+            "# HELP monomi_active_sessions Sessions currently open.\n\
+             # TYPE monomi_active_sessions gauge\nmonomi_active_sessions {}\n",
+            self.active_sessions.get()
+        ));
+        let h = &self.query_seconds;
+        out.push_str(&format!(
+            "# HELP monomi_query_seconds Per-query server execution latency.\n\
+             # TYPE monomi_query_seconds summary\n\
+             monomi_query_seconds{{quantile=\"0.5\"}} {}\n\
+             monomi_query_seconds{{quantile=\"0.95\"}} {}\n\
+             monomi_query_seconds{{quantile=\"0.99\"}} {}\n\
+             monomi_query_seconds_sum {}\n\
+             monomi_query_seconds_count {}\n",
+            h.quantile(0.5),
+            h.quantile(0.95),
+            h.quantile(0.99),
+            h.sum_seconds(),
+            h.count()
+        ));
+        out
+    }
+}
+
+/// Formats one structured slow-query log line: the trace id, the plan label
+/// (operator shape, never SQL text or values), the latency, and rows out.
+pub fn slow_query_json(
+    trace: crate::trace::TraceId,
+    label: &str,
+    seconds: f64,
+    rows: u64,
+    threshold_ms: u64,
+) -> String {
+    format!(
+        "{{\"event\":\"slow_query\",\"trace_id\":\"{trace}\",\"label\":\"{}\",\
+         \"seconds\":{seconds:.6},\"rows\":{rows},\"threshold_ms\":{threshold_ms}}}",
+        json_escape(label)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceId;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::default();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::default();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.dec();
+        g.dec(); // saturates, never wraps
+        assert_eq!(g.get(), 0);
+        g.set(7);
+        assert_eq!(g.get(), 7);
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_invertible() {
+        let mut last = 0;
+        for micros in [0u64, 1, 3, 4, 7, 8, 100, 999, 1000, 123_456, 10_000_000] {
+            let b = bucket_of(micros);
+            assert!(b >= last, "bucket index must be monotone in the value");
+            last = b;
+            let floor = bucket_floor_micros(b);
+            assert!(
+                floor <= micros,
+                "floor {floor} must not exceed the value {micros}"
+            );
+            // Relative error of the lower bound is bounded by one sub-bucket.
+            if micros >= 4 {
+                assert!(
+                    (micros - floor) as f64 / micros as f64 <= 0.25,
+                    "bucket {b} floor {floor} too far below {micros}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_track_observations() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), 0.0, "empty histogram answers zero");
+        // 100 observations: 1ms ... 100ms.
+        for i in 1..=100u64 {
+            h.observe(i as f64 / 1e3);
+        }
+        assert_eq!(h.count(), 100);
+        assert!((h.sum_seconds() - 5.05).abs() < 0.01);
+        let p50 = h.quantile(0.5);
+        let p95 = h.quantile(0.95);
+        let p99 = h.quantile(0.99);
+        assert!((0.030..=0.050).contains(&p50), "p50 ~= 50ms, got {p50}");
+        assert!((0.070..=0.095).contains(&p95), "p95 ~= 95ms, got {p95}");
+        assert!(p99 >= p95, "p99 must dominate p95");
+        assert!(p99 <= 0.100);
+    }
+
+    #[test]
+    fn prometheus_rendering_has_every_series() {
+        let m = ServerMetrics::default();
+        m.queries_total.add(3);
+        m.rows_scanned_total.add(1234);
+        m.active_sessions.set(2);
+        m.query_seconds.observe(0.010);
+        let text = m.render_prometheus();
+        for series in [
+            "monomi_queries_total 3",
+            "monomi_rows_scanned_total 1234",
+            "monomi_active_sessions 2",
+            "monomi_query_seconds_count 1",
+            "monomi_query_seconds{quantile=\"0.5\"}",
+            "# TYPE monomi_queries_total counter",
+            "# TYPE monomi_active_sessions gauge",
+            "# TYPE monomi_query_seconds summary",
+        ] {
+            assert!(text.contains(series), "missing `{series}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn slow_query_line_is_wellformed_json_with_the_trace_id() {
+        let trace = TraceId { hi: 1, lo: 2 };
+        let line = slow_query_json(trace, "RemoteSQL \"q\"\n", 0.25, 42, 100);
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains(&trace.to_string()));
+        assert!(
+            line.contains("\\\"q\\\"\\n"),
+            "label must be escaped: {line}"
+        );
+        assert!(line.contains("\"seconds\":0.250000"));
+        assert!(line.contains("\"rows\":42"));
+        assert!(line.contains("\"threshold_ms\":100"));
+    }
+
+    #[test]
+    fn json_escape_handles_control_characters() {
+        assert_eq!(json_escape("a\u{1}b"), "a\\u0001b");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

@@ -1,0 +1,74 @@
+//! The one shared wall-clock helper.
+//!
+//! Before this crate existed, `monomi-core/src/localexec.rs`, `client.rs`,
+//! and the benchmark harnesses each hand-rolled the same
+//! `Instant::now()` / `elapsed().as_secs_f64()` pair. They all go through
+//! [`Stopwatch`] now, so the duration→seconds conversion exists in exactly
+//! one place. (The engine's `ops.rs` keeps its own timing: those sites are
+//! inside the `determinism-clock-env` lint's exec-path files and carry their
+//! own justified allow markers.)
+
+use std::time::Instant;
+
+/// A started wall clock.
+#[derive(Clone, Copy, Debug)]
+pub struct Stopwatch(Instant);
+
+impl Stopwatch {
+    /// Starts the clock.
+    #[allow(clippy::new_without_default)]
+    pub fn start() -> Stopwatch {
+        Stopwatch(Instant::now())
+    }
+
+    /// Seconds elapsed since start.
+    pub fn seconds(&self) -> f64 {
+        self.0.elapsed().as_secs_f64()
+    }
+
+    /// Seconds elapsed since start (or the last lap), restarting the clock.
+    pub fn lap(&mut self) -> f64 {
+        let s = self.0.elapsed().as_secs_f64();
+        self.0 = Instant::now();
+        s
+    }
+}
+
+/// The wire share of a measured round trip: round-trip wall minus the
+/// server-reported execution time, clamped at zero.
+///
+/// The two operands come from *different clocks* (the client's monotonic
+/// clock for the round trip, the server's for `exec_seconds`), so under
+/// coarse timers or clock jitter the difference can come out negative even
+/// though both measurements are individually valid. A negative wire time is
+/// meaningless downstream (it would make `QueryTimings::total_seconds`
+/// undercount), so the clamp is part of the contract.
+pub fn wire_share(round_trip_seconds: f64, exec_seconds: f64) -> f64 {
+    (round_trip_seconds - exec_seconds).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_measures_nonnegative_and_laps() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let first = sw.lap();
+        assert!(first >= 0.001, "slept 2ms but measured {first}");
+        let after = sw.seconds();
+        assert!(after >= 0.0 && after < first + 10.0);
+    }
+
+    /// Regression for the `QueryTimings::wire_seconds` underflow: a server
+    /// whose clock reports more execution time than the client's whole round
+    /// trip must yield a zero wire share, never a negative one.
+    #[test]
+    fn wire_share_clamps_clock_jitter_at_zero() {
+        assert_eq!(wire_share(0.0005, 0.001), 0.0);
+        assert_eq!(wire_share(0.0, 0.0), 0.0);
+        let positive = wire_share(0.003, 0.001);
+        assert!((positive - 0.002).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,408 @@
+//! Trace ids and span trees.
+//!
+//! A [`TraceId`] is minted once per query by the trusted client and rides in
+//! every wire frame belonging to that query, so the client's `QueryTimings`,
+//! the server's slow-query log, and the per-operator spans can all be joined
+//! on one identifier. A [`Span`] is one timed region (an operator, a phase, a
+//! round trip); spans nest into a tree that [`Span::render`] prints in the
+//! EXPLAIN ANALYZE style.
+//!
+//! Spans recorded concurrently go through a [`SpanBuffer`]: one uncontended
+//! slot per worker, merged in *partition order* at the end — the same
+//! reassembly discipline the morsel driver uses for result rows, so the span
+//! tree is deterministic at every thread count even though wall-clock values
+//! inside it are not.
+
+use std::fmt;
+use std::sync::Mutex;
+
+/// A 128-bit query trace identifier, rendered as 32 lowercase hex digits.
+///
+/// `TraceId::ZERO` is reserved for "untraced": transports treat it as "do not
+/// collect spans", and it never appears in the slow-query log.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId {
+    /// High 64 bits.
+    pub hi: u64,
+    /// Low 64 bits.
+    pub lo: u64,
+}
+
+impl TraceId {
+    /// The reserved "untraced" id.
+    pub const ZERO: TraceId = TraceId { hi: 0, lo: 0 };
+
+    /// True when this is the reserved untraced id.
+    pub fn is_zero(&self) -> bool {
+        self.hi == 0 && self.lo == 0
+    }
+
+    /// Parses the 32-hex-digit form produced by `Display`.
+    pub fn from_hex(s: &str) -> Option<TraceId> {
+        if s.len() != 32 || !s.is_ascii() {
+            return None;
+        }
+        let hi = u64::from_str_radix(s.get(..16)?, 16).ok()?;
+        let lo = u64::from_str_radix(s.get(16..)?, 16).ok()?;
+        Some(TraceId { hi, lo })
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+/// Deterministic trace-id generator (splitmix64 over a seed + counter).
+///
+/// The client seeds one generator from its configured RNG seed, so a run with
+/// a pinned seed produces the same trace ids every time — traces in test logs
+/// are reproducible, and no entropy source is consulted on the query path.
+#[derive(Debug)]
+pub struct TraceIdGen {
+    seed: u64,
+    counter: std::sync::atomic::AtomicU64,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl TraceIdGen {
+    /// A generator whose sequence is a pure function of `seed`.
+    pub fn new(seed: u64) -> TraceIdGen {
+        TraceIdGen {
+            seed,
+            counter: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// The next trace id; never [`TraceId::ZERO`].
+    pub fn next_id(&self) -> TraceId {
+        let n = self
+            .counter
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let hi = splitmix64(self.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+        let lo = splitmix64(self.seed.wrapping_add(splitmix64(n.wrapping_add(1))));
+        if hi == 0 && lo == 0 {
+            TraceId { hi: 1, lo: 1 }
+        } else {
+            TraceId { hi, lo }
+        }
+    }
+}
+
+/// One timed region of a query: a label, its wall-clock duration, the rows it
+/// produced (0 when not meaningful), and nested child spans.
+///
+/// Labels are operator names and phase names only — never column values, key
+/// material, or SQL text — because spans cross the trust boundary in both
+/// directions.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Span {
+    /// Operator or phase name, e.g. `ScanFilter(lineitem)` or `LocalDecrypt`.
+    pub label: String,
+    /// Wall-clock seconds spent in the region.
+    pub seconds: f64,
+    /// Rows produced by the region (0 when not applicable).
+    pub rows: u64,
+    /// Nested sub-regions, in execution order.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// A leaf span.
+    pub fn leaf(label: impl Into<String>, seconds: f64, rows: u64) -> Span {
+        Span {
+            label: label.into(),
+            seconds,
+            rows,
+            children: Vec::new(),
+        }
+    }
+
+    /// A span with children.
+    pub fn node(label: impl Into<String>, seconds: f64, rows: u64, children: Vec<Span>) -> Span {
+        Span {
+            label: label.into(),
+            seconds,
+            rows,
+            children,
+        }
+    }
+
+    /// Renders the tree in EXPLAIN ANALYZE style, one span per line:
+    ///
+    /// ```text
+    /// query                              12.345 ms
+    ///   RemoteSQL                         9.800 ms
+    ///     ScanFilter(lineitem)            7.100 ms  rows=6005
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, depth: usize) {
+        let indent = "  ".repeat(depth);
+        let label = format!("{indent}{}", self.label);
+        out.push_str(&format!("{label:<42} {:>10.3} ms", self.seconds * 1e3));
+        if self.rows > 0 {
+            out.push_str(&format!("  rows={}", self.rows));
+        }
+        out.push('\n');
+        for child in &self.children {
+            child.render_into(out, depth + 1);
+        }
+    }
+
+    /// Total number of spans in the tree (self included).
+    pub fn count(&self) -> usize {
+        1 + self.children.iter().map(Span::count).sum::<usize>()
+    }
+}
+
+/// The wire form of one span: its depth in a pre-order walk plus the leaf
+/// fields. A flat list of these reconstructs the tree exactly.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FlatSpan {
+    /// Depth in the pre-order walk (roots are 0).
+    pub depth: u32,
+    /// Operator or phase name.
+    pub label: String,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Rows produced.
+    pub rows: u64,
+}
+
+/// Pre-order flattening of a span forest for wire transfer.
+pub fn flatten_spans(spans: &[Span]) -> Vec<FlatSpan> {
+    fn walk(span: &Span, depth: u32, out: &mut Vec<FlatSpan>) {
+        out.push(FlatSpan {
+            depth,
+            label: span.label.clone(),
+            seconds: span.seconds,
+            rows: span.rows,
+        });
+        for child in &span.children {
+            walk(child, depth + 1, out);
+        }
+    }
+    let mut out = Vec::new();
+    for span in spans {
+        walk(span, 0, &mut out);
+    }
+    out
+}
+
+/// Rebuilds the span forest from its pre-order flat form. Malformed depth
+/// sequences (a child more than one level below its parent) are clamped to
+/// the deepest open span, so hostile input can distort shape but never panic.
+pub fn unflatten_spans(flat: &[FlatSpan]) -> Vec<Span> {
+    let mut roots: Vec<Span> = Vec::new();
+    // Path of indices from the root list into the currently open spans.
+    let mut path: Vec<usize> = Vec::new();
+    for f in flat {
+        let depth = (f.depth as usize).min(path.len());
+        path.truncate(depth);
+        let span = Span::leaf(f.label.clone(), f.seconds, f.rows);
+        let mut list = &mut roots;
+        // Every index in `path` was pushed right after inserting into the
+        // list it refers to, so the descent cannot go out of bounds.
+        for &i in &path {
+            list = &mut list[i].children;
+        }
+        list.push(span);
+        path.push(list.len() - 1);
+    }
+    roots
+}
+
+/// A lock-cheap buffer for spans recorded by concurrent workers.
+///
+/// Each worker owns one slot (an uncontended `Mutex` — taken only by that
+/// worker while recording and once at merge time), and every recorded span is
+/// tagged with its *partition index*. [`SpanBuffer::into_merged`] sorts by
+/// partition index, so the merged order depends only on the partitioning —
+/// exactly the discipline that keeps morsel-parallel results byte-identical
+/// at every thread count.
+#[derive(Debug)]
+pub struct SpanBuffer {
+    slots: Vec<Mutex<Vec<(u64, Span)>>>,
+}
+
+impl SpanBuffer {
+    /// A buffer with one slot per worker.
+    pub fn new(workers: usize) -> SpanBuffer {
+        SpanBuffer {
+            slots: (0..workers.max(1))
+                .map(|_| Mutex::new(Vec::new()))
+                .collect(),
+        }
+    }
+
+    /// Records `span` for partition `partition` from worker `worker`.
+    /// Worker indices out of range fold into the last slot rather than panic.
+    pub fn record(&self, worker: usize, partition: u64, span: Span) {
+        let slot = worker.min(self.slots.len() - 1);
+        if let Some(m) = self.slots.get(slot) {
+            if let Ok(mut v) = m.lock() {
+                v.push((partition, span));
+            }
+        }
+    }
+
+    /// Drains every slot and returns the spans sorted by partition index
+    /// (ties keep worker order, which is itself deterministic because a
+    /// partition is processed by exactly one worker).
+    pub fn into_merged(self) -> Vec<Span> {
+        let mut tagged: Vec<(u64, Span)> = Vec::new();
+        for slot in self.slots {
+            if let Ok(v) = slot.into_inner() {
+                tagged.extend(v);
+            }
+        }
+        tagged.sort_by_key(|(p, _)| *p);
+        tagged.into_iter().map(|(_, s)| s).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_id_hex_roundtrip() {
+        let id = TraceId {
+            hi: 0x0123_4567_89AB_CDEF,
+            lo: 0xFEDC_BA98_7654_3210,
+        };
+        let hex = id.to_string();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(TraceId::from_hex(&hex), Some(id));
+        assert_eq!(TraceId::from_hex("xyz"), None);
+        assert_eq!(TraceId::from_hex(&"0".repeat(31)), None);
+        assert!(TraceId::ZERO.is_zero());
+    }
+
+    #[test]
+    fn trace_id_generator_is_deterministic_and_nonzero() {
+        let a = TraceIdGen::new(42);
+        let b = TraceIdGen::new(42);
+        let ids: Vec<TraceId> = (0..100).map(|_| a.next_id()).collect();
+        let again: Vec<TraceId> = (0..100).map(|_| b.next_id()).collect();
+        assert_eq!(ids, again, "same seed must give the same id sequence");
+        assert!(ids.iter().all(|id| !id.is_zero()));
+        let mut uniq = ids.clone();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), ids.len(), "ids must not collide in-sequence");
+        let other = TraceIdGen::new(43);
+        assert_ne!(other.next_id(), ids[0]);
+    }
+
+    #[test]
+    fn span_flatten_unflatten_roundtrip() {
+        let tree = vec![Span::node(
+            "query",
+            1.0,
+            0,
+            vec![
+                Span::node(
+                    "RemoteSQL",
+                    0.8,
+                    100,
+                    vec![Span::leaf("ScanFilter(t)", 0.6, 5000)],
+                ),
+                Span::leaf("LocalDecrypt", 0.1, 100),
+            ],
+        )];
+        let flat = flatten_spans(&tree);
+        assert_eq!(flat.len(), 4);
+        assert_eq!(flat[0].depth, 0);
+        assert_eq!(flat[2].depth, 2);
+        assert_eq!(unflatten_spans(&flat), tree);
+    }
+
+    #[test]
+    fn unflatten_clamps_hostile_depths_without_panicking() {
+        let flat = vec![
+            FlatSpan {
+                depth: 7, // claims depth 7 with no open parents
+                label: "a".into(),
+                seconds: 0.0,
+                rows: 0,
+            },
+            FlatSpan {
+                depth: 3, // deeper than the one open span allows
+                label: "b".into(),
+                seconds: 0.0,
+                rows: 0,
+            },
+        ];
+        let tree = unflatten_spans(&flat);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree[0].label, "a");
+        assert_eq!(tree[0].children[0].label, "b");
+    }
+
+    #[test]
+    fn span_render_shows_tree_and_rows() {
+        let tree = Span::node(
+            "query",
+            0.012345,
+            0,
+            vec![Span::leaf("ScanFilter(lineitem)", 0.0071, 6005)],
+        );
+        let text = tree.render();
+        assert!(text.contains("query"));
+        assert!(text.contains("  ScanFilter(lineitem)"));
+        assert!(text.contains("rows=6005"));
+        assert!(text.contains("12.345 ms"));
+    }
+
+    #[test]
+    fn span_buffer_merges_in_partition_order_at_any_worker_count() {
+        // The same 16 partitions recorded through 1, 3, and 8 workers must
+        // merge to the same sequence.
+        let expected: Vec<String> = (0..16).map(|p| format!("part{p}")).collect();
+        for workers in [1usize, 3, 8] {
+            let buf = SpanBuffer::new(workers);
+            // Simulate out-of-order claims: reverse order, round-robin workers.
+            for p in (0..16u64).rev() {
+                buf.record(
+                    (p as usize) % workers,
+                    p,
+                    Span::leaf(format!("part{p}"), 0.0, p),
+                );
+            }
+            let merged = buf.into_merged();
+            let labels: Vec<String> = merged.iter().map(|s| s.label.clone()).collect();
+            assert_eq!(labels, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn span_buffer_tolerates_out_of_range_worker_index() {
+        let buf = SpanBuffer::new(2);
+        buf.record(99, 0, Span::leaf("x", 0.0, 0));
+        assert_eq!(buf.into_merged().len(), 1);
+    }
+
+    #[test]
+    fn span_count_counts_the_whole_tree() {
+        let tree = Span::node(
+            "a",
+            0.0,
+            0,
+            vec![Span::leaf("b", 0.0, 0), Span::leaf("c", 0.0, 0)],
+        );
+        assert_eq!(tree.count(), 3);
+    }
+}

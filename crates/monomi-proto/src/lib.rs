@@ -42,6 +42,7 @@
 use std::io::{Read, Write};
 
 use monomi_engine::{ExecStats, ResultSet};
+use monomi_obs::{FlatSpan, TraceId};
 use monomi_store::{
     crc64, put_blob, read_value, write_value, ColumnType, Reader, StoreError, Value,
 };
@@ -58,7 +59,12 @@ use monomi_store::{
 /// v3: `CreateTable` carries the list of columns opted out of secondary-index
 /// builds, and [`ExecStats`] gained the index access-path counters
 /// (`index_probes`, `index_rows_fetched`, `postings_bytes_read`).
-pub const WIRE_VERSION: u32 = 3;
+///
+/// v4: `Execute` carries the client-minted 128-bit [`TraceId`] (zero means
+/// untraced), `Result` echoes it back along with the server's per-operator
+/// span list (flattened [`FlatSpan`]s), and the `Metrics` request/response
+/// pair exposes the server's Prometheus-text metrics dump.
+pub const WIRE_VERSION: u32 = 4;
 
 /// Frame magic: the first four bytes of every MONOMI frame.
 pub const MAGIC: [u8; 4] = *b"MNMI";
@@ -237,9 +243,16 @@ pub enum Request {
         sql: String,
         threads: u32,
         morsel_rows: u32,
+        /// The client-minted query trace id. [`TraceId::ZERO`] means
+        /// untraced: the server skips span collection entirely. Carrying the
+        /// id on the wire lets the server's slow-query log and the client's
+        /// EXPLAIN ANALYZE join on one identifier.
+        trace: TraceId,
     },
     /// Ask for the server's total stored size in bytes.
     ServerSize,
+    /// Ask for the server's metrics registry as Prometheus text.
+    Metrics,
 }
 
 /// Server → client messages.
@@ -257,9 +270,19 @@ pub enum Response {
         result: ResultSet,
         stats: ExecStats,
         exec_seconds: f64,
+        /// The trace id the `Execute` request carried, echoed back so the
+        /// client can verify propagation end to end (including across
+        /// retries and reconnects).
+        trace: TraceId,
+        /// Per-operator spans the server recorded for this query, flattened
+        /// pre-order. Empty when the request was untraced. Spans carry only
+        /// operator labels, durations, and row counts.
+        spans: Vec<FlatSpan>,
     },
     /// Answer to [`Request::ServerSize`].
     Size { bytes: u64 },
+    /// Answer to [`Request::Metrics`]: the registry in Prometheus text form.
+    Metrics { text: String },
     /// Typed failure; the connection stays usable unless the transport broke.
     Error { code: ErrorCode, message: String },
 }
@@ -281,6 +304,7 @@ const RQ_REGISTER_MODULUS: u8 = 3;
 const RQ_BULK_LOAD: u8 = 4;
 const RQ_EXECUTE: u8 = 5;
 const RQ_SERVER_SIZE: u8 = 6;
+const RQ_METRICS: u8 = 7;
 
 // Response tags. Stable wire format — do not renumber.
 const RS_HELLO: u8 = 1;
@@ -288,6 +312,7 @@ const RS_OK: u8 = 2;
 const RS_RESULT: u8 = 3;
 const RS_SIZE: u8 = 4;
 const RS_ERROR: u8 = 5;
+const RS_METRICS: u8 = 6;
 
 fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -343,6 +368,32 @@ fn write_stats(out: &mut Vec<u8>, s: &ExecStats) {
     put_u32(out, s.threads_used);
     put_u64(out, s.worker_busy_nanos);
     put_u64(out, s.parallel_wall_nanos);
+}
+
+fn write_spans(out: &mut Vec<u8>, spans: &[FlatSpan]) {
+    put_u32(out, spans.len() as u32);
+    for s in spans {
+        put_u32(out, s.depth);
+        put_str(out, &s.label);
+        put_u64(out, s.seconds.to_bits());
+        put_u64(out, s.rows);
+    }
+}
+
+fn read_spans(r: &mut Reader<'_>) -> Result<Vec<FlatSpan>, ProtoError> {
+    let n = r.u32()? as usize;
+    // Attacker-controlled count: cap the pre-allocation, let decoding fail
+    // naturally if the payload runs out.
+    let mut spans = Vec::with_capacity(n.min(1 << 12));
+    for _ in 0..n {
+        spans.push(FlatSpan {
+            depth: r.u32()?,
+            label: r.string()?,
+            seconds: f64::from_bits(r.u64()?),
+            rows: r.u64()?,
+        });
+    }
+    Ok(spans)
 }
 
 fn read_stats(r: &mut Reader<'_>) -> Result<ExecStats, ProtoError> {
@@ -416,13 +467,17 @@ impl Request {
                 sql,
                 threads,
                 morsel_rows,
+                trace,
             } => {
                 out.push(RQ_EXECUTE);
                 put_str(&mut out, sql);
                 put_u32(&mut out, *threads);
                 put_u32(&mut out, *morsel_rows);
+                put_u64(&mut out, trace.hi);
+                put_u64(&mut out, trace.lo);
             }
             Request::ServerSize => out.push(RQ_SERVER_SIZE),
+            Request::Metrics => out.push(RQ_METRICS),
         }
         out
     }
@@ -475,8 +530,13 @@ impl Request {
                 sql: r.string()?,
                 threads: r.u32()?,
                 morsel_rows: r.u32()?,
+                trace: TraceId {
+                    hi: r.u64()?,
+                    lo: r.u64()?,
+                },
             },
             RQ_SERVER_SIZE => Request::ServerSize,
+            RQ_METRICS => Request::Metrics,
             other => {
                 return Err(ProtoError::malformed(format!(
                     "unknown request tag {other}"
@@ -504,6 +564,8 @@ impl Response {
                 result,
                 stats,
                 exec_seconds,
+                trace,
+                spans,
             } => {
                 out.push(RS_RESULT);
                 put_u32(&mut out, result.columns.len() as u32);
@@ -513,10 +575,17 @@ impl Response {
                 write_rows(&mut out, &result.rows);
                 write_stats(&mut out, stats);
                 put_u64(&mut out, exec_seconds.to_bits());
+                put_u64(&mut out, trace.hi);
+                put_u64(&mut out, trace.lo);
+                write_spans(&mut out, spans);
             }
             Response::Size { bytes } => {
                 out.push(RS_SIZE);
                 put_u64(&mut out, *bytes);
+            }
+            Response::Metrics { text } => {
+                out.push(RS_METRICS);
+                put_str(&mut out, text);
             }
             Response::Error { code, message } => {
                 out.push(RS_ERROR);
@@ -542,13 +611,21 @@ impl Response {
                 let rows = read_rows(&mut r)?;
                 let stats = read_stats(&mut r)?;
                 let exec_seconds = f64::from_bits(r.u64()?);
+                let trace = TraceId {
+                    hi: r.u64()?,
+                    lo: r.u64()?,
+                };
+                let spans = read_spans(&mut r)?;
                 Response::Result {
                     result: ResultSet { columns, rows },
                     stats,
                     exec_seconds,
+                    trace,
+                    spans,
                 }
             }
             RS_SIZE => Response::Size { bytes: r.u64()? },
+            RS_METRICS => Response::Metrics { text: r.string()? },
             RS_ERROR => {
                 let tag = r.u8()?;
                 let code = ErrorCode::from_tag(tag)
@@ -763,8 +840,19 @@ mod tests {
                 sql: "SELECT count(*) FROM lineitem_enc".into(),
                 threads: 4,
                 morsel_rows: 4096,
+                trace: TraceId {
+                    hi: 0xDEAD_BEEF_0000_0001,
+                    lo: 0x1234_5678_9ABC_DEF0,
+                },
+            },
+            Request::Execute {
+                sql: "SELECT 1".into(),
+                threads: 1,
+                morsel_rows: 1,
+                trace: TraceId::ZERO,
             },
             Request::ServerSize,
+            Request::Metrics,
         ]
     }
 
@@ -800,8 +888,26 @@ mod tests {
                     parallel_wall_nanos: 45_678,
                 },
                 exec_seconds: 0.125,
+                trace: TraceId { hi: 7, lo: 9 },
+                spans: vec![
+                    FlatSpan {
+                        depth: 0,
+                        label: "ScanFilter(lineitem_enc)".into(),
+                        seconds: 0.100,
+                        rows: 10,
+                    },
+                    FlatSpan {
+                        depth: 1,
+                        label: "MorselAggregate".into(),
+                        seconds: 0.020,
+                        rows: 2,
+                    },
+                ],
             },
             Response::Size { bytes: u64::MAX },
+            Response::Metrics {
+                text: "# TYPE monomi_queries_total counter\nmonomi_queries_total 3\n".into(),
+            },
             Response::error(ErrorCode::Sql, "no such table"),
             Response::error(ErrorCode::ShuttingDown, "server is draining"),
         ]
@@ -850,11 +956,15 @@ mod tests {
                         result: a,
                         stats: sa,
                         exec_seconds: ea,
+                        trace: ta,
+                        spans: pa,
                     },
                     Response::Result {
                         result: b,
                         stats: sb,
                         exec_seconds: eb,
+                        trace: tb,
+                        spans: pb,
                     },
                 ) => {
                     assert_eq!(a.columns, b.columns);
@@ -864,6 +974,8 @@ mod tests {
                     }
                     assert_eq!(sa, sb);
                     assert_eq!(ea.to_bits(), eb.to_bits());
+                    assert_eq!(ta, tb, "trace id must survive the round trip");
+                    assert_eq!(pa, pb, "spans must survive the round trip");
                 }
                 _ => assert_eq!(resp, decoded),
             }
@@ -889,6 +1001,7 @@ mod tests {
             sql: "SELECT l_qty_hom FROM lineitem_enc WHERE l_sd_ope < 42".into(),
             threads: 2,
             morsel_rows: 1024,
+            trace: TraceId { hi: 3, lo: 5 },
         };
         let framed = frame(&req.encode());
         for i in 0..framed.len() {

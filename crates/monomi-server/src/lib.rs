@@ -47,12 +47,14 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use monomi_engine::{ColumnDef, Database, ExecOptions, TableSchema};
 use monomi_math::BigUint;
+use monomi_obs::{flatten_spans, slow_query_json, ServerMetrics};
 use monomi_proto::{
     read_request, write_response, ErrorCode, ProtoError, ProtoErrorKind, Request, Response,
     WIRE_VERSION,
@@ -78,7 +80,7 @@ pub const DEFAULT_CONN_TIMEOUT_MS: u64 = 30_000;
 const MAX_CLIENT_JOURNALS: usize = 128;
 
 /// Server tunables.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerOptions {
     /// Connections admitted concurrently; the next one is refused with
     /// [`ErrorCode::Busy`].
@@ -87,6 +89,13 @@ pub struct ServerOptions {
     /// idle between frames, and the longest one frame may take to arrive
     /// once its first byte has been read.
     pub conn_timeout: Duration,
+    /// When set, the Prometheus-text metrics dump is written to this path as
+    /// the accept loop exits (graceful shutdown or drain).
+    pub metrics_dump: Option<PathBuf>,
+    /// Slow-query threshold: a query whose server-side execution takes at
+    /// least this many milliseconds logs one structured JSON line (trace id,
+    /// latency, rows — never SQL text) to stderr.
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for ServerOptions {
@@ -94,16 +103,33 @@ impl Default for ServerOptions {
         ServerOptions {
             max_conns: DEFAULT_MAX_CONNS,
             conn_timeout: Duration::from_millis(DEFAULT_CONN_TIMEOUT_MS),
+            metrics_dump: None,
+            slow_query_ms: None,
         }
     }
 }
 
 impl ServerOptions {
     /// Reads options from the environment: `MONOMI_MAX_CONNS` (default
-    /// [`DEFAULT_MAX_CONNS`]) and `MONOMI_CONN_TIMEOUT_MS` (default
-    /// [`DEFAULT_CONN_TIMEOUT_MS`]). Malformed values are rejected with a
-    /// logged warning (never silently swallowed) and the default is used.
+    /// [`DEFAULT_MAX_CONNS`]), `MONOMI_CONN_TIMEOUT_MS` (default
+    /// [`DEFAULT_CONN_TIMEOUT_MS`]), `MONOMI_METRICS_DUMP` (a path; unset
+    /// means no dump), and `MONOMI_SLOW_QUERY_MS` (unset means no slow-query
+    /// log). Malformed values are rejected with a logged warning (never
+    /// silently swallowed) and the default is used.
     pub fn from_env() -> Self {
+        let slow_query_ms = match std::env::var("MONOMI_SLOW_QUERY_MS") {
+            Err(_) => None,
+            Ok(raw) => match raw.parse::<u64>() {
+                Ok(ms) => Some(ms),
+                Err(_) => {
+                    eprintln!(
+                        "monomi-server: ignoring malformed MONOMI_SLOW_QUERY_MS={raw:?} \
+                         (want milliseconds as an integer)"
+                    );
+                    None
+                }
+            },
+        };
         ServerOptions {
             max_conns: env_knob("MONOMI_MAX_CONNS", DEFAULT_MAX_CONNS, |&n| n >= 1),
             conn_timeout: Duration::from_millis(env_knob(
@@ -111,6 +137,11 @@ impl ServerOptions {
                 DEFAULT_CONN_TIMEOUT_MS,
                 |&ms| ms >= 1,
             )),
+            metrics_dump: std::env::var("MONOMI_METRICS_DUMP")
+                .ok()
+                .filter(|p| !p.is_empty())
+                .map(PathBuf::from),
+            slow_query_ms,
         }
     }
 }
@@ -139,11 +170,14 @@ struct Shared {
     tick: AtomicU64,
     shutdown: AtomicBool,
     opts: ServerOptions,
+    metrics: ServerMetrics,
 }
 
 impl Shared {
     /// Registers one more live connection for `client_id`.
     fn client_connected(&self, client_id: u64) {
+        self.metrics.sessions_total.inc();
+        self.metrics.active_sessions.inc();
         let tick = self.tick.fetch_add(1, Ordering::SeqCst);
         let mut clients = self.clients.lock();
         let state = clients.entry(client_id).or_insert(ClientState {
@@ -158,6 +192,7 @@ impl Shared {
     /// Unregisters a connection; when it was the client's last, releases the
     /// client's table ownership and bounds the retained journals.
     fn client_disconnected(&self, client_id: u64) {
+        self.metrics.active_sessions.dec();
         let mut clients = self.clients.lock();
         let last_gone = match clients.get_mut(&client_id) {
             Some(state) => {
@@ -171,6 +206,12 @@ impl Shared {
                 .lock()
                 .retain(|_, &mut owner| owner != client_id);
         }
+        self.evict_journals(&mut clients);
+    }
+
+    /// Bounds the retained idempotency journals (extracted so
+    /// `client_disconnected` stays readable).
+    fn evict_journals(&self, clients: &mut BTreeMap<u64, ClientState>) {
         // Bound the journal table: evict the longest-disconnected clients
         // first (never one with live connections).
         while clients.len() > MAX_CLIENT_JOURNALS {
@@ -227,6 +268,7 @@ impl Server {
                 tick: AtomicU64::new(1),
                 shutdown: AtomicBool::new(false),
                 opts,
+                metrics: ServerMetrics::default(),
             }),
         })
     }
@@ -252,6 +294,7 @@ impl Server {
             let shared = Arc::clone(&self.shared);
             if shared.active.fetch_add(1, Ordering::SeqCst) >= shared.opts.max_conns {
                 shared.active.fetch_sub(1, Ordering::SeqCst);
+                shared.metrics.busy_rejections_total.inc();
                 let mut stream = stream;
                 let _ = stream.set_write_timeout(Some(shared.opts.conn_timeout));
                 let _ = write_response(
@@ -264,6 +307,12 @@ impl Server {
                 let _ = serve_connection(&shared, stream);
                 shared.active.fetch_sub(1, Ordering::SeqCst);
             });
+        }
+        // Graceful exit: persist the metrics dump where asked. In-flight
+        // connection threads may still bump counters while draining, so this
+        // is a lower bound; `drain` before shutdown makes it exact.
+        if let Some(path) = &self.shared.opts.metrics_dump {
+            let _ = std::fs::write(path, self.shared.metrics.render_prometheus());
         }
     }
 
@@ -305,6 +354,12 @@ impl ServerHandle {
     /// Connections currently admitted (live connection threads).
     pub fn active_connections(&self) -> usize {
         self.shared.active.load(Ordering::SeqCst)
+    }
+
+    /// The server's metrics catalog (what the `Metrics` wire request and the
+    /// `MONOMI_METRICS_DUMP` file render).
+    pub fn metrics(&self) -> &ServerMetrics {
+        &self.shared.metrics
     }
 
     /// Tables currently claimed by some live client.
@@ -495,13 +550,19 @@ fn session_loop(shared: &Shared, stream: &TcpStream, client_id: u64) -> Result<(
 fn already_applied(shared: &Shared, client_id: u64, request_id: u64) -> bool {
     let tick = shared.tick.fetch_add(1, Ordering::SeqCst);
     let mut clients = shared.clients.lock();
-    match clients.get_mut(&client_id) {
+    let replay = match clients.get_mut(&client_id) {
         Some(state) => {
             state.last_seen = tick;
             state.applied.contains(&request_id)
         }
         None => false,
+    };
+    if replay {
+        // The server-side face of a client retry: the request landed before
+        // but its acknowledgement did not.
+        shared.metrics.journal_replays_total.inc();
     }
+    replay
 }
 
 /// Records `request_id` as applied for `client_id`.
@@ -616,10 +677,16 @@ fn handle_request(shared: &Shared, client_id: u64, request: Request) -> Response
             sql,
             threads,
             morsel_rows,
+            trace,
         } => {
+            let m = &shared.metrics;
+            m.queries_total.inc();
             let query = match parse_query(&sql) {
                 Ok(q) => q,
-                Err(e) => return Response::error(ErrorCode::Sql, e.to_string()),
+                Err(e) => {
+                    m.query_errors_total.inc();
+                    return Response::error(ErrorCode::Sql, e.to_string());
+                }
             };
             let opts = ExecOptions {
                 threads: (threads as usize).max(1),
@@ -627,15 +694,60 @@ fn handle_request(shared: &Shared, client_id: u64, request: Request) -> Response
                 ..ExecOptions::env_cached()
             };
             let started = Instant::now();
-            match shared.db.read().execute_with(&query, &[], &opts) {
-                Ok((result, stats)) => Response::Result {
-                    result,
-                    stats,
-                    exec_seconds: started.elapsed().as_secs_f64(),
-                },
-                Err(e) => Response::error(ErrorCode::Exec, e.to_string()),
+            // A zero trace id means "untraced": the plain path runs and makes
+            // no clock calls inside the executor.
+            let outcome = if trace.is_zero() {
+                shared
+                    .db
+                    .read()
+                    .execute_with(&query, &[], &opts)
+                    .map(|(result, stats)| (result, stats, Vec::new()))
+            } else {
+                shared.db.read().execute_with_traced(&query, &[], &opts)
+            };
+            match outcome {
+                Ok((result, stats, spans)) => {
+                    let exec_seconds = started.elapsed().as_secs_f64();
+                    m.rows_scanned_total.add(stats.rows_scanned);
+                    m.bytes_scanned_total.add(stats.bytes_scanned);
+                    m.rows_returned_total.add(stats.result_rows);
+                    m.segments_read_total.add(stats.segments_read);
+                    m.segments_pruned_total.add(stats.segments_pruned);
+                    m.index_probes_total.add(stats.index_probes);
+                    m.query_seconds.observe(exec_seconds);
+                    if let Some(threshold_ms) = shared.opts.slow_query_ms {
+                        if exec_seconds * 1e3 >= threshold_ms as f64 {
+                            // One structured line per offending query: trace
+                            // id and timings only, never SQL text or values.
+                            eprintln!(
+                                "{}",
+                                slow_query_json(
+                                    trace,
+                                    "server-execute",
+                                    exec_seconds,
+                                    stats.result_rows,
+                                    threshold_ms,
+                                )
+                            );
+                        }
+                    }
+                    Response::Result {
+                        result,
+                        stats,
+                        exec_seconds,
+                        trace,
+                        spans: flatten_spans(&spans),
+                    }
+                }
+                Err(e) => {
+                    m.query_errors_total.inc();
+                    Response::error(ErrorCode::Exec, e.to_string())
+                }
             }
         }
+        Request::Metrics => Response::Metrics {
+            text: shared.metrics.render_prometheus(),
+        },
         Request::ServerSize => Response::Size {
             bytes: shared.db.read().total_size_bytes() as u64,
         },

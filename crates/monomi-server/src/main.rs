@@ -8,13 +8,74 @@
 //! * `MONOMI_CONN_TIMEOUT_MS` — per-connection idle/frame budget, default
 //!   30000: a connection is dropped after this long idle, and a frame whose
 //!   first byte has arrived must complete within it (slowloris bound);
-//! * `MONOMI_STORAGE` — `memory` (default) or `disk`, as everywhere else.
+//! * `MONOMI_STORAGE` — `memory` (default) or `disk`, as everywhere else;
+//! * `MONOMI_METRICS_DUMP` — path to write the Prometheus-text metrics dump
+//!   on graceful shutdown (unset: no dump);
+//! * `MONOMI_SLOW_QUERY_MS` — slow-query threshold in milliseconds; queries
+//!   at or over it log one structured JSON line (trace id, latency, rows —
+//!   never SQL text) to stderr (unset: no slow-query log).
+//!
+//! Admin verb: `monomi-server metrics <addr>` connects to a *running* server,
+//! issues the wire `Metrics` request, and prints the Prometheus-text dump to
+//! stdout — the scrape path for CI artifacts and ad-hoc inspection, without
+//! waiting for the shutdown-time `MONOMI_METRICS_DUMP` file.
 
+use monomi_proto::{read_response, write_request, Request, Response, WIRE_VERSION};
 use monomi_server::{Server, ServerOptions, DEFAULT_LISTEN};
 
+/// Fetches the live Prometheus dump from the server at `addr` over the wire:
+/// version handshake, then one `Metrics` round trip.
+fn fetch_metrics(addr: &str) -> Result<String, String> {
+    let mut stream =
+        std::net::TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    // An arbitrary fixed client id: the scrape session owns no tables and
+    // replays nothing, it only reads the registry.
+    let hello = Request::Hello {
+        version: WIRE_VERSION,
+        client_id: 0x4d_4554_5249_4353, // "METRICS"
+    };
+    write_request(&mut stream, &hello).map_err(|e| format!("handshake send failed: {e}"))?;
+    match read_response(&mut stream) {
+        Ok((Response::Hello { version }, _)) if version == WIRE_VERSION => {}
+        Ok((Response::Hello { version }, _)) => {
+            return Err(format!(
+                "server speaks wire version {version}, this binary speaks {WIRE_VERSION}"
+            ))
+        }
+        Ok((other, _)) => return Err(format!("unexpected handshake response: {other:?}")),
+        Err(e) => return Err(format!("handshake failed: {e}")),
+    }
+    write_request(&mut stream, &Request::Metrics)
+        .map_err(|e| format!("metrics request failed: {e}"))?;
+    match read_response(&mut stream) {
+        Ok((Response::Metrics { text }, _)) => Ok(text),
+        Ok((other, _)) => Err(format!("unexpected metrics response: {other:?}")),
+        Err(e) => Err(format!("metrics read failed: {e}")),
+    }
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("metrics") {
+        let addr = argv
+            .get(2)
+            .cloned()
+            .or_else(|| std::env::var("MONOMI_LISTEN").ok())
+            .unwrap_or_else(|| DEFAULT_LISTEN.to_string());
+        match fetch_metrics(&addr) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("monomi-server metrics: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let addr = std::env::var("MONOMI_LISTEN").unwrap_or_else(|_| DEFAULT_LISTEN.to_string());
     let opts = ServerOptions::from_env();
+    let max_conns = opts.max_conns;
     let server = match Server::bind(&addr, opts) {
         Ok(s) => s,
         Err(e) => {
@@ -23,10 +84,7 @@ fn main() {
         }
     };
     match server.local_addr() {
-        Ok(bound) => println!(
-            "monomi-server listening on {bound} (max {} connections)",
-            opts.max_conns
-        ),
+        Ok(bound) => println!("monomi-server listening on {bound} (max {max_conns} connections)"),
         Err(_) => println!("monomi-server listening on {addr}"),
     }
     server.run();

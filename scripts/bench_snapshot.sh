@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
-# Bench snapshot: runs the crypto, scan, storage, index, network, and
-# parallel-execution benches at a pinned MONOMI_SCALE and writes the
-# machine-readable numbers to BENCH_crypto.json (via the hom_agg /
-# parallel_exec / storage_micro / index_micro / net_micro benches'
-# MONOMI_BENCH_JSON hook), seeding the perf trajectory across PRs.
+# Bench snapshot: runs the crypto, scan, storage, index, network,
+# observability, and parallel-execution benches at a pinned MONOMI_SCALE and
+# writes the machine-readable numbers to BENCH_crypto.json (via the hom_agg /
+# parallel_exec / storage_micro / index_micro / net_micro / obs_micro
+# benches' MONOMI_BENCH_JSON hook), seeding the perf trajectory across PRs.
 #
 # Usage: scripts/bench_snapshot.sh [output.json]
 #   MONOMI_SCALE           pinned data scale (default 0.002)
@@ -36,6 +36,7 @@ MONOMI_BENCH_JSON="$TMPDIR_SNAP/parallel_exec.json" cargo bench --bench parallel
 MONOMI_BENCH_JSON="$TMPDIR_SNAP/storage_micro.json" cargo bench --bench storage_micro
 MONOMI_BENCH_JSON="$TMPDIR_SNAP/index_micro.json" cargo bench --bench index_micro
 MONOMI_BENCH_JSON="$TMPDIR_SNAP/net_micro.json" cargo bench --bench net_micro
+MONOMI_BENCH_JSON="$TMPDIR_SNAP/obs_micro.json" cargo bench --bench obs_micro
 cargo bench --bench crypto_micro
 cargo bench --bench scan_micro
 
@@ -51,6 +52,8 @@ cargo bench --bench scan_micro
   cat "$TMPDIR_SNAP/index_micro.json"
   printf ',\n"net_micro": '
   cat "$TMPDIR_SNAP/net_micro.json"
+  printf ',\n"obs_micro": '
+  cat "$TMPDIR_SNAP/obs_micro.json"
   printf ',\n"monomi_lint": '
   cat "$TMPDIR_SNAP/monomi_lint.json"
   printf '}\n'

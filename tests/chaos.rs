@@ -338,6 +338,51 @@ fn bulk_load_is_not_double_applied_across_reconnect() {
     assert_eq!(got, expected, "BulkLoad was double-applied after reconnect");
 }
 
+/// A trace id survives the retry machinery: when the response is cut and the
+/// request is re-sent over a fresh connection, the replayed Execute frame
+/// carries the same trace id, so the recovered result still comes back with
+/// the server's spans under the original trace — and the server counts the
+/// replayed session establishment in its journal-replay metric.
+#[test]
+fn trace_id_survives_retry_and_reconnect() {
+    let plain = small_plain();
+    let server = loopback_server();
+    let proxy = ChaosProxy::start(&server.addr().to_string()).expect("proxy");
+    let local = local_client(&plain, ExecOptions::serial());
+    let remote = proxied_client(&plain, proxy.addr(), ExecOptions::serial());
+    let baseline = rows_of(&local, 6);
+    let q = queries::query(6).expect("query exists");
+
+    // Cut the response: the Execute is retried over a reconnect.
+    proxy.arm(FaultPlan {
+        direction: Direction::ServerToClient,
+        fault: Fault::DisconnectBefore,
+    });
+    let (rs, timings, trace, spans) = remote
+        .execute_traced(q.sql, &q.params)
+        .expect("traced query absorbed by retry");
+    assert!(timings.retries >= 1, "fault was not injected");
+    assert!(timings.reconnects >= 1);
+    assert_eq!(format!("{:?}", rs.rows), baseline, "wrong recovered result");
+    assert!(!trace.is_zero());
+    // The server spans only come back when the echoed trace id matches what
+    // the (replayed) request carried.
+    let server_spans: usize = spans
+        .iter()
+        .filter(|s| s.label == "RemoteSQL")
+        .map(|s| s.children.len())
+        .sum();
+    assert!(
+        server_spans > 0,
+        "server spans lost across retry: {spans:?}"
+    );
+    // The reconnect replayed the session journal; the server counted it.
+    assert!(
+        server.metrics().journal_replays_total.get() > 0,
+        "journal replays not counted"
+    );
+}
+
 /// Drain answers in-flight sessions with a typed ShuttingDown (no mid-frame
 /// cuts), completes once sessions end, and new connections are then refused.
 #[test]

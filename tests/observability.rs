@@ -1,0 +1,374 @@
+//! End-to-end observability: wire-propagated trace ids, span trees, EXPLAIN
+//! ANALYZE, and the server metrics registry.
+//!
+//! The contract under test: tracing is *inert* — a traced execution returns
+//! byte-identical results to an untraced one at every thread count and on
+//! both storage backends — while a non-zero trace id rides every request
+//! frame, comes back echoed, and carries the server's per-operator spans
+//! with it.
+
+use monomi_core::{ClientConfig, DesignStrategy, MonomiClient};
+use monomi_engine::{Database, ExecOptions};
+use monomi_obs::{flatten_spans, Span, TraceId};
+use monomi_server::{Server, ServerOptions};
+use monomi_sql::parse_query;
+use monomi_tpch::{datagen, queries};
+
+fn small_plain() -> Database {
+    datagen::generate(&datagen::GeneratorConfig {
+        scale_factor: 0.001,
+        seed: 99,
+    })
+}
+
+fn fast_config() -> ClientConfig {
+    ClientConfig {
+        paillier_bits: 256,
+        space_budget: Some(2.0),
+        skip_profiling: true,
+        ..Default::default()
+    }
+}
+
+fn loopback_server() -> monomi_server::ServerHandle {
+    Server::bind_with_db(
+        "127.0.0.1:0",
+        ServerOptions {
+            max_conns: 16,
+            ..Default::default()
+        },
+        Database::in_memory(),
+    )
+    .expect("bind loopback")
+    .spawn()
+    .expect("spawn server")
+}
+
+/// Two clients from the same seed, one in-process and one over TCP.
+fn paired_clients(
+    plain: &Database,
+    addr: &str,
+    exec_options: ExecOptions,
+) -> (MonomiClient, MonomiClient) {
+    let workload: Vec<_> = queries::workload()
+        .iter()
+        .map(|q| parse_query(q.sql).expect("workload query parses"))
+        .collect();
+    let base = ClientConfig {
+        exec_options: Some(exec_options),
+        ..fast_config()
+    };
+    let (local, _) = MonomiClient::setup(plain, &workload, DesignStrategy::Designer, &base)
+        .expect("in-process setup");
+    let tcp_config = ClientConfig {
+        server_addr: Some(addr.to_string()),
+        ..base
+    };
+    let (remote, _) = MonomiClient::setup(plain, &workload, DesignStrategy::Designer, &tcp_config)
+        .expect("tcp setup");
+    (local, remote)
+}
+
+/// The deterministic face of a span tree: labels and row counts in tree
+/// order, with the measured seconds stripped.
+fn span_shape(spans: &[Span]) -> Vec<(u32, String, u64)> {
+    flatten_spans(spans)
+        .into_iter()
+        .map(|f| (f.depth, f.label, f.rows))
+        .collect()
+}
+
+fn has_label(spans: &[Span], prefix: &str) -> bool {
+    flatten_spans(spans)
+        .iter()
+        .any(|f| f.label.starts_with(prefix))
+}
+
+/// A non-zero trace id crosses the wire and brings the server's per-operator
+/// spans back with it; the tree's deterministic shape (labels, nesting, row
+/// counts) is identical between in-process and TCP execution.
+#[test]
+fn trace_ids_and_server_spans_propagate_across_both_transports() {
+    let plain = small_plain();
+    let handle = loopback_server();
+    let addr = handle.addr().to_string();
+    let (local, remote) = paired_clients(&plain, &addr, ExecOptions::serial());
+
+    let q = queries::query(1).expect("query exists");
+    let (rows_a, _, trace_a, spans_a) = local.execute_traced(q.sql, &q.params).expect("in-process");
+    let (rows_b, _, trace_b, spans_b) = remote.execute_traced(q.sql, &q.params).expect("tcp");
+
+    assert!(!trace_a.is_zero() && !trace_b.is_zero());
+    // Same seed, same generator: both clients mint the same id sequence.
+    assert_eq!(trace_a, trace_b, "trace ids must be seed-deterministic");
+    assert_eq!(format!("{:?}", rows_a.rows), format!("{:?}", rows_b.rows));
+
+    // The client tree has the split-execution phases...
+    for prefix in ["Plan", "RemoteSQL", "Wire", "LocalDecrypt"] {
+        assert!(has_label(&spans_a, prefix), "in-process missing {prefix}");
+        assert!(has_label(&spans_b, prefix), "tcp missing {prefix}");
+    }
+    // ...and the server's operator spans are nested under RemoteSQL — over
+    // TCP they can only have arrived by riding the trace id through the
+    // request frame and back in the response.
+    let server_ops = |spans: &[Span]| -> Vec<String> {
+        spans
+            .iter()
+            .filter(|s| s.label == "RemoteSQL")
+            .flat_map(|s| flatten_spans(&s.children))
+            .map(|f| f.label)
+            .collect()
+    };
+    let ops_a = server_ops(&spans_a);
+    let ops_b = server_ops(&spans_b);
+    assert!(
+        ops_a.iter().any(|l| l.starts_with("ScanFilter")),
+        "no server scan span in {ops_a:?}"
+    );
+    assert_eq!(
+        ops_a, ops_b,
+        "server operator spans diverged across transports"
+    );
+    assert_eq!(
+        span_shape(&spans_a),
+        span_shape(&spans_b),
+        "span tree shape diverged across transports"
+    );
+
+    // Trace ids are unique per query.
+    let (_, _, trace_next, _) = local.execute_traced(q.sql, &q.params).expect("second run");
+    assert_ne!(trace_a, trace_next);
+}
+
+/// Tracing never changes results: traced and untraced execution are
+/// byte-identical on both transports at one and at four threads.
+#[test]
+fn tracing_is_invisible_to_results_at_every_thread_count() {
+    let plain = small_plain();
+    for threads in [1usize, 4] {
+        let handle = loopback_server();
+        let addr = handle.addr().to_string();
+        let (local, remote) = paired_clients(&plain, &addr, ExecOptions::with_threads(threads));
+        for number in [1u32, 6, 12] {
+            let q = queries::query(number).expect("query exists");
+            let (plain_rs, _) = local.execute(q.sql, &q.params).expect("untraced");
+            for (name, client) in [("in-process", &local), ("tcp", &remote)] {
+                let (traced_rs, _, trace, spans) =
+                    client.execute_traced(q.sql, &q.params).expect("traced");
+                assert!(!trace.is_zero());
+                assert!(!spans.is_empty(), "Q{number} {name}: no spans");
+                assert_eq!(
+                    format!("{:?}", plain_rs.rows),
+                    format!("{:?}", traced_rs.rows),
+                    "Q{number} {name} @ {threads} threads: tracing changed the result"
+                );
+            }
+        }
+    }
+}
+
+/// Engine-level tracing parity on both storage backends: a traced execution
+/// returns the same rows as an untraced one whether the table lives in
+/// memory or in the segment store, at one and at four threads.
+#[test]
+fn engine_tracing_parity_on_both_storage_backends() {
+    let plain = small_plain();
+    let dir = std::env::temp_dir().join(format!("monomi-obs-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let disk = Database::open(&dir).expect("disk store opens");
+    let mut disk = disk;
+    let mut mem = Database::in_memory();
+    for db in [&mut mem, &mut disk] {
+        for schema in plain.catalog().tables() {
+            db.create_table(schema.clone());
+        }
+        for name in plain.table_names() {
+            let table = plain.table(&name).expect("listed table exists");
+            db.bulk_load(&name, table.rows()).expect("rows load");
+        }
+    }
+
+    let sql = "SELECT l_returnflag, COUNT(*), SUM(l_quantity) FROM lineitem \
+               GROUP BY l_returnflag ORDER BY l_returnflag";
+    let query = parse_query(sql).expect("parses");
+    let mut shapes = Vec::new();
+    for (backend, db) in [("memory", &mem), ("disk", &disk)] {
+        for threads in [1usize, 4] {
+            let opts = ExecOptions::with_threads(threads);
+            let (plain_rs, _) = db.execute_with(&query, &[], &opts).expect("untraced");
+            let (traced_rs, _, spans) = db.execute_with_traced(&query, &[], &opts).expect("traced");
+            assert_eq!(
+                format!("{:?}", plain_rs.rows),
+                format!("{:?}", traced_rs.rows),
+                "{backend} @ {threads} threads: tracing changed the result"
+            );
+            assert!(
+                spans.iter().any(|s| s.label.starts_with("ScanFilter")),
+                "{backend} @ {threads} threads: no scan span"
+            );
+            shapes.push(span_shape(&spans));
+        }
+    }
+    // The deterministic shape (labels + row counts) is identical across all
+    // four backend × thread-count combinations.
+    assert!(
+        shapes.windows(2).all(|w| w[0] == w[1]),
+        "span shapes diverged across backends/threads: {shapes:?}"
+    );
+    drop(disk);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// EXPLAIN ANALYZE renders the plan, the measured span tree, and the cost
+/// model's predicted per-phase seconds next to the measured ones.
+#[test]
+fn explain_analyze_shows_span_tree_and_predicted_vs_actual() {
+    let plain = small_plain();
+    let workload: Vec<_> = queries::workload()
+        .iter()
+        .map(|q| parse_query(q.sql).expect("parses"))
+        .collect();
+    let (client, _) = MonomiClient::setup(
+        &plain,
+        &workload,
+        DesignStrategy::Designer,
+        &ClientConfig {
+            exec_options: Some(ExecOptions::serial()),
+            ..fast_config()
+        },
+    )
+    .expect("setup");
+
+    let q = queries::query(1).expect("Q1 exists");
+    let report = client.explain_analyze(q.sql, &q.params).expect("explain");
+    for needle in [
+        "EXPLAIN ANALYZE",
+        "trace=",
+        "plan: ",
+        "RemoteSQL",
+        "ScanFilter",
+        "LocalDecrypt",
+        "predicted_s",
+        "actual_s",
+        "server",
+        "decrypt",
+        "total",
+        " ms",
+    ] {
+        assert!(report.contains(needle), "missing `{needle}` in:\n{report}");
+    }
+    // The trace id in the report is a well-formed id, not the zero id.
+    let hex = report
+        .lines()
+        .next()
+        .and_then(|l| l.split("trace=").nth(1))
+        .expect("first line carries the trace id")
+        .trim();
+    let trace = TraceId::from_hex(hex).expect("renders as parseable hex");
+    assert!(!trace.is_zero());
+}
+
+/// The server's metrics registry counts queries, scanned rows, and sessions;
+/// the `Metrics` wire request returns the same Prometheus text the dump file
+/// would contain.
+#[test]
+fn server_metrics_count_queries_and_are_served_over_the_wire() {
+    let plain = small_plain();
+    let handle = loopback_server();
+    let addr = handle.addr().to_string();
+    let (_, remote) = paired_clients(&plain, &addr, ExecOptions::serial());
+
+    let corpus = [1u32, 6, 12];
+    for number in corpus {
+        let q = queries::query(number).expect("query exists");
+        remote.execute(q.sql, &q.params).expect("query runs");
+        remote
+            .execute_traced(q.sql, &q.params)
+            .expect("traced runs");
+    }
+
+    let m = handle.metrics();
+    assert!(
+        m.queries_total.get() >= 2 * corpus.len() as u64,
+        "queries_total={}",
+        m.queries_total.get()
+    );
+    assert_eq!(m.query_errors_total.get(), 0);
+    assert!(m.rows_scanned_total.get() > 0);
+    assert!(m.bytes_scanned_total.get() > 0);
+    assert!(m.rows_returned_total.get() > 0);
+    assert!(m.sessions_total.get() >= 1);
+    assert!(m.active_sessions.get() >= 1, "client still connected");
+    assert_eq!(m.query_seconds.count(), m.queries_total.get());
+
+    // The wire endpoint serves the same registry.
+    let text = remote
+        .server_transport()
+        .metrics_text()
+        .expect("metrics request")
+        .expect("tcp transport has a metrics endpoint");
+    assert!(text.contains("monomi_queries_total"));
+    assert!(text.contains("monomi_query_seconds{quantile=\"0.5\"}"));
+    let queries_line = text
+        .lines()
+        .find(|l| l.starts_with("monomi_queries_total "))
+        .expect("queries series present");
+    let served: u64 = queries_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .expect("counter value parses");
+    assert!(served >= 2 * corpus.len() as u64);
+
+    // In-process execution has no server process to instrument.
+    let local_db = small_plain();
+    let workload = [parse_query("SELECT COUNT(*) FROM lineitem").expect("parses")];
+    let (local, _) = MonomiClient::setup(
+        &local_db,
+        &workload,
+        DesignStrategy::Designer,
+        &fast_config(),
+    )
+    .expect("setup");
+    assert_eq!(local.server_transport().metrics_text().expect("ok"), None);
+}
+
+/// `MONOMI_METRICS_DUMP` writes the Prometheus text dump when the server
+/// shuts down gracefully.
+#[test]
+fn metrics_dump_file_is_written_on_shutdown() {
+    let dump = std::env::temp_dir().join(format!("monomi-metrics-{}.prom", std::process::id()));
+    let _ = std::fs::remove_file(&dump);
+    let mut handle = Server::bind_with_db(
+        "127.0.0.1:0",
+        ServerOptions {
+            max_conns: 16,
+            metrics_dump: Some(dump.clone()),
+            ..Default::default()
+        },
+        Database::in_memory(),
+    )
+    .expect("bind")
+    .spawn()
+    .expect("spawn");
+    let addr = handle.addr().to_string();
+
+    let plain = small_plain();
+    let workload = [parse_query("SELECT COUNT(*) FROM lineitem").expect("parses")];
+    let config = ClientConfig {
+        server_addr: Some(addr),
+        ..fast_config()
+    };
+    let (client, _) =
+        MonomiClient::setup(&plain, &workload, DesignStrategy::Designer, &config).expect("setup");
+    client
+        .execute("SELECT COUNT(*) FROM lineitem", &[])
+        .expect("query runs");
+    drop(client);
+
+    handle.shutdown();
+    let text = std::fs::read_to_string(&dump).expect("dump file written on shutdown");
+    assert!(text.contains("monomi_queries_total"));
+    assert!(text.contains("monomi_query_seconds_count"));
+    let _ = std::fs::remove_file(&dump);
+}
